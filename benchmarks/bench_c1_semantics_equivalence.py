@@ -1,0 +1,74 @@
+"""C1 — Section 3.1: Babcock/Sellis union semantics vs CQL semantics.
+
+Barbarà's result, executable: the cumulative-union formulation equals the
+evaluate-at-every-instant formulation exactly when the query is monotonic.
+The experiment runs a query family over one stream, reporting for each
+query its empirical monotonicity and the number of *stale* tuples the
+union semantics retains — zero iff monotonic.
+"""
+
+import pytest
+
+from repro.bench import ExperimentTable
+from repro.core import (
+    Stream,
+    babcock_sellis_evaluation,
+    continuous_evaluation,
+    count_query,
+    distinct_query,
+    divergence_profile,
+    empirically_monotonic,
+    filter_query,
+    join_query,
+    max_query,
+    semantics_agree,
+    window_filter_query,
+)
+
+STREAM = Stream.from_pairs(
+    [(value, 2 * i) for i, value in enumerate(
+        [5, 12, 3, 12, 30, 7, 21, 9, 14, 2, 28, 17])])
+
+QUERY_FAMILY = [
+    ("filter v>10", filter_query(lambda v: v > 10), True),
+    ("self-join", join_query(lambda v: v % 2 == 0, lambda v: v % 3), True),
+    ("distinct", distinct_query(), True),
+    ("count(*)", count_query(), False),
+    ("max", max_query(), False),
+    ("windowed filter", window_filter_query(lambda v: True, range_=6),
+     False),
+]
+
+
+def test_c1_equivalence_iff_monotonic():
+    table = ExperimentTable(
+        "C1: union semantics vs per-instant semantics",
+        ["query", "monotonic", "semantics_agree", "stale_tuples"])
+    for name, query, expected_monotonic in QUERY_FAMILY:
+        monotonic = empirically_monotonic(query, STREAM)
+        agrees = semantics_agree(query, STREAM)
+        stale = sum(s for _, s in divergence_profile(query, STREAM))
+        table.add_row(name, monotonic, agrees, stale)
+        assert monotonic == expected_monotonic, name
+        # Barbarà's equivalence: agreement exactly for monotonic queries.
+        assert agrees == monotonic, name
+        assert (stale == 0) == monotonic, name
+    table.show()
+
+
+def test_c1_divergence_grows_with_stream_length():
+    """For non-monotonic queries the union's stale set keeps growing."""
+    profile = divergence_profile(count_query(), STREAM)
+    stale_counts = [s for _, s in profile]
+    assert stale_counts == sorted(stale_counts)
+    assert stale_counts[-1] == len(profile) - 1
+
+
+@pytest.mark.benchmark(group="c1")
+def test_bench_c1_reference_evaluations(benchmark):
+    def evaluate_both():
+        terry = continuous_evaluation(count_query(), STREAM)
+        union = babcock_sellis_evaluation(count_query(), STREAM)
+        return len(terry), len(union)
+
+    assert benchmark(evaluate_both) == (len(STREAM), len(STREAM))

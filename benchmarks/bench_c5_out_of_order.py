@@ -1,0 +1,109 @@
+"""C5 — Section 4: out-of-order processing, watermarks, and triggers.
+
+The Dataflow model's correctness/latency/cost trade-off, measured:
+(i) a lateness sweep — more watermark slack (bounded out-of-orderness)
+admits more stragglers into on-time panes at the cost of waiting;
+(ii) a trigger sweep — eager triggers fire more panes (lower latency,
+higher cost) for the same final answer.
+"""
+
+import pytest
+
+from repro.bench import (
+    ExperimentTable,
+    assert_monotone,
+    out_of_order_readings,
+)
+from repro.core import BoundedOutOfOrderness
+from repro.dataflow import (
+    AccumulationMode,
+    AfterCount,
+    AfterWatermark,
+    FixedWindows,
+    PaneTiming,
+    Pipeline,
+    Repeatedly,
+)
+
+ARRIVALS = out_of_order_readings(n=120, disorder=12)
+WINDOW = 20
+
+
+def run_with_slack(slack, trigger=None,
+                   accumulation=AccumulationMode.DISCARDING):
+    p = Pipeline()
+    (p.create(ARRIVALS, watermark=BoundedOutOfOrderness(bound=slack))
+     .map(lambda reading: (reading[0], 1))
+     .window_into(FixedWindows(WINDOW), trigger=trigger,
+                  accumulation=accumulation)
+     .combine_per_key(sum)
+     .collect("counts"))
+    return p.run()
+
+
+def totals_of(result):
+    """Final per-(key, window) counts, late refinements folded in."""
+    out = {}
+    for wv in result["counts"]:
+        key = (wv.value[0], wv.windows[0].start)
+        out[key] = out.get(key, 0) + wv.value[1]
+    return out
+
+
+def test_c5_watermark_slack_sweep():
+    table = ExperimentTable(
+        "C5: lateness vs watermark slack (120 events, disorder <= 12)",
+        ["slack", "dropped_late", "on_time_panes", "late_panes"])
+    dropped_series = []
+    for slack in (0, 2, 6, 12):
+        result = run_with_slack(slack)
+        table.add_row(slack, result.dropped_late,
+                      result.panes_by_timing[PaneTiming.ON_TIME],
+                      result.panes_by_timing[PaneTiming.LATE])
+        dropped_series.append(result.dropped_late)
+    table.show()
+    # Shape: more slack, fewer drops; generous slack drops nothing.
+    assert_monotone(dropped_series, increasing=False)
+    assert dropped_series[0] > 0
+    assert dropped_series[-1] == 0
+
+
+def test_c5_completeness_recovered_with_allowed_lateness():
+    strict = run_with_slack(0)
+    generous = run_with_slack(12)
+    # With enough slack the totals equal the true (event-time) counts.
+    true_counts = {}
+    for (sensor, _), event_time in ARRIVALS:
+        key = (sensor, (event_time // WINDOW) * WINDOW)
+        true_counts[key] = true_counts.get(key, 0) + 1
+    assert totals_of(generous) == true_counts
+    assert sum(totals_of(strict).values()) < sum(true_counts.values())
+
+
+def test_c5_trigger_latency_cost_tradeoff():
+    table = ExperimentTable(
+        "C5: triggers — panes fired for the same final answer",
+        ["trigger", "panes", "final_counts_equal"])
+    baseline = run_with_slack(12)
+    configurations = [
+        ("watermark only", None),
+        ("early every 2", AfterWatermark(early=Repeatedly(AfterCount(2)))),
+        ("early every 1", AfterWatermark(early=Repeatedly(AfterCount(1)))),
+    ]
+    pane_counts = []
+    for name, trigger in configurations:
+        result = run_with_slack(12, trigger=trigger)
+        equal = totals_of(result) == totals_of(baseline)
+        panes = len(result["counts"])
+        table.add_row(name, panes, equal)
+        pane_counts.append(panes)
+        assert equal, name
+    table.show()
+    # Shape: eagerness costs panes.
+    assert_monotone(pane_counts, increasing=True)
+
+
+@pytest.mark.benchmark(group="c5")
+def test_bench_c5_out_of_order_pipeline(benchmark):
+    result = benchmark(lambda: run_with_slack(8))
+    assert result["counts"]

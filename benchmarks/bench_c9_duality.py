@@ -1,0 +1,98 @@
+"""C9 — Section 4.1.2: the stream/table duality, quantified.
+
+Sax et al.'s "two sides of the same coin": the round-trip laws hold
+exactly, log compaction shrinks changelogs without changing the table,
+and the same aggregation computed stream-side and table-side agrees —
+the property Kafka Streams' KTable/KStream split rests on.
+"""
+
+import random
+
+import pytest
+
+from repro.bench import ExperimentTable, timed, transactions
+from repro.core import Stream
+from repro.dsl import (
+    Table,
+    changelog_of,
+    compact,
+    table_from_changelog,
+    table_from_record_stream,
+)
+
+
+def build_account_table(n=600, accounts=40, seed=23):
+    """Upserts + occasional deletes over account balances."""
+    rng = random.Random(seed)
+    table = Table()
+    for t in range(n):
+        account = f"acc{rng.randrange(accounts)}"
+        if rng.random() < 0.1 and account in table:
+            table.delete(account, t)
+        else:
+            table.upsert(account, rng.randrange(1000), t)
+    return table
+
+
+def test_c9_round_trip_and_compaction():
+    table = build_account_table()
+    log = changelog_of(table)
+    rebuilt, rebuild_time = timed(lambda: table_from_changelog(log))
+    assert rebuilt.snapshot() == table.snapshot()
+
+    compacted = compact(log)
+    assert table_from_changelog(compacted).snapshot() == table.snapshot()
+
+    report = ExperimentTable(
+        "C9: changelog round-trip and compaction",
+        ["measure", "value"])
+    report.add_row("changelog entries", len(log))
+    report.add_row("compacted entries", len(compacted))
+    report.add_row("compaction ratio",
+                   len(compacted) / len(log))
+    report.add_row("rebuild seconds", rebuild_time)
+    report.show()
+    # Shape: hot keys compact away most of the log.
+    assert len(compacted) < len(log) / 2
+
+
+def test_c9_stream_side_equals_table_side_aggregation():
+    rows = transactions(400)
+    stream = Stream.from_pairs([(row, t) for row, t in rows])
+    # Stream side: fold per-user totals while converting to a table.
+    stream_side = table_from_record_stream(
+        stream, key_fn=lambda tx: tx["user"],
+        fold=lambda acc, tx: acc + tx["amount"], initial=0)
+    # Table side: keep latest per tx id, then group-aggregate by user.
+    tx_table = Table()
+    for row, t in rows:
+        tx_table.upsert(row["id"], row, t)
+    table_side = tx_table.group_aggregate(
+        key_fn=lambda _, tx: tx["user"],
+        add=lambda acc, tx: acc + tx["amount"],
+        subtract=lambda acc, tx: acc - tx["amount"],
+        initial=0)
+    assert stream_side.snapshot() == table_side.snapshot()
+
+
+def test_c9_filter_retraction_duality():
+    """A table filter's changelog contains the deletes that make the
+    filtered view maintainable downstream — the stateful subtlety."""
+    table = Table()
+    table.upsert("a", 100, 0)
+    table.upsert("a", 1, 1)
+    filtered = table.filter(lambda v: v >= 50)
+    deletes = [c for c in filtered.changelog() if c.is_delete]
+    assert len(deletes) == 1
+    assert table_from_changelog(filtered.changelog()).snapshot() == {}
+
+
+@pytest.mark.benchmark(group="c9")
+def test_bench_c9_round_trip(benchmark):
+    table = build_account_table()
+    log = changelog_of(table)
+
+    def round_trip():
+        return len(table_from_changelog(log).snapshot())
+
+    assert benchmark(round_trip) == len(table)

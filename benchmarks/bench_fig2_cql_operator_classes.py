@@ -1,0 +1,81 @@
+"""F2 — Figure 2: CQL's S2R / R2R / R2S operator triangle.
+
+The figure shows the two data types (streams, time-varying relations) and
+the three conversion classes between them.  This experiment exercises all
+conversion paths on the Listing 1 workload and reports the cost of each
+class, plus the identity that closes the triangle:
+``ISTREAM([Range Unbounded] S) == S``.
+"""
+
+import pytest
+
+from repro.bench import ExperimentTable, observation_stream, timed
+from repro.core import (
+    AggregateKind,
+    AggregateSpec,
+    RangeWindow,
+    UnboundedWindow,
+    aggregate,
+    dstream,
+    istream,
+    rstream,
+    select,
+    stream_to_relation,
+)
+
+STREAM = observation_stream(300)
+
+
+def test_fig2_all_conversion_paths():
+    table = ExperimentTable(
+        "Figure 2: operator class costs (300-element stream)",
+        ["operator", "class", "seconds", "output_size"])
+
+    relation, t_s2r = timed(
+        lambda: stream_to_relation(STREAM, RangeWindow(range_=100)))
+    table.add_row("[Range 100]", "S2R", t_s2r, len(relation))
+
+    filtered, t_r2r = timed(
+        lambda: select(relation, lambda r: r["temp"] > 25))
+    table.add_row("select(temp>25)", "R2R", t_r2r, len(filtered))
+
+    counted, t_agg = timed(lambda: aggregate(
+        relation, ["room"],
+        [AggregateSpec(AggregateKind.COUNT, None, "n")]))
+    table.add_row("aggregate by room", "R2R", t_agg, len(counted))
+
+    inserted, t_i = timed(lambda: istream(relation))
+    table.add_row("ISTREAM", "R2S", t_i, len(inserted))
+    deleted, t_d = timed(lambda: dstream(relation))
+    table.add_row("DSTREAM", "R2S", t_d, len(deleted))
+    everything, t_r = timed(lambda: rstream(relation))
+    table.add_row("RSTREAM", "R2S", t_r, len(everything))
+    table.show()
+
+    # Shape claims: a range window both inserts and (eventually) expires
+    # every element, and RSTREAM re-emits full states so dwarfs ISTREAM.
+    assert len(inserted) == len(STREAM)
+    assert len(deleted) == len(STREAM)
+    assert len(everything) > len(inserted)
+
+
+def test_fig2_triangle_identity():
+    """ISTREAM of an unbounded window recovers the stream exactly."""
+    relation = stream_to_relation(STREAM, UnboundedWindow())
+    recovered = istream(relation)
+    assert recovered.values() == STREAM.values()
+    assert recovered.timestamps() == STREAM.timestamps()
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_bench_fig2_s2r_window(benchmark):
+    result = benchmark(
+        lambda: stream_to_relation(STREAM, RangeWindow(range_=100)))
+    assert len(result) > 0
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_bench_fig2_r2s_istream(benchmark):
+    relation = stream_to_relation(STREAM, RangeWindow(range_=100))
+    result = benchmark(lambda: istream(relation))
+    assert len(result) == len(STREAM)

@@ -1,0 +1,100 @@
+"""F3 — Figure 3: the DSMS architecture (Stream / Store / Scratch / Throw).
+
+Runs standing queries through the DSMS engine and observes the four
+architectural components: tuples flow in from streams, working state sits
+in the Scratch, expired tuples pass through the Throw, and answers land in
+the Store.  The sweep varies window size: Scratch occupancy must grow with
+the window while every expired tuple is accounted for by the Throw.
+A second experiment shows load shedding engaging under queue pressure.
+"""
+
+import pytest
+
+from repro.bench import (
+    ExperimentTable,
+    assert_monotone,
+    room_observations,
+    OBSERVATION_SCHEMA,
+)
+from repro.dsms import DSMSEngine, RandomShedder
+
+
+def run_dsms(window, rows):
+    dsms = DSMSEngine()
+    dsms.register_stream("Obs", OBSERVATION_SCHEMA)
+    handle = dsms.register_query(
+        "avg", f"SELECT room, AVG(temp) a FROM Obs [Range {window}] "
+               f"GROUP BY room")
+    for row, t in rows:
+        dsms.ingest("Obs", row, t)
+        dsms.run_until_idle()
+    return dsms, handle
+
+
+def test_fig3_scratch_grows_with_window_and_throw_accounts_expiry():
+    rows = room_observations(150)
+    horizon = rows[-1][1]
+    table = ExperimentTable(
+        "Figure 3: window size vs Scratch/Throw (150 events)",
+        ["window", "peak_scratch", "thrown", "store_rows"])
+    peaks = []
+    for window in (50, 200, 800):
+        dsms, handle = run_dsms(window, rows)
+        dsms.advance_time(horizon + window + 1)
+        peak = dsms.scratch.peak
+        table.add_row(window, peak, dsms.throw.discarded,
+                      len(handle.store_state()))
+        peaks.append(peak)
+        # Every ingested tuple eventually passes through the Throw.
+        assert dsms.throw.discarded == len(rows)
+        # And the Scratch is empty once everything expired.
+        assert dsms.scratch.occupancy() == 0
+    table.show()
+    assert_monotone(peaks, increasing=True)
+
+
+def test_fig3_store_serves_continuous_answers():
+    rows = room_observations(60)
+    dsms, handle = run_dsms(500, rows)
+    history = handle.store_history()
+    # The Store's history has one state per processed event (the query's
+    # answer at every instant — the Figure 1 contract).
+    assert len(history.change_points()) >= 1
+    current = handle.store_state()
+    assert all(r["a"] is not None for r in current)
+
+
+def test_fig3_load_shedding_under_pressure():
+    rows = room_observations(400)
+    dsms = DSMSEngine()
+    dsms.register_stream("Obs", OBSERVATION_SCHEMA)
+    handle = dsms.register_query(
+        "count", "SELECT COUNT(*) n FROM Obs [Range 100]",
+        shedder=RandomShedder(threshold=0.5, seed=9), queue_capacity=8)
+    # Ingest in bursts: pressure builds because we only drain every 16.
+    for i, (row, t) in enumerate(rows):
+        dsms.ingest("Obs", row, t)
+        if i % 16 == 15:
+            dsms.run_until_idle()
+    dsms.run_until_idle()
+    metrics = handle.metrics
+    table = ExperimentTable(
+        "Figure 3: load shedding under burst pressure",
+        ["ingested", "shed", "queue_dropped", "processed"])
+    table.add_row(metrics.ingested, metrics.shed, metrics.queue_dropped,
+                  metrics.processed)
+    table.show()
+    assert metrics.shed > 0
+    assert metrics.processed + metrics.shed + metrics.queue_dropped == \
+        metrics.ingested
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_bench_fig3_dsms_ingest(benchmark):
+    rows = room_observations(150)
+
+    def ingest_all():
+        dsms, handle = run_dsms(200, rows)
+        return handle.metrics.processed
+
+    assert benchmark(ingest_all) == 150

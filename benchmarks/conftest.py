@@ -1,0 +1,10 @@
+"""Shared configuration for the benchmark suite.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Every experiment prints the table recorded in EXPERIMENTS.md (use ``-s``
+to see them) and asserts its *shape* claims (who wins, trends); the
+``benchmark`` fixture times one representative kernel per experiment.
+"""

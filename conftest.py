@@ -1,0 +1,12 @@
+"""Repo-root pytest configuration.
+
+Puts ``src/`` on the path so the suite runs straight from a checkout,
+before any ``pip install -e .`` / ``python setup.py develop``.
+"""
+
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

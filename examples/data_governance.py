@@ -1,0 +1,132 @@
+"""The paper's open challenges (Section 7), worked end to end.
+
+Three things the survey says the field still lacks, running code for
+each: why-provenance through a streaming pipeline, consistency
+enforcement in front of a continuous query, and porting a query across
+dialects with the window-semantics fine print made explicit.
+
+Run:  python examples/data_governance.py
+"""
+
+from repro.bench import OBSERVATION_SCHEMA, room_observations
+from repro.core import Schema, Stream, TumblingWindow
+from repro.cql import CQLEngine
+from repro.governance import (
+    DomainConstraint,
+    MonotonicConstraint,
+    RepairAction,
+    StreamCleaner,
+    WhyPipeline,
+    blame,
+    port_sql_to_cql,
+    verify_witness,
+)
+from repro.sql import run_sql
+
+
+def provenance_demo() -> None:
+    print("== 1. why-provenance: why is this alert firing? ==")
+    readings = [
+        ({"room": "lab", "temp": 21}, 1),
+        ({"room": "lab", "temp": 45}, 3),
+        ({"room": "office", "temp": 22}, 4),
+        ({"room": "lab", "temp": 48}, 7),
+        ({"room": "lab", "temp": 20}, 12),
+    ]
+    pipeline = (WhyPipeline()
+                .filter(lambda r: r["temp"] > 0)
+                .window_aggregate(
+                    TumblingWindow(10),
+                    key_fn=lambda r: r["room"],
+                    aggregate=lambda vs: max(v["temp"] for v in vs)))
+    outputs = pipeline.run(readings)
+    for output in outputs:
+        room, peak, window = output.value
+        print(f"  window [{window.start},{window.end}) {room}: "
+              f"peak {peak}  — because of inputs {sorted(output.why)}")
+    guilty = blame(outputs, lambda v: v[1] > 40)
+    print(f"  inputs to blame for >40° alerts: {sorted(guilty)}")
+    assert all(verify_witness(pipeline, readings, o) for o in outputs)
+    print("  every witness set replays to the same output: verified")
+
+
+def consistency_demo() -> None:
+    print("\n== 2. consistency: cleansing in front of the query ==")
+    cleaner = StreamCleaner([
+        DomainConstraint(
+            "plausible-temp", lambda r: -20 <= r["temp"] <= 60,
+            action=RepairAction.REPAIR,
+            repair_fn=lambda r: {**r,
+                                 "temp": max(-20, min(60, r["temp"]))}),
+        MonotonicConstraint(
+            "meter-monotone", key_fn=lambda r: r["id"],
+            value_fn=lambda r: r["reading"],
+            action=RepairAction.LAST_GOOD),
+    ]).with_last_good_key(lambda r: r["id"])
+
+    engine = CQLEngine()
+    engine.register_stream("Meters", Schema(["id", "temp", "reading"]))
+    query = engine.register_query(
+        "SELECT id, MAX(reading) AS r FROM Meters [Range 100] GROUP BY id")
+    query.start()
+
+    arrivals = [
+        ({"id": 1, "temp": 20, "reading": 100}, 1),
+        ({"id": 1, "temp": 950, "reading": 110}, 2),   # sensor glitch
+        ({"id": 1, "temp": 21, "reading": 90}, 3),     # meter regression
+        ({"id": 2, "temp": 22, "reading": 7}, 4),
+    ]
+    for row, t in arrivals:
+        clean = cleaner.process(row, t)
+        if clean is not None:
+            query.push("Meters", clean, t)
+    for record in sorted(query.current(), key=repr):
+        print(f"  meter {record['id']}: max reading {record['r']}")
+    stats = cleaner.stats
+    print(f"  admitted={stats.admitted} repaired={stats.repaired} "
+          f"substituted={stats.substituted}; "
+          f"quarantined violations={len(cleaner.quarantine)}")
+    for violation in cleaner.quarantine:
+        print(f"    [{violation.constraint}] {violation.detail}")
+
+
+def portability_demo() -> None:
+    print("\n== 3. portability: one query, two dialects ==")
+    sql_text = ("SELECT room, COUNT(*) AS n FROM Obs "
+                "GROUP BY room, TUMBLE(100)")
+    ported = port_sql_to_cql(sql_text)
+    print(f"  SQL : {sql_text}")
+    print(f"  CQL : {ported.cql_text}")
+    for note in ported.notes:
+        print(f"  note[{note.topic}]: {note.detail[:72]}…")
+
+    rows = [(row, t + 1 if t % 100 == 0 else t)
+            for row, t in room_observations(60)]
+    sql_result = {(r["room"], r["n"])
+                  for r in run_sql(sql_text, OBSERVATION_SCHEMA, "Obs",
+                                   rows)}
+    engine = CQLEngine()
+    engine.register_stream("Obs", OBSERVATION_SCHEMA)
+    query = engine.register_query(ported.cql_text)
+    query.run_recorded({"Obs": Stream.of_records(OBSERVATION_SCHEMA,
+                                                 rows)})
+    relation = query.as_relation()
+    cql_result = set()
+    boundary = 100
+    while boundary <= rows[-1][1] + 100:
+        cql_result.update((r["room"], r["n"])
+                          for r in relation.at(boundary))
+        boundary += ported.window_slide
+    print(f"  results agree off window boundaries: "
+          f"{sql_result == cql_result}")
+    assert sql_result == cql_result
+
+
+def main() -> None:
+    provenance_demo()
+    consistency_demo()
+    portability_demo()
+
+
+if __name__ == "__main__":
+    main()

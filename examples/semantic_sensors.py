@@ -1,0 +1,89 @@
+"""Semantic sensor web with RSP-QL (paper Section 5.2).
+
+An RDF stream of sensor observations queried continuously: a static-ish
+set of sensor metadata triples joins with streaming readings inside
+RSP-QL windows; ISTREAM reports newly hot sensors, and report policies
+control chattiness.
+
+Run:  python examples/semantic_sensors.py
+"""
+
+from repro.core import R2SKind
+from repro.rsp import (
+    BasicGraphPattern,
+    ContinuousRSPQuery,
+    ReportPolicy,
+    RSPEngine,
+    StreamWindow,
+    Triple,
+    TriplePattern,
+    iri,
+    lit,
+    var,
+)
+
+TYPE = iri("rdf:type")
+SENSOR = iri("sosa:Sensor")
+RESULT = iri("sosa:hasSimpleResult")
+LOCATED = iri("ex:locatedIn")
+
+READINGS = [
+    ("ex:s1", 21, 2), ("ex:s2", 35, 5), ("ex:s1", 36, 12),
+    ("ex:s3", 19, 14), ("ex:s2", 37, 22), ("ex:s1", 22, 27),
+    ("ex:s3", 38, 33), ("ex:s2", 20, 41),
+]
+
+
+def main() -> None:
+    engine = RSPEngine()
+    engine.register_stream("observations")
+
+    # Continuous query: sensors (with their room) reporting > 30 degrees
+    # inside a 20-tick window sliding every 10.
+    bgp = BasicGraphPattern([
+        TriplePattern(var("sensor"), RESULT, var("value")),
+        TriplePattern(var("sensor"), TYPE, SENSOR),
+        TriplePattern(var("sensor"), LOCATED, var("room")),
+    ])
+    hot = engine.register_query("observations", ContinuousRSPQuery(
+        bgp, StreamWindow(width=20, slide=10),
+        select=["sensor", "room", "value"],
+        r2s=R2SKind.ISTREAM,
+        report=ReportPolicy.NON_EMPTY))
+
+    # Metadata travels in the same stream (a common RSP pattern).
+    print("== pushing metadata + observations ==")
+    for i in range(1, 4):
+        engine.push("observations",
+                    Triple(iri(f"ex:s{i}"), TYPE, SENSOR), 0)
+        engine.push("observations",
+                    Triple(iri(f"ex:s{i}"), LOCATED,
+                           iri(f"ex:room{(i % 2) + 1}")), 0)
+
+    for sensor, value, t in READINGS:
+        results = engine.push(
+            "observations", Triple(iri(sensor), RESULT, lit(value)), t)
+        for report in results:
+            for solution in report.solutions:
+                if solution["value"].value > 30:
+                    print(f"  window closing at {report.window_close:>3}: "
+                          f"{solution['sensor'].value} in "
+                          f"{solution['room'].value} read "
+                          f"{solution['value'].value}")
+    engine.advance(80)
+
+    reports = hot.results
+    print(f"\nreports produced: {len(reports)} "
+          f"(NON_EMPTY policy skipped empty windows)")
+    total = sum(len(r.solutions) for r in reports)
+    print(f"solution mappings emitted (ISTREAM): {total}")
+    assert total > 0
+
+    # Note: metadata at t=0 ages out of later windows — streaming
+    # knowledge, exactly what the knowledge-evolution line studies.
+    last = reports[-1]
+    print(f"last reported window closed at t={last.window_close}")
+
+
+if __name__ == "__main__":
+    main()

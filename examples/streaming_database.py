@@ -1,0 +1,97 @@
+"""A streaming database in miniature (paper Section 5.1).
+
+The modern era: a dashboard view maintained incrementally as orders
+stream in (Materialize/RisingWave-style), the maintenance-strategy
+trade-off (eager vs split), a higher-order-delta join view (DBToaster),
+and InvaliDB-style push notifications to a live leaderboard.
+
+Run:  python examples/streaming_database.py
+"""
+
+import random
+
+from repro.viewmaint import (
+    EagerView,
+    EventKind,
+    GroupedJoinAggregateView,
+    LiveQuery,
+    RealTimeDatabase,
+    SplitView,
+)
+
+
+def order_stream(n=300, seed=31):
+    rng = random.Random(seed)
+    regions = ["emea", "amer", "apac"]
+    for i in range(n):
+        yield {"order": i, "g": rng.choice(regions),
+               "v": rng.randint(10, 500),
+               "user": f"u{rng.randrange(8)}"}
+
+
+def main() -> None:
+    # -- 1. incremental dashboard views -----------------------------------
+    eager = EagerView(group_fn=lambda o: o["g"], value_fn=lambda o: o["v"])
+    split = SplitView(group_fn=lambda o: o["g"], value_fn=lambda o: o["v"],
+                      merge_threshold=32)
+    orders = list(order_stream())
+    for order in orders:
+        eager.insert(order)
+        split.insert(order)
+    assert eager.query() == split.query()
+
+    print("== revenue dashboard (continuously maintained) ==")
+    for region, aggregates in sorted(eager.query().items()):
+        print(f"  {region}: {aggregates['count']} orders, "
+              f"revenue {aggregates['sum']}, avg {aggregates['avg']:.1f}")
+    print(f"  eager update work: {eager.update_work}, "
+          f"split update work: {split.update_work} "
+          f"(+{split.merges} merges)")
+
+    # -- 2. higher-order delta join view (DBToaster-style) -----------------
+    revenue_by_city = GroupedJoinAggregateView(
+        left_key=lambda o: o["user"], right_key=lambda u: u["user"],
+        group_key=lambda o: o["g"],
+        left_value=lambda o: o["v"], right_value=lambda u: 1)
+    for i in range(8):
+        revenue_by_city.insert_right({"user": f"u{i}"})
+    for order in orders:
+        revenue_by_city.insert_left(order)
+    print("\n== join view V[region] = Σ order.value ⋈ users ==")
+    for region, value in sorted(revenue_by_city.results().items()):
+        print(f"  {region}: {value}")
+
+    # -- 3. push-based real-time queries (InvaliDB-style) ------------------
+    print("\n== live leaderboard (push notifications) ==")
+    db = RealTimeDatabase()
+    leaderboard = LiveQuery(lambda d: True,
+                            order_by=lambda d: -d["spent"], limit=3)
+    db.subscribe("top3", leaderboard)
+    spent: dict[str, int] = {}
+    notifications = 0
+    for order in orders:
+        user = order["user"]
+        spent[user] = spent.get(user, 0) + order["v"]
+        events = db.put(user, {"user": user, "spent": spent[user]})
+        for event in events.get("top3", ()):
+            notifications += 1
+            if event.kind is EventKind.ADD:
+                print(f"  + {event.document['user']} enters top-3 with "
+                      f"{event.document['spent']}")
+            elif event.kind is EventKind.REMOVE and notifications < 40:
+                print(f"  - {event.key} drops out")
+            if notifications == 12:
+                print("  ... (further notifications suppressed)")
+    print(f"\nfinal top 3: "
+          f"{[(d['user'], d['spent']) for d in leaderboard.result_documents()]}")
+    print(f"push notifications delivered: {notifications} "
+          f"(vs {len(orders)} polls a pull client would need)")
+
+    # The push view always equals what a fresh pull query would return.
+    pull = sorted(db.find(lambda d: True),
+                  key=lambda d: -d["spent"])[:3]
+    assert leaderboard.result_documents() == pull
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim: keeps `pip install -e .` working without the wheel package
+(offline environments fall back to the legacy develop install)."""
+
+from setuptools import setup
+
+setup()

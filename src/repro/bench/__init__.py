@@ -1,0 +1,29 @@
+"""bench — deterministic workload generators and the experiment harness."""
+
+from repro.bench.harness import (
+    ExperimentTable,
+    assert_dominates,
+    assert_monotone,
+    timed,
+)
+from repro.bench.workloads import (
+    OBSERVATION_SCHEMA,
+    PERSON_SCHEMA,
+    TRANSACTION_SCHEMA,
+    observation_stream,
+    out_of_order_readings,
+    person_rows,
+    rdf_sensor_triples,
+    room_observations,
+    social_edges,
+    transactions,
+    zipfian_keys,
+)
+
+__all__ = [
+    "ExperimentTable", "timed", "assert_monotone", "assert_dominates",
+    "room_observations", "person_rows", "observation_stream",
+    "transactions", "out_of_order_readings", "social_edges",
+    "rdf_sensor_triples", "zipfian_keys",
+    "OBSERVATION_SCHEMA", "PERSON_SCHEMA", "TRANSACTION_SCHEMA",
+]

@@ -1,0 +1,81 @@
+"""The experiment harness: tables, timing, and EXPERIMENTS.md rows.
+
+Benchmarks print the same table shapes EXPERIMENTS.md records; the
+:class:`ExperimentTable` renders aligned columns and can assert *shape*
+properties (who wins, monotone trends) without pinning absolute numbers —
+the contract DESIGN.md sets for a simulator-substrate reproduction.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Sequence
+
+
+class ExperimentTable:
+    """Collects rows and renders an aligned text table."""
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self.rows: list[list[Any]] = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list[Any]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:,.3f}" if value < 100 else f"{value:,.1f}"
+            return str(value)
+
+        cells = [[fmt(v) for v in row] for row in self.rows]
+        widths = [max(len(self.columns[i]),
+                      *(len(row[i]) for row in cells)) if cells
+                  else len(self.columns[i])
+                  for i in range(len(self.columns))]
+        header = " | ".join(c.ljust(w)
+                            for c, w in zip(self.columns, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        body = [" | ".join(cell.rjust(w)
+                           for cell, w in zip(row, widths))
+                for row in cells]
+        return "\n".join([f"== {self.title} ==", header, rule, *body])
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+
+def timed(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``fn`` once; return (result, elapsed seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def assert_monotone(values: Sequence[float], increasing: bool = True,
+                    tolerance: float = 0.0) -> None:
+    """Shape assertion: a series trends in one direction."""
+    for a, b in zip(values, values[1:]):
+        if increasing and b < a - tolerance:
+            raise AssertionError(f"series not increasing: {values}")
+        if not increasing and b > a + tolerance:
+            raise AssertionError(f"series not decreasing: {values}")
+
+
+def assert_dominates(winner: Sequence[float], loser: Sequence[float],
+                     factor: float = 1.0) -> None:
+    """Shape assertion: ``winner`` is at most ``loser / factor``
+    pointwise (smaller is better)."""
+    for w, l in zip(winner, loser):
+        if w * factor > l:
+            raise AssertionError(
+                f"expected dominance by x{factor}: {w} vs {l}")

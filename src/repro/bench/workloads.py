@@ -1,0 +1,151 @@
+"""Deterministic workload generators for experiments and examples.
+
+Every generator takes a ``seed`` and produces identical output across runs
+— the substitution for the paper-era testbeds' proprietary traces (see
+DESIGN.md).  Workloads cover the domains the survey's examples live in:
+room/sensor observations (Listing 1), retail transactions (Listing 2),
+social graph streams, and semantic sensor (RDF) streams.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator
+
+from repro.core.records import Schema
+from repro.core.stream import Stream
+from repro.core.time import Timestamp
+
+#: Schema of the Listing 1 observation stream.
+OBSERVATION_SCHEMA = Schema(["id", "room", "temp"])
+
+#: Schema of the Listing 1 Person relation.
+PERSON_SCHEMA = Schema(["id", "name"])
+
+#: Schema of the Listing 2 transaction stream.
+TRANSACTION_SCHEMA = Schema(["id", "user", "amount"])
+
+
+def room_observations(n: int, persons: int = 20, rooms: int = 5,
+                      mean_gap: int = 10, seed: int = 7,
+                      ) -> list[tuple[dict[str, Any], Timestamp]]:
+    """The Listing 1 workload: people observed entering rooms.
+
+    Returns ``(row, timestamp)`` pairs with person ids in ``[0, persons)``,
+    room labels, a temperature reading, and exponential-ish inter-arrival
+    gaps averaging ``mean_gap`` ticks.
+    """
+    rng = random.Random(seed)
+    t = 0
+    out = []
+    for i in range(n):
+        t += rng.randint(1, 2 * mean_gap - 1)
+        out.append(({
+            "id": rng.randrange(persons),
+            "room": f"room{rng.randrange(rooms)}",
+            "temp": rng.randint(15, 35),
+        }, t))
+    return out
+
+
+def person_rows(persons: int = 20) -> list[dict[str, Any]]:
+    """The Listing 1 Person relation contents."""
+    return [{"id": i, "name": f"person{i}"} for i in range(persons)]
+
+
+def observation_stream(n: int, **kwargs: Any) -> Stream:
+    """:func:`room_observations` as a recorded :class:`Stream`."""
+    return Stream.of_records(OBSERVATION_SCHEMA,
+                             room_observations(n, **kwargs))
+
+
+def transactions(n: int, users: int = 50, seed: int = 11,
+                 ) -> list[tuple[dict[str, Any], Timestamp]]:
+    """The Listing 2 workload: payment transactions.
+
+    Amounts are mostly small with a heavy tail, so selective predicates
+    like ``amount > 100`` (Listing 2) keep ~15% of the stream.
+    """
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        base = rng.randint(1, 100)
+        amount = base if rng.random() > 0.15 else base + rng.randint(
+            100, 900)
+        out.append(({"id": i, "user": rng.randrange(users),
+                     "amount": amount}, i + 1))
+    return out
+
+
+def out_of_order_readings(n: int, disorder: int, seed: int = 3,
+                          ) -> list[tuple[tuple[str, int], Timestamp]]:
+    """Sensor readings whose *arrival* order lags event time by up to
+    ``disorder`` ticks — the C5 lateness workload.
+
+    Returns (value, event-time) pairs in arrival order, where value is a
+    ``(sensor, reading)`` tuple.
+    """
+    rng = random.Random(seed)
+    events = []
+    for i in range(n):
+        event_time = (i + 1) * 2
+        sensor = f"s{rng.randrange(4)}"
+        arrival_time = event_time + rng.randint(0, max(0, disorder))
+        events.append((arrival_time, i,
+                       ((sensor, rng.randint(0, 100)), event_time)))
+    # Sort by arrival: each element is at most ``disorder`` ticks late
+    # relative to the maximum event time already seen.
+    events.sort()
+    return [payload for _, _, payload in events]
+
+
+def social_edges(n: int, people: int = 30, seed: int = 5,
+                 labels: tuple[str, ...] = ("follows", "likes", "blocks"),
+                 ) -> Iterator[tuple[str, str, str, Timestamp]]:
+    """A social graph stream: (src, label, dst, timestamp)."""
+    rng = random.Random(seed)
+    t = 0
+    for _ in range(n):
+        t += rng.randint(1, 5)
+        src = f"u{rng.randrange(people)}"
+        dst = f"u{rng.randrange(people)}"
+        if src == dst:
+            dst = f"u{(int(dst[1:]) + 1) % people}"
+        yield (src, rng.choice(labels), dst, t)
+
+
+def rdf_sensor_triples(n: int, sensors: int = 6, seed: int = 13):
+    """Semantic-sensor triples: (Triple, timestamp) observation pairs."""
+    from repro.rsp.rdf import Triple, iri, lit
+    rng = random.Random(seed)
+    temp = iri("sosa:hasSimpleResult")
+    t = 0
+    out = []
+    for _ in range(n):
+        t += rng.randint(1, 4)
+        sensor = iri(f"ex:sensor{rng.randrange(sensors)}")
+        out.append((Triple(sensor, temp, lit(rng.randint(10, 40))), t))
+    return out
+
+
+def zipfian_keys(n: int, keys: int, skew: float = 1.1,
+                 seed: int = 17) -> list[int]:
+    """Zipf-distributed key sequence (hot-key workloads)."""
+    rng = random.Random(seed)
+    weights = [1.0 / (k + 1) ** skew for k in range(keys)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+    out = []
+    for _ in range(n):
+        x = rng.random()
+        for key, bound in enumerate(cumulative):
+            if x <= bound:
+                out.append(key)
+                break
+        else:
+            out.append(keys - 1)
+    return out

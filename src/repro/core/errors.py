@@ -1,0 +1,58 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single except clause while still
+being able to distinguish schema problems from, say, parse errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A record does not match its schema, or two schemas are incompatible."""
+
+
+class TimeError(ReproError):
+    """A timestamp violates the time-domain contract (e.g. regression on a
+    processing-time stream, or a negative window range)."""
+
+
+class WindowError(ReproError):
+    """A window specification is invalid (non-positive size, slide > range
+    where forbidden, etc.)."""
+
+
+class ParseError(ReproError):
+    """A query text could not be tokenised or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(ReproError):
+    """A logical plan could not be built or is semantically invalid
+    (unknown stream, ambiguous column, aggregate misuse...)."""
+
+
+class StateError(ReproError):
+    """Operator or store state was used incorrectly (e.g. reading a closed
+    store, checkpointing mid-barrier)."""
+
+
+class BrokerError(ReproError):
+    """Misuse of the message broker (unknown topic, bad offset...)."""
+
+
+class GraphError(ReproError):
+    """Malformed graph data or graph query."""
+
+
+class RSPError(ReproError):
+    """Malformed RDF data or RSP-QL query."""

@@ -1,0 +1,218 @@
+"""Reference continuous-query semantics (paper Definitions 2.3 & Section 3.1).
+
+The paper contrasts three formulations of "what a continuous query means":
+
+* **Terry et al. / CQL** (Definition 2.3): a continuous query submitted at
+  τ₀ returns, at every instant τ, the result the one-shot query Q would
+  produce over the stream prefix up to τ.  :func:`continuous_evaluation`
+  implements this directly — it is the executable denotational semantics
+  every incremental engine in this repository is validated against.
+
+* **Babcock & Sellis**: the result *up to* τ is the set-union of the
+  one-shot results over all successive prefixes,
+  ``Q_cont(S(τᵢ)) = ⋃_{τ₀<τ≤τᵢ} Q(S(τ))``.
+  :func:`babcock_sellis_evaluation` implements it.
+
+The two agree exactly when Q is *monotonic* (Barbarà's characterisation,
+paper Section 3.2); :func:`semantics_agree` and
+:func:`empirically_monotonic` make the claim machine-checkable, and the C1
+benchmark measures how far they diverge for non-monotonic queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.core.relation import Bag, TimeVaryingRelation
+from repro.core.stream import Stream
+from repro.core.time import Timestamp
+
+#: A one-shot query: a function from a finite stream prefix to a bag of
+#: results.  This is the ``Q`` of Definition 2.3.
+OneShotQuery = Callable[[Stream[Any]], Bag]
+
+
+def default_instants(stream: Stream[Any]) -> list[Timestamp]:
+    """The canonical evaluation instants: every distinct element timestamp."""
+    return stream.distinct_timestamps()
+
+
+def continuous_evaluation(query: OneShotQuery, stream: Stream[Any],
+                          instants: Iterable[Timestamp] | None = None
+                          ) -> TimeVaryingRelation:
+    """Terry/CQL continuous semantics: ``R(τ) = Q(S up to τ)`` for each τ.
+
+    This is the *reference evaluator* — quadratic by construction (it replays
+    the prefix at every instant) and used as ground truth in tests and as
+    the "one-shot re-execution" baseline in the Figure 1 benchmark.
+    """
+    if instants is None:
+        instants = default_instants(stream)
+    relation = TimeVaryingRelation()
+    for t in sorted(set(instants)):
+        relation.set_at(t, query(stream.up_to(t)), coalesce=False)
+    return relation
+
+
+def babcock_sellis_evaluation(query: OneShotQuery, stream: Stream[Any],
+                              instants: Iterable[Timestamp] | None = None
+                              ) -> TimeVaryingRelation:
+    """Babcock/Sellis union semantics: cumulative set-union of results.
+
+    ``R(τᵢ) = ⋃_{τ ≤ τᵢ} Q(S up to τ)`` — interpreted over sets, as in the
+    original formulation, so multiplicities are clamped to one.
+    """
+    if instants is None:
+        instants = default_instants(stream)
+    relation = TimeVaryingRelation()
+    accumulated = Bag()
+    for t in sorted(set(instants)):
+        accumulated = accumulated.max_union(query(stream.up_to(t)).distinct())
+        relation.set_at(t, accumulated, coalesce=False)
+    return relation
+
+
+def empirically_monotonic(query: OneShotQuery, stream: Stream[Any],
+                          instants: Iterable[Timestamp] | None = None
+                          ) -> bool:
+    """Check Barbarà's monotonicity property on this input.
+
+    Q is monotonic when ``S(τ₁) ⊆ S(τ₂) ⟹ Q(S(τ₁)) ⊆ Q(S(τ₂))``.  Prefixes
+    of one stream are nested by construction, so it suffices to check that
+    successive results are nested (as sets).
+    """
+    if instants is None:
+        instants = default_instants(stream)
+    previous: Bag | None = None
+    for t in sorted(set(instants)):
+        current = query(stream.up_to(t)).distinct()
+        if previous is not None and not previous <= current:
+            return False
+        previous = current
+    return True
+
+
+def semantics_agree(query: OneShotQuery, stream: Stream[Any],
+                    instants: Iterable[Timestamp] | None = None) -> bool:
+    """True when Terry/CQL and Babcock/Sellis semantics coincide (as sets)
+    at every instant — which Barbarà shows happens iff Q is monotonic."""
+    if instants is None:
+        instants = default_instants(stream)
+    instants = sorted(set(instants))
+    terry = continuous_evaluation(query, stream, instants)
+    union = babcock_sellis_evaluation(query, stream, instants)
+    return all(terry.at(t).distinct() == union.at(t) for t in instants)
+
+
+def divergence_profile(query: OneShotQuery, stream: Stream[Any],
+                       instants: Iterable[Timestamp] | None = None
+                       ) -> list[tuple[Timestamp, int]]:
+    """Per-instant count of *stale* tuples the union semantics retains.
+
+    For non-monotonic queries the Babcock/Sellis union keeps results that
+    have ceased to qualify; the returned profile is
+    ``[(τ, |union(τ) − current(τ)|), ...]`` — all zeros iff the semantics
+    agree.  Used by the C1 benchmark.
+    """
+    if instants is None:
+        instants = default_instants(stream)
+    instants = sorted(set(instants))
+    terry = continuous_evaluation(query, stream, instants)
+    union = babcock_sellis_evaluation(query, stream, instants)
+    profile = []
+    for t in instants:
+        stale = union.at(t).difference(terry.at(t).distinct())
+        profile.append((t, len(stale)))
+    return profile
+
+
+# ---------------------------------------------------------------------------
+# Ready-made one-shot query constructors (used across tests and benchmarks)
+# ---------------------------------------------------------------------------
+
+
+def filter_query(predicate: Callable[[Any], bool]) -> OneShotQuery:
+    """Monotonic: select stream values satisfying ``predicate``."""
+
+    def query(stream: Stream[Any]) -> Bag:
+        return Bag(v for v in stream.values() if predicate(v))
+
+    return query
+
+
+def count_query() -> OneShotQuery:
+    """Non-monotonic: the (single-row) count of all values seen so far.
+
+    Each new arrival changes the count, invalidating the previous result —
+    the textbook non-monotonic aggregate."""
+
+    def query(stream: Stream[Any]) -> Bag:
+        return Bag([len(stream)])
+
+    return query
+
+
+def max_query(key: Callable[[Any], Any] = lambda v: v) -> OneShotQuery:
+    """Monotonic-looking but non-monotonic: the maximum so far.
+
+    Old maxima cease to qualify when a larger value arrives."""
+
+    def query(stream: Stream[Any]) -> Bag:
+        values = stream.values()
+        if not values:
+            return Bag()
+        return Bag([max(values, key=key)])
+
+    return query
+
+
+def window_filter_query(predicate: Callable[[Any], bool],
+                        range_: Timestamp) -> OneShotQuery:
+    """Non-monotonic: select over a sliding ``[Range r]`` window.
+
+    Windowing makes even selection non-monotonic, because tuples expire —
+    the reason the paper calls windows 'the most delicate contact' between
+    continuous querying and streaming systems."""
+
+    def query(stream: Stream[Any]) -> Bag:
+        horizon = stream.max_timestamp
+        if horizon is None:
+            return Bag()
+        low = horizon - range_ + 1
+        return Bag(e.value for e in stream
+                   if e.timestamp >= low and predicate(e.value))
+
+    return query
+
+
+def distinct_query(key: Callable[[Any], Any] = lambda v: v) -> OneShotQuery:
+    """Monotonic: the set of distinct keys seen so far."""
+
+    def query(stream: Stream[Any]) -> Bag:
+        return Bag(set(key(v) for v in stream.values()))
+
+    return query
+
+
+def join_query(left_of: Callable[[Any], bool],
+               join_key: Callable[[Any], Any]) -> OneShotQuery:
+    """Monotonic: self-join over an append-only stream.
+
+    Values are split into a left and right side by ``left_of``; the result
+    pairs left/right values sharing a join key.  Append-only inputs only
+    ever *add* join results, so the query is monotonic."""
+
+    def query(stream: Stream[Any]) -> Bag:
+        lefts: dict[Any, list[Any]] = {}
+        rights: dict[Any, list[Any]] = {}
+        for value in stream.values():
+            side = lefts if left_of(value) else rights
+            side.setdefault(join_key(value), []).append(value)
+        out = Bag()
+        for key, lvals in lefts.items():
+            for lval in lvals:
+                for rval in rights.get(key, ()):  # noqa: B020
+                    out.add((lval, rval))
+        return out
+
+    return query

@@ -1,0 +1,217 @@
+"""Timeslice and snapshot reducibility (Krämer & Seeger; paper Def. 3.2).
+
+Krämer & Seeger bridge streaming and temporal databases: a *logical stream*
+carries tuples with validity intervals, the **timeslice** operation takes
+the snapshot of a logical stream at an instant, and an operator over logical
+streams is **snapshot-reducible** to its non-temporal (bag) counterpart when
+
+    timeslice(op_T(S₁…Sₙ), τ)  ==  op(timeslice(S₁,τ), …, timeslice(Sₙ,τ))
+
+for every instant τ.  Unlike windows, timeslice is a global property of the
+stream and reducibility can be proved *per operator* — this module makes the
+property executable: :func:`check_snapshot_reducibility` verifies it over
+all relevant instants, and the provided logical-stream operators include
+both reducible ones (selection, projection, join, union) and a deliberately
+non-reducible one (:func:`logical_first_n`, which depends on arrival order
+rather than validity) to exercise the negative case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.errors import TimeError
+from repro.core.relation import Bag
+from repro.core.time import MAX_TIMESTAMP, Interval, Timestamp
+
+
+@dataclass(frozen=True)
+class ValidityElement:
+    """A logical-stream element: a value valid during ``[start, end)``."""
+
+    value: Any
+    start: Timestamp
+    end: Timestamp = MAX_TIMESTAMP
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise TimeError(
+                f"validity interval [{self.start},{self.end}) is empty")
+
+    @property
+    def interval(self) -> Interval:
+        return Interval(self.start, self.end)
+
+    def valid_at(self, t: Timestamp) -> bool:
+        return self.start <= t < self.end
+
+
+class LogicalStream:
+    """A Krämer–Seeger logical stream: elements with validity intervals.
+
+    Ordered by interval start (the arrival order of the physical stream)."""
+
+    def __init__(self, elements: Iterable[ValidityElement] = ()) -> None:
+        self._elements = sorted(elements, key=lambda e: (e.start, e.end))
+
+    @classmethod
+    def from_windowed(cls, pairs: Iterable[tuple[Any, Timestamp]],
+                      lifetime: Timestamp) -> "LogicalStream":
+        """Build from (value, timestamp) pairs, each valid for ``lifetime``
+        ticks — the logical-stream encoding of a time-based sliding window."""
+        return cls(ValidityElement(v, t, t + lifetime) for v, t in pairs)
+
+    def __iter__(self):
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def elements(self) -> list[ValidityElement]:
+        return list(self._elements)
+
+    def relevant_instants(self) -> list[Timestamp]:
+        """Every instant at which some snapshot can change."""
+        instants: set[Timestamp] = set()
+        for element in self._elements:
+            instants.add(element.start)
+            if element.end < MAX_TIMESTAMP:
+                instants.add(element.end)
+        return sorted(instants)
+
+
+def timeslice(stream: LogicalStream, t: Timestamp) -> Bag:
+    """The snapshot of ``stream`` at instant ``t`` — a bag of values."""
+    return Bag(e.value for e in stream if e.valid_at(t))
+
+
+# ---------------------------------------------------------------------------
+# Logical-stream (temporal) operators
+# ---------------------------------------------------------------------------
+
+
+def logical_select(stream: LogicalStream,
+                   predicate: Callable[[Any], bool]) -> LogicalStream:
+    """Temporal selection: keep elements whose value satisfies the predicate
+    (validity unchanged).  Snapshot-reducible to bag selection."""
+    return LogicalStream(e for e in stream if predicate(e.value))
+
+
+def logical_project(stream: LogicalStream,
+                    fn: Callable[[Any], Any]) -> LogicalStream:
+    """Temporal projection/map over values (validity unchanged).
+    Snapshot-reducible to bag map."""
+    return LogicalStream(
+        ValidityElement(fn(e.value), e.start, e.end) for e in stream)
+
+
+def logical_union(left: LogicalStream, right: LogicalStream) -> LogicalStream:
+    """Temporal union (validity preserved).  Snapshot-reducible to bag
+    additive union."""
+    return LogicalStream([*left, *right])
+
+
+def logical_join(left: LogicalStream, right: LogicalStream,
+                 on: Callable[[Any, Any], bool],
+                 combine: Callable[[Any, Any], Any] = lambda l, r: (l, r),
+                 ) -> LogicalStream:
+    """Temporal join: matching pairs are valid on the *intersection* of
+    their validity intervals — Krämer & Seeger's join rule, which is what
+    makes the operator snapshot-reducible to the bag theta-join."""
+    out: list[ValidityElement] = []
+    for le in left:
+        for re_ in right:
+            if not on(le.value, re_.value):
+                continue
+            overlap = le.interval.intersect(re_.interval)
+            if overlap is not None:
+                out.append(ValidityElement(
+                    combine(le.value, re_.value), overlap.start, overlap.end))
+    return LogicalStream(out)
+
+
+def logical_first_n(stream: LogicalStream, n: int) -> LogicalStream:
+    """Keep the first ``n`` elements *by arrival order*.
+
+    Deliberately **not** snapshot-reducible: which elements survive depends
+    on arrival order, not on what is valid at each instant, so no bag-level
+    counterpart can reproduce its snapshots.  Serves as the negative test
+    case for Definition 3.2."""
+    return LogicalStream(stream.elements()[:n])
+
+
+def logical_duplicate_elimination(stream: LogicalStream) -> LogicalStream:
+    """Temporal duplicate elimination by splitting overlapping validity.
+
+    For each value, the output is valid wherever *at least one* input copy
+    is valid, with multiplicity one — computed by sweeping the value's
+    validity intervals and merging overlaps.  Snapshot-reducible to bag
+    ``distinct``."""
+    by_value: dict[Any, list[Interval]] = {}
+    for element in stream:
+        by_value.setdefault(element.value, []).append(element.interval)
+    out: list[ValidityElement] = []
+    for value, intervals in by_value.items():
+        intervals.sort(key=lambda i: (i.start, i.end))
+        current = intervals[0]
+        for interval in intervals[1:]:
+            if interval.start <= current.end:
+                current = Interval(current.start,
+                                   max(current.end, interval.end))
+            else:
+                out.append(ValidityElement(value, current.start, current.end))
+                current = interval
+        out.append(ValidityElement(value, current.start, current.end))
+    return LogicalStream(out)
+
+
+# ---------------------------------------------------------------------------
+# The reducibility checker (executable Definition 3.2)
+# ---------------------------------------------------------------------------
+
+
+def check_snapshot_reducibility(
+        stream_op: Callable[..., LogicalStream],
+        bag_op: Callable[..., Bag],
+        inputs: Sequence[LogicalStream],
+        instants: Iterable[Timestamp] | None = None) -> bool:
+    """Verify Definition 3.2 over the given inputs.
+
+    Checks, for every relevant instant τ, that the snapshot of the temporal
+    operator's output equals the bag operator applied to the inputs'
+    snapshots.  ``instants`` defaults to every instant at which any input or
+    the output can change.
+    """
+    output = stream_op(*inputs)
+    if instants is None:
+        relevant: set[Timestamp] = set(output.relevant_instants())
+        for stream in inputs:
+            relevant.update(stream.relevant_instants())
+        instants = sorted(relevant)
+    for t in instants:
+        lhs = timeslice(output, t)
+        rhs = bag_op(*(timeslice(s, t) for s in inputs))
+        if lhs != rhs:
+            return False
+    return True
+
+
+def reducibility_counterexample(
+        stream_op: Callable[..., LogicalStream],
+        bag_op: Callable[..., Bag],
+        inputs: Sequence[LogicalStream],
+        ) -> tuple[Timestamp, Bag, Bag] | None:
+    """Return ``(τ, snapshot-of-output, bag-op-of-snapshots)`` at the first
+    instant where Definition 3.2 fails, or None when the operator is
+    reducible on these inputs."""
+    output = stream_op(*inputs)
+    relevant: set[Timestamp] = set(output.relevant_instants())
+    for stream in inputs:
+        relevant.update(stream.relevant_instants())
+    for t in sorted(relevant):
+        lhs = timeslice(output, t)
+        rhs = bag_op(*(timeslice(s, t) for s in inputs))
+        if lhs != rhs:
+            return (t, lhs, rhs)
+    return None

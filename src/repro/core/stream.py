@@ -1,0 +1,194 @@
+"""Data streams (paper Definition 2.2).
+
+A data stream maps each instant of the time domain to a finite bag of
+tuples; equivalently it is a potentially infinite collection of pairs
+``(o, τ)`` of a data item and a timestamp.  :class:`Stream` materialises a
+*finite prefix* of such a stream — which is all any terminating experiment
+ever observes — while keeping the infinite-stream contract visible through
+``up_to`` (prefix by time) and ``extend`` (the stream only ever grows:
+append-only, as in Terry et al.'s model).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Generic, Iterable, Iterator, NamedTuple, TypeVar
+
+from repro.core.errors import TimeError
+from repro.core.records import Record, Schema
+from repro.core.time import TimeKind, Timestamp, check_progression
+
+T = TypeVar("T")
+
+
+class StreamElement(NamedTuple):
+    """One stream item: a payload and the instant it carries."""
+
+    value: Any
+    timestamp: Timestamp
+
+
+class Stream(Generic[T]):
+    """An append-only, timestamp-ordered sequence of elements.
+
+    The order invariant depends on the stream's :class:`TimeKind`: event-time
+    streams allow ties (contemporary data), processing-time streams are
+    strictly monotonic.  Out-of-order *arrival* is a property of transport,
+    not of the logical stream, and is modelled by the dataflow layer; a
+    ``Stream`` is always the logically ordered view.
+    """
+
+    def __init__(self, schema: Schema | None = None,
+                 kind: TimeKind = TimeKind.EVENT_TIME,
+                 elements: Iterable[StreamElement] | None = None) -> None:
+        self._schema = schema
+        self._kind = kind
+        self._elements: list[StreamElement] = []
+        self._timestamps: list[Timestamp] = []
+        if elements is not None:
+            for element in elements:
+                self.append(element.value, element.timestamp)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[Any, Timestamp]],
+                   schema: Schema | None = None,
+                   kind: TimeKind = TimeKind.EVENT_TIME) -> "Stream[T]":
+        """Build a stream from ``(value, timestamp)`` pairs."""
+        stream: Stream[T] = cls(schema=schema, kind=kind)
+        for value, timestamp in pairs:
+            stream.append(value, timestamp)
+        return stream
+
+    @classmethod
+    def of_records(cls, schema: Schema,
+                   rows: Iterable[tuple[dict[str, Any], Timestamp]],
+                   kind: TimeKind = TimeKind.EVENT_TIME) -> "Stream[Record]":
+        """Build a record stream from ``(field-dict, timestamp)`` pairs."""
+        stream: Stream[Record] = cls(schema=schema, kind=kind)
+        for row, timestamp in rows:
+            stream.append(Record.from_mapping(schema, row), timestamp)
+        return stream
+
+    @property
+    def schema(self) -> Schema | None:
+        return self._schema
+
+    @property
+    def kind(self) -> TimeKind:
+        return self._kind
+
+    def append(self, value: Any, timestamp: Timestamp) -> None:
+        """Append one element, enforcing the time-progression contract."""
+        previous = self._timestamps[-1] if self._timestamps else None
+        check_progression(previous, timestamp, self._kind)
+        self._elements.append(StreamElement(value, timestamp))
+        self._timestamps.append(timestamp)
+
+    def extend(self, pairs: Iterable[tuple[Any, Timestamp]]) -> None:
+        """Append many ``(value, timestamp)`` pairs."""
+        for value, timestamp in pairs:
+            self.append(value, timestamp)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[StreamElement]:
+        return iter(self._elements)
+
+    def __getitem__(self, index: int) -> StreamElement:
+        return self._elements[index]
+
+    def __repr__(self) -> str:
+        span = (f"[{self._timestamps[0]}..{self._timestamps[-1]}]"
+                if self._elements else "[]")
+        return (f"Stream(len={len(self._elements)}, span={span}, "
+                f"kind={self._kind.value})")
+
+    @property
+    def min_timestamp(self) -> Timestamp | None:
+        return self._timestamps[0] if self._timestamps else None
+
+    @property
+    def max_timestamp(self) -> Timestamp | None:
+        return self._timestamps[-1] if self._timestamps else None
+
+    def timestamps(self) -> list[Timestamp]:
+        """All element timestamps, in order (copies)."""
+        return list(self._timestamps)
+
+    def distinct_timestamps(self) -> list[Timestamp]:
+        """The sorted set of instants at which elements occur."""
+        out: list[Timestamp] = []
+        for t in self._timestamps:
+            if not out or out[-1] != t:
+                out.append(t)
+        return out
+
+    def up_to(self, t: Timestamp) -> "Stream[T]":
+        """The prefix of elements with timestamp ``<= t``.
+
+        This is the ``S up to τ`` notion used throughout the CQL semantics
+        (paper Section 3.1).
+        """
+        cut = bisect.bisect_right(self._timestamps, t)
+        prefix: Stream[T] = Stream(schema=self._schema, kind=self._kind)
+        prefix._elements = self._elements[:cut]
+        prefix._timestamps = self._timestamps[:cut]
+        return prefix
+
+    def between(self, start: Timestamp, end: Timestamp) -> list[StreamElement]:
+        """Elements with timestamp in the half-open interval ``[start, end)``."""
+        lo = bisect.bisect_left(self._timestamps, start)
+        hi = bisect.bisect_left(self._timestamps, end)
+        return self._elements[lo:hi]
+
+    def at(self, t: Timestamp) -> list[Any]:
+        """The finite bag of values carrying exactly timestamp ``t``
+        (the ``S(τ)`` of Definition 2.2)."""
+        lo = bisect.bisect_left(self._timestamps, t)
+        hi = bisect.bisect_right(self._timestamps, t)
+        return [e.value for e in self._elements[lo:hi]]
+
+    def values(self) -> list[Any]:
+        """All payloads, in stream order."""
+        return [e.value for e in self._elements]
+
+    def map(self, fn: Callable[[Any], Any],
+            schema: Schema | None = None) -> "Stream[Any]":
+        """A new stream with ``fn`` applied to every payload."""
+        out: Stream[Any] = Stream(schema=schema, kind=self._kind)
+        out._elements = [StreamElement(fn(e.value), e.timestamp)
+                         for e in self._elements]
+        out._timestamps = list(self._timestamps)
+        return out
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "Stream[T]":
+        """A new stream keeping only payloads satisfying ``predicate``."""
+        out: Stream[T] = Stream(schema=self._schema, kind=self._kind)
+        for element in self._elements:
+            if predicate(element.value):
+                out._elements.append(element)
+                out._timestamps.append(element.timestamp)
+        return out
+
+
+def merge_streams(*streams: Stream[Any],
+                  schema: Schema | None = None) -> Stream[Any]:
+    """Merge ordered streams into one ordered stream (k-way merge).
+
+    All inputs must share a :class:`TimeKind`; the result is event-time when
+    any tie would violate strict monotonicity.
+    """
+    if not streams:
+        raise TimeError("merge_streams needs at least one stream")
+    kinds = {s.kind for s in streams}
+    if len(kinds) > 1:
+        raise TimeError(f"cannot merge streams of mixed kinds {kinds}")
+    elements = sorted(
+        (e for s in streams for e in s),
+        key=lambda e: e.timestamp)
+    merged: Stream[Any] = Stream(schema=schema or streams[0].schema,
+                                 kind=TimeKind.EVENT_TIME)
+    for element in elements:
+        merged.append(element.value, element.timestamp)
+    return merged

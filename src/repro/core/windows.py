@@ -1,0 +1,308 @@
+"""Window operators (paper Definition 2.4 and Section 4.1.3).
+
+Definition 2.4 models a window as a function from evaluation time to a time
+interval.  The survey distinguishes time-based windows (tumbling, sliding /
+hopping, session, landmark) from tuple-based (count) and partitioned windows
+(CQL's ``[Partition By k Rows n]``).  We implement them all:
+
+* Time-based assigners implement two views used by different layers:
+  ``assign(t)`` — the windows an *element* with timestamp ``t`` belongs to
+  (Dataflow/Flink style) — and ``scope(t)`` — the window *in force* at
+  evaluation time ``t`` (CQL/RSP-QL style, i.e. ``W(τ)`` of Def. 2.4).
+* Count-based and partitioned windows cannot be defined per-timestamp; they
+  are defined over element sequences via ``select(elements)``.
+
+All intervals are half-open ``[start, end)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import defaultdict, deque
+from typing import Any, Callable, Hashable, Sequence
+
+from repro.core.errors import WindowError
+from repro.core.stream import StreamElement
+from repro.core.time import Interval, Timestamp
+
+#: A window is just a time interval.
+Window = Interval
+
+
+class WindowAssigner(ABC):
+    """Time-based window operator: maps instants to intervals."""
+
+    @abstractmethod
+    def assign(self, t: Timestamp) -> list[Window]:
+        """All windows an element stamped ``t`` belongs to."""
+
+    @abstractmethod
+    def scope(self, t: Timestamp) -> Window:
+        """The window in force when the operator is evaluated at ``t``
+        (Definition 2.4's ``W(τ)``)."""
+
+    @property
+    def is_merging(self) -> bool:
+        """True for window kinds whose windows merge (sessions)."""
+        return False
+
+
+class TumblingWindow(WindowAssigner):
+    """Fixed-size, non-overlapping windows aligned to ``offset``.
+
+    ``TumblingWindow(size=10)`` produces [0,10), [10,20), ...  Every instant
+    belongs to exactly one window, so tumbling windows partition time.
+    """
+
+    def __init__(self, size: Timestamp, offset: Timestamp = 0) -> None:
+        if size <= 0:
+            raise WindowError(f"window size must be positive, got {size}")
+        self.size = size
+        self.offset = offset % size
+
+    def assign(self, t: Timestamp) -> list[Window]:
+        start = ((t - self.offset) // self.size) * self.size + self.offset
+        return [Window(start, start + self.size)]
+
+    def scope(self, t: Timestamp) -> Window:
+        return self.assign(t)[0]
+
+    def __repr__(self) -> str:
+        return f"TumblingWindow(size={self.size}, offset={self.offset})"
+
+
+class SlidingWindow(WindowAssigner):
+    """Overlapping windows of ``size`` advancing every ``slide`` ticks.
+
+    Also called *hopping* windows.  When ``slide == size`` this degenerates
+    to a tumbling window; ``slide > size`` gives sampling (gappy) windows,
+    which the survey's window taxonomy also admits.
+    """
+
+    def __init__(self, size: Timestamp, slide: Timestamp,
+                 offset: Timestamp = 0) -> None:
+        if size <= 0 or slide <= 0:
+            raise WindowError(
+                f"size and slide must be positive, got {size}/{slide}")
+        self.size = size
+        self.slide = slide
+        self.offset = offset % slide
+
+    def assign(self, t: Timestamp) -> list[Window]:
+        windows = []
+        last_start = ((t - self.offset) // self.slide) * self.slide \
+            + self.offset
+        start = last_start
+        while start > t - self.size:
+            windows.append(Window(start, start + self.size))
+            start -= self.slide
+        windows.reverse()
+        return windows
+
+    def scope(self, t: Timestamp) -> Window:
+        """The most recent window whose start is <= t (CQL ``[Range r Slide s]``
+        semantics: report reflects the latest complete slide boundary)."""
+        start = ((t - self.offset) // self.slide) * self.slide + self.offset
+        return Window(start, start + self.size)
+
+    def __repr__(self) -> str:
+        return (f"SlidingWindow(size={self.size}, slide={self.slide}, "
+                f"offset={self.offset})")
+
+
+class RangeWindow(WindowAssigner):
+    """CQL's ``[Range r]`` time-sliding window: at evaluation time τ the
+    window covers ``(τ - r, τ]``.
+
+    We encode it half-open as ``[τ - r + 1, τ + 1)`` so that an element with
+    timestamp exactly ``τ - r`` has just expired — matching CQL where the
+    range is measured *back from now* inclusively at the current end.
+    """
+
+    def __init__(self, range_: Timestamp) -> None:
+        if range_ <= 0:
+            raise WindowError(f"range must be positive, got {range_}")
+        self.range = range_
+
+    def assign(self, t: Timestamp) -> list[Window]:
+        raise WindowError(
+            "RangeWindow slides per evaluation instant; use scope(t)")
+
+    def scope(self, t: Timestamp) -> Window:
+        return Window(max(0, t - self.range + 1), t + 1)
+
+    def __repr__(self) -> str:
+        return f"RangeWindow(range={self.range})"
+
+
+class SteppedRangeWindow(WindowAssigner):
+    """CQL's ``[Range r Slide s]``: a range window re-evaluated every ``s``.
+
+    At evaluation time τ the window covers ``(b - r, b]`` where ``b`` is the
+    latest slide boundary ≤ τ; between boundaries the reported contents are
+    frozen.  With ``slide=1`` this degenerates to :class:`RangeWindow`.
+    """
+
+    def __init__(self, range_: Timestamp, slide: Timestamp) -> None:
+        if range_ <= 0 or slide <= 0:
+            raise WindowError(
+                f"range and slide must be positive, got {range_}/{slide}")
+        self.range = range_
+        self.slide = slide
+
+    def assign(self, t: Timestamp) -> list[Window]:
+        raise WindowError(
+            "SteppedRangeWindow slides per evaluation instant; use scope(t)")
+
+    def scope(self, t: Timestamp) -> Window:
+        boundary = (t // self.slide) * self.slide
+        return Window(max(0, boundary - self.range + 1), boundary + 1)
+
+    def first_boundary_covering(self, t: Timestamp) -> Timestamp:
+        """The first slide boundary at which an element stamped ``t`` is
+        visible."""
+        return -((-t) // self.slide) * self.slide  # ceil to a boundary
+
+    def expiry_boundary(self, t: Timestamp) -> Timestamp:
+        """The first slide boundary at which an element stamped ``t`` is no
+        longer visible."""
+        return -((-(t + self.range)) // self.slide) * self.slide
+
+    def __repr__(self) -> str:
+        return f"SteppedRangeWindow(range={self.range}, slide={self.slide})"
+
+
+class NowWindow(WindowAssigner):
+    """CQL's ``[Now]``: the window holds only elements stamped exactly τ."""
+
+    def assign(self, t: Timestamp) -> list[Window]:
+        return [Window(t, t + 1)]
+
+    def scope(self, t: Timestamp) -> Window:
+        return Window(t, t + 1)
+
+    def __repr__(self) -> str:
+        return "NowWindow()"
+
+
+class UnboundedWindow(WindowAssigner):
+    """CQL's ``[Range Unbounded]``: everything seen so far."""
+
+    def assign(self, t: Timestamp) -> list[Window]:
+        raise WindowError("UnboundedWindow has no per-element windows")
+
+    def scope(self, t: Timestamp) -> Window:
+        return Window(0, t + 1)
+
+    def __repr__(self) -> str:
+        return "UnboundedWindow()"
+
+
+class LandmarkWindow(WindowAssigner):
+    """A window growing from a fixed landmark instant to now."""
+
+    def __init__(self, landmark: Timestamp) -> None:
+        if landmark < 0:
+            raise WindowError(f"landmark must be >= 0, got {landmark}")
+        self.landmark = landmark
+
+    def assign(self, t: Timestamp) -> list[Window]:
+        raise WindowError("LandmarkWindow has no per-element windows")
+
+    def scope(self, t: Timestamp) -> Window:
+        return Window(self.landmark, max(self.landmark, t + 1))
+
+    def __repr__(self) -> str:
+        return f"LandmarkWindow(landmark={self.landmark})"
+
+
+class SessionWindow(WindowAssigner):
+    """Data-driven session windows: elements closer than ``gap`` merge.
+
+    ``assign`` yields a proto-window per element; :func:`merge_sessions`
+    coalesces overlapping proto-windows into sessions, which is how merging
+    window assigners work in the Dataflow model.
+    """
+
+    def __init__(self, gap: Timestamp) -> None:
+        if gap <= 0:
+            raise WindowError(f"session gap must be positive, got {gap}")
+        self.gap = gap
+
+    def assign(self, t: Timestamp) -> list[Window]:
+        return [Window(t, t + self.gap)]
+
+    def scope(self, t: Timestamp) -> Window:
+        raise WindowError(
+            "session windows are data-driven; use assign + merge_sessions")
+
+    @property
+    def is_merging(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"SessionWindow(gap={self.gap})"
+
+
+def merge_sessions(windows: Sequence[Window]) -> list[Window]:
+    """Coalesce overlapping proto-windows into maximal session windows."""
+    if not windows:
+        return []
+    ordered = sorted(windows, key=lambda w: (w.start, w.end))
+    merged = [ordered[0]]
+    for window in ordered[1:]:
+        if window.start <= merged[-1].end:
+            merged[-1] = merged[-1].union_span(window)
+        else:
+            merged.append(window)
+    return merged
+
+
+class CountWindow:
+    """Tuple-based window: the last ``n`` elements (CQL's ``[Rows n]``)."""
+
+    def __init__(self, rows: int) -> None:
+        if rows <= 0:
+            raise WindowError(f"row count must be positive, got {rows}")
+        self.rows = rows
+
+    def select(self, elements: Sequence[StreamElement]) -> list[StreamElement]:
+        """The window contents given all elements seen so far, in order."""
+        return list(elements[-self.rows:])
+
+    def __repr__(self) -> str:
+        return f"CountWindow(rows={self.rows})"
+
+
+class PartitionedWindow:
+    """CQL's ``[Partition By keys Rows n]``: last ``n`` elements *per key*.
+
+    The window contents are the union over keys of each key's most recent
+    ``n`` elements, in original stream order.
+    """
+
+    def __init__(self, key_fn: Callable[[Any], Hashable], rows: int,
+                 key_names: Sequence[str] = ()) -> None:
+        if rows <= 0:
+            raise WindowError(f"row count must be positive, got {rows}")
+        self.key_fn = key_fn
+        self.rows = rows
+        self.key_names = tuple(key_names)
+
+    def select(self, elements: Sequence[StreamElement]) -> list[StreamElement]:
+        per_key: dict[Hashable, deque[int]] = defaultdict(
+            lambda: deque(maxlen=self.rows))
+        for index, element in enumerate(elements):
+            per_key[self.key_fn(element.value)].append(index)
+        keep = sorted(i for indices in per_key.values() for i in indices)
+        return [elements[i] for i in keep]
+
+    def __repr__(self) -> str:
+        keys = ",".join(self.key_names) or "<fn>"
+        return f"PartitionedWindow(by={keys}, rows={self.rows})"
+
+
+def window_contents(elements: Sequence[StreamElement],
+                    window: Window) -> list[StreamElement]:
+    """All elements whose timestamp falls inside ``window``."""
+    return [e for e in elements if e.timestamp in window]

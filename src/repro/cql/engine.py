@@ -1,0 +1,107 @@
+"""The CQL engine facade: catalog + parser + planner + optimizer + executor.
+
+This is the library's front door for CQL (paper Section 3.1):
+
+    >>> from repro.cql import CQLEngine
+    >>> from repro.core import Schema, minutes
+    >>> engine = CQLEngine()
+    >>> engine.register_stream("RoomObservation", Schema(["id", "room"]))
+    >>> engine.register_relation("Person", Schema(["id", "name"]),
+    ...                          rows=[{"id": 1, "name": "ada"}])
+    >>> query = engine.register_query(
+    ...     "SELECT COUNT(P.id) AS n "
+    ...     "FROM Person P, RoomObservation O [Range 15 MIN] "
+    ...     "WHERE P.id = O.id")
+    >>> query.push("RoomObservation", {"id": 1, "room": 7}, minutes(1))
+    []
+    >>> sorted(r["n"] for r in query.current())
+    [1]
+
+(The example is Listing 1 of the paper.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.core.records import Record, Schema
+from repro.core.relation import TimeVaryingRelation
+from repro.core.stream import Stream
+from repro.cql.algebra import LogicalOp
+from repro.cql.catalog import Catalog, RelationDef, StreamDef
+from repro.cql.executor import ContinuousQuery, Emission
+from repro.cql.parser import parse_query
+from repro.cql.planner import plan_statement
+from repro.cql.reference import reference_evaluate
+
+
+class CQLEngine:
+    """A continuous-query processor in the style of STREAM's CQL."""
+
+    def __init__(self, optimize: bool = True) -> None:
+        self.catalog = Catalog()
+        self._optimize = optimize
+        self._queries: list[ContinuousQuery] = []
+
+    # -- catalog -------------------------------------------------------------
+
+    def register_stream(self, name: str, schema: Schema) -> StreamDef:
+        """Declare a stream (schema only; elements arrive at runtime)."""
+        return self.catalog.register_stream(name, schema)
+
+    def register_relation(self, name: str, schema: Schema,
+                          rows: Iterable[Mapping[str, Any] | Record] = (),
+                          ) -> RelationDef:
+        """Declare a base relation with optional initial contents."""
+        return self.catalog.register_relation(name, schema, rows)
+
+    # -- planning ------------------------------------------------------------
+
+    def plan(self, text: str, optimize: bool | None = None) -> LogicalOp:
+        """Parse and plan a query without registering it."""
+        statement = parse_query(text)
+        plan = plan_statement(statement, self.catalog)
+        if optimize if optimize is not None else self._optimize:
+            from repro.sql.optimizer import optimize as run_rules
+            plan = run_rules(plan)
+        return plan
+
+    def explain(self, text: str) -> str:
+        """EXPLAIN: the (optimised) plan tree as text."""
+        return self.plan(text).explain()
+
+    # -- execution -----------------------------------------------------------
+
+    def register_query(self, text: str,
+                       optimize: bool | None = None) -> ContinuousQuery:
+        """Register a continuous query: compiled once, runs until cancelled
+        (the paper's Figure 1 contract)."""
+        query = ContinuousQuery(self.plan(text, optimize), self.catalog)
+        self._queries.append(query)
+        return query
+
+    def push(self, stream_name: str, row: Mapping[str, Any] | Record,
+             timestamp: int) -> dict[int, list[Emission]]:
+        """Push one element into every registered query reading the stream.
+
+        Returns emissions per query index.
+        """
+        out: dict[int, list[Emission]] = {}
+        for index, query in enumerate(self._queries):
+            if stream_name in query._stream_sources:
+                out[index] = query.push(stream_name, row, timestamp)
+        return out
+
+    def run_one_shot(self, text: str,
+                     streams: Mapping[str, Stream[Record]],
+                     ) -> TimeVaryingRelation | Stream[Record]:
+        """Evaluate a query denotationally over recorded streams.
+
+        This is the reference (non-incremental) evaluation — useful for
+        testing and as the "re-execute from scratch" baseline.
+        """
+        return reference_evaluate(self.plan(text), self.catalog, streams)
+
+    @property
+    def queries(self) -> list[ContinuousQuery]:
+        return list(self._queries)

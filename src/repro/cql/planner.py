@@ -1,0 +1,267 @@
+"""Planner: CQL ASTs → logical plans.
+
+The planner is deliberately naive — it produces the straightforward plan
+(cross joins in FROM order, one Filter holding the whole WHERE clause on
+top) and leaves rewriting to :mod:`repro.sql.optimizer`, mirroring how the
+paper separates query *models* (Section 3.1) from query *optimisation*
+(Sections 3.2 / 4.2).  The exception is aggregate extraction, which is a
+semantic necessity rather than an optimisation: aggregate calls in SELECT /
+HAVING are pulled into an :class:`~repro.cql.algebra.Aggregate` node and
+replaced by column references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import PlanError
+from repro.core.operators import AggregateKind
+from repro.core.windows import (
+    CountWindow,
+    NowWindow,
+    PartitionedWindow,
+    RangeWindow,
+    SteppedRangeWindow,
+    UnboundedWindow,
+)
+from repro.cql.algebra import (
+    Aggregate,
+    AggregateExpr,
+    Distinct,
+    Filter,
+    Join,
+    LogicalOp,
+    Project,
+    RelationScan,
+    RelToStream,
+    SetOp,
+    StreamScan,
+    WindowOp,
+)
+from repro.cql.ast import (
+    Binary,
+    Column,
+    Expr,
+    FuncCall,
+    SelectStatement,
+    SetStatement,
+    Star,
+    Unary,
+    UNBOUNDED_SPEC,
+    WindowSpec,
+    WindowSpecKind,
+)
+from repro.cql.catalog import Catalog
+
+_AGGREGATE_KINDS = {
+    "COUNT": AggregateKind.COUNT,
+    "SUM": AggregateKind.SUM,
+    "AVG": AggregateKind.AVG,
+    "MIN": AggregateKind.MIN,
+    "MAX": AggregateKind.MAX,
+}
+
+
+def plan_statement(statement: "SelectStatement | SetStatement",
+                   catalog: Catalog) -> LogicalOp:
+    """Build the naive logical plan for a parsed statement."""
+    if isinstance(statement, SetStatement):
+        return _plan_set(statement, catalog)
+    plan = _plan_sources(statement, catalog)
+    if statement.where is not None:
+        plan = Filter(plan, statement.where)
+    plan = _plan_projection(statement, plan)
+    if statement.distinct:
+        plan = Distinct(plan)
+    if statement.r2s is not None:
+        plan = RelToStream(plan, statement.r2s)
+    return plan
+
+
+def _plan_set(statement: SetStatement, catalog: Catalog) -> LogicalOp:
+    left = plan_statement(statement.left, catalog)
+    right = plan_statement(statement.right, catalog)
+    if left.schema.arity != right.schema.arity:
+        raise PlanError(
+            f"set operands must have equal arity: "
+            f"{left.schema.arity} vs {right.schema.arity}")
+    if right.schema.fields != left.schema.fields:
+        # SQL convention: the left operand names the output columns; the
+        # right side is relabelled positionally.
+        right = Project(
+            right,
+            tuple(Column(f) for f in right.schema.fields),
+            left.schema.fields)
+    plan: LogicalOp = SetOp(statement.kind, left, right)
+    if statement.distinct:
+        plan = Distinct(plan)
+    if statement.r2s is not None:
+        plan = RelToStream(plan, statement.r2s)
+    return plan
+
+
+def _plan_sources(statement: SelectStatement, catalog: Catalog) -> LogicalOp:
+    if not statement.sources:
+        raise PlanError("query needs at least one FROM source")
+    seen_bindings: set[str] = set()
+    plans: list[LogicalOp] = []
+    for source in statement.sources:
+        binding = source.binding
+        if binding in seen_bindings:
+            raise PlanError(f"duplicate source binding {binding!r}")
+        seen_bindings.add(binding)
+        if catalog.is_stream(source.name):
+            schema = catalog.stream(source.name).schema.qualify(binding)
+            scan = StreamScan(source.name, binding, schema)
+            spec = source.window or UNBOUNDED_SPEC
+            plans.append(WindowOp(scan, spec))
+        elif catalog.is_relation(source.name):
+            if source.window is not None:
+                raise PlanError(
+                    f"window on relation {source.name!r}: windows apply "
+                    f"only to streams")
+            schema = catalog.relation(source.name).schema.qualify(binding)
+            plans.append(RelationScan(source.name, binding, schema))
+        else:
+            raise PlanError(f"unknown source {source.name!r}")
+    plan = plans[0]
+    for right in plans[1:]:
+        plan = Join(plan, right)  # cross join; optimiser introduces keys
+    return plan
+
+
+def _plan_projection(statement: SelectStatement,
+                     plan: LogicalOp) -> LogicalOp:
+    has_aggregates = bool(statement.group_by) or any(
+        _contains_aggregate(item.expr) for item in statement.items) or (
+        statement.having is not None
+        and _contains_aggregate(statement.having))
+
+    if not has_aggregates:
+        if statement.having is not None:
+            raise PlanError("HAVING requires GROUP BY or aggregates")
+        if statement.is_star:
+            return plan
+        exprs = tuple(item.expr for item in statement.items)
+        names = tuple(item.output_name() for item in statement.items)
+        _check_unique(names)
+        return Project(plan, exprs, names)
+
+    if statement.is_star:
+        raise PlanError("SELECT * cannot be combined with aggregation")
+
+    collector = _AggregateCollector()
+    rewritten_items = [
+        (collector.rewrite(item.expr, alias=item.alias), item.output_name())
+        for item in statement.items]
+    rewritten_having = (collector.rewrite(statement.having)
+                        if statement.having is not None else None)
+
+    group_columns = tuple(c.name for c in statement.group_by)
+    # Group columns keep the name they were written under (qualified or
+    # not), so post-aggregation expressions resolve either way: an exact
+    # match for ``R.floor``, a suffix match for plain ``floor``.
+    group_names = group_columns
+    _check_unique(group_names + tuple(s.name for s in collector.specs))
+
+    plan = Aggregate(plan, group_columns, group_names,
+                     tuple(collector.specs))
+    if rewritten_having is not None:
+        plan = Filter(plan, rewritten_having)
+
+    exprs = tuple(expr for expr, _ in rewritten_items)
+    names = tuple(name for _, name in rewritten_items)
+    _check_unique(names)
+    # Non-aggregate columns in SELECT must come from the GROUP BY list.
+    for expr in exprs:
+        for column in expr.columns():
+            available = set(group_names) | \
+                {s.name for s in collector.specs} | set(group_columns)
+            if column.name not in available and \
+                    _output_name(column.name) not in available:
+                raise PlanError(
+                    f"column {column.name!r} must appear in GROUP BY or an "
+                    f"aggregate")
+    return Project(plan, exprs, names)
+
+
+def _output_name(column: str) -> str:
+    return column.rpartition(".")[2]
+
+
+def _check_unique(names: tuple[str, ...]) -> None:
+    if len(set(names)) != len(names):
+        raise PlanError(f"duplicate output column names in {names}")
+
+
+def _contains_aggregate(expr: Expr) -> bool:
+    from repro.cql.ast import contains_aggregate
+    return contains_aggregate(expr)
+
+
+@dataclass
+class _AggregateCollector:
+    """Extracts aggregate calls, assigning each a stable output column."""
+
+    def __post_init__(self) -> None:
+        self.specs: list[AggregateExpr] = []
+        self._by_key: dict[tuple[str, str], str] = {}
+
+    def rewrite(self, expr: Expr, alias: str | None = None) -> Expr:
+        """Replace aggregate calls in ``expr`` by generated columns."""
+        if isinstance(expr, FuncCall) and expr.name in _AGGREGATE_KINDS:
+            return Column(self._register(expr, alias))
+        if isinstance(expr, Binary):
+            return Binary(expr.op, self.rewrite(expr.left),
+                          self.rewrite(expr.right))
+        if isinstance(expr, Unary):
+            return Unary(expr.op, self.rewrite(expr.operand))
+        if isinstance(expr, FuncCall):
+            return FuncCall(expr.name,
+                            tuple(self.rewrite(a) for a in expr.args))
+        return expr
+
+    def _register(self, call: FuncCall, alias: str | None) -> str:
+        kind = _AGGREGATE_KINDS[call.name]
+        if len(call.args) != 1:
+            raise PlanError(f"{call.name} takes exactly one argument")
+        arg = call.args[0]
+        if isinstance(arg, Star):
+            if kind is not AggregateKind.COUNT:
+                raise PlanError(f"{call.name}(*) is not valid")
+            arg = None
+        key = (call.name, str(arg))
+        if key in self._by_key:
+            return self._by_key[key]
+        name = alias or f"{call.name.lower()}_{len(self.specs)}"
+        if any(spec.name == name for spec in self.specs):
+            raise PlanError(f"duplicate aggregate alias {name!r}")
+        self.specs.append(AggregateExpr(kind, arg, name))
+        self._by_key[key] = name
+        return name
+
+
+def window_object(spec: WindowSpec, schema=None):
+    """Instantiate the core window object for a parsed window spec.
+
+    ``schema`` is the (qualified) input schema — needed by partitioned
+    windows to build their key function.
+    """
+    if spec.kind is WindowSpecKind.NOW:
+        return NowWindow()
+    if spec.kind is WindowSpecKind.UNBOUNDED:
+        return UnboundedWindow()
+    if spec.kind is WindowSpecKind.RANGE:
+        if spec.slide:
+            return SteppedRangeWindow(spec.range_, spec.slide)
+        return RangeWindow(spec.range_)
+    if spec.kind is WindowSpecKind.ROWS:
+        return CountWindow(spec.rows)
+    if spec.kind is WindowSpecKind.PARTITIONED:
+        if schema is None:
+            raise PlanError("partitioned window needs the input schema")
+        indexes = [schema.index_of(c) for c in spec.partition_by]
+        return PartitionedWindow(
+            key_fn=lambda record: tuple(record[i] for i in indexes),
+            rows=spec.rows, key_names=spec.partition_by)
+    raise PlanError(f"unsupported window spec {spec}")

@@ -1,0 +1,44 @@
+"""dataflow — the Google Dataflow model (paper Section 4.1.1).
+
+ParDo + GroupByKey over event-time windows, with triggers deciding when
+panes are emitted, accumulation modes deciding how refinements relate,
+watermarks tracking event-time progress, and allowed lateness bounding the
+wait for stragglers.
+"""
+
+from repro.dataflow.pipeline import (
+    PCollection,
+    Pipeline,
+    PipelineResult,
+    WindowingStrategy,
+)
+from repro.dataflow.pvalue import PaneInfo, WindowedValue
+from repro.dataflow.triggers import (
+    DEFAULT_TRIGGER,
+    AccumulationMode,
+    AfterAny,
+    AfterCount,
+    AfterProcessingTime,
+    AfterWatermark,
+    Never,
+    PaneTiming,
+    Repeatedly,
+    Trigger,
+)
+from repro.dataflow.windowfn import (
+    FixedWindows,
+    GlobalWindows,
+    Sessions,
+    SlidingWindows,
+    WindowFn,
+)
+
+__all__ = [
+    "Pipeline", "PCollection", "PipelineResult", "WindowingStrategy",
+    "WindowedValue", "PaneInfo",
+    "Trigger", "AfterWatermark", "AfterCount", "AfterProcessingTime",
+    "Repeatedly", "AfterAny", "Never", "DEFAULT_TRIGGER",
+    "AccumulationMode", "PaneTiming",
+    "WindowFn", "GlobalWindows", "FixedWindows", "SlidingWindows",
+    "Sessions",
+]

@@ -1,0 +1,380 @@
+"""Pipelines, PCollections and the direct runner (paper Section 4.1.1).
+
+The Dataflow model's two primitives are **ParDo** (element-wise parallel
+processing) and **GroupByKey** (collect per key before reduction); windows
+say *where* in event time data is grouped, triggers say *when* in
+processing time results are emitted, and the accumulation mode says *how*
+refinements relate.  This module implements all four axes over a
+deterministic single-process runner whose inputs can arrive out of order —
+which is the entire point: the C5 benchmark sweeps watermark slack and
+trigger choices against lateness.
+
+Usage::
+
+    p = Pipeline()
+    events = p.create([("a", 3), ("b", 1), ("a", 12)],
+                      watermark=BoundedOutOfOrderness(2))
+    counts = (events
+              .map(lambda v: (v, 1))
+              .window_into(FixedWindows(10))
+              .group_by_key()
+              .combine_values(sum)
+              .collect("counts"))
+    result = p.run()
+    result["counts"]          # [WindowedValue(("a", 1), ...), ...]
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.core.errors import PlanError
+from repro.core.punctuation import AscendingWatermarks, WatermarkGenerator
+from repro.core.time import MAX_TIMESTAMP, Timestamp
+from repro.core.windows import Window
+from repro.dataflow.pvalue import PaneInfo, WindowedValue
+from repro.dataflow.triggers import (
+    DEFAULT_TRIGGER,
+    AccumulationMode,
+    PaneTiming,
+    Trigger,
+)
+from repro.dataflow.windowfn import GlobalWindows, WindowFn
+
+
+@dataclass
+class WindowingStrategy:
+    """The full where/when/how specification attached to a PCollection."""
+
+    window_fn: WindowFn = field(default_factory=GlobalWindows)
+    trigger: Trigger = DEFAULT_TRIGGER
+    accumulation: AccumulationMode = AccumulationMode.DISCARDING
+    allowed_lateness: Timestamp = 0
+
+
+class PCollection:
+    """A node in the pipeline DAG.  Transforms return new PCollections."""
+
+    def __init__(self, pipeline: "Pipeline", kind: str,
+                 parent: "PCollection | None" = None, **spec: Any) -> None:
+        self.pipeline = pipeline
+        self.kind = kind
+        self.parent = parent
+        self.spec = spec
+        self.children: list[PCollection] = []
+        self.windowing: WindowingStrategy = (
+            parent.windowing if parent is not None else WindowingStrategy())
+        if parent is not None:
+            parent.children.append(self)
+        pipeline._nodes.append(self)
+
+    # -- element-wise transforms (ParDo family) --------------------------------
+
+    def par_do(self, fn: Callable[[Any], Iterable[Any]]) -> "PCollection":
+        """The generic element-wise primitive: zero or more outputs per
+        input (the paper's ParDo)."""
+        return PCollection(self.pipeline, "pardo", self, fn=fn)
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]]) -> "PCollection":
+        return self.par_do(fn)
+
+    def map(self, fn: Callable[[Any], Any]) -> "PCollection":
+        return self.par_do(lambda v: (fn(v),))
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "PCollection":
+        return self.par_do(lambda v: (v,) if predicate(v) else ())
+
+    # -- windowing --------------------------------------------------------------
+
+    def window_into(self, window_fn: WindowFn,
+                    trigger: Trigger | None = None,
+                    accumulation: AccumulationMode =
+                    AccumulationMode.DISCARDING,
+                    allowed_lateness: Timestamp = 0) -> "PCollection":
+        node = PCollection(self.pipeline, "window", self)
+        node.windowing = WindowingStrategy(
+            window_fn, trigger or DEFAULT_TRIGGER, accumulation,
+            allowed_lateness)
+        return node
+
+    # -- grouping ---------------------------------------------------------------
+
+    def group_by_key(self) -> "PCollection":
+        """The GroupByKey primitive: input must be (key, value) pairs.
+
+        Emits ``(key, [values])`` panes according to the windowing
+        strategy's trigger and accumulation mode."""
+        return PCollection(self.pipeline, "gbk", self, combiner=None)
+
+    def combine_per_key(self, combiner: Callable[[list], Any],
+                        ) -> "PCollection":
+        """GroupByKey fused with a per-pane combiner over the value list."""
+        return PCollection(self.pipeline, "gbk", self, combiner=combiner)
+
+    def combine_values(self, combiner: Callable[[list], Any],
+                       ) -> "PCollection":
+        """Apply ``combiner`` to the value list of (key, [values]) pairs."""
+        return self.map(lambda kv: (kv[0], combiner(kv[1])))
+
+    # -- outputs ----------------------------------------------------------------
+
+    def collect(self, label: str) -> "PCollection":
+        """Mark this collection as a pipeline output under ``label``."""
+        node = PCollection(self.pipeline, "sink", self, label=label)
+        return node
+
+
+class PipelineResult:
+    """Outputs plus runner statistics."""
+
+    def __init__(self) -> None:
+        self.outputs: dict[str, list[WindowedValue]] = defaultdict(list)
+        self.dropped_late = 0
+        self.panes_by_timing: dict[PaneTiming, int] = defaultdict(int)
+
+    def __getitem__(self, label: str) -> list[WindowedValue]:
+        return self.outputs[label]
+
+    def values(self, label: str) -> list[Any]:
+        return [wv.value for wv in self.outputs[label]]
+
+
+class _PaneState:
+    """Runner state for one (key, window) pane of one GBK node."""
+
+    __slots__ = ("buffer", "retained", "trigger_state", "pane_index",
+                 "on_time_fired", "had_data")
+
+    def __init__(self, trigger: Trigger) -> None:
+        self.buffer: list[Any] = []
+        self.retained: list[Any] = []
+        self.trigger_state = trigger.new_state()
+        self.pane_index = 0
+        self.on_time_fired = False
+        self.had_data = False
+
+
+class _GBKState:
+    """Runner state for one GroupByKey node."""
+
+    def __init__(self, node: PCollection) -> None:
+        self.node = node
+        self.panes: dict[tuple[Any, Window], _PaneState] = {}
+        self.merged_away: set[tuple[Any, Window]] = set()
+
+    def pane(self, key: Any, window: Window) -> _PaneState:
+        state = self.panes.get((key, window))
+        if state is None:
+            state = _PaneState(self.node.windowing.trigger)
+            self.panes[(key, window)] = state
+        return state
+
+
+class Pipeline:
+    """A Dataflow pipeline with a deterministic direct runner."""
+
+    def __init__(self) -> None:
+        self._nodes: list[PCollection] = []
+        self._sources: list[PCollection] = []
+
+    def create(self, elements: Iterable[tuple[Any, Timestamp]],
+               watermark: WatermarkGenerator | None = None) -> PCollection:
+        """A source.  ``elements`` are (value, event timestamp) pairs in
+        *arrival* order — which may differ from event-time order; the
+        watermark generator (default: ascending) decides how much
+        out-of-orderness the pipeline tolerates."""
+        node = PCollection(self, "source", None,
+                           elements=list(elements),
+                           watermark=watermark or AscendingWatermarks())
+        self._sources.append(node)
+        return node
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self) -> PipelineResult:
+        """Execute with the direct runner."""
+        runner = _DirectRunner(self)
+        return runner.run()
+
+
+class _DirectRunner:
+    """Single-threaded evaluation: arrival order in, panes out."""
+
+    def __init__(self, pipeline: Pipeline) -> None:
+        self.pipeline = pipeline
+        self.result = PipelineResult()
+        self._gbk_states: dict[int, _GBKState] = {}
+        for node in pipeline._nodes:
+            if node.kind == "gbk":
+                self._gbk_states[id(node)] = _GBKState(node)
+        self._arrival_index = 0
+
+    def run(self) -> PipelineResult:
+        for source in self.pipeline._sources:
+            generator: WatermarkGenerator = source.spec["watermark"]
+            for value, timestamp in source.spec["elements"]:
+                self._arrival_index += 1
+                wv = WindowedValue(value, timestamp,
+                                   (GlobalWindows.WINDOW,))
+                self._push(source, wv, generator.current().value)
+                mark = generator.observe(timestamp)
+                if mark is not None:
+                    self._advance_watermark(source, mark.value)
+            self._advance_watermark(source, MAX_TIMESTAMP)
+        self._finalize()
+        return self.result
+
+    def _finalize(self) -> None:
+        """Drain: force-fire panes whose trigger never did (e.g. Never).
+
+        Fired as ON_TIME — finalisation is the moment the watermark
+        conceptually passes the end of every window.
+        """
+        for node in self.pipeline._nodes:
+            if node.kind != "gbk":
+                continue
+            state = self._gbk_states[id(node)]
+            for (key, window) in sorted(
+                    state.panes, key=lambda kw: (kw[1], repr(kw[0]))):
+                pane = state.panes[(key, window)]
+                if not pane.on_time_fired and pane.buffer:
+                    self._fire(node, state, key, window,
+                               PaneTiming.ON_TIME, MAX_TIMESTAMP)
+                    pane.on_time_fired = True
+
+    # -- element propagation --------------------------------------------------
+
+    def _push(self, node: PCollection, wv: WindowedValue,
+              watermark: Timestamp) -> None:
+        for child in node.children:
+            self._apply(child, wv, watermark)
+
+    def _apply(self, node: PCollection, wv: WindowedValue,
+               watermark: Timestamp) -> None:
+        if node.kind == "pardo":
+            for value in node.spec["fn"](wv.value):
+                self._push(node, wv.with_value(value), watermark)
+        elif node.kind == "window":
+            windows = tuple(
+                node.windowing.window_fn.assign(wv.timestamp))
+            self._push(node, WindowedValue(wv.value, wv.timestamp,
+                                           windows, wv.pane), watermark)
+        elif node.kind == "gbk":
+            self._insert_gbk(node, wv, watermark)
+        elif node.kind == "sink":
+            self.result.outputs[node.spec["label"]].append(wv)
+            self._push(node, wv, watermark)
+        else:
+            raise PlanError(f"unexpected node kind {node.kind}")
+
+    # -- GroupByKey -------------------------------------------------------------
+
+    def _insert_gbk(self, node: PCollection, wv: WindowedValue,
+                    watermark: Timestamp) -> None:
+        strategy = node.windowing
+        state = self._gbk_states[id(node)]
+        try:
+            key, value = wv.value
+        except (TypeError, ValueError):
+            raise PlanError(
+                "GroupByKey input must be (key, value) pairs; got "
+                f"{wv.value!r}") from None
+        for piece in wv.exploded():
+            (window,) = piece.windows
+            # Lateness: beyond allowed lateness the element is dropped.
+            if watermark >= window.end - 1 + strategy.allowed_lateness \
+                    and watermark >= window.end - 1:
+                self.result.dropped_late += 1
+                continue
+            if strategy.window_fn.is_merging:
+                window = self._merge_into(state, key, window, strategy)
+            pane = state.pane(key, window)
+            pane.buffer.append(value)
+            pane.had_data = True
+            fire = strategy.trigger.on_element(
+                pane.trigger_state, self._arrival_index)
+            if fire:
+                timing = (PaneTiming.LATE if pane.on_time_fired
+                          else PaneTiming.EARLY)
+                self._fire(node, state, key, window, timing, watermark)
+
+    def _merge_into(self, state: _GBKState, key: Any, window: Window,
+                    strategy: WindowingStrategy) -> Window:
+        """Session merging: coalesce the new proto-window with the key's
+        active windows, transplanting buffered state."""
+        active = [w for (k, w) in state.panes if k == key
+                  and (k, w) not in state.merged_away]
+        merged = strategy.window_fn.merge(active + [window])
+        # Find the merged window that swallowed the new proto-window.
+        target = next(w for w in merged if w.overlaps(window)
+                      or w == window)
+        if target not in active:
+            absorbed = [w for w in active if w.overlaps(target)]
+            fresh = _PaneState(strategy.trigger)
+            for old in absorbed:
+                old_pane = state.panes.pop((key, old))
+                state.merged_away.add((key, old))
+                fresh.buffer.extend(old_pane.buffer)
+                fresh.retained.extend(old_pane.retained)
+                fresh.pane_index = max(fresh.pane_index,
+                                       old_pane.pane_index)
+                fresh.on_time_fired |= old_pane.on_time_fired
+                fresh.had_data |= old_pane.had_data
+            # Replay the combined buffer into a fresh trigger state.
+            for i in range(len(fresh.buffer)):
+                strategy.trigger.on_element(fresh.trigger_state,
+                                            self._arrival_index)
+            state.panes[(key, target)] = fresh
+        return target
+
+    def _advance_watermark(self, source: PCollection,
+                           watermark: Timestamp) -> None:
+        for node in self.pipeline._nodes:
+            if node.kind != "gbk" or not self._downstream_of(source, node):
+                continue
+            state = self._gbk_states[id(node)]
+            strategy = node.windowing
+            for (key, window) in sorted(
+                    state.panes, key=lambda kw: (kw[1], repr(kw[0]))):
+                pane = state.panes[(key, window)]
+                if strategy.trigger.on_watermark(
+                        pane.trigger_state, window, watermark):
+                    if pane.had_data:
+                        self._fire(node, state, key, window,
+                                   PaneTiming.ON_TIME, watermark)
+                    pane.on_time_fired = True
+
+    def _downstream_of(self, source: PCollection,
+                       node: PCollection) -> bool:
+        current = node
+        while current.parent is not None:
+            current = current.parent
+        return current is source
+
+    def _fire(self, node: PCollection, state: _GBKState, key: Any,
+              window: Window, timing: PaneTiming,
+              watermark: Timestamp) -> None:
+        strategy = node.windowing
+        pane = state.panes[(key, window)]
+        if strategy.accumulation is AccumulationMode.ACCUMULATING:
+            contents = pane.retained + pane.buffer
+            pane.retained = contents
+        else:
+            contents = pane.buffer
+        pane.buffer = []
+        if not contents:
+            return
+        strategy.trigger.on_fire(pane.trigger_state)
+        info = PaneInfo(timing, pane.pane_index)
+        pane.pane_index += 1
+        if timing is PaneTiming.ON_TIME:
+            pane.on_time_fired = True
+        self.result.panes_by_timing[timing] += 1
+        combiner = node.spec.get("combiner")
+        payload = combiner(list(contents)) if combiner else list(contents)
+        out = WindowedValue((key, payload),
+                            min(window.end - 1, MAX_TIMESTAMP - 1),
+                            (window,), info)
+        self._push(node, out, watermark)

@@ -1,0 +1,50 @@
+"""Windowed values and pane metadata for the Dataflow model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.time import Timestamp
+from repro.core.windows import Window
+from repro.dataflow.triggers import PaneTiming
+
+
+@dataclass(frozen=True)
+class PaneInfo:
+    """Which firing of a window produced a value."""
+
+    timing: PaneTiming
+    index: int
+
+    @property
+    def is_early(self) -> bool:
+        return self.timing is PaneTiming.EARLY
+
+    @property
+    def is_on_time(self) -> bool:
+        return self.timing is PaneTiming.ON_TIME
+
+    @property
+    def is_late(self) -> bool:
+        return self.timing is PaneTiming.LATE
+
+
+@dataclass(frozen=True)
+class WindowedValue:
+    """An element with its event timestamp, windows and pane provenance."""
+
+    value: Any
+    timestamp: Timestamp
+    windows: tuple[Window, ...] = ()
+    pane: PaneInfo | None = None
+
+    def with_value(self, value: Any) -> "WindowedValue":
+        return WindowedValue(value, self.timestamp, self.windows, self.pane)
+
+    def exploded(self) -> list["WindowedValue"]:
+        """One copy per window (how multi-window elements enter GBK)."""
+        if len(self.windows) <= 1:
+            return [self]
+        return [WindowedValue(self.value, self.timestamp, (w,), self.pane)
+                for w in self.windows]

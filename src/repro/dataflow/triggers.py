@@ -1,0 +1,237 @@
+"""Triggers and accumulation modes (paper Section 4.1.1).
+
+"Windows determine where in event time data are grouped; triggers determine
+when in processing time the results of groupings are emitted."  A trigger
+watches one (key, window) pane and decides, on each stimulus, whether to
+fire.  Stimuli are element arrival, processing-time progress, and the
+event-time watermark passing the end of the window.
+
+Implemented triggers: the Dataflow default (:class:`AfterWatermark`, with
+optional early/late firings), :class:`AfterCount`,
+:class:`AfterProcessingTime`, :class:`Repeatedly`, :class:`AfterAny`, and
+:class:`Never`.  The :class:`AccumulationMode` decides whether a firing
+pane discards or accumulates previously emitted contents — the
+correctness/latency/cost trade-off knob the paper highlights.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.core.time import Timestamp
+from repro.core.windows import Window
+
+
+class AccumulationMode(enum.Enum):
+    """What happens to pane contents after a firing."""
+
+    DISCARDING = "discarding"
+    ACCUMULATING = "accumulating"
+
+
+class PaneTiming(enum.Enum):
+    """Where a firing sits relative to the watermark."""
+
+    EARLY = "early"
+    ON_TIME = "on_time"
+    LATE = "late"
+
+
+class Trigger:
+    """Per-(key, window) firing logic.
+
+    Triggers are *prototypes*: :meth:`new_state` creates the mutable
+    per-pane state, and the ``should_fire_*`` hooks inspect/update it.
+    """
+
+    def new_state(self) -> Any:
+        return None
+
+    def on_element(self, state: Any, arrival_index: int) -> bool:
+        """Stimulus: one element arrived (before the watermark passes)."""
+        return False
+
+    def on_watermark(self, state: Any, window: Window,
+                     watermark: Timestamp) -> bool:
+        """Stimulus: the watermark advanced to ``watermark``."""
+        return False
+
+    def on_fire(self, state: Any) -> None:
+        """Reset hook invoked after the pane fires."""
+
+    def allows_late_firings(self) -> bool:
+        return False
+
+
+class Never(Trigger):
+    """Fires only when the runner finalises the window (end of input)."""
+
+
+class AfterCount(Trigger):
+    """Fire whenever ``count`` elements accumulated since the last fire."""
+
+    def __init__(self, count: int) -> None:
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self.count = count
+
+    def new_state(self) -> dict:
+        return {"pending": 0}
+
+    def on_element(self, state: dict, arrival_index: int) -> bool:
+        state["pending"] += 1
+        return state["pending"] >= self.count
+
+    def on_fire(self, state: dict) -> None:
+        state["pending"] = 0
+
+    def __repr__(self) -> str:
+        return f"AfterCount({self.count})"
+
+
+class AfterProcessingTime(Trigger):
+    """Fire ``delay`` processing-time ticks after the first element.
+
+    The direct runner's processing clock ticks once per arrival, so the
+    delay is measured in arrivals — deterministic and sufficient to show
+    the latency/cost trade-off.
+    """
+
+    def __init__(self, delay: int) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.delay = delay
+
+    def new_state(self) -> dict:
+        return {"first_arrival": None, "pending": 0}
+
+    def on_element(self, state: dict, arrival_index: int) -> bool:
+        if state["first_arrival"] is None:
+            state["first_arrival"] = arrival_index
+        state["pending"] += 1
+        return arrival_index >= state["first_arrival"] + self.delay
+
+    def on_fire(self, state: dict) -> None:
+        state["first_arrival"] = None
+        state["pending"] = 0
+
+    def __repr__(self) -> str:
+        return f"AfterProcessingTime({self.delay})"
+
+
+class Repeatedly(Trigger):
+    """Restart ``inner`` after every firing, forever."""
+
+    def __init__(self, inner: Trigger) -> None:
+        self.inner = inner
+
+    def new_state(self) -> Any:
+        return self.inner.new_state()
+
+    def on_element(self, state: Any, arrival_index: int) -> bool:
+        return self.inner.on_element(state, arrival_index)
+
+    def on_watermark(self, state: Any, window: Window,
+                     watermark: Timestamp) -> bool:
+        return self.inner.on_watermark(state, window, watermark)
+
+    def on_fire(self, state: Any) -> None:
+        self.inner.on_fire(state)
+
+    def allows_late_firings(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"Repeatedly({self.inner!r})"
+
+
+class AfterAny(Trigger):
+    """Fire when any sub-trigger fires."""
+
+    def __init__(self, *triggers: Trigger) -> None:
+        if not triggers:
+            raise ValueError("AfterAny needs at least one trigger")
+        self.triggers = triggers
+
+    def new_state(self) -> list:
+        return [t.new_state() for t in self.triggers]
+
+    def on_element(self, state: list, arrival_index: int) -> bool:
+        fired = False
+        for trigger, sub_state in zip(self.triggers, state):
+            if trigger.on_element(sub_state, arrival_index):
+                fired = True
+        return fired
+
+    def on_watermark(self, state: list, window: Window,
+                     watermark: Timestamp) -> bool:
+        fired = False
+        for trigger, sub_state in zip(self.triggers, state):
+            if trigger.on_watermark(sub_state, window, watermark):
+                fired = True
+        return fired
+
+    def on_fire(self, state: list) -> None:
+        for trigger, sub_state in zip(self.triggers, state):
+            trigger.on_fire(sub_state)
+
+    def __repr__(self) -> str:
+        return f"AfterAny{self.triggers!r}"
+
+
+class AfterWatermark(Trigger):
+    """The Dataflow default: fire once when the watermark passes the end
+    of the window; optionally fire ``early`` panes before and ``late``
+    panes after (per late arrival or per ``late`` sub-trigger)."""
+
+    def __init__(self, early: Trigger | None = None,
+                 late: Trigger | None = None) -> None:
+        self.early = early
+        self.late = late
+
+    def new_state(self) -> dict:
+        return {
+            "on_time_fired": False,
+            "early": self.early.new_state() if self.early else None,
+            "late": self.late.new_state() if self.late else None,
+            "fired_early": False,
+        }
+
+    def on_element(self, state: dict, arrival_index: int) -> bool:
+        if state["on_time_fired"]:
+            if self.late is None:
+                return True  # fire a late pane per late arrival
+            return self.late.on_element(state["late"], arrival_index)
+        if self.early is not None:
+            if self.early.on_element(state["early"], arrival_index):
+                state["fired_early"] = True
+                return True
+        return False
+
+    def on_watermark(self, state: dict, window: Window,
+                     watermark: Timestamp) -> bool:
+        if not state["on_time_fired"] and watermark >= window.end - 1:
+            state["on_time_fired"] = True
+            return True
+        return False
+
+    def on_fire(self, state: dict) -> None:
+        if not state["on_time_fired"] and self.early is not None:
+            self.early.on_fire(state["early"])
+        if state["on_time_fired"] and self.late is not None:
+            self.late.on_fire(state["late"])
+
+    def allows_late_firings(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.early:
+            parts.append(f"early={self.early!r}")
+        if self.late:
+            parts.append(f"late={self.late!r}")
+        return f"AfterWatermark({', '.join(parts)})"
+
+
+DEFAULT_TRIGGER = AfterWatermark()

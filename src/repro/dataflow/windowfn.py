@@ -1,0 +1,101 @@
+"""Window functions for the Dataflow model (paper Section 4.1.1).
+
+The Dataflow model separates *where in event time* data is grouped
+(windowing) from *when in processing time* results are emitted (triggers).
+This module provides the windowing half: per-element window assignment and
+window merging (sessions), over the shared :class:`~repro.core.windows`
+interval vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import WindowError
+from repro.core.time import MAX_TIMESTAMP, Timestamp
+from repro.core.windows import (
+    SessionWindow,
+    SlidingWindow,
+    TumblingWindow,
+    Window,
+    merge_sessions,
+)
+
+
+class WindowFn:
+    """Assigns windows to elements; merging window fns override merge."""
+
+    def assign(self, timestamp: Timestamp) -> list[Window]:
+        raise NotImplementedError
+
+    @property
+    def is_merging(self) -> bool:
+        return False
+
+    def merge(self, windows: Sequence[Window]) -> list[Window]:
+        """Coalesce the given windows (merging window fns only)."""
+        return list(windows)
+
+
+class GlobalWindows(WindowFn):
+    """Everything in one window covering all of time."""
+
+    WINDOW = Window(0, MAX_TIMESTAMP)
+
+    def assign(self, timestamp: Timestamp) -> list[Window]:
+        return [self.WINDOW]
+
+    def __repr__(self) -> str:
+        return "GlobalWindows()"
+
+
+class FixedWindows(WindowFn):
+    """Beam's FixedWindows == tumbling windows."""
+
+    def __init__(self, size: Timestamp, offset: Timestamp = 0) -> None:
+        self._inner = TumblingWindow(size, offset)
+        self.size = size
+
+    def assign(self, timestamp: Timestamp) -> list[Window]:
+        return self._inner.assign(timestamp)
+
+    def __repr__(self) -> str:
+        return f"FixedWindows(size={self.size})"
+
+
+class SlidingWindows(WindowFn):
+    """Beam's SlidingWindows == hopping windows."""
+
+    def __init__(self, size: Timestamp, period: Timestamp) -> None:
+        self._inner = SlidingWindow(size, period)
+        self.size = size
+        self.period = period
+
+    def assign(self, timestamp: Timestamp) -> list[Window]:
+        return self._inner.assign(timestamp)
+
+    def __repr__(self) -> str:
+        return f"SlidingWindows(size={self.size}, period={self.period})"
+
+
+class Sessions(WindowFn):
+    """Merging session windows with a fixed gap."""
+
+    def __init__(self, gap: Timestamp) -> None:
+        if gap <= 0:
+            raise WindowError(f"session gap must be positive, got {gap}")
+        self._inner = SessionWindow(gap)
+        self.gap = gap
+
+    def assign(self, timestamp: Timestamp) -> list[Window]:
+        return self._inner.assign(timestamp)
+
+    @property
+    def is_merging(self) -> bool:
+        return True
+
+    def merge(self, windows: Sequence[Window]) -> list[Window]:
+        return merge_sessions(windows)
+
+    def __repr__(self) -> str:
+        return f"Sessions(gap={self.gap})"

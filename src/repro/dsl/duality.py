@@ -1,0 +1,84 @@
+"""Stream ⇄ table conversions — "two sides of the same coin".
+
+The executable form of Sax et al.'s duality model: a changelog stream
+folds into a table, a table unfolds into its changelog, a record stream
+aggregates into a table, and a table's changelog re-keys into a record
+stream.  The C9 benchmark and property tests pin the round-trip laws:
+
+* ``table_from_changelog(changelog_of(T)) == T``  (table → stream → table)
+* folding any prefix of a changelog gives the table as of that point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable
+
+from repro.core.stream import Stream
+from repro.dsl.table import ChangeRecord, Table
+
+
+def table_from_changelog(changes: Iterable[ChangeRecord]) -> Table:
+    """Fold a changelog stream into a table (stream → table)."""
+    table = Table()
+    for change in changes:
+        if change.new is None:
+            table.delete(change.key, change.timestamp)
+        else:
+            table.upsert(change.key, change.new, change.timestamp)
+    return table
+
+
+def changelog_of(table: Table) -> list[ChangeRecord]:
+    """Unfold a table into its changelog stream (table → stream)."""
+    return table.changelog()
+
+
+def table_from_record_stream(
+        stream: Stream[Any],
+        key_fn: Callable[[Any], Hashable],
+        fold: Callable[[Any, Any], Any] | None = None,
+        initial: Any = None) -> Table:
+    """Aggregate a *record* stream into a table.
+
+    Without ``fold`` the table keeps the latest record per key (an upsert
+    stream); with ``fold`` each record is folded into the key's running
+    state (``fold(current, record)`` starting from ``initial``) — the
+    record-stream → table side of the duality.
+    """
+    table = Table()
+    for element in stream:
+        key = key_fn(element.value)
+        if fold is None:
+            table.upsert(key, element.value, element.timestamp)
+        else:
+            current = table.get(key, initial)
+            table.upsert(key, fold(current, element.value),
+                         element.timestamp)
+    return table
+
+
+def record_stream_of(table: Table) -> Stream[tuple[Hashable, Any]]:
+    """The table's updates as a record stream of (key, new value) pairs
+    (tombstones carry ``None``)."""
+    out: Stream[tuple[Hashable, Any]] = Stream()
+    for change in table.changelog():
+        out.append((change.key, change.new), change.timestamp)
+    return out
+
+
+def compact(changes: Iterable[ChangeRecord]) -> list[ChangeRecord]:
+    """Log compaction: keep only each key's final change (as Kafka does
+    for changelog topics).  Folding the compacted log yields the same
+    table snapshot."""
+    final: dict[Hashable, ChangeRecord] = {}
+    for change in changes:
+        final[change.key] = change
+    kept = sorted(final.values(), key=lambda c: c.timestamp)
+    # Re-base each kept change so it applies cleanly to an empty table.
+    out: list[ChangeRecord] = []
+    for change in kept:
+        if change.new is None:
+            continue  # a compacted tombstone disappears entirely
+        out.append(ChangeRecord(change.key, None, change.new,
+                                change.timestamp))
+    return out

@@ -1,0 +1,122 @@
+"""The four architectural components of Figure 3: Stream, Store, Scratch,
+Throw.
+
+The paper describes the canonical DSMS layout: *streams* are both input and
+main output; the *Store* aligns with CQL's time-varying relation
+abstraction and persists query results; the *Scratch* is working memory for
+intermediate operator state; the *Throw* is the logical recycle bin where
+expired tuples go.  This module gives each a concrete, inspectable
+realisation wired into the DSMS engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Protocol
+
+from repro.core.relation import Bag, TimeVaryingRelation
+from repro.core.time import Timestamp
+
+
+class Store:
+    """Persistent result storage: one time-varying relation per query.
+
+    The Store is what a client reads when it asks a DSMS for "the current
+    answer" of a registered relation-producing query.
+    """
+
+    def __init__(self) -> None:
+        self._relations: dict[str, TimeVaryingRelation] = {}
+        self._current: dict[str, Bag] = {}
+        self.writes = 0
+
+    def register(self, name: str) -> None:
+        self._relations[name] = TimeVaryingRelation()
+        self._current[name] = Bag()
+
+    def write(self, name: str, state: Bag, t: Timestamp) -> None:
+        """Persist a query's new current state at instant ``t``."""
+        relation = self._relations[name]
+        if relation.change_points() and relation.change_points()[-1] == t:
+            # Same-instant refinement: keep the latest state for t.
+            relation._times.pop()
+            relation._states.pop()
+        relation.set_at(t, state.copy(), coalesce=False)
+        self._current[name] = state.copy()
+        self.writes += 1
+
+    def current(self, name: str) -> Bag:
+        """The stored answer right now."""
+        return self._current[name].copy()
+
+    def history(self, name: str) -> TimeVaryingRelation:
+        """The full change-log of the stored answer."""
+        return self._relations[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._relations)
+
+
+class StateHolder(Protocol):
+    """Anything whose memory footprint the Scratch can account for."""
+
+    @property
+    def state_size(self) -> int: ...
+
+
+class Scratch:
+    """Working-memory accounting for intermediate operator state.
+
+    Operators (window buffers, join hash tables, aggregate groups) register
+    here; the Scratch reports total and peak occupancy, which the Figure 3
+    benchmark sweeps against window size.
+    """
+
+    def __init__(self) -> None:
+        self._holders: list[tuple[str, StateHolder]] = []
+        self.peak = 0
+
+    def register(self, label: str, holder: StateHolder) -> None:
+        self._holders.append((label, holder))
+
+    def occupancy(self) -> int:
+        """Total tuples currently held in registered operator state."""
+        total = sum(holder.state_size for _, holder in self._holders)
+        if total > self.peak:
+            self.peak = total
+        return total
+
+    def breakdown(self) -> dict[str, int]:
+        """Occupancy per registered holder label."""
+        out: dict[str, int] = {}
+        for label, holder in self._holders:
+            out[label] = out.get(label, 0) + holder.state_size
+        return out
+
+    def __len__(self) -> int:
+        return len(self._holders)
+
+
+class Throw:
+    """The logical recycle bin: every expired/discarded tuple passes here.
+
+    Keeps counts (and optionally the tuples themselves, for inspection)
+    so tests can assert that windows really release state.
+    """
+
+    def __init__(self, keep_tuples: bool = False) -> None:
+        self._keep = keep_tuples
+        self._tuples: list[tuple[Any, Timestamp]] = []
+        self.discarded = 0
+
+    def discard(self, value: Any, t: Timestamp) -> None:
+        self.discarded += 1
+        if self._keep:
+            self._tuples.append((value, t))
+
+    def tuples(self) -> Iterator[tuple[Any, Timestamp]]:
+        if not self._keep:
+            raise ValueError("Throw was created with keep_tuples=False")
+        return iter(self._tuples)
+
+    def __repr__(self) -> str:
+        return f"Throw(discarded={self.discarded})"

@@ -1,0 +1,251 @@
+"""The DSMS engine: Figure 3 made executable.
+
+Wires the four architectural components (Stream in/out, Store, Scratch,
+Throw) around the incremental CQL executor, adds bounded input queues, a
+pluggable scheduler and load shedding — the full anatomy of a
+STREAM/TelegraphCQ-era Data Stream Management System at laptop scale.
+
+Usage::
+
+    dsms = DSMSEngine()
+    dsms.register_stream("Obs", schema)
+    handle = dsms.register_query("hot", "SELECT ISTREAM id FROM Obs [Now] "
+                                         "WHERE temp > 30")
+    dsms.ingest("Obs", {"id": 1, "temp": 35}, t=0)
+    dsms.run_until_idle()
+    handle.store_state()          # the Store's current answer
+    dsms.throw.discarded          # tuples that passed through the Throw
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.core.errors import PlanError
+from repro.core.records import Record, Schema
+from repro.core.relation import Bag, TimeVaryingRelation
+from repro.core.time import Timestamp
+from repro.cql.catalog import Catalog
+from repro.cql.engine import CQLEngine
+from repro.cql.executor import (
+    ContinuousQuery,
+    Emission,
+    PhysicalOp,
+    StreamSourceOp,
+)
+from repro.dsms.components import Scratch, Store, Throw
+from repro.dsms.metrics import QueryMetrics
+from repro.dsms.queues import InputQueue
+from repro.dsms.scheduler import RoundRobinScheduler, Scheduler
+from repro.dsms.shedding import NoShedding, Shedder
+
+
+def _stateful_ops(root: PhysicalOp) -> list[tuple[str, Any]]:
+    """Walk a physical tree collecting operators with state to account."""
+    out: list[tuple[str, Any]] = []
+
+    def visit(op: PhysicalOp) -> None:
+        if hasattr(op, "state_size"):
+            out.append((type(op).__name__, op))
+        for child in op.children:
+            visit(child)
+
+    visit(root)
+    return out
+
+
+class QueryHandle:
+    """One registered standing query inside the DSMS."""
+
+    def __init__(self, name: str, query: ContinuousQuery,
+                 queue: InputQueue, shedder: Shedder,
+                 store: Store, scratch: Scratch, throw: Throw) -> None:
+        self.name = name
+        self.query = query
+        self.queue = queue
+        self.shedder = shedder
+        self._store = store
+        self._scratch = scratch
+        self._throw = throw
+        self.metrics = QueryMetrics()
+        self._emissions: list[Emission] = []
+        self._ingest_seq = 0
+        self._process_seq = 0
+        store.register(name)
+        for label, op in _stateful_ops(query._root):
+            scratch.register(f"{name}/{label}", op)
+        self._sources: list[StreamSourceOp] = [
+            op for _, op in _stateful_ops(query._root)
+            if isinstance(op, StreamSourceOp)]
+        self._last_source_sizes = {id(op): 0 for op in self._sources}
+
+    @property
+    def pending(self) -> int:
+        """Backlog size — what the scheduler looks at."""
+        return len(self.queue)
+
+    def reads_stream(self, name: str) -> bool:
+        return name in self.query._stream_sources
+
+    def offer(self, stream_name: str, record: Mapping[str, Any] | Record,
+              t: Timestamp) -> bool:
+        """Admission control + enqueue.  Returns False when shed/dropped."""
+        self.metrics.ingested += 1
+        if not self.shedder.admit(record, self.queue):
+            self.metrics.shed += 1
+            return False
+        if not self.queue.offer((stream_name, record, self._ingest_seq), t):
+            self.metrics.queue_dropped += 1
+            return False
+        self._ingest_seq += 1
+        return True
+
+    def service_one(self) -> bool:
+        """Dequeue and fully process one tuple.  Returns False when idle."""
+        queued = self.queue.poll()
+        if queued is None:
+            return False
+        stream_name, record, seq = queued.value
+        before = self._evictions()
+        emitted = self.query.push(stream_name, record, queued.timestamp)
+        self._account_throw(before, queued.timestamp)
+        self._emissions.extend(emitted)
+        self.metrics.processed += 1
+        self.metrics.emitted += len(emitted)
+        self.metrics.queue_wait.observe(self._process_seq - seq)
+        self._process_seq += 1
+        self.metrics.scratch.observe(self._scratch.occupancy())
+        self._store.write(self.name, self.query.current(), queued.timestamp)
+        return True
+
+    def advance_to(self, t: Timestamp) -> list[Emission]:
+        """Advance event time (window expirations) with no new data."""
+        before = self._evictions()
+        emitted = self.query.advance_to(t)
+        self._account_throw(before, t)
+        self._emissions.extend(emitted)
+        if self.query._log:
+            self._store.write(self.name, self.query.current(), t)
+        return emitted
+
+    def _evictions(self) -> int:
+        return sum(op.evicted for op in self._sources)
+
+    def _account_throw(self, before: int, t: Timestamp) -> None:
+        # Every tuple evicted from a window buffer passes through the Throw.
+        for _ in range(self._evictions() - before):
+            self._throw.discard(None, t)
+
+    def emissions(self) -> list[Emission]:
+        return list(self._emissions)
+
+    def store_state(self) -> Bag:
+        """The Store's current answer for this query."""
+        return self._store.current(self.name)
+
+    def store_history(self) -> TimeVaryingRelation:
+        return self._store.history(self.name)
+
+
+class DSMSEngine:
+    """The Figure 3 Data Stream Management System."""
+
+    def __init__(self, scheduler: Scheduler | None = None,
+                 queue_capacity: int = 1024,
+                 keep_thrown_tuples: bool = False) -> None:
+        self._cql = CQLEngine()
+        self.scheduler = scheduler or RoundRobinScheduler()
+        self.queue_capacity = queue_capacity
+        self.store = Store()
+        self.scratch = Scratch()
+        self.throw = Throw(keep_tuples=keep_thrown_tuples)
+        self._handles: list[QueryHandle] = []
+        self._by_name: dict[str, QueryHandle] = {}
+
+    @property
+    def catalog(self) -> Catalog:
+        return self._cql.catalog
+
+    # -- registration ---------------------------------------------------------
+
+    def register_stream(self, name: str, schema: Schema) -> None:
+        self._cql.register_stream(name, schema)
+
+    def register_relation(self, name: str, schema: Schema,
+                          rows: Iterable[Mapping[str, Any]] = ()) -> None:
+        self._cql.register_relation(name, schema, rows)
+
+    def register_query(self, name: str, text: str,
+                       shedder: Shedder | None = None,
+                       queue_capacity: int | None = None) -> QueryHandle:
+        """Register a standing query under ``name`` (Figure 1: issued once,
+        active until cancelled)."""
+        if name in self._by_name:
+            raise PlanError(f"query name {name!r} already registered")
+        query = self._cql.register_query(text)
+        query.start()
+        handle = QueryHandle(
+            name, query,
+            InputQueue(queue_capacity or self.queue_capacity),
+            shedder or NoShedding(),
+            self.store, self.scratch, self.throw)
+        self._handles.append(handle)
+        self._by_name[name] = handle
+        self.store.write(name, query.current(), 0)
+        return handle
+
+    def query(self, name: str) -> QueryHandle:
+        return self._by_name[name]
+
+    def cancel_query(self, name: str) -> QueryHandle:
+        """Explicitly terminate a standing query (the other half of the
+        Figure 1 contract: active *until terminated*).  Pending queue
+        contents are discarded; the Store keeps the final answer."""
+        handle = self._by_name.pop(name, None)
+        if handle is None:
+            raise PlanError(f"unknown query {name!r}")
+        self._handles.remove(handle)
+        return handle
+
+    @property
+    def queries(self) -> list[QueryHandle]:
+        return list(self._handles)
+
+    # -- data flow -------------------------------------------------------------
+
+    def ingest(self, stream_name: str, record: Mapping[str, Any] | Record,
+               t: Timestamp) -> int:
+        """Route one arrival to every query reading ``stream_name``.
+
+        Returns the number of queries that admitted the tuple.
+        """
+        self.catalog.stream(stream_name)  # validates the name
+        admitted = 0
+        for handle in self._handles:
+            if handle.reads_stream(stream_name):
+                if handle.offer(stream_name, record, t):
+                    admitted += 1
+        return admitted
+
+    def step(self) -> bool:
+        """Run one scheduling quantum: service one tuple of one query."""
+        index = self.scheduler.next_index(self._handles)
+        if index is None:
+            return False
+        return self._handles[index].service_one()
+
+    def run_until_idle(self, max_steps: int = 1_000_000) -> int:
+        """Drain all queues; returns the number of quanta executed."""
+        steps = 0
+        while steps < max_steps and self.step():
+            steps += 1
+        return steps
+
+    def advance_time(self, t: Timestamp) -> None:
+        """Advance event time for every query (fires window expirations)."""
+        for handle in self._handles:
+            handle.advance_to(t)
+
+    def metrics_table(self) -> dict[str, dict[str, float]]:
+        """Per-query metrics snapshot (used by the Figure 3 bench)."""
+        return {h.name: h.metrics.as_dict() for h in self._handles}

@@ -1,0 +1,54 @@
+"""Lightweight metrics for the DSMS engine.
+
+Counters plus a streaming mean/max — enough to report the throughput,
+queueing and memory numbers the Figure 3 benchmark prints, without pulling
+in a metrics library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Gauge:
+    """A running statistic: count / mean / max of observed values."""
+
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class QueryMetrics:
+    """Per-query accounting maintained by the DSMS engine."""
+
+    ingested: int = 0
+    shed: int = 0
+    queue_dropped: int = 0
+    processed: int = 0
+    emitted: int = 0
+    queue_wait: Gauge = field(default_factory=Gauge)
+    scratch: Gauge = field(default_factory=Gauge)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "ingested": self.ingested,
+            "shed": self.shed,
+            "queue_dropped": self.queue_dropped,
+            "processed": self.processed,
+            "emitted": self.emitted,
+            "mean_queue_wait": self.queue_wait.mean,
+            "mean_scratch": self.scratch.mean,
+            "peak_scratch": self.scratch.max,
+        }

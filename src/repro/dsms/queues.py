@@ -1,0 +1,66 @@
+"""Bounded inter-operator queues (paper Figure 3, the arrows).
+
+DSMS architectures place bounded queues between stream sources and query
+operators; when arrival rate exceeds service rate the queue fills and the
+system must shed load (Section 3.2).  :class:`InputQueue` is that bounded
+buffer, with drop accounting that the load-shedding policies and the
+Figure 3 benchmark read.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, NamedTuple
+
+from repro.core.errors import StateError
+from repro.core.time import Timestamp
+
+
+class QueuedTuple(NamedTuple):
+    """One enqueued arrival: payload + its event timestamp."""
+
+    value: Any
+    timestamp: Timestamp
+
+
+class InputQueue:
+    """A bounded FIFO between a stream and a query's operators."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0:
+            raise StateError(f"queue capacity must be positive, "
+                             f"got {capacity}")
+        self.capacity = capacity
+        self._queue: deque[QueuedTuple] = deque()
+        self.enqueued = 0
+        self.dropped = 0
+
+    def offer(self, value: Any, timestamp: Timestamp) -> bool:
+        """Try to enqueue; returns False (and counts a drop) when full."""
+        if len(self._queue) >= self.capacity:
+            self.dropped += 1
+            return False
+        self._queue.append(QueuedTuple(value, timestamp))
+        self.enqueued += 1
+        return True
+
+    def poll(self) -> QueuedTuple | None:
+        """Dequeue the oldest tuple, or None when empty."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def peek(self) -> QueuedTuple | None:
+        return self._queue[0] if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def occupancy(self) -> float:
+        """Fill fraction in [0, 1]."""
+        return len(self._queue) / self.capacity
+
+    def __repr__(self) -> str:
+        return (f"InputQueue(len={len(self._queue)}/{self.capacity}, "
+                f"dropped={self.dropped})")

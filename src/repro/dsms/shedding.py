@@ -1,0 +1,92 @@
+"""Load shedding policies (paper Section 3.2's DSMS-era challenges).
+
+When arrival rate exceeds service capacity a DSMS must drop tuples.  The
+classic policies are *random* shedding (drop a fraction, unbiased) and
+*semantic* shedding (drop the least useful tuples first, by a user-supplied
+utility).  Both trigger on queue pressure.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.core.errors import StateError
+from repro.dsms.queues import InputQueue
+
+
+class Shedder:
+    """Base policy: decide whether to admit an arrival."""
+
+    def __init__(self) -> None:
+        self.shed = 0
+        self.admitted = 0
+
+    def admit(self, value: Any, queue: InputQueue) -> bool:
+        decision = self._decide(value, queue)
+        if decision:
+            self.admitted += 1
+        else:
+            self.shed += 1
+        return decision
+
+    def _decide(self, value: Any, queue: InputQueue) -> bool:
+        raise NotImplementedError
+
+    @property
+    def shed_fraction(self) -> float:
+        total = self.shed + self.admitted
+        return self.shed / total if total else 0.0
+
+
+class NoShedding(Shedder):
+    """Admit everything (queues still drop when full)."""
+
+    def _decide(self, value: Any, queue: InputQueue) -> bool:
+        return True
+
+
+class RandomShedder(Shedder):
+    """Drop arrivals with probability proportional to queue pressure.
+
+    Below ``threshold`` occupancy everything is admitted; above it, the
+    drop probability ramps linearly to 1.0 at a full queue.  Deterministic
+    under a seeded RNG (all our experiments seed it).
+    """
+
+    def __init__(self, threshold: float = 0.8, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= threshold <= 1.0:
+            raise StateError(f"threshold must be in [0,1], got {threshold}")
+        self.threshold = threshold
+        self._rng = random.Random(seed)
+
+    def _decide(self, value: Any, queue: InputQueue) -> bool:
+        occupancy = queue.occupancy
+        if occupancy <= self.threshold:
+            return True
+        if self.threshold >= 1.0:
+            return True
+        pressure = (occupancy - self.threshold) / (1.0 - self.threshold)
+        return self._rng.random() >= pressure
+
+
+class SemanticShedder(Shedder):
+    """Drop the least useful tuples first.
+
+    ``utility`` maps a tuple to a score; under pressure, tuples scoring
+    below ``min_utility`` are shed.  This is the "semantic drop" of the
+    DSMS literature: correctness degrades gracefully on unimportant data.
+    """
+
+    def __init__(self, utility: Callable[[Any], float],
+                 min_utility: float, threshold: float = 0.8) -> None:
+        super().__init__()
+        self._utility = utility
+        self.min_utility = min_utility
+        self.threshold = threshold
+
+    def _decide(self, value: Any, queue: InputQueue) -> bool:
+        if queue.occupancy <= self.threshold:
+            return True
+        return self._utility(value) >= self.min_utility

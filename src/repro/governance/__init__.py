@@ -1,0 +1,45 @@
+"""governance — the paper's Section 7 open challenges, made executable.
+
+* :mod:`repro.governance.provenance` — why-provenance through streaming
+  pipelines (the "Streaming Data Governance" challenge, provenance half);
+* :mod:`repro.governance.consistency` — in-stream constraint enforcement
+  with repair policies and quarantine (the consistency/cleansing half);
+* :mod:`repro.governance.portability` — porting queries between the
+  library's SQL and CQL dialects with the window-semantics differences
+  made explicit (the "Query Portability" challenge).
+"""
+
+from repro.governance.consistency import (
+    CleansingStats,
+    Constraint,
+    DomainConstraint,
+    MonotonicConstraint,
+    RepairAction,
+    StreamCleaner,
+    UniqueKeyConstraint,
+    Violation,
+)
+from repro.governance.portability import (
+    PortabilityError,
+    PortabilityNote,
+    PortedQuery,
+    port_sql_to_cql,
+)
+from repro.governance.provenance import (
+    Provenant,
+    WhyPipeline,
+    blame,
+    verify_witness,
+)
+
+__all__ = [
+    # provenance
+    "WhyPipeline", "Provenant", "verify_witness", "blame",
+    # consistency
+    "StreamCleaner", "Constraint", "DomainConstraint",
+    "UniqueKeyConstraint", "MonotonicConstraint", "RepairAction",
+    "Violation", "CleansingStats",
+    # portability
+    "port_sql_to_cql", "PortedQuery", "PortabilityNote",
+    "PortabilityError",
+]

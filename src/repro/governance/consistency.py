@@ -1,0 +1,247 @@
+"""In-stream consistency enforcement (paper Section 7, "Streaming Data
+Governance").
+
+The paper calls data cleansing under streaming latency constraints an
+unaddressed challenge and suggests "integrating consistency measures
+directly into continuous query frameworks".  This module is that
+integration point: a :class:`StreamCleaner` sits in front of a continuous
+query and enforces declared constraints per arrival — O(1)-ish per
+element, never blocking the stream — with explicit repair policies and a
+quarantine channel instead of silent drops.
+
+Constraint kinds: domain predicates, windowed key uniqueness, and
+per-key monotonicity (sequence regressions) — the shapes sensor/CDC
+pipelines actually violate.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Mapping
+
+from repro.core.errors import StateError
+from repro.core.time import Timestamp
+
+Record = Mapping[str, Any]
+
+
+class RepairAction(enum.Enum):
+    """What to do with a violating record."""
+
+    DROP = "drop"               # discard (but count + quarantine)
+    REPAIR = "repair"           # apply the constraint's repair function
+    LAST_GOOD = "last_good"     # substitute the key's last valid record
+    PASS_THROUGH = "pass"       # let it through, flagged (audit mode)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected inconsistency."""
+
+    constraint: str
+    record: dict[str, Any]
+    timestamp: Timestamp
+    detail: str
+
+
+class Constraint:
+    """Base: check one record; optionally repair it."""
+
+    def __init__(self, name: str,
+                 action: RepairAction = RepairAction.DROP) -> None:
+        self.name = name
+        self.action = action
+
+    def check(self, record: Record, t: Timestamp) -> str | None:
+        """None when consistent, else a human-readable detail."""
+        raise NotImplementedError
+
+    def repair(self, record: Record) -> dict[str, Any]:
+        raise StateError(f"constraint {self.name!r} has no repair")
+
+    def observe_valid(self, record: Record, t: Timestamp) -> None:
+        """Hook: a record passed all constraints (state update point)."""
+
+
+class DomainConstraint(Constraint):
+    """A per-record predicate, e.g. ``0 <= temp <= 60``.
+
+    With ``action=REPAIR``, ``repair_fn`` fixes the record (clamping,
+    defaulting) instead of dropping it.
+    """
+
+    def __init__(self, name: str,
+                 predicate: Callable[[Record], bool],
+                 action: RepairAction = RepairAction.DROP,
+                 repair_fn: Callable[[Record], dict[str, Any]] | None = None,
+                 ) -> None:
+        super().__init__(name, action)
+        self._predicate = predicate
+        self._repair_fn = repair_fn
+        if action is RepairAction.REPAIR and repair_fn is None:
+            raise StateError(f"{name!r}: REPAIR needs a repair_fn")
+
+    def check(self, record: Record, t: Timestamp) -> str | None:
+        try:
+            ok = self._predicate(record)
+        except Exception as exc:  # malformed record
+            return f"predicate error: {exc}"
+        return None if ok else "domain predicate failed"
+
+    def repair(self, record: Record) -> dict[str, Any]:
+        return self._repair_fn(record)
+
+
+class UniqueKeyConstraint(Constraint):
+    """Key uniqueness within a sliding window (streaming primary key).
+
+    A record whose key was already seen within ``window`` ticks is a
+    duplicate — the at-least-once-delivery artefact cleansing must absorb.
+    """
+
+    def __init__(self, name: str,
+                 key_fn: Callable[[Record], Hashable],
+                 window: Timestamp,
+                 action: RepairAction = RepairAction.DROP) -> None:
+        super().__init__(name, action)
+        if window <= 0:
+            raise StateError("uniqueness window must be positive")
+        self._key_fn = key_fn
+        self._window = window
+        self._recent: dict[Hashable, Timestamp] = {}
+        self._order: deque[tuple[Timestamp, Hashable]] = deque()
+
+    def check(self, record: Record, t: Timestamp) -> str | None:
+        self._expire(t)
+        key = self._key_fn(record)
+        if key in self._recent:
+            return f"duplicate key {key!r} within {self._window} ticks"
+        return None
+
+    def observe_valid(self, record: Record, t: Timestamp) -> None:
+        key = self._key_fn(record)
+        self._recent[key] = t
+        self._order.append((t, key))
+
+    def _expire(self, t: Timestamp) -> None:
+        horizon = t - self._window
+        while self._order and self._order[0][0] <= horizon:
+            stamped, key = self._order.popleft()
+            if self._recent.get(key) == stamped:
+                del self._recent[key]
+
+
+class MonotonicConstraint(Constraint):
+    """A per-key field must never regress (sequence numbers, meter
+    readings).  ``LAST_GOOD`` substitutes the key's last valid record."""
+
+    def __init__(self, name: str,
+                 key_fn: Callable[[Record], Hashable],
+                 value_fn: Callable[[Record], Any],
+                 action: RepairAction = RepairAction.DROP) -> None:
+        super().__init__(name, action)
+        self._key_fn = key_fn
+        self._value_fn = value_fn
+        self._high: dict[Hashable, Any] = {}
+
+    def check(self, record: Record, t: Timestamp) -> str | None:
+        key = self._key_fn(record)
+        value = self._value_fn(record)
+        high = self._high.get(key)
+        if high is not None and value < high:
+            return f"{value!r} regresses below {high!r} for key {key!r}"
+        return None
+
+    def observe_valid(self, record: Record, t: Timestamp) -> None:
+        key = self._key_fn(record)
+        value = self._value_fn(record)
+        if key not in self._high or value > self._high[key]:
+            self._high[key] = value
+
+
+@dataclass
+class CleansingStats:
+    admitted: int = 0
+    repaired: int = 0
+    substituted: int = 0
+    dropped: int = 0
+    flagged: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.admitted + self.repaired + self.substituted
+                + self.dropped + self.flagged)
+
+
+class StreamCleaner:
+    """The consistency gate in front of a continuous query.
+
+    Per arrival: constraints are checked in declaration order; the first
+    violation triggers its constraint's repair action.  Every violation is
+    recorded in the quarantine log regardless of the action, so no
+    inconsistency passes silently (the governance requirement).
+    """
+
+    def __init__(self, constraints: list[Constraint]) -> None:
+        if not constraints:
+            raise StateError("a cleaner needs at least one constraint")
+        self.constraints = list(constraints)
+        self.quarantine: list[Violation] = []
+        self.stats = CleansingStats()
+        self._last_good: dict[Hashable, dict[str, Any]] = {}
+        self._last_good_key: Callable[[Record], Hashable] | None = None
+
+    def with_last_good_key(self, key_fn: Callable[[Record], Hashable],
+                           ) -> "StreamCleaner":
+        """Enable LAST_GOOD substitution, keyed by ``key_fn``."""
+        self._last_good_key = key_fn
+        return self
+
+    def process(self, record: Record,
+                t: Timestamp) -> dict[str, Any] | None:
+        """Cleanse one arrival; returns the record to admit (possibly
+        repaired/substituted) or None when dropped."""
+        current = dict(record)
+        outcome = "admitted"
+        for constraint in self.constraints:
+            detail = constraint.check(current, t)
+            if detail is None:
+                continue
+            self.quarantine.append(
+                Violation(constraint.name, dict(record), t, detail))
+            if constraint.action is RepairAction.DROP:
+                self.stats.dropped += 1
+                return None
+            if constraint.action is RepairAction.REPAIR:
+                current = dict(constraint.repair(current))
+                outcome = "repaired"
+                continue
+            if constraint.action is RepairAction.LAST_GOOD:
+                substitute = self._substitute(current)
+                if substitute is None:
+                    self.stats.dropped += 1
+                    return None
+                current = substitute
+                outcome = "substituted"
+                continue
+            outcome = "flagged"  # PASS_THROUGH
+        for constraint in self.constraints:
+            constraint.observe_valid(current, t)
+        if self._last_good_key is not None:
+            self._last_good[self._last_good_key(current)] = dict(current)
+        setattr(self.stats, outcome,
+                getattr(self.stats, outcome) + 1)
+        return current
+
+    def _substitute(self, record: Record) -> dict[str, Any] | None:
+        if self._last_good_key is None:
+            raise StateError(
+                "LAST_GOOD requires with_last_good_key(...)")
+        return self._last_good.get(self._last_good_key(record))
+
+    @property
+    def violation_rate(self) -> float:
+        total = self.stats.total
+        return len(self.quarantine) / total if total else 0.0

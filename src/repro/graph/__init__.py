@@ -1,0 +1,50 @@
+"""graph — streaming property graphs and continuous graph queries
+(paper Section 5.2).
+
+Property graph model, graph streams with windowed views, regular path
+queries (snapshot, incremental-streaming, simple-path semantics), and
+continuous subgraph pattern matching.
+"""
+
+from repro.graph.automaton import (
+    DFA,
+    NFA,
+    compile_regex,
+    parse_regex,
+    to_dfa,
+    to_nfa,
+)
+from repro.graph.property_graph import Edge, Node, PropertyGraph
+from repro.graph.rpq import (
+    IncrementalRPQ,
+    WindowedRPQ,
+    evaluate_rpq,
+    evaluate_rpq_simple,
+)
+from repro.graph.stream import (
+    GraphEvent,
+    GraphEventKind,
+    GraphStream,
+    WindowedGraphView,
+)
+from repro.graph.seraph import (
+    ContinuousCypher,
+    CypherQuery,
+    PropertyCondition,
+    parse_cypher,
+)
+from repro.graph.subgraph import (
+    ContinuousPatternQuery,
+    Pattern,
+    PatternEdge,
+    find_matches,
+)
+
+__all__ = [
+    "PropertyGraph", "Node", "Edge",
+    "GraphStream", "GraphEvent", "GraphEventKind", "WindowedGraphView",
+    "parse_regex", "to_nfa", "to_dfa", "compile_regex", "NFA", "DFA",
+    "evaluate_rpq", "evaluate_rpq_simple", "IncrementalRPQ", "WindowedRPQ",
+    "Pattern", "PatternEdge", "find_matches", "ContinuousPatternQuery",
+    "ContinuousCypher", "CypherQuery", "PropertyCondition", "parse_cypher",
+]

@@ -1,0 +1,296 @@
+"""Regular expressions over edge labels → finite automata.
+
+Regular path queries (Pacaci et al.; paper Section 5.2) are evaluated by
+running the query automaton in product with the graph.  This module parses
+a small regex dialect over edge labels and compiles it via Thompson NFA and
+subset construction into a DFA.
+
+Dialect::
+
+    expr   := term ("|" term)*
+    term   := factor+                 -- concatenation by juxtaposition
+    factor := atom ("*" | "+" | "?")*
+    atom   := label | "(" expr ")"
+    label  := identifier (edge label; may contain letters, digits, _)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.errors import GraphError, ParseError
+
+EPSILON = None  # the ε transition marker
+
+
+# ---------------------------------------------------------------------------
+# Regex parsing
+# ---------------------------------------------------------------------------
+
+
+class RegexNode:
+    pass
+
+
+@dataclass(frozen=True)
+class Label(RegexNode):
+    name: str
+
+
+@dataclass(frozen=True)
+class Concat(RegexNode):
+    parts: tuple[RegexNode, ...]
+
+
+@dataclass(frozen=True)
+class Alternate(RegexNode):
+    options: tuple[RegexNode, ...]
+
+
+@dataclass(frozen=True)
+class Star(RegexNode):
+    inner: RegexNode
+
+
+@dataclass(frozen=True)
+class Plus(RegexNode):
+    inner: RegexNode
+
+
+@dataclass(frozen=True)
+class Optional_(RegexNode):
+    inner: RegexNode
+
+
+def parse_regex(text: str) -> RegexNode:
+    """Parse the label-regex dialect into a syntax tree."""
+    tokens = _tokenize_regex(text)
+    node, position = _parse_alternation(tokens, 0)
+    if position != len(tokens):
+        raise ParseError(
+            f"unexpected token {tokens[position]!r} in regex", position)
+    return node
+
+
+def _tokenize_regex(text: str) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "()|*+?":
+            tokens.append(ch)
+            i += 1
+        elif ch.isalnum() or ch == "_":
+            start = i
+            while i < len(text) and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            tokens.append(text[start:i])
+        else:
+            raise ParseError(f"bad character {ch!r} in regex", i)
+    if not tokens:
+        raise ParseError("empty regular expression")
+    return tokens
+
+
+def _parse_alternation(tokens: list[str], pos: int) -> tuple[RegexNode, int]:
+    options = []
+    node, pos = _parse_concat(tokens, pos)
+    options.append(node)
+    while pos < len(tokens) and tokens[pos] == "|":
+        node, pos = _parse_concat(tokens, pos + 1)
+        options.append(node)
+    if len(options) == 1:
+        return options[0], pos
+    return Alternate(tuple(options)), pos
+
+
+def _parse_concat(tokens: list[str], pos: int) -> tuple[RegexNode, int]:
+    parts = []
+    while pos < len(tokens) and tokens[pos] not in (")", "|"):
+        node, pos = _parse_factor(tokens, pos)
+        parts.append(node)
+    if not parts:
+        raise ParseError("empty alternative in regex", pos)
+    if len(parts) == 1:
+        return parts[0], pos
+    return Concat(tuple(parts)), pos
+
+
+def _parse_factor(tokens: list[str], pos: int) -> tuple[RegexNode, int]:
+    node, pos = _parse_atom(tokens, pos)
+    while pos < len(tokens) and tokens[pos] in ("*", "+", "?"):
+        if tokens[pos] == "*":
+            node = Star(node)
+        elif tokens[pos] == "+":
+            node = Plus(node)
+        else:
+            node = Optional_(node)
+        pos += 1
+    return node, pos
+
+
+def _parse_atom(tokens: list[str], pos: int) -> tuple[RegexNode, int]:
+    if pos >= len(tokens):
+        raise ParseError("unexpected end of regex", pos)
+    token = tokens[pos]
+    if token == "(":
+        node, pos = _parse_alternation(tokens, pos + 1)
+        if pos >= len(tokens) or tokens[pos] != ")":
+            raise ParseError("unbalanced parenthesis in regex", pos)
+        return node, pos + 1
+    if token in (")", "|", "*", "+", "?"):
+        raise ParseError(f"unexpected {token!r} in regex", pos)
+    return Label(token), pos + 1
+
+
+# ---------------------------------------------------------------------------
+# Thompson construction (NFA) and subset construction (DFA)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class NFA:
+    start: int
+    accept: int
+    transitions: dict[int, list[tuple[str | None, int]]] = \
+        field(default_factory=dict)
+
+    def add(self, src: int, symbol: str | None, dst: int) -> None:
+        self.transitions.setdefault(src, []).append((symbol, dst))
+
+
+def to_nfa(node: RegexNode) -> NFA:
+    """Thompson construction."""
+    counter = itertools.count()
+
+    def fresh() -> int:
+        return next(counter)
+
+    def build(n: RegexNode) -> NFA:
+        if isinstance(n, Label):
+            nfa = NFA(fresh(), fresh())
+            nfa.add(nfa.start, n.name, nfa.accept)
+            return nfa
+        if isinstance(n, Concat):
+            parts = [build(p) for p in n.parts]
+            merged = NFA(parts[0].start, parts[-1].accept)
+            for part in parts:
+                for src, edges in part.transitions.items():
+                    for symbol, dst in edges:
+                        merged.add(src, symbol, dst)
+            for a, b in zip(parts, parts[1:]):
+                merged.add(a.accept, EPSILON, b.start)
+            return merged
+        if isinstance(n, Alternate):
+            parts = [build(p) for p in n.options]
+            merged = NFA(fresh(), fresh())
+            for part in parts:
+                for src, edges in part.transitions.items():
+                    for symbol, dst in edges:
+                        merged.add(src, symbol, dst)
+                merged.add(merged.start, EPSILON, part.start)
+                merged.add(part.accept, EPSILON, merged.accept)
+            return merged
+        if isinstance(n, (Star, Plus, Optional_)):
+            inner = build(n.inner)
+            merged = NFA(fresh(), fresh())
+            for src, edges in inner.transitions.items():
+                for symbol, dst in edges:
+                    merged.add(src, symbol, dst)
+            merged.add(merged.start, EPSILON, inner.start)
+            merged.add(inner.accept, EPSILON, merged.accept)
+            if isinstance(n, (Star, Optional_)):
+                merged.add(merged.start, EPSILON, merged.accept)
+            if isinstance(n, (Star, Plus)):
+                merged.add(inner.accept, EPSILON, inner.start)
+            return merged
+        raise GraphError(f"unknown regex node {n!r}")
+
+    return build(node)
+
+
+class DFA:
+    """A deterministic automaton over edge labels.
+
+    States are dense ints; ``step(state, label)`` returns the next state or
+    None (dead).  State 0 is the start state.
+    """
+
+    def __init__(self, transitions: dict[int, dict[str, int]],
+                 accepting: set[int], alphabet: set[str]) -> None:
+        self.transitions = transitions
+        self.accepting = accepting
+        self.alphabet = alphabet
+
+    @property
+    def start(self) -> int:
+        return 0
+
+    @property
+    def state_count(self) -> int:
+        return len(self.transitions)
+
+    def step(self, state: int, label: str) -> int | None:
+        return self.transitions.get(state, {}).get(label)
+
+    def is_accepting(self, state: int) -> bool:
+        return state in self.accepting
+
+    def accepts(self, labels: list[str]) -> bool:
+        """Run the automaton over a label sequence."""
+        state: int | None = self.start
+        for label in labels:
+            state = self.step(state, label)
+            if state is None:
+                return False
+        return state in self.accepting
+
+
+def to_dfa(nfa: NFA) -> DFA:
+    """Subset construction."""
+
+    def closure(states: frozenset[int]) -> frozenset[int]:
+        stack = list(states)
+        seen = set(states)
+        while stack:
+            state = stack.pop()
+            for symbol, dst in nfa.transitions.get(state, ()):
+                if symbol is EPSILON and dst not in seen:
+                    seen.add(dst)
+                    stack.append(dst)
+        return frozenset(seen)
+
+    alphabet = {symbol for edges in nfa.transitions.values()
+                for symbol, _ in edges if symbol is not EPSILON}
+    start = closure(frozenset([nfa.start]))
+    index = {start: 0}
+    order = [start]
+    transitions: dict[int, dict[str, int]] = {0: {}}
+    position = 0
+    while position < len(order):
+        current = order[position]
+        current_id = index[current]
+        for symbol in alphabet:
+            targets = frozenset(
+                dst for state in current
+                for sym, dst in nfa.transitions.get(state, ())
+                if sym == symbol)
+            if not targets:
+                continue
+            target = closure(targets)
+            if target not in index:
+                index[target] = len(order)
+                order.append(target)
+                transitions[index[target]] = {}
+            transitions[current_id][symbol] = index[target]
+        position += 1
+    accepting = {i for states, i in index.items() if nfa.accept in states}
+    return DFA(transitions, accepting, alphabet)
+
+
+def compile_regex(text: str) -> DFA:
+    """Parse + Thompson + subset construction in one call."""
+    return to_dfa(to_nfa(parse_regex(text)))

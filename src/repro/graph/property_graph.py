@@ -1,0 +1,167 @@
+"""Property graphs (paper Section 5.2).
+
+The property graph data model the survey highlights: nodes and edges carry
+*labels* and *property maps*.  The implementation favours the access paths
+streaming graph queries need — adjacency by (vertex, edge label) in both
+directions — and supports deletion, which windowed graph streams require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterator
+
+from repro.core.errors import GraphError
+
+NodeId = Hashable
+EdgeId = Hashable
+
+
+@dataclass
+class Node:
+    """A vertex: id, labels, properties."""
+
+    id: NodeId
+    labels: frozenset[str] = frozenset()
+    properties: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Edge:
+    """A directed, labelled edge with properties."""
+
+    id: EdgeId
+    src: NodeId
+    dst: NodeId
+    label: str
+    properties: dict[str, Any] = field(default_factory=dict)
+
+    def endpoints(self) -> tuple[NodeId, NodeId]:
+        return (self.src, self.dst)
+
+
+class PropertyGraph:
+    """A mutable directed property graph with label-indexed adjacency."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[NodeId, Node] = {}
+        self._edges: dict[EdgeId, Edge] = {}
+        # (node, label) -> {edge ids}; label None bucket holds all.
+        self._out: dict[NodeId, dict[str, set[EdgeId]]] = {}
+        self._in: dict[NodeId, dict[str, set[EdgeId]]] = {}
+
+    # -- nodes -------------------------------------------------------------------
+
+    def add_node(self, node_id: NodeId, labels: Iterator[str] | None = None,
+                 **properties: Any) -> Node:
+        """Add (or return the existing) node."""
+        node = self._nodes.get(node_id)
+        if node is None:
+            node = Node(node_id, frozenset(labels or ()), dict(properties))
+            self._nodes[node_id] = node
+            self._out[node_id] = {}
+            self._in[node_id] = {}
+        else:
+            if labels:
+                node.labels = node.labels | frozenset(labels)
+            node.properties.update(properties)
+        return node
+
+    def node(self, node_id: NodeId) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphError(f"unknown node {node_id!r}") from None
+
+    def has_node(self, node_id: NodeId) -> bool:
+        return node_id in self._nodes
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def remove_node(self, node_id: NodeId) -> None:
+        """Remove a node and all incident edges."""
+        self.node(node_id)
+        incident = [e for buckets in (self._out[node_id], self._in[node_id])
+                    for ids in buckets.values() for e in ids]
+        for edge_id in set(incident):
+            self.remove_edge(edge_id)
+        del self._nodes[node_id]
+        del self._out[node_id]
+        del self._in[node_id]
+
+    # -- edges -------------------------------------------------------------------
+
+    def add_edge(self, edge_id: EdgeId, src: NodeId, dst: NodeId,
+                 label: str, **properties: Any) -> Edge:
+        if edge_id in self._edges:
+            raise GraphError(f"edge {edge_id!r} already exists")
+        self.add_node(src)
+        self.add_node(dst)
+        edge = Edge(edge_id, src, dst, label, dict(properties))
+        self._edges[edge_id] = edge
+        self._out[src].setdefault(label, set()).add(edge_id)
+        self._in[dst].setdefault(label, set()).add(edge_id)
+        return edge
+
+    def edge(self, edge_id: EdgeId) -> Edge:
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise GraphError(f"unknown edge {edge_id!r}") from None
+
+    def has_edge(self, edge_id: EdgeId) -> bool:
+        return edge_id in self._edges
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges.values())
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def remove_edge(self, edge_id: EdgeId) -> Edge:
+        edge = self.edge(edge_id)
+        self._out[edge.src][edge.label].discard(edge_id)
+        if not self._out[edge.src][edge.label]:
+            del self._out[edge.src][edge.label]
+        self._in[edge.dst][edge.label].discard(edge_id)
+        if not self._in[edge.dst][edge.label]:
+            del self._in[edge.dst][edge.label]
+        del self._edges[edge_id]
+        return edge
+
+    # -- traversal -----------------------------------------------------------------
+
+    def out_edges(self, node_id: NodeId,
+                  label: str | None = None) -> list[Edge]:
+        buckets = self._out.get(node_id, {})
+        if label is not None:
+            return [self._edges[e] for e in buckets.get(label, ())]
+        return [self._edges[e] for ids in buckets.values() for e in ids]
+
+    def in_edges(self, node_id: NodeId,
+                 label: str | None = None) -> list[Edge]:
+        buckets = self._in.get(node_id, {})
+        if label is not None:
+            return [self._edges[e] for e in buckets.get(label, ())]
+        return [self._edges[e] for ids in buckets.values() for e in ids]
+
+    def successors(self, node_id: NodeId,
+                   label: str | None = None) -> list[NodeId]:
+        return [e.dst for e in self.out_edges(node_id, label)]
+
+    def predecessors(self, node_id: NodeId,
+                     label: str | None = None) -> list[NodeId]:
+        return [e.src for e in self.in_edges(node_id, label)]
+
+    def labels(self) -> set[str]:
+        """All edge labels present."""
+        return {e.label for e in self._edges.values()}
+
+    def nodes_with_label(self, label: str) -> list[Node]:
+        return [n for n in self._nodes.values() if label in n.labels]

@@ -1,0 +1,208 @@
+"""Continuous Cypher queries over property graph streams (Section 5.2).
+
+Rost et al.'s Seraph extends openCypher with continuous semantics: a
+standing ``MATCH ... WHERE ... RETURN`` whose results are emitted as the
+arriving edges complete them.  This module implements that shape for a
+compact openCypher subset::
+
+    MATCH (a)-[:follows]->(b), (b)-[:follows]->(c)
+    WHERE a.city = 'lyon' AND c.age > 30
+    RETURN a, c
+
+:class:`ContinuousCypher` registers the query once; :meth:`insert` feeds
+edges and returns only the matches the new edge completed (Seraph's
+*new-results* emission), with WHERE predicates evaluated over node
+properties at match time.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import ParseError
+from repro.graph.property_graph import NodeId
+from repro.graph.subgraph import ContinuousPatternQuery, Pattern, PatternEdge
+
+_EDGE_RE = re.compile(
+    r"\(\s*(?P<src>\w+)\s*\)\s*-\s*\[\s*:\s*(?P<label>\w+)\s*\]\s*->"
+    r"\s*\(\s*(?P<dst>\w+)\s*\)")
+_CONDITION_RE = re.compile(
+    r"(?P<var>\w+)\.(?P<prop>\w+)\s*(?P<op>=|<>|<=|>=|<|>)\s*"
+    r"(?P<value>'[^']*'|-?\d+(?:\.\d+)?)")
+
+_OPERATORS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class PropertyCondition:
+    """One WHERE conjunct: ``var.prop op literal``."""
+
+    variable: str
+    prop: str
+    op: str
+    value: Any
+
+    def holds(self, properties: dict[str, Any]) -> bool:
+        actual = properties.get(self.prop)
+        if actual is None:
+            return False
+        try:
+            return _OPERATORS[self.op](actual, self.value)
+        except TypeError:
+            return False
+
+
+@dataclass(frozen=True)
+class CypherQuery:
+    """A parsed continuous Cypher query."""
+
+    pattern: Pattern
+    conditions: tuple[PropertyCondition, ...]
+    returns: tuple[str, ...]
+
+
+def parse_cypher(text: str) -> CypherQuery:
+    """Parse the MATCH/WHERE/RETURN subset.
+
+    Raises:
+        ParseError: on missing clauses, unknown variables, or syntax the
+            subset does not cover.
+    """
+    source = text.strip()
+    match_match = re.search(r"\bMATCH\b(.*?)(?=\bWHERE\b|\bRETURN\b)",
+                            source, re.IGNORECASE | re.DOTALL)
+    if match_match is None:
+        raise ParseError("continuous Cypher needs MATCH ... RETURN")
+    where_match = re.search(r"\bWHERE\b(.*?)(?=\bRETURN\b)", source,
+                            re.IGNORECASE | re.DOTALL)
+    return_match = re.search(r"\bRETURN\b(.*)$", source,
+                             re.IGNORECASE | re.DOTALL)
+    if return_match is None:
+        raise ParseError("continuous Cypher needs a RETURN clause")
+
+    edges = []
+    consumed = 0
+    for edge in _EDGE_RE.finditer(match_match.group(1)):
+        edges.append(PatternEdge(edge.group("src"), edge.group("dst"),
+                                 edge.group("label")))
+        consumed += 1
+    if not edges:
+        raise ParseError("MATCH clause contains no relationship patterns")
+    pattern = Pattern(edges)
+
+    conditions: list[PropertyCondition] = []
+    if where_match is not None:
+        where_text = where_match.group(1)
+        for chunk in re.split(r"\bAND\b", where_text,
+                              flags=re.IGNORECASE):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            condition = _CONDITION_RE.fullmatch(chunk)
+            if condition is None:
+                raise ParseError(
+                    f"unsupported WHERE conjunct {chunk!r} (subset "
+                    f"supports var.prop OP literal)")
+            raw = condition.group("value")
+            value: Any = raw[1:-1] if raw.startswith("'") else (
+                float(raw) if "." in raw else int(raw))
+            variable = condition.group("var")
+            if variable not in pattern.variables:
+                raise ParseError(
+                    f"WHERE references unbound variable {variable!r}")
+            conditions.append(PropertyCondition(
+                variable, condition.group("prop"),
+                condition.group("op"), value))
+
+    returns = tuple(v.strip() for v in
+                    return_match.group(1).split(",") if v.strip())
+    for variable in returns:
+        if variable not in pattern.variables:
+            raise ParseError(
+                f"RETURN references unbound variable {variable!r}")
+    if not returns:
+        raise ParseError("RETURN clause is empty")
+    return CypherQuery(pattern, tuple(conditions), returns)
+
+
+class ContinuousCypher:
+    """A standing continuous Cypher query over a property graph stream.
+
+    Node properties arrive via :meth:`set_node` (they may arrive before or
+    after the edges that bind the node); edges via :meth:`insert`, which
+    returns the *new* projected results the edge completed.  Matches whose
+    WHERE became satisfiable only after a later property update are
+    re-checked via :meth:`refresh_pending`.
+    """
+
+    def __init__(self, query: CypherQuery | str) -> None:
+        self.query = parse_cypher(query) if isinstance(query, str) \
+            else query
+        self._matcher = ContinuousPatternQuery(self.query.pattern)
+        self._properties: dict[NodeId, dict[str, Any]] = {}
+        #: Matches that structurally exist but fail WHERE (may revive).
+        self._pending: list[dict[str, NodeId]] = []
+        self._emitted: set[tuple] = set()
+
+    def set_node(self, node_id: NodeId, **properties: Any) -> list[dict]:
+        """Set/update node properties; returns matches this unblocked."""
+        self._properties.setdefault(node_id, {}).update(properties)
+        return self.refresh_pending()
+
+    def insert(self, src: NodeId, dst: NodeId,
+               label: str) -> list[dict[str, Any]]:
+        """Feed one edge; returns newly completed, WHERE-satisfying
+        results projected onto the RETURN variables."""
+        out: list[dict[str, Any]] = []
+        for binding in self._matcher.insert(src, dst, label):
+            if self._satisfies(binding):
+                out.append(self._project_and_mark(binding))
+            else:
+                self._pending.append(binding)
+        return [r for r in out if r is not None]
+
+    def refresh_pending(self) -> list[dict[str, Any]]:
+        """Re-check WHERE on structurally complete but blocked matches."""
+        out: list[dict[str, Any]] = []
+        still_pending = []
+        for binding in self._pending:
+            if self._satisfies(binding):
+                projected = self._project_and_mark(binding)
+                if projected is not None:
+                    out.append(projected)
+            else:
+                still_pending.append(binding)
+        self._pending = still_pending
+        return out
+
+    def _satisfies(self, binding: dict[str, NodeId]) -> bool:
+        for condition in self.query.conditions:
+            node = binding[condition.variable]
+            if not condition.holds(self._properties.get(node, {})):
+                return False
+        return True
+
+    def _project_and_mark(self, binding: dict[str, NodeId],
+                          ) -> dict[str, Any] | None:
+        key = tuple(binding[v] for v in self.query.pattern.variables)
+        if key in self._emitted:
+            return None
+        self._emitted.add(key)
+        return {v: binding[v] for v in self.query.returns}
+
+    @property
+    def results_emitted(self) -> int:
+        return len(self._emitted)
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)

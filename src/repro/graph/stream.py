@@ -1,0 +1,135 @@
+"""Graph streams: timestamped edge events over a property graph.
+
+The survey distinguishes *streaming graphs* (the graph is revealed edge by
+edge) from *graph streams* (explicit insert/delete events).  Both are
+covered: :class:`GraphStream` is an ordered event log, and
+:class:`WindowedGraphView` maintains the property graph induced by a
+sliding window over it (insertions enter, expired edges leave).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Hashable, Iterator
+
+from repro.core.errors import GraphError, TimeError
+from repro.core.time import Timestamp
+from repro.graph.property_graph import NodeId, PropertyGraph
+
+
+class GraphEventKind(enum.Enum):
+    INSERT = "insert"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class GraphEvent:
+    """One timestamped edge event."""
+
+    kind: GraphEventKind
+    edge_id: Hashable
+    src: NodeId
+    dst: NodeId
+    label: str
+    timestamp: Timestamp
+
+
+class GraphStream:
+    """An append-only, timestamp-ordered log of edge events."""
+
+    def __init__(self) -> None:
+        self._events: list[GraphEvent] = []
+
+    def insert(self, edge_id: Hashable, src: NodeId, dst: NodeId,
+               label: str, timestamp: Timestamp) -> GraphEvent:
+        return self._append(GraphEvent(
+            GraphEventKind.INSERT, edge_id, src, dst, label, timestamp))
+
+    def delete(self, edge_id: Hashable, src: NodeId, dst: NodeId,
+               label: str, timestamp: Timestamp) -> GraphEvent:
+        return self._append(GraphEvent(
+            GraphEventKind.DELETE, edge_id, src, dst, label, timestamp))
+
+    def _append(self, event: GraphEvent) -> GraphEvent:
+        if self._events and event.timestamp < self._events[-1].timestamp:
+            raise TimeError("graph stream events must be time-ordered")
+        self._events.append(event)
+        return event
+
+    def __iter__(self) -> Iterator[GraphEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def up_to(self, t: Timestamp) -> list[GraphEvent]:
+        return [e for e in self._events if e.timestamp <= t]
+
+    def snapshot_at(self, t: Timestamp) -> PropertyGraph:
+        """The graph induced by applying all events up to ``t``."""
+        graph = PropertyGraph()
+        for event in self.up_to(t):
+            if event.kind is GraphEventKind.INSERT:
+                graph.add_edge(event.edge_id, event.src, event.dst,
+                               event.label)
+            else:
+                if graph.has_edge(event.edge_id):
+                    graph.remove_edge(event.edge_id)
+                else:
+                    raise GraphError(
+                        f"delete of unknown edge {event.edge_id!r}")
+        return graph
+
+
+class WindowedGraphView:
+    """The property graph induced by a sliding window over insertions.
+
+    Feed events with :meth:`observe`; the view keeps edges whose timestamp
+    is within ``window`` of the latest observed time.  Expired edge ids are
+    returned so downstream query engines can react.
+    """
+
+    def __init__(self, window: Timestamp) -> None:
+        if window <= 0:
+            raise GraphError(f"window must be positive, got {window}")
+        self.window = window
+        self.graph = PropertyGraph()
+        self._live: list[tuple[Timestamp, Hashable]] = []
+        self._clock: Timestamp = -1
+
+    def observe(self, edge_id: Hashable, src: NodeId, dst: NodeId,
+                label: str, timestamp: Timestamp) -> list[Hashable]:
+        """Insert an edge; returns the edge ids expired by time advance."""
+        if timestamp < self._clock:
+            raise TimeError("windowed view requires time-ordered input")
+        self._clock = timestamp
+        expired = self._expire()
+        self.graph.add_edge(edge_id, src, dst, label)
+        self._live.append((timestamp, edge_id))
+        return expired
+
+    def advance(self, timestamp: Timestamp) -> list[Hashable]:
+        """Advance time without a new edge; returns expired edge ids."""
+        if timestamp < self._clock:
+            raise TimeError("windowed view requires time-ordered input")
+        self._clock = timestamp
+        return self._expire()
+
+    def _expire(self) -> list[Hashable]:
+        horizon = self._clock - self.window
+        expired: list[Hashable] = []
+        keep_from = 0
+        for timestamp, edge_id in self._live:
+            if timestamp <= horizon:
+                self.graph.remove_edge(edge_id)
+                expired.append(edge_id)
+                keep_from += 1
+            else:
+                break
+        self._live = self._live[keep_from:]
+        return expired
+
+    @property
+    def live_edge_count(self) -> int:
+        return len(self._live)

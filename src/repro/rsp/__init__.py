@@ -1,0 +1,36 @@
+"""rsp — RDF stream processing with RSP-QL semantics (Section 5.2).
+
+A minimal RDF model, RDF streams, RSP-QL time-based windows with report
+policies, basic graph pattern matching, and the RSTREAM/ISTREAM/DSTREAM
+result operators, assembled by :class:`~repro.rsp.rspql.RSPEngine`.
+"""
+
+from repro.rsp.rdf import (
+    BlankNode,
+    IRI,
+    Literal,
+    RDFGraph,
+    Triple,
+    TriplePattern,
+    Variable,
+    iri,
+    lit,
+    var,
+)
+from repro.rsp.rspql import (
+    BasicGraphPattern,
+    ContinuousRSPQuery,
+    RDFStream,
+    ReportPolicy,
+    RSPEngine,
+    RSPResult,
+    StreamWindow,
+    TimestampedTriple,
+)
+
+__all__ = [
+    "IRI", "Literal", "BlankNode", "Variable", "Triple", "TriplePattern",
+    "RDFGraph", "iri", "lit", "var",
+    "RDFStream", "TimestampedTriple", "StreamWindow", "ReportPolicy",
+    "BasicGraphPattern", "ContinuousRSPQuery", "RSPEngine", "RSPResult",
+]

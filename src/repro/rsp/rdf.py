@@ -1,0 +1,179 @@
+"""A minimal RDF data model (paper Section 5.2's Semantic Web strand).
+
+Terms (IRIs, literals, blank nodes), triples, and an indexed triple store
+supporting the pattern lookups basic-graph-pattern matching needs.  Only
+what RSP-QL requires — this is the substrate, not a full RDF library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator
+
+from repro.core.errors import RSPError
+
+
+@dataclass(frozen=True)
+class IRI:
+    """An IRI reference, e.g. ``IRI("http://ex.org/sensor1")``."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return f"<{self.value}>"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal value with an optional datatype tag."""
+
+    value: Any
+    datatype: str | None = None
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class BlankNode:
+    """An anonymous node."""
+
+    label: str
+
+    def __str__(self) -> str:
+        return f"_:{self.label}"
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A query variable, e.g. ``Variable("temp")`` rendered ``?temp``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+#: Any concrete (non-variable) RDF term.
+Term = IRI | Literal | BlankNode
+#: A pattern position: a term or a variable.
+PatternTerm = Term | Variable
+
+
+@dataclass(frozen=True)
+class Triple:
+    """An RDF triple (subject, predicate, object)."""
+
+    subject: Term
+    predicate: Term
+    object: Term
+
+    def __post_init__(self) -> None:
+        for position, term in (("subject", self.subject),
+                               ("predicate", self.predicate),
+                               ("object", self.object)):
+            if isinstance(term, Variable):
+                raise RSPError(
+                    f"variables are not allowed in data triples "
+                    f"({position} of {self})")
+
+    def __str__(self) -> str:
+        return f"{self.subject} {self.predicate} {self.object} ."
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """A triple pattern: any position may be a variable."""
+
+    subject: PatternTerm
+    predicate: PatternTerm
+    object: PatternTerm
+
+    def variables(self) -> list[Variable]:
+        return [t for t in (self.subject, self.predicate, self.object)
+                if isinstance(t, Variable)]
+
+    def __str__(self) -> str:
+        return f"{self.subject} {self.predicate} {self.object} ."
+
+
+def iri(value: str) -> IRI:
+    """Shorthand constructor."""
+    return IRI(value)
+
+
+def lit(value: Any, datatype: str | None = None) -> Literal:
+    """Shorthand constructor."""
+    return Literal(value, datatype)
+
+
+def var(name: str) -> Variable:
+    """Shorthand constructor."""
+    return Variable(name)
+
+
+class RDFGraph:
+    """A set of triples with S/P/O indexes for pattern lookup."""
+
+    def __init__(self, triples: Iterable[Triple] = ()) -> None:
+        self._triples: set[Triple] = set()
+        self._by_subject: dict[Term, set[Triple]] = {}
+        self._by_predicate: dict[Term, set[Triple]] = {}
+        self._by_object: dict[Term, set[Triple]] = {}
+        for triple in triples:
+            self.add(triple)
+
+    def add(self, triple: Triple) -> bool:
+        """Add a triple; returns False if it was already present."""
+        if triple in self._triples:
+            return False
+        self._triples.add(triple)
+        self._by_subject.setdefault(triple.subject, set()).add(triple)
+        self._by_predicate.setdefault(triple.predicate, set()).add(triple)
+        self._by_object.setdefault(triple.object, set()).add(triple)
+        return True
+
+    def discard(self, triple: Triple) -> bool:
+        if triple not in self._triples:
+            return False
+        self._triples.discard(triple)
+        for index, key in ((self._by_subject, triple.subject),
+                           (self._by_predicate, triple.predicate),
+                           (self._by_object, triple.object)):
+            index[key].discard(triple)
+            if not index[key]:
+                del index[key]
+        return True
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self._triples
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RDFGraph):
+            return NotImplemented
+        return self._triples == other._triples
+
+    def union(self, other: "RDFGraph") -> "RDFGraph":
+        out = RDFGraph(self._triples)
+        for triple in other:
+            out.add(triple)
+        return out
+
+    def candidates(self, pattern: TriplePattern) -> Iterable[Triple]:
+        """Triples possibly matching a pattern, via the tightest index."""
+        pools = []
+        if not isinstance(pattern.subject, Variable):
+            pools.append(self._by_subject.get(pattern.subject, set()))
+        if not isinstance(pattern.predicate, Variable):
+            pools.append(self._by_predicate.get(pattern.predicate, set()))
+        if not isinstance(pattern.object, Variable):
+            pools.append(self._by_object.get(pattern.object, set()))
+        if not pools:
+            return set(self._triples)
+        return min(pools, key=len)

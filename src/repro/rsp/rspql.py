@@ -1,0 +1,324 @@
+"""RSP-QL: continuous SPARQL over RDF streams (paper Section 5.2).
+
+Dell'Aglio et al.'s RSP-QL unifies the RDF stream processing landscape
+with three ingredients, all implemented here:
+
+* **time-based windows over RDF streams** (the S2R operators inherited
+  from CQL): :class:`StreamWindow` with width, slide and a t0 anchor;
+* **report policies** deciding *when* the window operator reports —
+  window-close, content-change, non-empty-content, periodic
+  (:class:`ReportPolicy`);
+* **streaming result operators** (the R2S side): RSTREAM / ISTREAM /
+  DSTREAM over the solution-mapping multisets produced by basic graph
+  pattern matching.
+
+:class:`RSPEngine` ties them together as registered continuous queries
+over named RDF streams.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from repro.core.errors import RSPError
+from repro.core.operators import R2SKind
+from repro.core.relation import Bag
+from repro.core.time import Timestamp
+from repro.rsp.rdf import (
+    RDFGraph,
+    Term,
+    Triple,
+    TriplePattern,
+    Variable,
+)
+
+#: A SPARQL solution mapping: variable name → term.
+Solution = tuple[tuple[str, Term], ...]
+
+
+def solution_to_dict(solution: Solution) -> dict[str, Term]:
+    return dict(solution)
+
+
+# ---------------------------------------------------------------------------
+# BGP matching
+# ---------------------------------------------------------------------------
+
+
+class BasicGraphPattern:
+    """A conjunction of triple patterns, matched by index-backed joins."""
+
+    def __init__(self, patterns: Iterable[TriplePattern]) -> None:
+        self.patterns = list(patterns)
+        if not self.patterns:
+            raise RSPError("a basic graph pattern needs at least one "
+                           "triple pattern")
+        names: list[str] = []
+        for pattern in self.patterns:
+            for variable in pattern.variables():
+                if variable.name not in names:
+                    names.append(variable.name)
+        self.variable_names = names
+
+    def match(self, graph: RDFGraph) -> list[dict[str, Term]]:
+        """All solution mappings of this BGP against ``graph``."""
+        solutions: list[dict[str, Term]] = [{}]
+        for pattern in self.patterns:
+            next_solutions: list[dict[str, Term]] = []
+            for binding in solutions:
+                bound = _substitute(pattern, binding)
+                for triple in graph.candidates(bound):
+                    extended = _unify(bound, triple, binding)
+                    if extended is not None:
+                        next_solutions.append(extended)
+            solutions = next_solutions
+            if not solutions:
+                break
+        return solutions
+
+
+def _substitute(pattern: TriplePattern,
+                binding: Mapping[str, Term]) -> TriplePattern:
+    def resolve(term):
+        if isinstance(term, Variable) and term.name in binding:
+            return binding[term.name]
+        return term
+
+    return TriplePattern(resolve(pattern.subject),
+                         resolve(pattern.predicate),
+                         resolve(pattern.object))
+
+
+def _unify(pattern: TriplePattern, triple: Triple,
+           binding: Mapping[str, Term]) -> dict[str, Term] | None:
+    extended = dict(binding)
+    for pattern_term, data_term in (
+            (pattern.subject, triple.subject),
+            (pattern.predicate, triple.predicate),
+            (pattern.object, triple.object)):
+        if isinstance(pattern_term, Variable):
+            existing = extended.get(pattern_term.name)
+            if existing is None:
+                extended[pattern_term.name] = data_term
+            elif existing != data_term:
+                return None
+        elif pattern_term != data_term:
+            return None
+    return extended
+
+
+# ---------------------------------------------------------------------------
+# RDF streams and windows
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TimestampedTriple:
+    triple: Triple
+    timestamp: Timestamp
+
+
+class RDFStream:
+    """An ordered RDF stream: timestamped triples."""
+
+    def __init__(self) -> None:
+        self._items: list[TimestampedTriple] = []
+
+    def push(self, triple: Triple, timestamp: Timestamp) -> None:
+        if self._items and timestamp < self._items[-1].timestamp:
+            raise RSPError("RDF stream requires non-decreasing timestamps")
+        self._items.append(TimestampedTriple(triple, timestamp))
+
+    def __iter__(self) -> Iterator[TimestampedTriple]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def between(self, start: Timestamp, end: Timestamp) -> list[Triple]:
+        """Triples with timestamp in ``[start, end)``."""
+        return [item.triple for item in self._items
+                if start <= item.timestamp < end]
+
+    def max_timestamp(self) -> Timestamp | None:
+        return self._items[-1].timestamp if self._items else None
+
+
+@dataclass(frozen=True)
+class StreamWindow:
+    """RSP-QL's time-based window: width ω, slide β, anchored at t0."""
+
+    width: Timestamp
+    slide: Timestamp
+    t0: Timestamp = 0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.slide <= 0:
+            raise RSPError("window width and slide must be positive")
+
+    def boundaries_up_to(self, t: Timestamp) -> list[Timestamp]:
+        """All window-close instants ≤ t (each defines a window
+        ``[close - width, close)``)."""
+        out = []
+        close = self.t0 + self.width
+        while close <= t:
+            out.append(close)
+            close += self.slide
+        return out
+
+    def scope_at(self, close: Timestamp) -> tuple[Timestamp, Timestamp]:
+        return (close - self.width, close)
+
+
+class ReportPolicy(enum.Enum):
+    """When the window operator reports (RSP-QL's four policies)."""
+
+    WINDOW_CLOSE = "window-close"      # every window, when it closes
+    CONTENT_CHANGE = "content-change"  # only when contents changed
+    NON_EMPTY = "non-empty"            # only non-empty windows
+    PERIODIC = "periodic"              # every window close (= WC here,
+    #                                    with period == slide)
+
+
+# ---------------------------------------------------------------------------
+# Continuous queries
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RSPResult:
+    """One reported evaluation: the window and its emitted solutions."""
+
+    window_close: Timestamp
+    solutions: tuple[dict[str, Term], ...]
+
+
+class ContinuousRSPQuery:
+    """A registered RSP-QL query over one RDF stream.
+
+    At every reported window close the BGP is evaluated over the window's
+    triples; the R2S operator turns the resulting solution multiset into
+    the emitted stream: RSTREAM emits everything, ISTREAM only solutions
+    new since the previous report, DSTREAM only solutions that vanished.
+    """
+
+    def __init__(self, bgp: BasicGraphPattern, window: StreamWindow,
+                 select: list[str] | None = None,
+                 r2s: R2SKind = R2SKind.RSTREAM,
+                 report: ReportPolicy = ReportPolicy.WINDOW_CLOSE) -> None:
+        self.bgp = bgp
+        self.window = window
+        self.select = select or bgp.variable_names
+        unknown = set(self.select) - set(bgp.variable_names)
+        if unknown:
+            raise RSPError(f"SELECT variables {sorted(unknown)} not bound "
+                           f"by the pattern")
+        self.r2s = r2s
+        self.report = report
+        self._previous_solutions = Bag()
+        self._previous_contents: frozenset | None = None
+        self.results: list[RSPResult] = []
+
+    def evaluate_window(self, stream: RDFStream,
+                        close: Timestamp) -> RSPResult | None:
+        return self.evaluate_window_union([stream], close)
+
+    def evaluate_window_union(self, streams: list[RDFStream],
+                              close: Timestamp) -> RSPResult | None:
+        start, end = self.window.scope_at(close)
+        triples = [triple for stream in streams
+                   for triple in stream.between(start, end)]
+        contents = frozenset(triples)
+        if self.report is ReportPolicy.NON_EMPTY and not triples:
+            return None
+        if self.report is ReportPolicy.CONTENT_CHANGE:
+            if contents == self._previous_contents:
+                return None
+            self._previous_contents = contents
+        graph = RDFGraph(triples)
+        solutions = Bag(
+            tuple(sorted((name, term) for name, term in solution.items()
+                         if name in self.select))
+            for solution in self.bgp.match(graph))
+        emitted = self._apply_r2s(solutions)
+        self._previous_solutions = solutions
+        result = RSPResult(
+            close, tuple(solution_to_dict(s)
+                         for s in sorted(emitted, key=repr)))
+        self.results.append(result)
+        return result
+
+    def _apply_r2s(self, solutions: Bag) -> Bag:
+        if self.r2s is R2SKind.RSTREAM:
+            return solutions
+        if self.r2s is R2SKind.ISTREAM:
+            return solutions.difference(self._previous_solutions)
+        return self._previous_solutions.difference(solutions)
+
+
+class RSPEngine:
+    """Named RDF streams + registered continuous queries (the RSP4J shape)."""
+
+    def __init__(self) -> None:
+        self._streams: dict[str, RDFStream] = {}
+        # Entries are [stream name, query, last reported close] — mutable
+        # so the reported watermark can advance in place.
+        self._queries: list[list] = []
+        self._clock: Timestamp = 0
+
+    def register_stream(self, name: str) -> RDFStream:
+        if name in self._streams:
+            raise RSPError(f"stream {name!r} already registered")
+        stream = RDFStream()
+        self._streams[name] = stream
+        return stream
+
+    def stream(self, name: str) -> RDFStream:
+        try:
+            return self._streams[name]
+        except KeyError:
+            raise RSPError(f"unknown stream {name!r}") from None
+
+    def register_query(self, stream_names: str | list[str],
+                       query: ContinuousRSPQuery) -> ContinuousRSPQuery:
+        """Register a continuous query over one stream or the union of
+        several (RSP-QL queries may window multiple named streams; the
+        window applies to their merged triples)."""
+        if isinstance(stream_names, str):
+            stream_names = [stream_names]
+        if not stream_names:
+            raise RSPError("query needs at least one stream")
+        for name in stream_names:
+            self.stream(name)
+        self._queries.append([list(stream_names), query, 0])
+        return query
+
+    def push(self, stream_name: str, triple: Triple,
+             timestamp: Timestamp) -> list[RSPResult]:
+        """Push one triple; returns results reported by window closes that
+        became due."""
+        stream = self.stream(stream_name)
+        stream.push(triple, timestamp)
+        self._clock = max(self._clock, timestamp)
+        return self._report()
+
+    def advance(self, timestamp: Timestamp) -> list[RSPResult]:
+        """Advance time with no data (fires pending window closes)."""
+        self._clock = max(self._clock, timestamp)
+        return self._report()
+
+    def _report(self) -> list[RSPResult]:
+        out: list[RSPResult] = []
+        for entry in self._queries:
+            stream_names, query, reported_up_to = entry
+            streams = [self._streams[name] for name in stream_names]
+            for close in query.window.boundaries_up_to(self._clock):
+                if close <= reported_up_to:
+                    continue
+                result = query.evaluate_window_union(streams, close)
+                entry[2] = close
+                if result is not None:
+                    out.append(result)
+        return out

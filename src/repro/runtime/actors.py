@@ -1,0 +1,152 @@
+"""A deterministic actor system (paper Figure 4, bottom layer).
+
+The survey notes that at the core of every streaming system sits "some
+variation of the actor model" using message passing to coordinate parallel
+continuous computation.  This module provides that foundation: named actors
+with mailboxes, asynchronous ``tell``, and a cooperative, deterministic
+scheduler (single-threaded, round-robin mailbox draining) — determinism is
+what lets every experiment in this repository be replayed bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.core.errors import StateError
+
+
+class ActorRef:
+    """A handle for sending messages to an actor."""
+
+    def __init__(self, system: "ActorSystem", name: str) -> None:
+        self._system = system
+        self.name = name
+
+    def tell(self, message: Any, sender: "ActorRef | None" = None) -> None:
+        """Enqueue a message (asynchronous, never blocks)."""
+        self._system._deliver(self.name, message, sender)
+
+    def __repr__(self) -> str:
+        return f"ActorRef({self.name})"
+
+
+class Actor:
+    """Base actor: override :meth:`receive`."""
+
+    def __init__(self) -> None:
+        self.context: ActorContext | None = None
+
+    def receive(self, message: Any, sender: ActorRef | None) -> None:
+        raise NotImplementedError
+
+    def on_start(self) -> None:
+        """Called once when the actor is spawned."""
+
+    def on_stop(self) -> None:
+        """Called when the actor is stopped."""
+
+
+class ActorContext:
+    """What an actor can do to the outside world while processing."""
+
+    def __init__(self, system: "ActorSystem", ref: ActorRef) -> None:
+        self.system = system
+        self.self_ref = ref
+
+    def tell(self, target: str | ActorRef, message: Any) -> None:
+        ref = target if isinstance(target, ActorRef) else \
+            self.system.ref(target)
+        ref.tell(message, sender=self.self_ref)
+
+    def spawn(self, name: str, actor: Actor) -> ActorRef:
+        return self.system.spawn(name, actor)
+
+    def stop_self(self) -> None:
+        self.system.stop(self.self_ref.name)
+
+
+class FunctionActor(Actor):
+    """An actor from a plain function ``fn(message, ctx)``."""
+
+    def __init__(self, fn: Callable[[Any, ActorContext], None]) -> None:
+        super().__init__()
+        self._fn = fn
+
+    def receive(self, message: Any, sender: ActorRef | None) -> None:
+        self._fn(message, self.context)
+
+
+class ActorSystem:
+    """Single-threaded cooperative actor runtime.
+
+    Messages are processed one at a time; :meth:`run_until_idle` drains all
+    mailboxes round-robin.  Message counts are tracked for the Figure 4
+    benchmark (abstraction-stack overhead).
+    """
+
+    def __init__(self) -> None:
+        self._actors: dict[str, Actor] = {}
+        self._mailboxes: dict[str, deque[tuple[Any, ActorRef | None]]] = {}
+        self._stopped: set[str] = set()
+        self.messages_delivered = 0
+        self.messages_processed = 0
+
+    def spawn(self, name: str, actor: Actor) -> ActorRef:
+        if name in self._actors:
+            raise StateError(f"actor {name!r} already exists")
+        self._actors[name] = actor
+        self._mailboxes[name] = deque()
+        ref = ActorRef(self, name)
+        actor.context = ActorContext(self, ref)
+        actor.on_start()
+        return ref
+
+    def ref(self, name: str) -> ActorRef:
+        if name not in self._actors:
+            raise StateError(f"unknown actor {name!r}")
+        return ActorRef(self, name)
+
+    def stop(self, name: str) -> None:
+        if name not in self._actors:
+            raise StateError(f"unknown actor {name!r}")
+        if name not in self._stopped:
+            self._stopped.add(name)
+            self._actors[name].on_stop()
+
+    def _deliver(self, name: str, message: Any,
+                 sender: ActorRef | None) -> None:
+        if name not in self._actors:
+            raise StateError(f"unknown actor {name!r}")
+        if name in self._stopped:
+            return  # dead letters are dropped
+        self._mailboxes[name].append((message, sender))
+        self.messages_delivered += 1
+
+    def step(self) -> bool:
+        """Process one message of one actor (round-robin); False if idle."""
+        for name, mailbox in self._mailboxes.items():
+            if mailbox and name not in self._stopped:
+                message, sender = mailbox.popleft()
+                self._actors[name].receive(message, sender)
+                self.messages_processed += 1
+                return True
+        return False
+
+    def run_until_idle(self, max_messages: int = 10_000_000) -> int:
+        """Drain all mailboxes; returns messages processed."""
+        processed = 0
+        while processed < max_messages and self.step():
+            processed += 1
+        if processed >= max_messages:
+            raise StateError("actor system did not quiesce "
+                             f"within {max_messages} messages")
+        return processed
+
+    @property
+    def actor_names(self) -> list[str]:
+        return sorted(self._actors)
+
+    def pending(self) -> int:
+        return sum(len(m) for n, m in self._mailboxes.items()
+                   if n not in self._stopped)

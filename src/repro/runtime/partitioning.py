@@ -1,0 +1,85 @@
+"""Stream partitioning strategies between operator subtasks (Figure 5).
+
+Operators in a streaming job exchange records in parallel; the edge between
+two operators carries a partitioner deciding which downstream subtask(s)
+receive each record:
+
+* **forward** — subtask i to subtask i (requires equal parallelism; the
+  precondition for operator chaining/fusion);
+* **hash** — by key, so all records of one key meet at one subtask (keyed
+  state correctness);
+* **broadcast** — every subtask gets every record (small dimension tables,
+  control messages, watermarks);
+* **rebalance** — round-robin, for load balancing stateless work.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Sequence
+
+from repro.core.errors import StateError
+from repro.runtime.broker import default_hash
+
+
+class Partitioner:
+    """Maps a record to the downstream subtask indices that receive it."""
+
+    def route(self, value: Any, key: Any, downstream: int) -> Sequence[int]:
+        raise NotImplementedError
+
+    @property
+    def is_forward(self) -> bool:
+        """Forward edges are the ones operator chaining may fuse."""
+        return False
+
+
+class ForwardPartitioner(Partitioner):
+    """Subtask i → subtask i.  The runner validates equal parallelism."""
+
+    def __init__(self) -> None:
+        self.upstream_index = 0  # set per producing subtask by the runner
+
+    def route(self, value: Any, key: Any, downstream: int) -> Sequence[int]:
+        if self.upstream_index >= downstream:
+            raise StateError(
+                "forward edge requires equal upstream/downstream "
+                "parallelism")
+        return (self.upstream_index,)
+
+    @property
+    def is_forward(self) -> bool:
+        return True
+
+
+class HashPartitioner(Partitioner):
+    """Route by key hash; all records of a key go to one subtask."""
+
+    def __init__(self, key_fn: Callable[[Any], Any] | None = None) -> None:
+        self.key_fn = key_fn
+
+    def route(self, value: Any, key: Any, downstream: int) -> Sequence[int]:
+        if self.key_fn is not None:
+            key = self.key_fn(value)
+        return (default_hash(key) % downstream,)
+
+
+class BroadcastPartitioner(Partitioner):
+    """Every downstream subtask receives every record."""
+
+    def route(self, value: Any, key: Any, downstream: int) -> Sequence[int]:
+        return tuple(range(downstream))
+
+
+class RebalancePartitioner(Partitioner):
+    """Round-robin across downstream subtasks."""
+
+    def __init__(self) -> None:
+        self._cycle: "itertools.cycle[int] | None" = None
+        self._downstream = 0
+
+    def route(self, value: Any, key: Any, downstream: int) -> Sequence[int]:
+        if self._cycle is None or downstream != self._downstream:
+            self._cycle = itertools.cycle(range(downstream))
+            self._downstream = downstream
+        return (next(self._cycle),)

@@ -1,0 +1,223 @@
+"""Network-aware operator placement and fission advice (Section 4.2).
+
+The two entries of Hirzel et al.'s optimisation catalog that live at
+deployment time rather than plan time:
+
+* **operator placement** (Pietzuch et al.): assign a job graph's vertices
+  to compute nodes so that high-rate edges cross low-latency links —
+  minimise Σ rate(edge) · latency(host(u), host(v)) subject to per-node
+  slot capacities.  Small graphs are solved exactly (exhaustive over
+  assignments); larger ones greedily, seeded by the exact method's cost
+  structure.
+* **fission** (fan-out advice): given per-vertex service costs and input
+  rates, report the bottleneck vertices whose parallelism should grow and
+  by how much — the auto-scaling decision real systems make.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.errors import PlanError
+from repro.runtime.dag import JobGraph
+
+
+@dataclass(frozen=True)
+class ComputeNode:
+    """A placement target: a host with a number of operator slots."""
+
+    name: str
+    slots: int
+
+    def __post_init__(self) -> None:
+        if self.slots <= 0:
+            raise PlanError(f"node {self.name!r} needs positive slots")
+
+
+class Network:
+    """Hosts plus pairwise link latencies (same-host traffic is free)."""
+
+    def __init__(self, nodes: list[ComputeNode],
+                 default_latency: float = 10.0) -> None:
+        if not nodes:
+            raise PlanError("a network needs at least one node")
+        names = [n.name for n in nodes]
+        if len(set(names)) != len(names):
+            raise PlanError("duplicate node names")
+        self.nodes = list(nodes)
+        self.default_latency = default_latency
+        self._latency: dict[frozenset, float] = {}
+
+    def set_latency(self, a: str, b: str, latency: float) -> None:
+        self._latency[frozenset((a, b))] = latency
+
+    def latency(self, a: str, b: str) -> float:
+        if a == b:
+            return 0.0
+        return self._latency.get(frozenset((a, b)), self.default_latency)
+
+
+@dataclass
+class Placement:
+    """An assignment of job-graph vertices to network nodes."""
+
+    assignment: dict[str, str]
+    cost: float
+    method: str = "exact"
+
+    def host_of(self, vertex: str) -> str:
+        return self.assignment[vertex]
+
+
+def _edge_rates(graph: JobGraph,
+                rates: dict[tuple[str, str], float] | None,
+                ) -> list[tuple[str, str, float]]:
+    out = []
+    for edge in graph.edges:
+        rate = 1.0 if rates is None else rates.get(
+            (edge.upstream, edge.downstream), 1.0)
+        out.append((edge.upstream, edge.downstream, rate))
+    return out
+
+
+def _cost(assignment: dict[str, str], edges, network: Network) -> float:
+    return sum(rate * network.latency(assignment[u], assignment[v])
+               for u, v, rate in edges)
+
+
+def place(graph: JobGraph, network: Network,
+          rates: dict[tuple[str, str], float] | None = None,
+          pinned: dict[str, str] | None = None,
+          exhaustive_limit: int = 7) -> Placement:
+    """Assign every vertex (and source) of ``graph`` to a network node.
+
+    ``rates`` gives per-edge tuple rates (default 1.0); ``pinned`` fixes
+    some vertices to hosts (sources usually sit where data enters).
+    Graphs with at most ``exhaustive_limit`` free vertices are solved
+    exactly; larger graphs use a greedy pass over vertices in topological
+    order, choosing per vertex the feasible host minimising the cost of
+    its already-placed incident edges.
+    """
+    graph.validate()
+    vertices = sorted(set(graph.sources) | set(graph.vertices))
+    pinned = dict(pinned or {})
+    for vertex, host in pinned.items():
+        if vertex not in vertices:
+            raise PlanError(f"pinned vertex {vertex!r} not in the graph")
+        if host not in {n.name for n in network.nodes}:
+            raise PlanError(f"pinned host {host!r} not in the network")
+    edges = _edge_rates(graph, rates)
+    free = [v for v in vertices if v not in pinned]
+    capacity = {n.name: n.slots for n in network.nodes}
+    for host in pinned.values():
+        capacity[host] -= 1
+        if capacity[host] < 0:
+            raise PlanError(f"pinning exceeds {host!r} capacity")
+    if sum(capacity.values()) < len(free):
+        raise PlanError("network has fewer slots than operators")
+
+    if len(free) <= exhaustive_limit:
+        return _place_exact(free, pinned, capacity, edges, network)
+    return _place_greedy(graph, free, pinned, capacity, edges, network)
+
+
+def _place_exact(free, pinned, capacity, edges, network) -> Placement:
+    hosts = sorted(capacity)
+    best: Placement | None = None
+    for combo in itertools.product(hosts, repeat=len(free)):
+        used: dict[str, int] = {}
+        feasible = True
+        for host in combo:
+            used[host] = used.get(host, 0) + 1
+            if used[host] > capacity[host]:
+                feasible = False
+                break
+        if not feasible:
+            continue
+        assignment = dict(pinned)
+        assignment.update(zip(free, combo))
+        cost = _cost(assignment, edges, network)
+        if best is None or cost < best.cost:
+            best = Placement(assignment, cost, method="exact")
+    assert best is not None  # capacity was pre-checked
+    return best
+
+
+def _place_greedy(graph, free, pinned, capacity, edges,
+                  network) -> Placement:
+    assignment = dict(pinned)
+    remaining = dict(capacity)
+    # Topological-ish order: sources first, then by distance downstream.
+    order = sorted(free, key=lambda v: (v not in graph.sources, v))
+    for vertex in order:
+        incident = [(u, w, r) for u, w, r in edges
+                    if vertex in (u, w)]
+        best_host, best_cost = None, None
+        for host in sorted(remaining):
+            if remaining[host] <= 0:
+                continue
+            cost = 0.0
+            for u, w, rate in incident:
+                other = w if u == vertex else u
+                if other in assignment:
+                    cost += rate * network.latency(host,
+                                                   assignment[other])
+            if best_cost is None or cost < best_cost:
+                best_host, best_cost = host, cost
+        assignment[vertex] = best_host
+        remaining[best_host] -= 1
+    return Placement(assignment, _cost(assignment, edges, network),
+                     method="greedy")
+
+
+# ---------------------------------------------------------------------------
+# Fission advice
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FissionAdvice:
+    """One vertex's scaling recommendation."""
+
+    vertex: str
+    current_parallelism: int
+    utilisation: float          # input rate x unit cost / parallelism
+    recommended_parallelism: int
+
+
+def advise_fission(graph: JobGraph,
+                   input_rates: dict[str, float],
+                   unit_costs: dict[str, float],
+                   target_utilisation: float = 0.8,
+                   ) -> list[FissionAdvice]:
+    """Recommend parallelism per vertex (the fission optimisation).
+
+    ``input_rates[vertex]`` — tuples/tick arriving; ``unit_costs[vertex]``
+    — processing ticks per tuple per subtask.  A vertex is a bottleneck
+    when utilisation = rate · cost / parallelism exceeds
+    ``target_utilisation``; the recommendation restores it below target.
+    """
+    import math
+
+    if not 0 < target_utilisation <= 1:
+        raise PlanError("target utilisation must be in (0, 1]")
+    advice = []
+    for name, vertex in sorted(graph.vertices.items()):
+        rate = input_rates.get(name, 0.0)
+        cost = unit_costs.get(name, 1.0)
+        load = rate * cost
+        utilisation = load / vertex.parallelism
+        recommended = vertex.parallelism
+        if load:
+            recommended = max(vertex.parallelism,
+                              math.ceil(load / target_utilisation))
+        advice.append(FissionAdvice(name, vertex.parallelism,
+                                    utilisation, recommended))
+    return advice
+
+
+def bottlenecks(advice: list[FissionAdvice]) -> list[FissionAdvice]:
+    """The vertices whose recommended parallelism exceeds the current."""
+    return [a for a in advice
+            if a.recommended_parallelism > a.current_parallelism]

@@ -1,0 +1,53 @@
+"""sql — the streaming SQL dialect and optimizers (Sections 4.1.3, 4.2).
+
+The dialect uses windows as GROUP BY constructs (``TUMBLE``/``HOP``/
+``SESSION``) with an ``EMIT`` clause, in the "one SQL to rule them all"
+direction; queries compile down the Figure 4 stack onto the DSL and actor
+runtime.  The package also hosts the optimizers shared with the CQL front
+end: the rule-based rewriter (:mod:`repro.sql.optimizer`) and the
+cost-based volcano join enumerator (:mod:`repro.sql.volcano`).
+"""
+
+from repro.sql.ast import (
+    EmitMode,
+    GroupWindow,
+    GroupWindowKind,
+    SQLStatement,
+)
+from repro.sql.optimizer import (
+    DEFAULT_RULES,
+    extract_equijoin_keys,
+    fuse_filters,
+    optimize,
+    plan_signature,
+    push_filter_through_join,
+    remove_trivial_filter,
+)
+from repro.sql.parser import parse_sql
+from repro.sql.translate import (
+    WINDOW_END,
+    WINDOW_START,
+    CompositeAggregate,
+    SQLEngine,
+    run_sql,
+)
+from repro.sql.volcano import (
+    PlanCost,
+    SourceStats,
+    Statistics,
+    estimate,
+    volcano_optimize,
+)
+
+__all__ = [
+    # dialect
+    "parse_sql", "SQLStatement", "EmitMode", "GroupWindow",
+    "GroupWindowKind", "SQLEngine", "run_sql", "CompositeAggregate",
+    "WINDOW_START", "WINDOW_END",
+    # rule-based optimizer
+    "optimize", "DEFAULT_RULES", "fuse_filters", "remove_trivial_filter",
+    "push_filter_through_join", "extract_equijoin_keys", "plan_signature",
+    # volcano
+    "Statistics", "SourceStats", "PlanCost", "estimate",
+    "volcano_optimize",
+]

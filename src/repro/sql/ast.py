@@ -1,0 +1,75 @@
+"""AST for the streaming SQL dialect (paper Section 4.1.3).
+
+The dialect follows the "one SQL to rule them all" direction (Begoli et
+al.): windows are *grouping constructs* (``GROUP BY room, TUMBLE(10)``)
+rather than FROM-clause decorations as in CQL, and an ``EMIT`` clause picks
+the materialisation policy: ``EMIT CHANGES`` streams every refinement
+(a changelog), ``EMIT FINAL`` emits once per window close (watermark
+semantics).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.time import Timestamp
+from repro.cql.ast import Column, Expr, SelectItem
+
+
+class EmitMode(enum.Enum):
+    """When results become visible."""
+
+    CHANGES = "changes"   # every refinement, as soon as it happens
+    FINAL = "final"       # once per window, when the watermark closes it
+
+
+class GroupWindowKind(enum.Enum):
+    """Window functions usable in GROUP BY."""
+
+    TUMBLE = "tumble"
+    HOP = "hop"
+    SESSION = "session"
+
+
+@dataclass(frozen=True)
+class GroupWindow:
+    """A parsed windowing group item: ``TUMBLE(10)`` / ``HOP(10, 5)`` /
+    ``SESSION(30)``."""
+
+    kind: GroupWindowKind
+    size: Timestamp            # tumble size, hop size, or session gap
+    slide: Timestamp | None = None  # hop only
+
+    def __str__(self) -> str:
+        if self.kind is GroupWindowKind.HOP:
+            return f"HOP({self.size}, {self.slide})"
+        return f"{self.kind.name}({self.size})"
+
+
+@dataclass(frozen=True)
+class SQLStatement:
+    """A parsed streaming-SQL query over a single stream."""
+
+    items: tuple[SelectItem, ...]       # empty = SELECT *
+    source: str
+    alias: str | None
+    where: Expr | None
+    group_by: tuple[Column, ...]
+    window: GroupWindow | None
+    having: Expr | None
+    emit: EmitMode
+
+    @property
+    def is_star(self) -> bool:
+        return not self.items
+
+    @property
+    def is_aggregation(self) -> bool:
+        from repro.cql.ast import contains_aggregate
+        return bool(self.group_by) or self.window is not None or any(
+            contains_aggregate(i.expr) for i in self.items)
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.source

@@ -1,0 +1,118 @@
+"""Parser for the streaming SQL dialect.
+
+Grammar (sharing the lexer and expression grammar with CQL)::
+
+    query  := SELECT select_list FROM ident [ident]
+              [WHERE expr]
+              [GROUP BY group_item ("," group_item)*]
+              [HAVING expr]
+              [EMIT (CHANGES | FINAL)]
+    group_item := column
+                | TUMBLE "(" duration ")"
+                | HOP "(" duration "," duration ")"
+                | SESSION "(" duration ")"
+
+Defaults: a windowed aggregation emits FINAL (results on window close), a
+non-windowed query emits CHANGES (a changelog) — matching the conventions
+of the systems the survey compares.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ParseError
+from repro.cql.ast import Column
+from repro.cql.lexer import TokenCursor, TokenType, tokenize
+from repro.cql.parser import (
+    _parse_column,
+    _parse_duration,
+    _parse_expr,
+    _parse_select_list,
+)
+from repro.sql.ast import (
+    EmitMode,
+    GroupWindow,
+    GroupWindowKind,
+    SQLStatement,
+)
+
+
+def parse_sql(text: str) -> SQLStatement:
+    """Parse a streaming SQL query string."""
+    cursor = TokenCursor(tokenize(text))
+    cursor.expect_keyword("SELECT")
+    items = _parse_select_list(cursor)
+    cursor.expect_keyword("FROM")
+    source = cursor.expect_ident().text
+    alias = None
+    if cursor.peek().type is TokenType.IDENT:
+        alias = cursor.advance().text
+    elif cursor.match_keyword("AS"):
+        alias = cursor.expect_ident().text
+
+    where = None
+    if cursor.match_keyword("WHERE"):
+        where = _parse_expr(cursor)
+
+    group_by: list[Column] = []
+    window: GroupWindow | None = None
+    if cursor.match_keyword("GROUP"):
+        cursor.expect_keyword("BY")
+        while True:
+            item_window = _try_parse_group_window(cursor)
+            if item_window is not None:
+                if window is not None:
+                    raise ParseError(
+                        "at most one window function per GROUP BY")
+                window = item_window
+            else:
+                group_by.append(_parse_column(cursor))
+            if not cursor.match_symbol(","):
+                break
+
+    having = None
+    if cursor.match_keyword("HAVING"):
+        having = _parse_expr(cursor)
+
+    emit = None
+    if cursor.match_keyword("EMIT"):
+        if cursor.match_keyword("CHANGES"):
+            emit = EmitMode.CHANGES
+        else:
+            token = cursor.expect_ident()
+            if token.text.upper() != "FINAL":
+                raise ParseError(
+                    f"expected CHANGES or FINAL after EMIT, got "
+                    f"{token.text!r}", token.position)
+            emit = EmitMode.FINAL
+    if emit is None:
+        emit = EmitMode.FINAL if window is not None else EmitMode.CHANGES
+
+    if not cursor.at_end():
+        token = cursor.peek()
+        raise ParseError(
+            f"unexpected trailing input {token.text!r}", token.position)
+
+    if emit is EmitMode.FINAL and window is None:
+        raise ParseError(
+            "EMIT FINAL requires a window in GROUP BY (unwindowed results "
+            "never become final)")
+
+    return SQLStatement(
+        items=tuple(items), source=source, alias=alias, where=where,
+        group_by=tuple(group_by), window=window, having=having, emit=emit)
+
+
+def _try_parse_group_window(cursor: TokenCursor) -> GroupWindow | None:
+    token = cursor.peek()
+    if not token.is_keyword("TUMBLE", "HOP", "SESSION"):
+        return None
+    cursor.advance()
+    cursor.expect_symbol("(")
+    size = _parse_duration(cursor)
+    slide = None
+    if token.text == "HOP":
+        cursor.expect_symbol(",")
+        slide = _parse_duration(cursor)
+    cursor.expect_symbol(")")
+    kind = GroupWindowKind[token.text]
+    return GroupWindow(kind, size, slide)

@@ -1,0 +1,271 @@
+"""Compile streaming SQL down the Figure 4 stack.
+
+A parsed :class:`~repro.sql.ast.SQLStatement` becomes a DSL program
+(:mod:`repro.dsl`), which itself compiles to a job graph on the actor
+runtime — the same layering (SQL → DSL → dataflow → actors) the survey
+attributes to real streaming systems.
+
+Three execution shapes:
+
+* **stateless** (no aggregation): filter + project, ``EMIT CHANGES``;
+* **windowed aggregation** (``GROUP BY ..., TUMBLE/HOP/SESSION``):
+  key-by group columns → window aggregate → project; ``EMIT FINAL``
+  results fire on window close, ``EMIT CHANGES`` would stream refinements;
+* **running aggregation** (``GROUP BY`` without a window): per-key
+  accumulators emitting an updated result row per input — a changelog.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.core.errors import PlanError
+from repro.core.operators import AggregateKind
+from repro.core.records import Record, Schema
+from repro.core.time import Timestamp
+from repro.core.windows import SlidingWindow, TumblingWindow
+from repro.cql.catalog import Catalog
+from repro.cql.expressions import compile_expr, compile_predicate
+from repro.cql.planner import _AggregateCollector
+from repro.dsl.environment import StreamEnvironment
+from repro.dsl.operators import AggregateFunction
+from repro.sql.ast import EmitMode, GroupWindowKind, SQLStatement
+from repro.sql.parser import parse_sql
+
+#: Extra columns a windowed aggregation exposes to SELECT/HAVING.
+WINDOW_START = "window_start"
+WINDOW_END = "window_end"
+
+
+class CompositeAggregate(AggregateFunction):
+    """Evaluates all of a query's aggregate expressions in one pass.
+
+    The accumulator is one slot per aggregate; windows are append-only so
+    no retraction support is needed, and ``merge`` (for sessions) combines
+    slot-wise.
+    """
+
+    def __init__(self, specs, evaluators) -> None:
+        self._specs = specs          # list[AggregateExpr]
+        self._evaluators = evaluators  # arg evaluator or None (COUNT(*))
+
+    def create_accumulator(self) -> list:
+        out = []
+        for spec in self._specs:
+            if spec.kind in (AggregateKind.COUNT,):
+                out.append(0)
+            elif spec.kind is AggregateKind.AVG:
+                out.append((0, 0))
+            elif spec.kind is AggregateKind.SUM:
+                out.append((0, 0))  # (sum, non-null count)
+            else:  # MIN / MAX
+                out.append(None)
+        return out
+
+    def add(self, accumulator: list, record: Record) -> list:
+        out = list(accumulator)
+        for i, (spec, evaluator) in enumerate(
+                zip(self._specs, self._evaluators)):
+            value = 1 if evaluator is None else evaluator(record)
+            if evaluator is not None and value is None:
+                continue
+            if spec.kind is AggregateKind.COUNT:
+                out[i] += 1
+            elif spec.kind in (AggregateKind.SUM, AggregateKind.AVG):
+                total, count = out[i]
+                out[i] = (total + value, count + 1)
+            elif spec.kind is AggregateKind.MIN:
+                out[i] = value if out[i] is None else min(out[i], value)
+            else:
+                out[i] = value if out[i] is None else max(out[i], value)
+        return out
+
+    def merge(self, left: list, right: list) -> list:
+        out = []
+        for spec, a, b in zip(self._specs, left, right):
+            if spec.kind is AggregateKind.COUNT:
+                out.append(a + b)
+            elif spec.kind in (AggregateKind.SUM, AggregateKind.AVG):
+                out.append((a[0] + b[0], a[1] + b[1]))
+            elif a is None:
+                out.append(b)
+            elif b is None:
+                out.append(a)
+            elif spec.kind is AggregateKind.MIN:
+                out.append(min(a, b))
+            else:
+                out.append(max(a, b))
+        return out
+
+    def get_result(self, accumulator: list) -> list:
+        out = []
+        for spec, slot in zip(self._specs, accumulator):
+            if spec.kind is AggregateKind.COUNT:
+                out.append(slot)
+            elif spec.kind is AggregateKind.SUM:
+                total, count = slot
+                out.append(total if count else None)
+            elif spec.kind is AggregateKind.AVG:
+                total, count = slot
+                out.append(total / count if count else None)
+            else:
+                out.append(slot)
+        return out
+
+
+class SQLEngine:
+    """The streaming-SQL front end: catalog + parser + DSL compiler."""
+
+    def __init__(self, parallelism: int = 1) -> None:
+        self.catalog = Catalog()
+        self.parallelism = parallelism
+
+    def register_stream(self, name: str, schema: Schema) -> None:
+        self.catalog.register_stream(name, schema)
+
+    def run(self, text: str,
+            rows: Iterable[tuple[Mapping[str, Any], Timestamp]],
+            ) -> list[Record]:
+        """Parse, compile and execute a query over recorded rows.
+
+        Returns output records in (timestamp, repr) order.  ``EMIT FINAL``
+        windowed queries fire per window close; ``EMIT CHANGES`` queries
+        emit per refinement.
+        """
+        statement = parse_sql(text)
+        schema = self.catalog.stream(statement.source).schema \
+            .qualify(statement.binding)
+        env = StreamEnvironment(parallelism=self.parallelism)
+        records = [(Record(schema, tuple(row[f] for f in
+                                         schema.unqualified().fields),
+                           validate=False), t)
+                   for row, t in rows]
+        stream = env.from_collection(records)
+        if statement.where is not None:
+            stream = stream.filter(
+                compile_predicate(statement.where, schema))
+
+        if not statement.is_aggregation:
+            out_schema, project = self._projection(statement, schema)
+            stream.map(project).sink("out")
+            result = env.execute()
+            return [element.value for element in
+                    result.sink_outputs["out"]]
+
+        return self._run_aggregation(statement, schema, env, stream)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _projection(self, statement: SQLStatement, schema: Schema):
+        if statement.is_star:
+            return schema, lambda record: record
+        evaluators = [compile_expr(item.expr, schema)
+                      for item in statement.items]
+        names = tuple(item.output_name() for item in statement.items)
+        out_schema = Schema(names)
+
+        def project(record: Record) -> Record:
+            return Record(out_schema,
+                          tuple(e(record) for e in evaluators),
+                          validate=False)
+
+        return out_schema, project
+
+    def _run_aggregation(self, statement: SQLStatement, schema: Schema,
+                         env: StreamEnvironment, stream) -> list[Record]:
+        if statement.is_star:
+            raise PlanError("SELECT * cannot be combined with aggregation")
+        collector = _AggregateCollector()
+        rewritten = [(collector.rewrite(item.expr, alias=item.alias),
+                      item.output_name()) for item in statement.items]
+        having = (collector.rewrite(statement.having)
+                  if statement.having is not None else None)
+        specs = list(collector.specs)
+        evaluators = [None if s.arg is None else compile_expr(s.arg, schema)
+                      for s in specs]
+        composite = CompositeAggregate(specs, evaluators)
+
+        group_columns = tuple(c.name for c in statement.group_by)
+        group_indexes = [schema.index_of(c) for c in group_columns]
+        group_names = tuple(c.rpartition(".")[2] for c in group_columns)
+
+        inter_fields = group_names + tuple(s.name for s in specs)
+        window = statement.window
+        if window is not None:
+            inter_fields = inter_fields + (WINDOW_START, WINDOW_END)
+        inter_schema = Schema(inter_fields)
+
+        def key_fn(record: Record) -> tuple:
+            return tuple(record[i] for i in group_indexes)
+
+        keyed = stream.key_by(key_fn)
+
+        if window is not None:
+            if window.kind is GroupWindowKind.TUMBLE:
+                windowed = keyed.window(TumblingWindow(window.size))
+            elif window.kind is GroupWindowKind.HOP:
+                windowed = keyed.window(
+                    SlidingWindow(window.size, window.slide))
+            else:
+                windowed = keyed.session_window(window.size)
+            results = windowed.aggregate(composite)
+
+            def to_row(value) -> Record:
+                key, agg_values, win = value
+                return Record(inter_schema,
+                              tuple(key) + tuple(agg_values)
+                              + (win.start, win.end), validate=False)
+
+            out = results.map(to_row)
+        else:
+            if statement.emit is not EmitMode.CHANGES:
+                raise PlanError(
+                    "unwindowed aggregation must EMIT CHANGES")
+
+            def fold(accumulator, record: Record):
+                if accumulator is None:
+                    accumulator = composite.create_accumulator()
+                return composite.add(accumulator, record)
+
+            def running(op, element):
+                accumulator = fold(op.state.get(element.key), element.value)
+                op.state.put(element.key, accumulator)
+                row = Record(
+                    inter_schema,
+                    tuple(element.key)
+                    + tuple(composite.get_result(accumulator)),
+                    validate=False)
+                from repro.runtime.dag import Element
+                yield Element(row, element.key, element.timestamp)
+
+            out = keyed.process(running)
+
+        if having is not None:
+            out = out.filter(compile_predicate(having, inter_schema))
+        __, project = self._projection_over(
+            rewritten, inter_schema)
+        out.map(project).sink("out")
+        result = env.execute()
+        return [element.value for element in result.sink_outputs["out"]]
+
+    def _projection_over(self, rewritten, inter_schema: Schema):
+        evaluators = [compile_expr(expr, inter_schema)
+                      for expr, _ in rewritten]
+        names = tuple(name for _, name in rewritten)
+        out_schema = Schema(names)
+
+        def project(record: Record) -> Record:
+            return Record(out_schema,
+                          tuple(e(record) for e in evaluators),
+                          validate=False)
+
+        return out_schema, project
+
+
+def run_sql(text: str, schema: Schema, stream_name: str,
+            rows: Iterable[tuple[Mapping[str, Any], Timestamp]],
+            parallelism: int = 1) -> list[Record]:
+    """One-shot convenience: register, run, return records."""
+    engine = SQLEngine(parallelism=parallelism)
+    engine.register_stream(stream_name, schema)
+    return engine.run(text, rows)

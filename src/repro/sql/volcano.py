@@ -1,0 +1,251 @@
+"""Volcano-style cost-based join ordering (paper Section 4.2).
+
+The survey notes that Spark Structured Streaming and Flink (via Apache
+Calcite) are the exceptions that apply volcano-based planning to
+window-based continuous queries.  This module reproduces that layer for
+our algebra: a dynamic-programming enumerator over join orders with a
+*streaming* cost model — operators run forever, so cost is work **per unit
+time**, driven by each input's update rate and windowed state size:
+
+    cost(L ⋈ R)  =  r_L · |R| · σ  +  r_R · |L| · σ      (probe work)
+    |L ⋈ R|      =  σ · |L| · |R|                        (state)
+    r_{L⋈R}      =  σ · (r_L·|R| + r_R·|L|)              (output rate)
+
+Statistics (per-source rates, window sizes, per-column distinct counts)
+come from :class:`Statistics`; equality selectivity uses the standard
+``1/max(ndv)`` estimate.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.errors import PlanError
+from repro.cql.algebra import (
+    Filter,
+    Join,
+    LogicalOp,
+    RelationScan,
+    StreamScan,
+    walk,
+)
+from repro.cql.ast import Binary, BinOp, Column, Expr, conjoin
+from repro.cql.expressions import columns_resolvable
+from repro.sql.optimizer import extract_equijoin_keys
+
+
+@dataclass
+class SourceStats:
+    """Statistics for one catalog source.
+
+    ``rate`` — arrivals per tick (0 for static relations);
+    ``size``  — windowed state size in tuples (relations: row count);
+    ``distinct`` — per-column number of distinct values (unqualified
+    column names).
+    """
+
+    rate: float
+    size: float
+    distinct: dict[str, float] = field(default_factory=dict)
+
+    def ndv(self, column: str) -> float:
+        name = column.rpartition(".")[2]
+        return self.distinct.get(name, max(self.size, 1.0))
+
+
+class Statistics:
+    """Source name → :class:`SourceStats`, with selectivity estimation."""
+
+    DEFAULT_RESIDUAL_SELECTIVITY = 0.5
+
+    def __init__(self, sources: dict[str, SourceStats]) -> None:
+        self._sources = dict(sources)
+
+    def for_source(self, name: str) -> SourceStats:
+        try:
+            return self._sources[name]
+        except KeyError:
+            raise PlanError(f"no statistics for source {name!r}") from None
+
+    def equality_selectivity(self, left_source: str, left_column: str,
+                             right_source: str,
+                             right_column: str) -> float:
+        left_ndv = self.for_source(left_source).ndv(left_column)
+        right_ndv = self.for_source(right_source).ndv(right_column)
+        return 1.0 / max(left_ndv, right_ndv, 1.0)
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """Estimated streaming characteristics of a (sub)plan."""
+
+    state: float   # tuples of maintained state
+    rate: float    # output tuples per tick
+    work: float    # probe work per tick, cumulative over the subtree
+
+
+@dataclass
+class _Leaf:
+    """One join input: an unbreakable subtree with its stats."""
+
+    index: int
+    plan: LogicalOp
+    source: str          # catalog name of the underlying scan
+    stats: SourceStats
+
+
+@dataclass
+class _Candidate:
+    plan: LogicalOp
+    cost: PlanCost
+    leaves: frozenset
+
+
+def _leaf_source(plan: LogicalOp) -> str:
+    for node in walk(plan):
+        if isinstance(node, (StreamScan, RelationScan)):
+            return node.name
+    raise PlanError(f"no scan under join input {plan!r}")
+
+
+def _collect_join_region(plan: LogicalOp,
+                         ) -> tuple[list[LogicalOp], list[Expr]]:
+    """Flatten a Join subtree into its inputs and predicate pool."""
+    inputs: list[LogicalOp] = []
+    predicates: list[Expr] = []
+
+    def visit(node: LogicalOp) -> None:
+        if isinstance(node, Join):
+            for left_key, right_key in zip(node.left_keys,
+                                           node.right_keys):
+                predicates.append(
+                    Binary(BinOp.EQ, Column(left_key), Column(right_key)))
+            if node.residual is not None:
+                from repro.cql.ast import split_conjuncts
+                predicates.extend(split_conjuncts(node.residual))
+            visit(node.left)
+            visit(node.right)
+        else:
+            inputs.append(node)
+
+    visit(plan)
+    return inputs, predicates
+
+
+def estimate(plan: LogicalOp, stats: Statistics) -> PlanCost:
+    """Estimate the streaming cost of an arbitrary plan (used by C4)."""
+    if isinstance(plan, Join):
+        left = estimate(plan.left, stats)
+        right = estimate(plan.right, stats)
+        selectivity = _join_selectivity(plan, stats)
+        probe = left.rate * right.state + right.rate * left.state
+        return PlanCost(
+            state=selectivity * left.state * right.state,
+            rate=selectivity * probe,
+            work=left.work + right.work + probe)
+    if isinstance(plan, (StreamScan, RelationScan)):
+        source = stats.for_source(plan.name)
+        return PlanCost(state=source.size, rate=source.rate, work=0.0)
+    if isinstance(plan, Filter):
+        child = estimate(plan.child, stats)
+        s = Statistics.DEFAULT_RESIDUAL_SELECTIVITY
+        return PlanCost(child.state * s, child.rate * s, child.work)
+    if plan.children:
+        # Windows and other unary nodes: pass through the child estimate.
+        child = estimate(plan.children[0], stats)
+        return PlanCost(child.state, child.rate, child.work)
+    raise PlanError(f"cannot estimate {plan!r}")
+
+
+def _owning_source(plan: LogicalOp, column: str) -> str:
+    """The catalog source whose scan schema resolves ``column``."""
+    for node in walk(plan):
+        if isinstance(node, (StreamScan, RelationScan)) \
+                and column in node.schema:
+            return node.name
+    raise PlanError(f"column {column!r} not found under {plan!r}")
+
+
+def _join_selectivity(join: Join, stats: Statistics) -> float:
+    selectivity = 1.0
+    for left_key, right_key in zip(join.left_keys, join.right_keys):
+        selectivity *= stats.equality_selectivity(
+            _owning_source(join.left, left_key), left_key,
+            _owning_source(join.right, right_key), right_key)
+    if join.residual is not None:
+        selectivity *= Statistics.DEFAULT_RESIDUAL_SELECTIVITY
+    return selectivity
+
+
+def volcano_optimize(plan: LogicalOp, stats: Statistics) -> LogicalOp:
+    """Reorder every join region of ``plan`` by DP enumeration.
+
+    Non-join operators above/below the join region are preserved; the
+    join region itself is rebuilt in the cheapest order found (bushy plans
+    allowed).  Run the rule-based optimizer first so predicates sit at
+    their join (this function re-extracts equi-keys after reordering).
+    """
+    if isinstance(plan, Join):
+        return _optimize_region(plan, stats)
+    if not plan.children:
+        return plan
+    return plan.with_children(
+        [volcano_optimize(child, stats) for child in plan.children])
+
+
+def _optimize_region(join: Join, stats: Statistics) -> LogicalOp:
+    inputs, predicates = _collect_join_region(join)
+    leaves = []
+    for index, sub in enumerate(inputs):
+        optimized = volcano_optimize(sub, stats)
+        leaves.append(_Leaf(index, optimized, _leaf_source(optimized),
+                            stats.for_source(_leaf_source(optimized))))
+    if len(leaves) > 12:
+        raise PlanError("join region too large for DP enumeration")
+
+    best: dict[frozenset, _Candidate] = {}
+    for leaf in leaves:
+        cost = estimate(leaf.plan, stats)
+        best[frozenset([leaf.index])] = _Candidate(
+            leaf.plan, cost, frozenset([leaf.index]))
+
+    indices = frozenset(l.index for l in leaves)
+    for size in range(2, len(leaves) + 1):
+        for subset in map(frozenset,
+                          itertools.combinations(indices, size)):
+            for left_set in _proper_subsets(subset):
+                right_set = subset - left_set
+                if left_set not in best or right_set not in best:
+                    continue
+                left = best[left_set]
+                right = best[right_set]
+                candidate_plan = _build_join(
+                    left.plan, right.plan, predicates)
+                cost = estimate(candidate_plan, stats)
+                current = best.get(subset)
+                if current is None or cost.work < current.cost.work:
+                    best[subset] = _Candidate(candidate_plan, cost, subset)
+    return best[indices].plan
+
+
+def _proper_subsets(subset: frozenset) -> Iterable[frozenset]:
+    items = sorted(subset)
+    n = len(items)
+    for mask in range(1, 2 ** n - 1):
+        yield frozenset(items[i] for i in range(n) if mask & (1 << i))
+
+
+def _build_join(left: LogicalOp, right: LogicalOp,
+                predicates: list[Expr]) -> Join:
+    combined = left.schema.concat(right.schema)
+    applicable = []
+    for predicate in predicates:
+        if columns_resolvable(predicate, combined) and not (
+                columns_resolvable(predicate, left.schema)
+                or columns_resolvable(predicate, right.schema)):
+            applicable.append(predicate)
+    join = Join(left, right, residual=conjoin(applicable))
+    extracted = extract_equijoin_keys(join)
+    return extracted if extracted is not None else join

@@ -1,0 +1,30 @@
+"""viewmaint — streaming-database view maintenance (paper Section 5.1).
+
+The maintenance-strategy spectrum for continuous views (recompute / eager /
+lazy / split), DBToaster-style higher-order delta views, and the
+InvaliDB-style push-based real-time query layer.
+"""
+
+from repro.viewmaint.dbtoaster import (
+    GroupedJoinAggregateView,
+    JoinAggregateView,
+)
+from repro.viewmaint.invalidb import (
+    ChangeEvent,
+    EventKind,
+    LiveQuery,
+    RealTimeDatabase,
+)
+from repro.viewmaint.strategies import (
+    EagerView,
+    LazyView,
+    RecomputeView,
+    SplitView,
+    ViewStrategy,
+)
+
+__all__ = [
+    "ViewStrategy", "RecomputeView", "EagerView", "LazyView", "SplitView",
+    "JoinAggregateView", "GroupedJoinAggregateView",
+    "RealTimeDatabase", "LiveQuery", "ChangeEvent", "EventKind",
+]

@@ -1,0 +1,174 @@
+"""InvaliDB-style real-time queries (paper Section 5.1).
+
+Wingerath et al.'s InvaliDB offers a *push-based query interface on top of
+a pull-based data store*: clients register ordinary queries against a
+document store; every write is matched against all registered queries and
+subscribers receive precise change events (``add`` / ``change`` /
+``changeIndex`` / ``remove``) instead of re-polling.
+
+:class:`RealTimeDatabase` reproduces the model: a keyed document store
+whose registered :class:`LiveQuery` objects (predicate + optional ordering
++ optional limit) are incrementally re-evaluated on each write, emitting
+the same event vocabulary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Mapping
+
+from repro.core.errors import StateError
+
+
+class EventKind(enum.Enum):
+    """InvaliDB's change-event vocabulary."""
+
+    ADD = "add"              # document entered the result
+    CHANGE = "change"        # document still in the result, new content
+    CHANGE_INDEX = "changeIndex"  # same content class, moved position
+    REMOVE = "remove"        # document left the result
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One push notification delivered to a live-query subscriber."""
+
+    kind: EventKind
+    key: Hashable
+    document: Mapping[str, Any] | None
+    index: int | None = None
+
+
+class LiveQuery:
+    """A registered real-time query: predicate, optional order, limit."""
+
+    def __init__(self, predicate: Callable[[Mapping[str, Any]], bool],
+                 order_by: Callable[[Mapping[str, Any]], Any] | None = None,
+                 limit: int | None = None) -> None:
+        if limit is not None and limit <= 0:
+            raise StateError(f"limit must be positive, got {limit}")
+        self.predicate = predicate
+        self.order_by = order_by
+        self.limit = limit
+        self._result: list[tuple[Hashable, dict[str, Any]]] = []
+        self.events: list[ChangeEvent] = []
+        self.matches_evaluated = 0
+
+    # -- result bookkeeping -------------------------------------------------------
+
+    def result_keys(self) -> list[Hashable]:
+        return [key for key, _ in self._result]
+
+    def result_documents(self) -> list[dict[str, Any]]:
+        return [dict(doc) for _, doc in self._result]
+
+    def _compute(self, store: Mapping[Hashable, dict[str, Any]],
+                 ) -> list[tuple[Hashable, dict[str, Any]]]:
+        matching = []
+        for key, doc in store.items():
+            self.matches_evaluated += 1
+            if self.predicate(doc):
+                matching.append((key, doc))
+        if self.order_by is not None:
+            matching.sort(key=lambda kd: (self.order_by(kd[1]),
+                                          repr(kd[0])))
+        else:
+            matching.sort(key=lambda kd: repr(kd[0]))
+        if self.limit is not None:
+            matching = matching[:self.limit]
+        return matching
+
+    def refresh(self, store: Mapping[Hashable, dict[str, Any]],
+                ) -> list[ChangeEvent]:
+        """Recompute and diff; emit the InvaliDB event set."""
+        new_result = self._compute(store)
+        old_index = {key: i for i, (key, _) in enumerate(self._result)}
+        old_docs = {key: doc for key, doc in self._result}
+        new_index = {key: i for i, (key, _) in enumerate(new_result)}
+        events: list[ChangeEvent] = []
+        for key, doc in new_result:
+            if key not in old_index:
+                events.append(ChangeEvent(EventKind.ADD, key, dict(doc),
+                                          new_index[key]))
+            elif old_docs[key] != doc:
+                events.append(ChangeEvent(EventKind.CHANGE, key,
+                                          dict(doc), new_index[key]))
+            elif old_index[key] != new_index[key]:
+                events.append(ChangeEvent(EventKind.CHANGE_INDEX, key,
+                                          dict(doc), new_index[key]))
+        for key, _ in self._result:
+            if key not in new_index:
+                events.append(ChangeEvent(EventKind.REMOVE, key, None))
+        self._result = [(k, dict(d)) for k, d in new_result]
+        self.events.extend(events)
+        return events
+
+
+class RealTimeDatabase:
+    """A pull-based keyed store with a push-based query layer on top."""
+
+    def __init__(self) -> None:
+        self._store: dict[Hashable, dict[str, Any]] = {}
+        self._queries: dict[str, LiveQuery] = {}
+
+    # -- pull interface (the ordinary database) ------------------------------------
+
+    def get(self, key: Hashable) -> dict[str, Any] | None:
+        doc = self._store.get(key)
+        return dict(doc) if doc is not None else None
+
+    def find(self, predicate: Callable[[Mapping[str, Any]], bool],
+             ) -> list[dict[str, Any]]:
+        """One-shot (pull) query."""
+        return [dict(d) for d in self._store.values() if predicate(d)]
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # -- push interface --------------------------------------------------------------
+
+    def subscribe(self, name: str, query: LiveQuery) -> list[ChangeEvent]:
+        """Register a live query; returns the initial result as ADD events."""
+        if name in self._queries:
+            raise StateError(f"live query {name!r} already registered")
+        self._queries[name] = query
+        return query.refresh(self._store)
+
+    def unsubscribe(self, name: str) -> None:
+        if name not in self._queries:
+            raise StateError(f"unknown live query {name!r}")
+        del self._queries[name]
+
+    def query(self, name: str) -> LiveQuery:
+        return self._queries[name]
+
+    # -- writes (each one triggers matching) ------------------------------------------
+
+    def put(self, key: Hashable,
+            document: Mapping[str, Any]) -> dict[str, list[ChangeEvent]]:
+        """Insert or replace a document; push changes to live queries."""
+        self._store[key] = dict(document)
+        return self._notify()
+
+    def update(self, key: Hashable,
+               fields: Mapping[str, Any]) -> dict[str, list[ChangeEvent]]:
+        """Partial update of an existing document."""
+        if key not in self._store:
+            raise StateError(f"unknown document {key!r}")
+        self._store[key].update(fields)
+        return self._notify()
+
+    def remove(self, key: Hashable) -> dict[str, list[ChangeEvent]]:
+        if key not in self._store:
+            raise StateError(f"unknown document {key!r}")
+        del self._store[key]
+        return self._notify()
+
+    def _notify(self) -> dict[str, list[ChangeEvent]]:
+        out: dict[str, list[ChangeEvent]] = {}
+        for name, live in self._queries.items():
+            events = live.refresh(self._store)
+            if events:
+                out[name] = events
+        return out

@@ -1,0 +1,262 @@
+"""Continuous-view maintenance strategies (paper Section 5.1).
+
+Winter et al.'s *continuous views* observation: maintenance work can be
+split between the *insert* path and the *query* path, and the right split
+depends on the workload mix.  We implement the whole spectrum for grouped
+aggregate views over an insert/delete stream:
+
+* :class:`RecomputeView` — no materialisation: queries scan the base
+  (the lazy extreme; what a plain DBMS does).
+* :class:`EagerView` — PipelineDB-style: every update immediately folds
+  into the materialised result (the eager extreme; queries are O(groups)).
+* :class:`LazyView` — updates append to a log; queries first apply all
+  pending updates, then read.
+* :class:`SplitView` — "meet me halfway": updates append to a small delta
+  partition (cheap); queries merge snapshot + delta on the fly; when the
+  delta exceeds a threshold it is folded into the snapshot.
+
+Every strategy maintains the same grouped aggregate (count / sum / avg /
+min per group) and exposes ``update_work`` / ``query_work`` counters in
+*touched rows*, which the C6 benchmark sweeps across insert:query mixes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Any, Callable, Hashable, Mapping
+
+from repro.core.errors import StateError
+
+#: A group's accumulator: (row count, value sum, value multiset for MIN).
+GroupKey = Hashable
+
+
+class _Accumulator:
+    """Count/sum/min/max accumulator with deletion support."""
+
+    __slots__ = ("count", "total", "values")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.values: Counter = Counter()
+
+    def add(self, value: Any) -> None:
+        self.count += 1
+        self.total += value
+        self.values[value] += 1
+
+    def remove(self, value: Any) -> None:
+        if self.values[value] <= 0:
+            raise StateError(f"deleting value {value!r} not in group")
+        self.count -= 1
+        self.total -= value
+        self.values[value] -= 1
+        if not self.values[value]:
+            del self.values[value]
+
+    def merge(self, other: "_Accumulator") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.values.update(other.values)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "avg": self.total / self.count if self.count else None,
+            "min": min(self.values) if self.values else None,
+            "max": max(self.values) if self.values else None,
+        }
+
+
+class ViewStrategy:
+    """Common interface: a grouped aggregate view over one base table."""
+
+    def __init__(self, group_fn: Callable[[Mapping[str, Any]], GroupKey],
+                 value_fn: Callable[[Mapping[str, Any]], Any]) -> None:
+        self._group_fn = group_fn
+        self._value_fn = value_fn
+        self.update_work = 0
+        self.query_work = 0
+
+    def insert(self, row: Mapping[str, Any]) -> None:
+        raise NotImplementedError
+
+    def delete(self, row: Mapping[str, Any]) -> None:
+        raise NotImplementedError
+
+    def query(self) -> dict[GroupKey, dict[str, Any]]:
+        """The current view contents: group → aggregate dict."""
+        raise NotImplementedError
+
+    @property
+    def total_work(self) -> int:
+        return self.update_work + self.query_work
+
+
+class RecomputeView(ViewStrategy):
+    """No materialisation: keep the base rows, recompute per query."""
+
+    def __init__(self, group_fn, value_fn) -> None:
+        super().__init__(group_fn, value_fn)
+        self._rows: Counter = Counter()
+
+    def insert(self, row) -> None:
+        self._rows[tuple(sorted(row.items()))] += 1
+        self.update_work += 1
+
+    def delete(self, row) -> None:
+        key = tuple(sorted(row.items()))
+        if not self._rows[key]:
+            raise StateError(f"deleting absent row {row!r}")
+        self._rows[key] -= 1
+        if not self._rows[key]:
+            del self._rows[key]
+        self.update_work += 1
+
+    def query(self) -> dict[GroupKey, dict[str, Any]]:
+        groups: dict[GroupKey, _Accumulator] = defaultdict(_Accumulator)
+        for row_items, multiplicity in self._rows.items():
+            row = dict(row_items)
+            for _ in range(multiplicity):
+                groups[self._group_fn(row)].add(self._value_fn(row))
+                self.query_work += 1
+        return {k: acc.snapshot() for k, acc in groups.items()}
+
+
+class EagerView(ViewStrategy):
+    """Immediate incremental maintenance (PipelineDB-style)."""
+
+    def __init__(self, group_fn, value_fn) -> None:
+        super().__init__(group_fn, value_fn)
+        self._groups: dict[GroupKey, _Accumulator] = defaultdict(
+            _Accumulator)
+
+    def insert(self, row) -> None:
+        self._groups[self._group_fn(row)].add(self._value_fn(row))
+        self.update_work += 1
+
+    def delete(self, row) -> None:
+        group = self._group_fn(row)
+        accumulator = self._groups.get(group)
+        if accumulator is None:
+            raise StateError(f"deleting from absent group {group!r}")
+        accumulator.remove(self._value_fn(row))
+        if not accumulator.count:
+            del self._groups[group]
+        self.update_work += 1
+
+    def query(self) -> dict[GroupKey, dict[str, Any]]:
+        self.query_work += len(self._groups)
+        return {k: acc.snapshot() for k, acc in self._groups.items()}
+
+
+class LazyView(ViewStrategy):
+    """Deferred maintenance: updates buffer, queries catch up then read."""
+
+    def __init__(self, group_fn, value_fn) -> None:
+        super().__init__(group_fn, value_fn)
+        self._groups: dict[GroupKey, _Accumulator] = defaultdict(
+            _Accumulator)
+        self._pending: list[tuple[str, Mapping[str, Any]]] = []
+
+    def insert(self, row) -> None:
+        self._pending.append(("insert", dict(row)))
+        self.update_work += 0  # append is (amortised) free
+
+    def delete(self, row) -> None:
+        self._pending.append(("delete", dict(row)))
+
+    def _catch_up(self) -> None:
+        for op, row in self._pending:
+            group = self._group_fn(row)
+            if op == "insert":
+                self._groups[group].add(self._value_fn(row))
+            else:
+                self._groups[group].remove(self._value_fn(row))
+                if not self._groups[group].count:
+                    del self._groups[group]
+            self.query_work += 1
+        self._pending.clear()
+
+    def query(self) -> dict[GroupKey, dict[str, Any]]:
+        self._catch_up()
+        self.query_work += len(self._groups)
+        return {k: acc.snapshot() for k, acc in self._groups.items()}
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+
+class SplitView(ViewStrategy):
+    """Winter et al.'s split maintenance ("meet me halfway").
+
+    Inserts append to a *delta partition* (cheap, append-only); queries
+    merge the materialised snapshot with an on-the-fly aggregation of the
+    delta.  When the delta exceeds ``merge_threshold`` rows it is folded
+    into the snapshot (amortised maintenance), keeping query cost bounded.
+    Deletes must touch the snapshot directly (the strategy's documented
+    asymmetry — continuous views target insert-heavy streams).
+    """
+
+    def __init__(self, group_fn, value_fn,
+                 merge_threshold: int = 64) -> None:
+        super().__init__(group_fn, value_fn)
+        if merge_threshold <= 0:
+            raise StateError("merge threshold must be positive")
+        self.merge_threshold = merge_threshold
+        self._snapshot: dict[GroupKey, _Accumulator] = defaultdict(
+            _Accumulator)
+        self._delta: list[Mapping[str, Any]] = []
+        self.merges = 0
+
+    def insert(self, row) -> None:
+        self._delta.append(dict(row))
+        self.update_work += 0  # append-only
+        if len(self._delta) >= self.merge_threshold:
+            self._merge()
+
+    def delete(self, row) -> None:
+        # Try the delta partition first, then the snapshot.
+        row = dict(row)
+        if row in self._delta:
+            self._delta.remove(row)
+            self.update_work += 1
+            return
+        group = self._group_fn(row)
+        accumulator = self._snapshot.get(group)
+        if accumulator is None:
+            raise StateError(f"deleting from absent group {group!r}")
+        accumulator.remove(self._value_fn(row))
+        if not accumulator.count:
+            del self._snapshot[group]
+        self.update_work += 1
+
+    def _merge(self) -> None:
+        for row in self._delta:
+            self._snapshot[self._group_fn(row)].add(self._value_fn(row))
+            self.update_work += 1
+        self._delta.clear()
+        self.merges += 1
+
+    def query(self) -> dict[GroupKey, dict[str, Any]]:
+        overlay: dict[GroupKey, _Accumulator] = {}
+        for group, accumulator in self._snapshot.items():
+            clone = _Accumulator()
+            clone.merge(accumulator)
+            overlay[group] = clone
+            self.query_work += 1
+        for row in self._delta:
+            group = self._group_fn(row)
+            if group not in overlay:
+                overlay[group] = _Accumulator()
+            overlay[group].add(self._value_fn(row))
+            self.query_work += 1
+        return {k: acc.snapshot() for k, acc in overlay.items()
+                if acc.count}
+
+    @property
+    def delta_size(self) -> int:
+        return len(self._delta)

@@ -1,0 +1,147 @@
+"""Tests for static monotonicity analysis and the incremental rewrite."""
+
+import pytest
+
+from repro.core import (
+    AppendOnlyLog,
+    Bag,
+    IncrementalSPJ,
+    MonotonicityClass,
+    classify_operator,
+    classify_plan,
+)
+
+
+class FakeNode:
+    """Minimal PlanNode for the classifier."""
+
+    def __init__(self, op_name, *children):
+        self.op_name = op_name
+        self.children = children
+
+
+class TestClassifyOperator:
+    @pytest.mark.parametrize("name", [
+        "select", "project", "join", "union", "distinct", "SCAN"])
+    def test_preserving(self, name):
+        assert classify_operator(name) is MonotonicityClass.MONOTONIC
+
+    @pytest.mark.parametrize("name", [
+        "difference", "aggregate", "window", "dstream", "limit"])
+    def test_breaking(self, name):
+        assert classify_operator(name) is MonotonicityClass.NON_MONOTONIC
+
+    def test_growing_windows_preserve(self):
+        assert classify_operator("unbounded_window") is \
+            MonotonicityClass.MONOTONIC
+        assert classify_operator("landmark_window") is \
+            MonotonicityClass.MONOTONIC
+
+    def test_unknown(self):
+        assert classify_operator("frobnicate") is MonotonicityClass.UNKNOWN
+
+
+class TestClassifyPlan:
+    def test_pure_spj_plan_is_monotonic(self):
+        plan = FakeNode("project",
+                        FakeNode("select",
+                                 FakeNode("join",
+                                          FakeNode("scan"),
+                                          FakeNode("scan"))))
+        assert classify_plan(plan) is MonotonicityClass.MONOTONIC
+
+    def test_single_breaking_operator_poisons_plan(self):
+        plan = FakeNode("project", FakeNode("aggregate", FakeNode("scan")))
+        assert classify_plan(plan) is MonotonicityClass.NON_MONOTONIC
+
+    def test_breaking_at_root(self):
+        plan = FakeNode("difference", FakeNode("scan"), FakeNode("scan"))
+        assert classify_plan(plan) is MonotonicityClass.NON_MONOTONIC
+
+    def test_unknown_is_conservative(self):
+        plan = FakeNode("project", FakeNode("mystery", FakeNode("scan")))
+        assert classify_plan(plan) is MonotonicityClass.UNKNOWN
+
+    def test_non_monotonic_beats_unknown(self):
+        plan = FakeNode("mystery", FakeNode("aggregate", FakeNode("scan")))
+        assert classify_plan(plan) is MonotonicityClass.NON_MONOTONIC
+
+
+class TestIncrementalSPJ:
+    @pytest.fixture
+    def spj(self):
+        return IncrementalSPJ(
+            left_predicate=lambda v: v["amount"] > 10,
+            right_predicate=lambda v: True,
+            left_key=lambda v: v["user"],
+            right_key=lambda v: v["user"],
+            project_fn=lambda l, r: (l["amount"], r["city"]),
+        )
+
+    def test_emits_only_new_results(self, spj):
+        assert spj.on_left({"user": 1, "amount": 50}) == []
+        produced = spj.on_right({"user": 1, "city": "lyon"})
+        assert produced == [(50, "lyon")]
+        # A second matching left arrival joins with the existing right.
+        produced = spj.on_left({"user": 1, "amount": 99})
+        assert produced == [(99, "lyon")]
+
+    def test_predicate_filters_before_indexing(self, spj):
+        assert spj.on_left({"user": 1, "amount": 5}) == []
+        assert spj.on_right({"user": 1, "city": "lyon"}) == []
+        assert spj.state_size == 1  # only the right tuple was indexed
+
+    def test_matches_one_shot_reference(self, spj):
+        lefts = [{"user": u, "amount": a}
+                 for u, a in [(1, 50), (2, 5), (1, 20), (3, 30)]]
+        rights = [{"user": u, "city": c}
+                  for u, c in [(1, "lyon"), (3, "paris"), (1, "nice")]]
+        for left in lefts:
+            spj.on_left(left)
+        for right in rights:
+            spj.on_right(right)
+        assert spj.result == spj.one_shot(lefts, rights)
+
+    def test_interleaved_arrivals_match_one_shot(self, spj):
+        arrivals = [
+            ("l", {"user": 1, "amount": 11}),
+            ("r", {"user": 1, "city": "a"}),
+            ("l", {"user": 1, "amount": 12}),
+            ("r", {"user": 1, "city": "b"}),
+        ]
+        for side, value in arrivals:
+            if side == "l":
+                spj.on_left(value)
+            else:
+                spj.on_right(value)
+        lefts = [v for s, v in arrivals if s == "l"]
+        rights = [v for s, v in arrivals if s == "r"]
+        assert spj.result == spj.one_shot(lefts, rights)
+        assert len(spj.result) == 4
+
+    def test_duplicate_results_accumulate_in_bag(self):
+        spj = IncrementalSPJ(
+            left_predicate=lambda v: True, right_predicate=lambda v: True,
+            left_key=lambda v: 0, right_key=lambda v: 0,
+            project_fn=lambda l, r: "match")
+        spj.on_left("x")
+        spj.on_right("y")
+        spj.on_right("z")
+        assert spj.result == Bag(["match", "match"])
+
+
+class TestAppendOnlyLog:
+    def test_subscribers_notified_per_append(self):
+        log = AppendOnlyLog()
+        seen = []
+        log.subscribe(lambda v, t: seen.append((v, t)))
+        log.append("a", 1)
+        log.append("b", 2)
+        assert seen == [("a", 1), ("b", 2)]
+        assert log.entries() == [("a", 1), ("b", 2)]
+
+    def test_time_regression_rejected(self):
+        log = AppendOnlyLog()
+        log.append("a", 5)
+        with pytest.raises(ValueError):
+            log.append("b", 4)

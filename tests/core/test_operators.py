@@ -1,0 +1,219 @@
+"""Tests for the S2R / R2R / R2S operator trichotomy (paper Figure 2)."""
+
+import pytest
+
+from repro.core import (
+    AggregateKind,
+    AggregateSpec,
+    Bag,
+    CountWindow,
+    R2SKind,
+    RangeWindow,
+    Record,
+    Schema,
+    Stream,
+    TumblingWindow,
+    UnboundedWindow,
+    aggregate,
+    cross,
+    difference,
+    distinct,
+    dstream,
+    equijoin,
+    extend,
+    intersection,
+    istream,
+    join,
+    now,
+    project,
+    relation_to_stream,
+    rstream,
+    select,
+    stream_to_relation,
+    unbounded,
+    union,
+)
+
+
+@pytest.fixture
+def number_stream():
+    return Stream.from_pairs([(1, 0), (2, 5), (3, 10), (4, 15)])
+
+
+READING = Schema(["room", "temp"])
+
+
+@pytest.fixture
+def reading_relation():
+    stream = Stream.of_records(READING, [
+        ({"room": "A", "temp": 20}, 0),
+        ({"room": "B", "temp": 25}, 1),
+        ({"room": "A", "temp": 22}, 2),
+    ])
+    return unbounded(stream)
+
+
+class TestS2R:
+    def test_unbounded_accumulates(self, number_stream):
+        relation = unbounded(number_stream)
+        assert relation.at(0) == Bag([1])
+        assert relation.at(15) == Bag([1, 2, 3, 4])
+
+    def test_now_holds_only_current_instant(self, number_stream):
+        relation = now(number_stream)
+        assert relation.at(5) == Bag([2])
+        assert relation.at(6) == Bag()
+
+    def test_range_window_expires_tuples(self, number_stream):
+        relation = stream_to_relation(number_stream, RangeWindow(range_=6))
+        assert relation.at(5) == Bag([1, 2])   # 0 and 5 within range 6 of 5
+        assert relation.at(10) == Bag([2, 3])  # 0 expired at instant 6
+        assert relation.at(6) == Bag([2])
+
+    def test_tumbling_window_resets_at_boundary(self, number_stream):
+        relation = stream_to_relation(number_stream, TumblingWindow(size=10))
+        assert relation.at(5) == Bag([1, 2])
+        assert relation.at(10) == Bag([3])
+
+    def test_count_window(self, number_stream):
+        relation = stream_to_relation(number_stream, CountWindow(rows=2))
+        assert relation.at(15) == Bag([3, 4])
+        assert relation.at(0) == Bag([1])
+
+    def test_explicit_instants(self, number_stream):
+        relation = stream_to_relation(
+            number_stream, UnboundedWindow(), instants=[7])
+        assert relation.change_points() == [7]
+        assert relation.at(7) == Bag([1, 2])
+
+
+class TestR2R:
+    def test_select(self, reading_relation):
+        hot = select(reading_relation, lambda r: r["temp"] > 21)
+        assert len(hot.at(2)) == 2
+        assert len(hot.at(0)) == 0
+
+    def test_project_keeps_duplicates(self, reading_relation):
+        rooms = project(reading_relation, ["room"])
+        room_a = Record(Schema(["room"]), ("A",))
+        assert rooms.at(2).count(room_a) == 2
+
+    def test_distinct(self, reading_relation):
+        rooms = distinct(project(reading_relation, ["room"]))
+        assert len(rooms.at(2)) == 2
+
+    def test_union_difference_intersection(self):
+        from repro.core import TimeVaryingRelation
+        left = TimeVaryingRelation.from_snapshots([(0, Bag(["x", "y"]))])
+        right = TimeVaryingRelation.from_snapshots([(0, Bag(["y"]))])
+        assert union(left, right).at(0) == Bag(["x", "y", "y"])
+        assert difference(left, right).at(0) == Bag(["x"])
+        assert intersection(left, right).at(0) == Bag(["y"])
+
+    def test_cross_product_counts(self):
+        from repro.core import TimeVaryingRelation
+        sa = Schema(["a"])
+        sb = Schema(["b"])
+        left = TimeVaryingRelation.from_snapshots(
+            [(0, Bag([Record(sa, (1,)), Record(sa, (1,))]))], schema=sa)
+        right = TimeVaryingRelation.from_snapshots(
+            [(0, Bag([Record(sb, (9,))]))], schema=sb)
+        product = cross(left, right)
+        assert len(product.at(0)) == 2
+        assert product.schema.fields == ("a", "b")
+
+    def test_theta_join(self):
+        from repro.core import TimeVaryingRelation
+        sa = Schema(["a"])
+        sb = Schema(["b"])
+        left = TimeVaryingRelation.from_snapshots(
+            [(0, Bag([Record(sa, (1,)), Record(sa, (5,))]))], schema=sa)
+        right = TimeVaryingRelation.from_snapshots(
+            [(0, Bag([Record(sb, (3,))]))], schema=sb)
+        result = join(left, right, on=lambda l, r: l["a"] < r["b"])
+        assert len(result.at(0)) == 1
+
+    def test_equijoin_matches_listing1_shape(self):
+        # Listing 1: Person P joined with RoomObservation O on id.
+        from repro.core import TimeVaryingRelation
+        person = Schema(["P.id", "P.name"])
+        obs = Schema(["O.id", "O.room"])
+        people = TimeVaryingRelation.from_snapshots([(0, Bag([
+            Record(person, (1, "ada")), Record(person, (2, "bob"))]))],
+            schema=person)
+        observations = TimeVaryingRelation.from_snapshots([(0, Bag([
+            Record(obs, (1, "r1")), Record(obs, (1, "r2"))]))], schema=obs)
+        joined = equijoin(people, observations, ["P.id"], ["O.id"])
+        assert len(joined.at(0)) == 2
+        assert all(r["P.name"] == "ada" for r in joined.at(0))
+
+    def test_aggregate_grouped(self, reading_relation):
+        result = aggregate(
+            reading_relation, ["room"],
+            [AggregateSpec(AggregateKind.AVG, "temp", "avg_temp"),
+             AggregateSpec(AggregateKind.COUNT, None, "n")])
+        rows = {r["room"]: r for r in result.at(2)}
+        assert rows["A"]["avg_temp"] == 21
+        assert rows["A"]["n"] == 2
+        assert rows["B"]["n"] == 1
+
+    def test_aggregate_global_empty_input_yields_zero_count(self):
+        from repro.core import TimeVaryingRelation
+        empty = TimeVaryingRelation.from_snapshots(
+            [(0, Bag())], schema=READING)
+        result = aggregate(
+            empty, [], [AggregateSpec(AggregateKind.COUNT, None, "n")])
+        (row,) = list(result.at(0))
+        assert row["n"] == 0
+
+    def test_aggregate_min_max_sum(self, reading_relation):
+        result = aggregate(
+            reading_relation, [],
+            [AggregateSpec(AggregateKind.MIN, "temp", "lo"),
+             AggregateSpec(AggregateKind.MAX, "temp", "hi"),
+             AggregateSpec(AggregateKind.SUM, "temp", "total")])
+        (row,) = list(result.at(2))
+        assert (row["lo"], row["hi"], row["total"]) == (20, 25, 67)
+
+    def test_extend_adds_computed_column(self, reading_relation):
+        extended = extend(
+            reading_relation, lambda r: r["temp"] * 9 / 5 + 32, "fahrenheit")
+        temps = {r["temp"]: r["fahrenheit"] for r in extended.at(2)}
+        assert temps[20] == 68.0
+
+
+class TestR2S:
+    def test_istream_emits_insertions_once(self, number_stream):
+        relation = unbounded(number_stream)
+        inserted = istream(relation)
+        assert inserted.values() == [1, 2, 3, 4]
+        assert inserted.timestamps() == [0, 5, 10, 15]
+
+    def test_dstream_emits_expirations(self, number_stream):
+        relation = stream_to_relation(number_stream, RangeWindow(range_=6))
+        deleted = dstream(relation)
+        assert deleted.values() == [1, 2, 3, 4]
+        # Each value expires exactly range ticks after its arrival.
+        assert deleted.timestamps() == [6, 11, 16, 21]
+
+    def test_rstream_emits_full_state_each_change(self, number_stream):
+        relation = unbounded(number_stream)
+        everything = rstream(relation)
+        # 1 + 2 + 3 + 4 emissions across the four change points.
+        assert len(everything) == 10
+
+    def test_roundtrip_istream_of_unbounded_recovers_stream(
+            self, number_stream):
+        # ISTREAM([Range Unbounded] S) == S — the CQL identity.
+        recovered = istream(unbounded(number_stream))
+        assert recovered.values() == number_stream.values()
+        assert recovered.timestamps() == number_stream.timestamps()
+
+    def test_dispatch(self, number_stream):
+        relation = unbounded(number_stream)
+        assert relation_to_stream(relation, R2SKind.ISTREAM).values() == \
+            istream(relation).values()
+        assert relation_to_stream(relation, R2SKind.RSTREAM).values() == \
+            rstream(relation).values()
+        assert relation_to_stream(relation, R2SKind.DSTREAM).values() == \
+            dstream(relation).values()

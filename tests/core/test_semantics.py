@@ -1,0 +1,103 @@
+"""Tests for the continuous-semantics formulations (paper Defs 2.3, §3.1-3.2)."""
+
+import pytest
+
+from repro.core import (
+    Bag,
+    Stream,
+    babcock_sellis_evaluation,
+    continuous_evaluation,
+    count_query,
+    distinct_query,
+    divergence_profile,
+    empirically_monotonic,
+    filter_query,
+    join_query,
+    max_query,
+    semantics_agree,
+    window_filter_query,
+)
+
+
+@pytest.fixture
+def numbers():
+    return Stream.from_pairs([(3, 0), (7, 2), (1, 4), (9, 6), (5, 8)])
+
+
+class TestContinuousEvaluation:
+    def test_terry_semantics_is_prefix_query(self, numbers):
+        result = continuous_evaluation(filter_query(lambda v: v > 2), numbers)
+        assert result.at(0) == Bag([3])
+        assert result.at(2) == Bag([3, 7])
+        assert result.at(8) == Bag([3, 7, 9, 5])
+
+    def test_default_instants_are_arrivals(self, numbers):
+        result = continuous_evaluation(count_query(), numbers)
+        assert result.change_points() == [0, 2, 4, 6, 8]
+
+    def test_count_query_single_row(self, numbers):
+        result = continuous_evaluation(count_query(), numbers)
+        assert result.at(4) == Bag([3])
+        assert result.at(8) == Bag([5])
+
+
+class TestBabcockSellis:
+    def test_union_accumulates(self, numbers):
+        result = babcock_sellis_evaluation(count_query(), numbers)
+        # All historical counts survive in the union semantics.
+        assert result.at(8) == Bag([1, 2, 3, 4, 5])
+
+    def test_union_is_set_style(self, numbers):
+        result = babcock_sellis_evaluation(
+            filter_query(lambda v: True), numbers)
+        # Duplicates clamped: each value appears once even though it is in
+        # every subsequent prefix result.
+        assert result.at(8) == Bag([3, 7, 1, 9, 5])
+
+
+class TestMonotonicity:
+    def test_filter_is_monotonic(self, numbers):
+        assert empirically_monotonic(filter_query(lambda v: v > 2), numbers)
+
+    def test_join_is_monotonic(self, numbers):
+        query = join_query(left_of=lambda v: v % 2 == 1,
+                           join_key=lambda v: v % 3)
+        assert empirically_monotonic(query, numbers)
+
+    def test_distinct_is_monotonic(self, numbers):
+        assert empirically_monotonic(distinct_query(), numbers)
+
+    def test_count_is_not_monotonic(self, numbers):
+        assert not empirically_monotonic(count_query(), numbers)
+
+    def test_max_is_not_monotonic(self, numbers):
+        assert not empirically_monotonic(max_query(), numbers)
+
+    def test_windowed_filter_is_not_monotonic(self, numbers):
+        assert not empirically_monotonic(
+            window_filter_query(lambda v: True, range_=3), numbers)
+
+
+class TestEquivalence:
+    """Barbarà: union semantics == per-instant semantics iff monotonic."""
+
+    def test_agree_for_monotonic(self, numbers):
+        assert semantics_agree(filter_query(lambda v: v > 2), numbers)
+
+    def test_diverge_for_non_monotonic(self, numbers):
+        assert not semantics_agree(count_query(), numbers)
+
+    def test_divergence_profile_zero_for_monotonic(self, numbers):
+        profile = divergence_profile(
+            filter_query(lambda v: v % 2 == 1), numbers)
+        assert all(stale == 0 for _, stale in profile)
+
+    def test_divergence_profile_grows_for_count(self, numbers):
+        profile = divergence_profile(count_query(), numbers)
+        # At instant i the union retains i stale counts.
+        assert [stale for _, stale in profile] == [0, 1, 2, 3, 4]
+
+    def test_empty_stream(self):
+        empty = Stream()
+        assert semantics_agree(count_query(), empty)
+        assert divergence_profile(count_query(), empty) == []

@@ -1,0 +1,154 @@
+"""Tests for timeslice and snapshot reducibility (paper Definition 3.2)."""
+
+import pytest
+
+from repro.core import (
+    Bag,
+    LogicalStream,
+    TimeError,
+    ValidityElement,
+    check_snapshot_reducibility,
+    logical_duplicate_elimination,
+    logical_first_n,
+    logical_join,
+    logical_project,
+    logical_select,
+    logical_union,
+    reducibility_counterexample,
+    timeslice,
+)
+
+
+@pytest.fixture
+def readings():
+    # Values valid during [start, end).
+    return LogicalStream([
+        ValidityElement(10, 0, 5),
+        ValidityElement(20, 2, 8),
+        ValidityElement(30, 6, 12),
+    ])
+
+
+class TestTimeslice:
+    def test_snapshot_at_instant(self, readings):
+        assert timeslice(readings, 3) == Bag([10, 20])
+        assert timeslice(readings, 6) == Bag([20, 30])
+        assert timeslice(readings, 100) == Bag()
+
+    def test_from_windowed_builder(self):
+        stream = LogicalStream.from_windowed([("a", 0), ("b", 4)], lifetime=5)
+        assert timeslice(stream, 4) == Bag(["a", "b"])
+        assert timeslice(stream, 5) == Bag(["b"])
+
+    def test_empty_validity_rejected(self):
+        with pytest.raises(TimeError):
+            ValidityElement("x", 5, 5)
+
+    def test_relevant_instants(self, readings):
+        assert readings.relevant_instants() == [0, 2, 5, 6, 8, 12]
+
+
+class TestReducibleOperators:
+    """Each temporal operator is checked against Definition 3.2."""
+
+    def test_selection_is_reducible(self, readings):
+        assert check_snapshot_reducibility(
+            lambda s: logical_select(s, lambda v: v > 15),
+            lambda b: b.filter(lambda v: v > 15),
+            [readings])
+
+    def test_projection_is_reducible(self, readings):
+        assert check_snapshot_reducibility(
+            lambda s: logical_project(s, lambda v: v // 10),
+            lambda b: b.map(lambda v: v // 10),
+            [readings])
+
+    def test_union_is_reducible(self, readings):
+        other = LogicalStream([ValidityElement(99, 1, 7)])
+        assert check_snapshot_reducibility(
+            logical_union, Bag.union, [readings, other])
+
+    def test_join_is_reducible(self, readings):
+        other = LogicalStream([
+            ValidityElement(1, 1, 10),
+            ValidityElement(2, 3, 4),
+        ])
+        on = lambda l, r: (l + r) % 2 == 1  # noqa: E731
+
+        def bag_join(lb, rb):
+            out = Bag()
+            for l in lb:
+                for r in rb:
+                    if on(l, r):
+                        out.add((l, r))
+            return out
+
+        assert check_snapshot_reducibility(
+            lambda a, b: logical_join(a, b, on),
+            bag_join, [readings, other])
+
+    def test_duplicate_elimination_is_reducible(self):
+        stream = LogicalStream([
+            ValidityElement("x", 0, 5),
+            ValidityElement("x", 3, 9),   # overlapping copy
+            ValidityElement("x", 20, 25),  # disjoint copy
+            ValidityElement("y", 1, 2),
+        ])
+        assert check_snapshot_reducibility(
+            logical_duplicate_elimination, Bag.distinct, [stream])
+
+    def test_join_validity_is_interval_intersection(self):
+        left = LogicalStream([ValidityElement("l", 0, 10)])
+        right = LogicalStream([ValidityElement("r", 5, 15)])
+        joined = logical_join(left, right, lambda a, b: True)
+        (element,) = joined.elements()
+        assert (element.start, element.end) == (5, 10)
+
+    def test_disjoint_validity_produces_no_join_result(self):
+        left = LogicalStream([ValidityElement("l", 0, 5)])
+        right = LogicalStream([ValidityElement("r", 5, 10)])
+        assert len(logical_join(left, right, lambda a, b: True)) == 0
+
+
+class TestNonReducibleOperator:
+    """first-n depends on arrival order, so Definition 3.2 must fail."""
+
+    def test_first_n_is_not_reducible(self):
+        stream = LogicalStream([
+            ValidityElement("early", 0, 3),
+            ValidityElement("late", 5, 9),
+        ])
+
+        def bag_first_1(bag):
+            items = sorted(bag, key=repr)
+            return Bag(items[:1])
+
+        assert not check_snapshot_reducibility(
+            lambda s: logical_first_n(s, 1), bag_first_1, [stream])
+
+    def test_counterexample_is_concrete(self):
+        stream = LogicalStream([
+            ValidityElement("early", 0, 3),
+            ValidityElement("late", 5, 9),
+        ])
+
+        def bag_first_1(bag):
+            items = sorted(bag, key=repr)
+            return Bag(items[:1])
+
+        witness = reducibility_counterexample(
+            lambda s: logical_first_n(s, 1), bag_first_1, [stream])
+        assert witness is not None
+        t, lhs, rhs = witness
+        # At t=5 the temporal first-1 kept only "early" (already expired),
+        # while the snapshot-level first-1 sees "late".
+        assert t == 5
+        assert lhs == Bag()
+        assert rhs == Bag(["late"])
+
+    def test_counterexample_none_for_reducible(self, ):
+        stream = LogicalStream([ValidityElement(1, 0, 5)])
+        assert reducibility_counterexample(
+            lambda s: logical_select(s, lambda v: True),
+            lambda b: b.filter(lambda v: True),
+            [stream]) is None

@@ -1,0 +1,120 @@
+"""Tests for the Stream abstraction (paper Definition 2.2)."""
+
+import pytest
+
+from repro.core import Schema, Stream, TimeError, TimeKind, merge_streams
+
+
+@pytest.fixture
+def stream():
+    return Stream.from_pairs([("a", 1), ("b", 3), ("c", 3), ("d", 7)])
+
+
+class TestAppend:
+    def test_event_time_allows_contemporary_data(self):
+        s = Stream(kind=TimeKind.EVENT_TIME)
+        s.append("a", 5)
+        s.append("b", 5)
+        assert len(s) == 2
+
+    def test_event_time_rejects_regression(self):
+        s = Stream(kind=TimeKind.EVENT_TIME)
+        s.append("a", 5)
+        with pytest.raises(TimeError):
+            s.append("b", 4)
+
+    def test_processing_time_rejects_ties(self):
+        s = Stream(kind=TimeKind.PROCESSING_TIME)
+        s.append("a", 5)
+        with pytest.raises(TimeError):
+            s.append("b", 5)
+
+    def test_extend(self):
+        s = Stream()
+        s.extend([("a", 1), ("b", 2)])
+        assert s.values() == ["a", "b"]
+
+
+class TestAccessors:
+    def test_len_iter_getitem(self, stream):
+        assert len(stream) == 4
+        assert [e.value for e in stream] == ["a", "b", "c", "d"]
+        assert stream[1].value == "b"
+        assert stream[1].timestamp == 3
+
+    def test_min_max_timestamp(self, stream):
+        assert stream.min_timestamp == 1
+        assert stream.max_timestamp == 7
+
+    def test_empty_stream_min_max(self):
+        s = Stream()
+        assert s.min_timestamp is None
+        assert s.max_timestamp is None
+
+    def test_distinct_timestamps(self, stream):
+        assert stream.distinct_timestamps() == [1, 3, 7]
+
+    def test_at_returns_bag_for_instant(self, stream):
+        # S(3) is the finite set of tuples stamped 3 (Definition 2.2).
+        assert stream.at(3) == ["b", "c"]
+        assert stream.at(2) == []
+
+    def test_between_half_open(self, stream):
+        assert [e.value for e in stream.between(1, 3)] == ["a"]
+        assert [e.value for e in stream.between(1, 4)] == ["a", "b", "c"]
+
+
+class TestPrefix:
+    def test_up_to_includes_boundary(self, stream):
+        prefix = stream.up_to(3)
+        assert prefix.values() == ["a", "b", "c"]
+
+    def test_up_to_before_start_is_empty(self, stream):
+        assert len(stream.up_to(0)) == 0
+
+    def test_up_to_is_a_copy(self, stream):
+        prefix = stream.up_to(3)
+        prefix.append("x", 10)
+        assert len(stream) == 4
+
+    def test_prefixes_are_nested(self, stream):
+        # The append-only model: S up to t1 is a prefix of S up to t2.
+        early = stream.up_to(3).values()
+        late = stream.up_to(7).values()
+        assert late[:len(early)] == early
+
+
+class TestTransforms:
+    def test_map_preserves_timestamps(self, stream):
+        mapped = stream.map(str.upper)
+        assert mapped.values() == ["A", "B", "C", "D"]
+        assert mapped.timestamps() == stream.timestamps()
+
+    def test_filter(self, stream):
+        kept = stream.filter(lambda v: v in ("b", "d"))
+        assert kept.values() == ["b", "d"]
+        assert kept.timestamps() == [3, 7]
+
+
+class TestMerge:
+    def test_merge_orders_by_timestamp(self):
+        s1 = Stream.from_pairs([("a", 1), ("c", 5)])
+        s2 = Stream.from_pairs([("b", 3)])
+        merged = merge_streams(s1, s2)
+        assert merged.values() == ["a", "b", "c"]
+
+    def test_merge_requires_same_kind(self):
+        s1 = Stream(kind=TimeKind.EVENT_TIME)
+        s2 = Stream(kind=TimeKind.PROCESSING_TIME)
+        with pytest.raises(TimeError):
+            merge_streams(s1, s2)
+
+    def test_merge_empty_args_rejected(self):
+        with pytest.raises(TimeError):
+            merge_streams()
+
+    def test_of_records(self):
+        schema = Schema(["room", "temp"])
+        s = Stream.of_records(schema, [({"room": 1, "temp": 20.5}, 10)])
+        assert s[0].value["room"] == 1
+        assert s.schema == schema

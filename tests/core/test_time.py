@@ -1,0 +1,120 @@
+"""Tests for the time domain primitives (paper Definition 2.1)."""
+
+import pytest
+
+from repro.core import (
+    Interval,
+    LogicalClock,
+    TimeError,
+    TimeKind,
+    check_progression,
+    hours,
+    millis,
+    minutes,
+    seconds,
+)
+
+
+class TestUnits:
+    def test_millis_is_identity_on_ints(self):
+        assert millis(42) == 42
+
+    def test_seconds(self):
+        assert seconds(2) == 2_000
+
+    def test_minutes_matches_listing1_range(self):
+        # Listing 1 uses [Range 15 min].
+        assert minutes(15) == 900_000
+
+    def test_hours(self):
+        assert hours(1) == 3_600_000
+
+    def test_fractional_units_truncate(self):
+        assert seconds(1.5) == 1_500
+        assert minutes(0.5) == 30_000
+
+
+class TestProgression:
+    def test_first_timestamp_always_ok(self):
+        check_progression(None, 0, TimeKind.EVENT_TIME)
+        check_progression(None, 0, TimeKind.PROCESSING_TIME)
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(TimeError):
+            check_progression(None, -1, TimeKind.EVENT_TIME)
+
+    def test_event_time_allows_ties(self):
+        check_progression(5, 5, TimeKind.EVENT_TIME)
+
+    def test_event_time_rejects_regression(self):
+        with pytest.raises(TimeError):
+            check_progression(5, 4, TimeKind.EVENT_TIME)
+
+    def test_processing_time_rejects_ties(self):
+        with pytest.raises(TimeError):
+            check_progression(5, 5, TimeKind.PROCESSING_TIME)
+
+    def test_processing_time_strictly_increases(self):
+        check_progression(5, 6, TimeKind.PROCESSING_TIME)
+
+
+class TestInterval:
+    def test_half_open_membership(self):
+        window = Interval(10, 20)
+        assert 10 in window
+        assert 19 in window
+        assert 20 not in window
+        assert 9 not in window
+
+    def test_empty_interval_allowed_but_contains_nothing(self):
+        empty = Interval(5, 5)
+        assert 5 not in empty
+        assert empty.length == 0
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(TimeError):
+            Interval(10, 5)
+
+    def test_overlaps(self):
+        assert Interval(0, 10).overlaps(Interval(5, 15))
+        assert not Interval(0, 10).overlaps(Interval(10, 20))
+
+    def test_union_span(self):
+        assert Interval(0, 5).union_span(Interval(10, 12)) == Interval(0, 12)
+
+    def test_intersect(self):
+        assert Interval(0, 10).intersect(Interval(5, 15)) == Interval(5, 10)
+        assert Interval(0, 5).intersect(Interval(5, 10)) is None
+
+    def test_ordering(self):
+        assert Interval(0, 5) < Interval(1, 2)
+        assert Interval(0, 5) < Interval(0, 6)
+
+
+class TestLogicalClock:
+    def test_tick_advances_by_step(self):
+        clock = LogicalClock(start=100, step=10)
+        assert clock.now() == 100
+        assert clock.tick() == 110
+        assert clock.tick(3) == 140
+
+    def test_advance_to(self):
+        clock = LogicalClock()
+        clock.advance_to(50)
+        assert clock.now() == 50
+
+    def test_cannot_go_backwards(self):
+        clock = LogicalClock(start=10)
+        with pytest.raises(TimeError):
+            clock.advance_to(5)
+        with pytest.raises(TimeError):
+            clock.tick(-1)
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(TimeError):
+            LogicalClock(step=0)
+
+    def test_instants_iterator(self):
+        clock = LogicalClock(start=0, step=5)
+        instants = clock.instants()
+        assert [next(instants) for _ in range(3)] == [0, 5, 10]

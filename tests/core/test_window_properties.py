@@ -1,0 +1,117 @@
+"""Property-based tests for window-operator invariants (Def. 2.4)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    NowWindow,
+    RangeWindow,
+    SessionWindow,
+    SlidingWindow,
+    SteppedRangeWindow,
+    TumblingWindow,
+    UnboundedWindow,
+    merge_sessions,
+)
+
+timestamps = st.integers(min_value=0, max_value=10_000)
+sizes = st.integers(min_value=1, max_value=500)
+
+
+@settings(max_examples=100, deadline=None)
+@given(t=timestamps, size=sizes, offset=st.integers(0, 499))
+def test_tumbling_assign_contains_element(t, size, offset):
+    (window,) = TumblingWindow(size, offset).assign(t)
+    assert t in window
+    assert window.length == size
+
+
+@settings(max_examples=100, deadline=None)
+@given(t=timestamps, size=sizes, offset=st.integers(0, 499))
+def test_tumbling_windows_partition_time(t, size, offset):
+    """Adjacent instants land in the same or the adjacent window — never
+    in overlapping ones."""
+    assigner = TumblingWindow(size, offset)
+    (a,) = assigner.assign(t)
+    (b,) = assigner.assign(t + 1)
+    assert a == b or a.end == b.start
+
+
+@settings(max_examples=100, deadline=None)
+@given(t=timestamps, size=sizes, slide=sizes)
+def test_sliding_assign_contains_element_in_every_window(t, size, slide):
+    windows = SlidingWindow(size, slide).assign(t)
+    assert all(t in w for w in windows)
+    # Number of covering windows is ceil(size / slide) when slide divides
+    # the axis cleanly; never more.
+    assert len(windows) <= -(-size // slide)
+    assert all(w.length == size for w in windows)
+
+
+@settings(max_examples=100, deadline=None)
+@given(t=timestamps, size=sizes, slide=sizes)
+def test_sliding_windows_are_aligned_and_distinct(t, size, slide):
+    windows = SlidingWindow(size, slide).assign(t)
+    starts = [w.start for w in windows]
+    assert starts == sorted(set(starts))
+    assert all((s - windows[0].start) % slide == 0 for s in starts)
+
+
+@settings(max_examples=100, deadline=None)
+@given(t=timestamps, range_=sizes)
+def test_range_scope_contains_now_and_spans_range(t, range_):
+    scope = RangeWindow(range_).scope(t)
+    assert t in scope
+    assert scope.end == t + 1
+    assert scope.length <= range_
+
+
+@settings(max_examples=100, deadline=None)
+@given(t=timestamps, range_=sizes, slide=sizes)
+def test_stepped_range_boundaries_bracket_element(t, range_, slide):
+    window = SteppedRangeWindow(range_, slide)
+    enter = window.first_boundary_covering(t)
+    exit_ = window.expiry_boundary(t)
+    assert enter % slide == 0 and exit_ % slide == 0
+    assert enter >= t
+    assert t not in window.scope(exit_)
+    if enter < exit_:
+        # Visible from the enter boundary until just before expiry.
+        assert t in window.scope(enter)
+        assert t in window.scope(exit_ - slide)
+    else:
+        # range < slide can leave sampling gaps: the element falls between
+        # reported windows and is never visible at any boundary.
+        assert range_ < slide
+        boundary = 0
+        while boundary <= t + range_ + slide:
+            assert t not in window.scope(boundary)
+            boundary += slide
+
+
+@settings(max_examples=100, deadline=None)
+@given(t=timestamps)
+def test_now_and_unbounded_scopes(t):
+    assert NowWindow().scope(t).length == 1
+    unbounded = UnboundedWindow().scope(t)
+    assert unbounded.start == 0
+    assert t in unbounded
+
+
+@settings(max_examples=100, deadline=None)
+@given(ts=st.lists(timestamps, min_size=1, max_size=30),
+       gap=st.integers(min_value=1, max_value=100))
+def test_session_merging_invariants(ts, gap):
+    assigner = SessionWindow(gap)
+    sessions = merge_sessions([assigner.assign(t)[0] for t in ts])
+    # Each element lies in exactly one session.
+    for t in ts:
+        assert sum(1 for s in sessions if t in s) == 1
+    # Sessions are disjoint, ordered, and separated by more than... at
+    # least not overlapping; and each spans a multiple of nothing but is
+    # at least `gap` long.
+    for a, b in zip(sessions, sessions[1:]):
+        assert a.end <= b.start
+    assert all(s.length >= gap for s in sessions)
+    # Merging is idempotent.
+    assert merge_sessions(sessions) == sessions

@@ -1,0 +1,163 @@
+"""Tests for window operators (paper Definition 2.4, Section 4.1.3)."""
+
+import pytest
+
+from repro.core import (
+    CountWindow,
+    LandmarkWindow,
+    NowWindow,
+    PartitionedWindow,
+    RangeWindow,
+    SessionWindow,
+    SlidingWindow,
+    StreamElement,
+    TumblingWindow,
+    UnboundedWindow,
+    Window,
+    WindowError,
+    merge_sessions,
+    window_contents,
+)
+
+
+class TestTumbling:
+    def test_partitions_time(self):
+        w = TumblingWindow(size=10)
+        assert w.assign(0) == [Window(0, 10)]
+        assert w.assign(9) == [Window(0, 10)]
+        assert w.assign(10) == [Window(10, 20)]
+
+    def test_offset(self):
+        w = TumblingWindow(size=10, offset=3)
+        assert w.assign(3) == [Window(3, 13)]
+        assert w.assign(2) == [Window(-7, 3)]
+
+    def test_scope_equals_assign(self):
+        w = TumblingWindow(size=10)
+        assert w.scope(25) == Window(20, 30)
+
+    def test_invalid_size(self):
+        with pytest.raises(WindowError):
+            TumblingWindow(size=0)
+
+    def test_not_merging(self):
+        assert not TumblingWindow(size=10).is_merging
+
+
+class TestSliding:
+    def test_element_belongs_to_overlapping_windows(self):
+        w = SlidingWindow(size=10, slide=5)
+        assert w.assign(7) == [Window(0, 10), Window(5, 15)]
+
+    def test_degenerates_to_tumbling_when_slide_equals_size(self):
+        w = SlidingWindow(size=10, slide=10)
+        assert w.assign(7) == [Window(0, 10)]
+
+    def test_sampling_window_when_slide_exceeds_size(self):
+        w = SlidingWindow(size=5, slide=10)
+        assert w.assign(12) == [Window(10, 15)]
+        assert w.assign(7) == []  # falls in the gap
+
+    def test_scope_latest_boundary(self):
+        w = SlidingWindow(size=10, slide=5)
+        assert w.scope(12) == Window(10, 20)
+
+    def test_invalid_params(self):
+        with pytest.raises(WindowError):
+            SlidingWindow(size=0, slide=5)
+        with pytest.raises(WindowError):
+            SlidingWindow(size=5, slide=0)
+
+
+class TestRange:
+    def test_scope_covers_last_r_ticks_inclusive(self):
+        w = RangeWindow(range_=15)
+        scope = w.scope(100)
+        assert 100 in scope
+        assert 86 in scope
+        assert 85 not in scope
+
+    def test_scope_clamps_at_zero(self):
+        assert RangeWindow(range_=100).scope(5) == Window(0, 6)
+
+    def test_assign_not_supported(self):
+        with pytest.raises(WindowError):
+            RangeWindow(range_=15).assign(0)
+
+
+class TestNowUnboundedLandmark:
+    def test_now_single_instant(self):
+        assert NowWindow().scope(42) == Window(42, 43)
+
+    def test_unbounded_covers_everything_so_far(self):
+        assert UnboundedWindow().scope(42) == Window(0, 43)
+
+    def test_landmark_grows_from_fixed_point(self):
+        w = LandmarkWindow(landmark=10)
+        assert w.scope(42) == Window(10, 43)
+        # Before the landmark the window is empty.
+        assert w.scope(5).length == 0
+
+
+class TestSessions:
+    def test_proto_windows_extend_by_gap(self):
+        w = SessionWindow(gap=5)
+        assert w.assign(10) == [Window(10, 15)]
+        assert w.is_merging
+
+    def test_merge_overlapping_sessions(self):
+        merged = merge_sessions(
+            [Window(0, 5), Window(3, 8), Window(20, 25)])
+        assert merged == [Window(0, 8), Window(20, 25)]
+
+    def test_merge_adjacent_sessions(self):
+        # Touching proto-windows belong to the same session.
+        assert merge_sessions([Window(0, 5), Window(5, 10)]) == \
+            [Window(0, 10)]
+
+    def test_merge_empty(self):
+        assert merge_sessions([]) == []
+
+    def test_scope_unsupported(self):
+        with pytest.raises(WindowError):
+            SessionWindow(gap=5).scope(0)
+
+
+class TestCountWindow:
+    def test_last_n_elements(self):
+        w = CountWindow(rows=2)
+        elements = [StreamElement(v, t) for t, v in enumerate("abc")]
+        assert [e.value for e in w.select(elements)] == ["b", "c"]
+
+    def test_fewer_than_n(self):
+        w = CountWindow(rows=5)
+        elements = [StreamElement("a", 0)]
+        assert [e.value for e in w.select(elements)] == ["a"]
+
+    def test_invalid_rows(self):
+        with pytest.raises(WindowError):
+            CountWindow(rows=0)
+
+
+class TestPartitionedWindow:
+    def test_last_n_per_key_in_stream_order(self):
+        w = PartitionedWindow(key_fn=lambda v: v[0], rows=1)
+        elements = [
+            StreamElement(("a", 1), 0),
+            StreamElement(("b", 2), 1),
+            StreamElement(("a", 3), 2),
+        ]
+        selected = w.select(elements)
+        assert [e.value for e in selected] == [("b", 2), ("a", 3)]
+
+    def test_rows_greater_than_history(self):
+        w = PartitionedWindow(key_fn=lambda v: v, rows=10)
+        elements = [StreamElement("x", 0), StreamElement("x", 1)]
+        assert len(w.select(elements)) == 2
+
+
+class TestWindowContents:
+    def test_filters_by_interval(self):
+        elements = [StreamElement("a", 1), StreamElement("b", 5)]
+        assert [e.value
+                for e in window_contents(elements, Window(0, 5))] == ["a"]

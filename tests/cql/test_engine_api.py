@@ -1,0 +1,49 @@
+"""Tests for the CQLEngine facade (multi-query fan-out, explain)."""
+
+import pytest
+
+from repro.core import PlanError, Schema
+from repro.cql import CQLEngine
+
+
+@pytest.fixture
+def engine():
+    engine = CQLEngine()
+    engine.register_stream("Obs", Schema(["id", "temp"]))
+    engine.register_stream("Other", Schema(["x"]))
+    return engine
+
+
+class TestEngineFanOut:
+    def test_push_reaches_only_readers(self, engine):
+        q_obs = engine.register_query("SELECT ISTREAM id FROM Obs [Now]")
+        q_other = engine.register_query("SELECT ISTREAM x FROM Other [Now]")
+        emissions = engine.push("Obs", {"id": 1, "temp": 20}, 0)
+        assert list(emissions) == [0]          # only the first query
+        assert len(emissions[0]) == 1
+        assert q_other.emissions() == []
+
+    def test_push_fans_out_to_all_readers(self, engine):
+        engine.register_query("SELECT ISTREAM id FROM Obs [Now]")
+        engine.register_query("SELECT ISTREAM temp FROM Obs [Now]")
+        emissions = engine.push("Obs", {"id": 1, "temp": 20}, 0)
+        assert sorted(emissions) == [0, 1]
+
+    def test_queries_listing(self, engine):
+        engine.register_query("SELECT id FROM Obs [Now]")
+        assert len(engine.queries) == 1
+
+    def test_explain_unoptimized(self, engine):
+        text = engine.explain("SELECT id FROM Obs [Now] WHERE temp > 1")
+        assert "Filter" in text
+
+    def test_duplicate_source_registration_rejected(self, engine):
+        with pytest.raises(PlanError, match="already"):
+            engine.register_stream("Obs", Schema(["z"]))
+        with pytest.raises(PlanError, match="already"):
+            engine.register_relation("Obs", Schema(["z"]))
+
+    def test_relation_rows_validated(self, engine):
+        with pytest.raises(Exception):
+            engine.register_relation("Bad", Schema(["a"]),
+                                     rows=[{"wrong": 1}])

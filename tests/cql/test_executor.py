@@ -1,0 +1,230 @@
+"""Tests for the incremental executor's operator behaviour."""
+
+import pytest
+
+from repro.core import Bag, PlanError, Schema, StateError, Stream
+from repro.cql import CQLEngine
+
+
+OBS = Schema(["id", "room", "temp"])
+
+
+@pytest.fixture
+def engine():
+    engine = CQLEngine()
+    engine.register_stream("Obs", OBS)
+    engine.register_relation(
+        "Person", Schema(["id", "name"]),
+        rows=[{"id": 1, "name": "ada"}, {"id": 2, "name": "bob"}])
+    return engine
+
+
+def rows(bag):
+    return sorted(tuple(r.values) for r in bag)
+
+
+class TestWindows:
+    def test_now_window_expires_next_instant(self, engine):
+        q = engine.register_query("SELECT id FROM Obs [Now]")
+        q.push("Obs", {"id": 1, "room": "a", "temp": 20}, 10)
+        assert rows(q.current()) == [(1,)]
+        q.advance_to(11)
+        assert rows(q.current()) == []
+
+    def test_range_window_expiry_without_arrivals(self, engine):
+        q = engine.register_query("SELECT id FROM Obs [Range 5]")
+        q.push("Obs", {"id": 1, "room": "a", "temp": 20}, 10)
+        q.advance_to(14)
+        assert rows(q.current()) == [(1,)]
+        q.advance_to(15)
+        assert rows(q.current()) == []
+
+    def test_rows_window_evicts_oldest(self, engine):
+        q = engine.register_query("SELECT id FROM Obs [Rows 2]")
+        for i, t in [(1, 0), (2, 1), (3, 2)]:
+            q.push("Obs", {"id": i, "room": "a", "temp": 0}, t)
+        assert rows(q.current()) == [(2,), (3,)]
+
+    def test_partitioned_window_per_key(self, engine):
+        q = engine.register_query(
+            "SELECT id, room FROM Obs [Partition By room Rows 1]")
+        q.push("Obs", {"id": 1, "room": "a", "temp": 0}, 0)
+        q.push("Obs", {"id": 2, "room": "b", "temp": 0}, 1)
+        q.push("Obs", {"id": 3, "room": "a", "temp": 0}, 2)
+        assert rows(q.current()) == [(2, "b"), (3, "a")]
+
+    def test_stepped_range_freezes_between_boundaries(self, engine):
+        q = engine.register_query("SELECT id FROM Obs [Range 10 Slide 5]")
+        q.push("Obs", {"id": 1, "room": "a", "temp": 0}, 3)
+        # Not yet visible: next boundary is 5.
+        assert rows(q.current()) == []
+        q.advance_to(5)
+        assert rows(q.current()) == [(1,)]
+        # Expires at the first boundary >= 3 + 10 = 15.
+        q.advance_to(14)
+        assert rows(q.current()) == [(1,)]
+        q.advance_to(15)
+        assert rows(q.current()) == []
+
+    def test_unbounded_never_expires(self, engine):
+        q = engine.register_query("SELECT id FROM Obs")
+        q.push("Obs", {"id": 1, "room": "a", "temp": 0}, 0)
+        q.advance_to(10_000)
+        assert rows(q.current()) == [(1,)]
+
+
+class TestAggregates:
+    def test_grouped_avg_updates_incrementally(self, engine):
+        q = engine.register_query(
+            "SELECT room, AVG(temp) AS a FROM Obs [Range 100] GROUP BY room")
+        q.push("Obs", {"id": 1, "room": "a", "temp": 10}, 0)
+        q.push("Obs", {"id": 2, "room": "a", "temp": 20}, 1)
+        assert rows(q.current()) == [("a", 15)]
+
+    def test_group_disappears_when_empty(self, engine):
+        q = engine.register_query(
+            "SELECT room, COUNT(*) AS n FROM Obs [Range 5] GROUP BY room")
+        q.push("Obs", {"id": 1, "room": "a", "temp": 0}, 0)
+        assert rows(q.current()) == [("a", 1)]
+        q.advance_to(5)
+        assert rows(q.current()) == []
+
+    def test_global_count_reports_zero_after_expiry(self, engine):
+        q = engine.register_query("SELECT COUNT(*) AS n FROM Obs [Range 5]")
+        q.push("Obs", {"id": 1, "room": "a", "temp": 0}, 0)
+        q.advance_to(100)
+        assert rows(q.current()) == [(0,)]
+
+    def test_min_max_with_retraction(self, engine):
+        q = engine.register_query(
+            "SELECT MIN(temp) lo, MAX(temp) hi FROM Obs [Range 10]")
+        q.push("Obs", {"id": 1, "room": "a", "temp": 30}, 0)
+        q.push("Obs", {"id": 2, "room": "a", "temp": 10}, 5)
+        assert rows(q.current()) == [(10, 30)]
+        q.advance_to(10)  # temp=30 expires
+        assert rows(q.current()) == [(10, 10)]
+
+    def test_sum_of_nulls_is_null(self, engine):
+        q = engine.register_query("SELECT SUM(temp) s FROM Obs [Range 10]")
+        q.push("Obs", {"id": 1, "room": "a", "temp": None}, 0)
+        assert rows(q.current()) == [(None,)]
+
+    def test_having_filters_groups(self, engine):
+        q = engine.register_query(
+            "SELECT room FROM Obs [Range 100] GROUP BY room "
+            "HAVING COUNT(*) >= 2")
+        q.push("Obs", {"id": 1, "room": "a", "temp": 0}, 0)
+        assert rows(q.current()) == []
+        q.push("Obs", {"id": 2, "room": "a", "temp": 0}, 1)
+        assert rows(q.current()) == [("a",)]
+
+
+class TestJoinsAndRelations:
+    def test_stream_relation_join(self, engine):
+        q = engine.register_query(
+            "SELECT P.name FROM Obs O [Range 100], Person P "
+            "WHERE O.id = P.id")
+        q.start()
+        q.push("Obs", {"id": 2, "room": "a", "temp": 0}, 1)
+        assert rows(q.current()) == [("bob",)]
+
+    def test_relation_update_propagates(self, engine):
+        q = engine.register_query(
+            "SELECT P.name FROM Obs O [Range 100], Person P "
+            "WHERE O.id = P.id")
+        q.start()
+        q.push("Obs", {"id": 9, "room": "a", "temp": 0}, 1)
+        assert rows(q.current()) == []
+        q.update_relation("Person", {"id": 9, "name": "eve"}, +1, 2)
+        assert rows(q.current()) == [("eve",)]
+        q.update_relation("Person", {"id": 9, "name": "eve"}, -1, 3)
+        assert rows(q.current()) == []
+
+    def test_stream_stream_join(self, engine):
+        engine.register_stream("Alerts", Schema(["id", "level"]))
+        q = engine.register_query(
+            "SELECT O.room, A.level FROM Obs O [Range 10], "
+            "Alerts A [Range 10] WHERE O.id = A.id")
+        q.push("Obs", {"id": 1, "room": "a", "temp": 0}, 0)
+        q.push("Alerts", {"id": 1, "level": 3}, 2)
+        assert rows(q.current()) == [("a", 3)]
+        q.advance_to(10)  # the Obs tuple expires; join result retracts
+        assert rows(q.current()) == []
+
+    def test_theta_join_residual(self, engine):
+        engine.register_stream("Alerts", Schema(["id", "level"]))
+        q = engine.register_query(
+            "SELECT O.id FROM Obs O [Range 100], Alerts A [Range 100] "
+            "WHERE O.temp > A.level")
+        q.push("Obs", {"id": 1, "room": "a", "temp": 5}, 0)
+        q.push("Alerts", {"id": 9, "level": 3}, 1)
+        q.push("Alerts", {"id": 9, "level": 7}, 2)
+        assert rows(q.current()) == [(1,)]
+
+
+class TestR2SOutputs:
+    def test_istream_emissions(self, engine):
+        q = engine.register_query("SELECT ISTREAM id FROM Obs [Range 5]")
+        emitted = q.push("Obs", {"id": 1, "room": "a", "temp": 0}, 0)
+        assert [(e.record["id"], e.timestamp) for e in emitted] == [(1, 0)]
+        # Expiry produces no ISTREAM output.
+        assert q.advance_to(100) == []
+
+    def test_dstream_emissions(self, engine):
+        q = engine.register_query("SELECT DSTREAM id FROM Obs [Range 5]")
+        assert q.push("Obs", {"id": 1, "room": "a", "temp": 0}, 0) == []
+        emitted = q.advance_to(5)
+        assert [(e.record["id"], e.timestamp) for e in emitted] == [(1, 5)]
+
+    def test_rstream_emits_full_state(self, engine):
+        q = engine.register_query("SELECT RSTREAM id FROM Obs [Range 100]")
+        q.push("Obs", {"id": 1, "room": "a", "temp": 0}, 0)
+        emitted = q.push("Obs", {"id": 2, "room": "a", "temp": 0}, 1)
+        assert sorted(e.record["id"] for e in emitted) == [1, 2]
+
+    def test_distinct_transitions(self, engine):
+        q = engine.register_query(
+            "SELECT ISTREAM DISTINCT room FROM Obs [Range 100]")
+        first = q.push("Obs", {"id": 1, "room": "a", "temp": 0}, 0)
+        second = q.push("Obs", {"id": 2, "room": "a", "temp": 0}, 1)
+        assert len(first) == 1
+        assert second == []  # duplicate room produces no new distinct row
+
+
+class TestDriverContract:
+    def test_out_of_order_push_rejected(self, engine):
+        q = engine.register_query("SELECT id FROM Obs [Now]")
+        q.push("Obs", {"id": 1, "room": "a", "temp": 0}, 10)
+        with pytest.raises(StateError, match="order"):
+            q.push("Obs", {"id": 2, "room": "a", "temp": 0}, 5)
+
+    def test_push_unknown_stream_rejected(self, engine):
+        q = engine.register_query("SELECT id FROM Obs [Now]")
+        with pytest.raises(PlanError):
+            q.push("Nope", {"id": 1}, 0)
+
+    def test_same_timestamp_batches_allowed(self, engine):
+        q = engine.register_query("SELECT COUNT(*) n FROM Obs [Range 10]")
+        q.push("Obs", {"id": 1, "room": "a", "temp": 0}, 5)
+        q.push("Obs", {"id": 2, "room": "a", "temp": 0}, 5)
+        assert rows(q.current()) == [(2,)]
+
+    def test_emitted_stream_is_ordered(self, engine):
+        q = engine.register_query("SELECT ISTREAM id FROM Obs [Range 3]")
+        q.push("Obs", {"id": 2, "room": "a", "temp": 0}, 0)
+        q.push("Obs", {"id": 1, "room": "a", "temp": 0}, 4)
+        stream = q.emitted_stream()
+        assert stream.timestamps() == [0, 4]
+
+    def test_finish_drains_agenda(self, engine):
+        q = engine.register_query("SELECT DSTREAM id FROM Obs [Range 50]")
+        q.push("Obs", {"id": 1, "room": "a", "temp": 0}, 0)
+        emitted = q.finish()
+        assert [e.timestamp for e in emitted] == [50]
+
+    def test_deltas_processed_counter(self, engine):
+        q = engine.register_query("SELECT id FROM Obs [Range 5]")
+        q.push("Obs", {"id": 1, "room": "a", "temp": 0}, 0)
+        before = q.deltas_processed
+        q.finish()
+        assert q.deltas_processed > before

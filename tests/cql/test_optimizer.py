@@ -1,0 +1,116 @@
+"""Tests for the rule-based logical optimizer (paper Section 4.2)."""
+
+import pytest
+
+from repro.core import Schema
+from repro.cql import (
+    Catalog,
+    Filter,
+    Join,
+    Project,
+    parse_query,
+    plan_statement,
+)
+from repro.sql.optimizer import (
+    extract_equijoin_keys,
+    fuse_filters,
+    optimize,
+    plan_signature,
+    push_filter_through_join,
+    remove_trivial_filter,
+)
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.register_stream("Orders", Schema(["oid", "user", "amount"]))
+    catalog.register_stream("Clicks", Schema(["user", "page"]))
+    catalog.register_relation("Users", Schema(["user", "city"]))
+    return catalog
+
+
+def naive(text, catalog):
+    return plan_statement(parse_query(text), catalog)
+
+
+class TestRules:
+    def test_trivial_filter_removed(self, catalog):
+        plan = naive("SELECT * FROM Orders WHERE TRUE", catalog)
+        assert isinstance(plan, Filter)
+        assert remove_trivial_filter(plan) is plan.child
+
+    def test_fuse_filters(self, catalog):
+        inner = naive("SELECT * FROM Orders WHERE amount > 1", catalog)
+        stacked = Filter(inner, parse_query(
+            "SELECT * FROM X WHERE amount > 2").where)
+        fused = fuse_filters(stacked)
+        assert isinstance(fused, Filter)
+        assert not isinstance(fused.child, Filter)
+
+    def test_push_filter_through_join_sides(self, catalog):
+        plan = naive(
+            "SELECT * FROM Orders O, Users U "
+            "WHERE O.amount > 10 AND U.city = 'lyon' AND O.user = U.user",
+            catalog)
+        rewritten = push_filter_through_join(plan)
+        assert isinstance(rewritten, Join)
+        # One conjunct went to each side, the equality became join keys.
+        assert isinstance(rewritten.left, Filter)
+        assert isinstance(rewritten.right, Filter)
+        assert rewritten.left_keys == ("O.user",)
+        assert rewritten.right_keys == ("U.user",)
+        assert rewritten.residual is None
+
+    def test_equality_reversed_orientation(self, catalog):
+        plan = naive(
+            "SELECT * FROM Orders O, Users U WHERE U.user = O.user", catalog)
+        rewritten = push_filter_through_join(plan)
+        assert rewritten.left_keys == ("O.user",)
+        assert rewritten.right_keys == ("U.user",)
+
+    def test_non_equi_condition_stays_residual(self, catalog):
+        plan = naive(
+            "SELECT * FROM Orders O, Clicks C WHERE O.amount > C.user",
+            catalog)
+        rewritten = push_filter_through_join(plan)
+        assert rewritten.residual is not None
+        assert rewritten.left_keys == ()
+
+    def test_extract_equijoin_from_residual(self, catalog):
+        plan = naive(
+            "SELECT * FROM Orders O, Clicks C "
+            "WHERE O.user = C.user AND O.amount > 5", catalog)
+        joined = push_filter_through_join(plan)
+        # amount > 5 went left; equality became keys already.
+        assert joined.left_keys == ("O.user",)
+        # And extract_equijoin_keys is idempotent on an already-clean join.
+        assert extract_equijoin_keys(joined) is None
+
+
+class TestOptimizeFixpoint:
+    def test_three_way_join_fully_keyed(self, catalog):
+        plan = optimize(naive(
+            "SELECT O.oid FROM Orders O, Clicks C, Users U "
+            "WHERE O.user = C.user AND C.user = U.user AND O.amount > 100",
+            catalog))
+        signature = plan_signature(plan)
+        assert "cross" not in signature
+        assert signature.count("equijoin") == 2
+        # The selective filter sits below the joins.
+        assert isinstance(plan, Project)
+
+    def test_optimization_preserves_schema(self, catalog):
+        text = ("SELECT O.oid, U.city FROM Orders O, Users U "
+                "WHERE O.user = U.user")
+        naive_plan = naive(text, catalog)
+        optimized = optimize(naive_plan)
+        assert optimized.schema == naive_plan.schema
+
+    def test_no_rules_fire_is_identity(self, catalog):
+        plan = naive("SELECT * FROM Orders [Now]", catalog)
+        assert optimize(plan) is plan
+
+    def test_signature_format(self, catalog):
+        plan = naive("SELECT ISTREAM * FROM Orders [Now]", catalog)
+        assert plan_signature(plan) == "istream(window(stream_scan))"

@@ -1,0 +1,198 @@
+"""Tests for the naive planner and plan analysis."""
+
+import pytest
+
+from repro.core import (
+    MonotonicityClass,
+    PlanError,
+    R2SKind,
+    Schema,
+    classify_plan,
+)
+from repro.cql import (
+    Aggregate,
+    Catalog,
+    Distinct,
+    Filter,
+    Join,
+    Project,
+    RelationScan,
+    RelToStream,
+    StreamScan,
+    WindowOp,
+    WindowSpecKind,
+    parse_query,
+    plan_statement,
+    scans_of,
+)
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.register_stream("Obs", Schema(["id", "room", "temp"]))
+    catalog.register_stream("Alerts", Schema(["id", "level"]))
+    catalog.register_relation("Person", Schema(["id", "name"]))
+    return catalog
+
+
+def plan_of(text, catalog):
+    return plan_statement(parse_query(text), catalog)
+
+
+class TestSources:
+    def test_stream_gets_window(self, catalog):
+        plan = plan_of("SELECT * FROM Obs [Now]", catalog)
+        assert isinstance(plan, WindowOp)
+        assert plan.spec.kind is WindowSpecKind.NOW
+        assert isinstance(plan.child, StreamScan)
+
+    def test_stream_default_window_is_unbounded(self, catalog):
+        plan = plan_of("SELECT * FROM Obs", catalog)
+        assert isinstance(plan, WindowOp)
+        assert plan.spec.kind is WindowSpecKind.UNBOUNDED
+
+    def test_schema_is_alias_qualified(self, catalog):
+        plan = plan_of("SELECT * FROM Obs X", catalog)
+        assert plan.schema.fields == ("X.id", "X.room", "X.temp")
+
+    def test_alias_defaults_to_name(self, catalog):
+        plan = plan_of("SELECT * FROM Obs", catalog)
+        assert plan.schema.fields[0] == "Obs.id"
+
+    def test_relation_scan(self, catalog):
+        plan = plan_of("SELECT * FROM Person", catalog)
+        assert isinstance(plan, RelationScan)
+
+    def test_window_on_relation_rejected(self, catalog):
+        with pytest.raises(PlanError, match="window"):
+            plan_of("SELECT * FROM Person [Rows 3]", catalog)
+
+    def test_unknown_source(self, catalog):
+        with pytest.raises(PlanError, match="unknown"):
+            plan_of("SELECT * FROM Mystery", catalog)
+
+    def test_duplicate_binding_rejected(self, catalog):
+        with pytest.raises(PlanError, match="duplicate"):
+            plan_of("SELECT * FROM Obs X, Alerts X", catalog)
+
+    def test_self_join_with_distinct_aliases(self, catalog):
+        plan = plan_of("SELECT * FROM Obs A, Obs B", catalog)
+        scans = scans_of(plan)
+        assert [s.alias for s in scans] == ["A", "B"]
+
+    def test_multiple_sources_fold_left_deep(self, catalog):
+        plan = plan_of("SELECT * FROM Obs, Alerts, Person", catalog)
+        assert isinstance(plan, Join)
+        assert isinstance(plan.left, Join)
+
+
+class TestProjection:
+    def test_star_has_no_project(self, catalog):
+        plan = plan_of("SELECT * FROM Obs [Now]", catalog)
+        assert not isinstance(plan, Project)
+
+    def test_explicit_items_project(self, catalog):
+        plan = plan_of("SELECT room, temp FROM Obs [Now]", catalog)
+        assert isinstance(plan, Project)
+        assert plan.schema.fields == ("room", "temp")
+
+    def test_duplicate_output_names_rejected(self, catalog):
+        with pytest.raises(PlanError, match="duplicate"):
+            plan_of("SELECT room, temp AS room FROM Obs", catalog)
+
+    def test_where_becomes_filter(self, catalog):
+        plan = plan_of("SELECT room FROM Obs [Now] WHERE temp > 20", catalog)
+        assert isinstance(plan, Project)
+        assert isinstance(plan.child, Filter)
+
+    def test_distinct_on_top(self, catalog):
+        plan = plan_of("SELECT DISTINCT room FROM Obs", catalog)
+        assert isinstance(plan, Distinct)
+
+    def test_r2s_is_root(self, catalog):
+        plan = plan_of("SELECT ISTREAM room FROM Obs [Now]", catalog)
+        assert isinstance(plan, RelToStream)
+        assert plan.kind is R2SKind.ISTREAM
+
+
+class TestAggregation:
+    def test_aggregate_node_extracted(self, catalog):
+        plan = plan_of(
+            "SELECT room, AVG(temp) AS a FROM Obs [Range 10] GROUP BY room",
+            catalog)
+        assert isinstance(plan, Project)
+        agg = plan.child
+        assert isinstance(agg, Aggregate)
+        assert agg.group_by == ("room",)
+        assert agg.aggregates[0].name == "a"
+        assert plan.schema.fields == ("room", "a")
+
+    def test_having_becomes_filter_above_aggregate(self, catalog):
+        plan = plan_of(
+            "SELECT room FROM Obs GROUP BY room HAVING COUNT(*) > 2",
+            catalog)
+        assert isinstance(plan, Project)
+        having = plan.child
+        assert isinstance(having, Filter)
+        assert isinstance(having.child, Aggregate)
+
+    def test_shared_aggregate_registered_once(self, catalog):
+        plan = plan_of(
+            "SELECT AVG(temp) AS a, AVG(temp) * 2 AS b FROM Obs", catalog)
+        agg = plan.child
+        assert len(agg.aggregates) == 1
+
+    def test_select_star_with_group_by_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            plan_of("SELECT * FROM Obs GROUP BY room", catalog)
+
+    def test_non_grouped_column_rejected(self, catalog):
+        with pytest.raises(PlanError, match="GROUP BY"):
+            plan_of("SELECT temp, COUNT(*) c FROM Obs GROUP BY room",
+                    catalog)
+
+    def test_having_without_aggregation_rejected(self, catalog):
+        with pytest.raises(PlanError, match="HAVING"):
+            plan_of("SELECT room FROM Obs HAVING room > 1", catalog)
+
+    def test_count_star(self, catalog):
+        plan = plan_of("SELECT COUNT(*) AS n FROM Obs", catalog)
+        agg = plan.child
+        assert agg.aggregates[0].arg is None
+
+    def test_sum_star_rejected(self, catalog):
+        with pytest.raises(PlanError):
+            plan_of("SELECT SUM(*) AS s FROM Obs", catalog)
+
+    def test_expression_over_aggregate(self, catalog):
+        plan = plan_of("SELECT COUNT(*) * 2 AS double FROM Obs", catalog)
+        assert plan.schema.fields == ("double",)
+
+
+class TestMonotonicityIntegration:
+    """Plans satisfy the PlanNode protocol of core.monotonicity."""
+
+    def test_unbounded_spj_is_monotonic(self, catalog):
+        plan = plan_of(
+            "SELECT O.room FROM Obs O, Person P WHERE O.id = P.id", catalog)
+        assert classify_plan(plan) is MonotonicityClass.MONOTONIC
+
+    def test_windowed_query_is_non_monotonic(self, catalog):
+        plan = plan_of("SELECT room FROM Obs [Range 10]", catalog)
+        assert classify_plan(plan) is MonotonicityClass.NON_MONOTONIC
+
+    def test_aggregate_is_non_monotonic(self, catalog):
+        plan = plan_of("SELECT COUNT(*) n FROM Obs", catalog)
+        assert classify_plan(plan) is MonotonicityClass.NON_MONOTONIC
+
+
+class TestExplain:
+    def test_explain_shows_tree(self, catalog):
+        plan = plan_of(
+            "SELECT room FROM Obs [Range 10] WHERE temp > 20", catalog)
+        text = plan.explain()
+        assert "Project" in text
+        assert "Filter" in text
+        assert "Window[Range 10]" in text
+        assert "StreamScan(Obs AS Obs)" in text

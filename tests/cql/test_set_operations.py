@@ -1,0 +1,157 @@
+"""Tests for UNION / EXCEPT / INTERSECT over continuous queries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ParseError, PlanError, R2SKind, Schema, Stream
+from repro.cql import (
+    CQLEngine,
+    SetStatement,
+    parse_query,
+    reference_evaluate,
+)
+
+A = Schema(["x", "tag"])
+B = Schema(["y", "tag"])
+
+
+def build_engine():
+    engine = CQLEngine()
+    engine.register_stream("A", A)
+    engine.register_stream("B", B)
+    return engine
+
+
+def fixed_streams():
+    return {
+        "A": Stream.of_records(A, [
+            ({"x": 1, "tag": "p"}, 1), ({"x": 2, "tag": "q"}, 3),
+            ({"x": 1, "tag": "p"}, 5), ({"x": 3, "tag": "p"}, 9)]),
+        "B": Stream.of_records(B, [
+            ({"y": 1, "tag": "p"}, 2), ({"y": 4, "tag": "q"}, 4),
+            ({"y": 2, "tag": "q"}, 8)]),
+    }
+
+
+class TestParsing:
+    def test_union_all(self):
+        stmt = parse_query("SELECT x FROM A UNION ALL SELECT y FROM B")
+        assert isinstance(stmt, SetStatement)
+        assert stmt.kind == "union"
+        assert not stmt.distinct
+
+    def test_plain_union_is_distinct(self):
+        stmt = parse_query("SELECT x FROM A UNION SELECT y FROM B")
+        assert stmt.distinct
+
+    def test_except_and_intersect(self):
+        assert parse_query(
+            "SELECT x FROM A EXCEPT ALL SELECT y FROM B").kind == \
+            "difference"
+        assert parse_query(
+            "SELECT x FROM A INTERSECT SELECT y FROM B").kind == \
+            "intersection"
+
+    def test_left_associative_chain(self):
+        stmt = parse_query("SELECT x FROM A UNION ALL SELECT y FROM B "
+                           "EXCEPT ALL SELECT x FROM A")
+        assert stmt.kind == "difference"
+        assert stmt.left.kind == "union"
+
+    def test_r2s_wraps_whole_expression(self):
+        stmt = parse_query(
+            "ISTREAM (SELECT x FROM A UNION ALL SELECT y FROM B)")
+        assert isinstance(stmt, SetStatement)
+        assert stmt.r2s is R2SKind.ISTREAM
+        assert stmt.left.r2s is None
+
+    def test_r2s_on_operand_rejected(self):
+        with pytest.raises(ParseError, match="whole"):
+            parse_query("SELECT ISTREAM x FROM A UNION SELECT y FROM B")
+
+
+class TestPlanning:
+    def test_arity_mismatch_rejected(self):
+        engine = build_engine()
+        with pytest.raises(PlanError, match="arity"):
+            engine.plan("SELECT x, tag FROM A UNION ALL SELECT y FROM B")
+
+    def test_left_operand_names_output(self):
+        engine = build_engine()
+        plan = engine.plan("SELECT x AS v FROM A UNION ALL "
+                           "SELECT y FROM B")
+        assert plan.schema.fields == ("v",)
+
+
+QUERIES = [
+    "SELECT x FROM A [Range 6] UNION ALL SELECT y FROM B [Range 6]",
+    "SELECT x FROM A [Range 6] UNION SELECT y FROM B [Range 6]",
+    "SELECT x FROM A [Range 10] EXCEPT ALL SELECT y FROM B [Range 10]",
+    "SELECT x FROM A [Range 10] INTERSECT ALL SELECT y FROM B [Range 10]",
+    "SELECT x, tag FROM A [Rows 2] UNION ALL "
+    "SELECT y, tag FROM B [Rows 2]",
+    "ISTREAM (SELECT x FROM A [Range 5] UNION ALL "
+    "SELECT y FROM B [Range 5])",
+    "DSTREAM (SELECT x FROM A [Range 5] EXCEPT ALL "
+    "SELECT y FROM B [Range 5])",
+]
+
+
+@pytest.mark.parametrize("query_text", QUERIES)
+def test_executor_matches_reference(query_text):
+    engine = build_engine()
+    streams = fixed_streams()
+    plan = engine.plan(query_text)
+    query = engine.register_query(query_text)
+    query.run_recorded(streams)
+    reference = reference_evaluate(plan, engine.catalog, streams)
+    if plan.op_name in ("istream", "dstream", "rstream"):
+        produced = query.emitted_stream()
+        assert produced.values() == reference.values()
+        assert produced.timestamps() == reference.timestamps()
+    else:
+        assert query.as_relation() == reference
+
+
+row_a = st.fixed_dictionaries({
+    "x": st.integers(min_value=0, max_value=3),
+    "tag": st.sampled_from(["p", "q"])})
+row_b = st.fixed_dictionaries({
+    "y": st.integers(min_value=0, max_value=3),
+    "tag": st.sampled_from(["p", "q"])})
+
+
+@st.composite
+def set_workloads(draw):
+    def make(schema, rows_strategy):
+        n = draw(st.integers(min_value=0, max_value=8))
+        rows = draw(st.lists(rows_strategy, min_size=n, max_size=n))
+        gaps = draw(st.lists(st.integers(min_value=0, max_value=4),
+                             min_size=n, max_size=n))
+        t = 0
+        pairs = []
+        for row, gap in zip(rows, gaps):
+            t += gap
+            pairs.append((row, t))
+        return Stream.of_records(schema, pairs)
+
+    return {"A": make(A, row_a), "B": make(B, row_b)}
+
+
+@settings(max_examples=25, deadline=None)
+@given(streams=set_workloads(),
+       query_index=st.integers(0, len(QUERIES) - 1))
+def test_property_set_operations(streams, query_index):
+    engine = build_engine()
+    query_text = QUERIES[query_index]
+    plan = engine.plan(query_text)
+    query = engine.register_query(query_text)
+    query.run_recorded(streams)
+    reference = reference_evaluate(plan, engine.catalog, streams)
+    if plan.op_name in ("istream", "dstream", "rstream"):
+        produced = query.emitted_stream()
+        assert produced.values() == reference.values()
+        assert produced.timestamps() == reference.timestamps()
+    else:
+        assert query.as_relation() == reference

@@ -1,0 +1,63 @@
+"""Direct unit tests for the Dataflow window functions."""
+
+import pytest
+
+from repro.core import WindowError
+from repro.dataflow import FixedWindows, GlobalWindows, Sessions, SlidingWindows
+
+
+class TestGlobalWindows:
+    def test_single_window_for_everything(self):
+        fn = GlobalWindows()
+        (w1,) = fn.assign(0)
+        (w2,) = fn.assign(10**9)
+        assert w1 == w2 == GlobalWindows.WINDOW
+        assert not fn.is_merging
+
+
+class TestFixedWindows:
+    def test_assign(self):
+        fn = FixedWindows(60)
+        (w,) = fn.assign(125)
+        assert (w.start, w.end) == (120, 180)
+
+    def test_offset(self):
+        fn = FixedWindows(60, offset=15)
+        (w,) = fn.assign(20)
+        assert (w.start, w.end) == (15, 75)
+
+
+class TestSlidingWindows:
+    def test_overlap_count(self):
+        fn = SlidingWindows(size=30, period=10)
+        windows = fn.assign(35)
+        assert len(windows) == 3
+        assert all(35 in w for w in windows)
+
+
+class TestSessions:
+    def test_merge_delegates(self):
+        fn = Sessions(gap=10)
+        assert fn.is_merging
+        merged = fn.merge(fn.assign(0) + fn.assign(5))
+        assert len(merged) == 1
+        assert (merged[0].start, merged[0].end) == (0, 15)
+
+    def test_invalid_gap(self):
+        with pytest.raises(WindowError):
+            Sessions(gap=0)
+
+
+class TestGauge:
+    def test_running_stats(self):
+        from repro.dsms import Gauge
+        gauge = Gauge()
+        for value in (1.0, 3.0, 2.0):
+            gauge.observe(value)
+        assert gauge.count == 3
+        assert gauge.mean == 2.0
+        assert gauge.max == 3.0
+
+    def test_empty_mean_is_zero(self):
+        from repro.dsms import Gauge
+        assert Gauge().mean == 0.0

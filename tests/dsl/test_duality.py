@@ -1,0 +1,193 @@
+"""Tests for tables, changelogs and the stream/table duality (C9)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import StateError, Stream
+from repro.dsl import (
+    ChangeRecord,
+    Table,
+    changelog_of,
+    compact,
+    record_stream_of,
+    table_from_changelog,
+    table_from_record_stream,
+)
+
+
+class TestTable:
+    def test_upsert_and_get(self):
+        table = Table()
+        table.upsert("a", 1, 0)
+        table.upsert("a", 2, 1)
+        assert table.get("a") == 2
+        assert len(table) == 1
+
+    def test_delete(self):
+        table = Table()
+        table.upsert("a", 1, 0)
+        table.delete("a", 1)
+        assert "a" not in table
+
+    def test_delete_absent_rejected(self):
+        with pytest.raises(StateError):
+            Table().delete("ghost", 0)
+
+    def test_none_value_rejected(self):
+        with pytest.raises(StateError):
+            Table().upsert("a", None, 0)
+
+    def test_time_regression_rejected(self):
+        table = Table()
+        table.upsert("a", 1, 5)
+        with pytest.raises(StateError):
+            table.upsert("b", 2, 4)
+
+    def test_changelog_records_old_and_new(self):
+        table = Table()
+        table.upsert("a", 1, 0)
+        table.upsert("a", 2, 1)
+        table.delete("a", 2)
+        log = table.changelog()
+        assert log[0] == ChangeRecord("a", None, 1, 0)
+        assert log[1] == ChangeRecord("a", 1, 2, 1)
+        assert log[2] == ChangeRecord("a", 2, None, 2)
+        assert log[0].is_insert and log[1].is_update and log[2].is_delete
+
+
+class TestTableDerivations:
+    def test_map_values(self):
+        table = Table()
+        table.upsert("a", 2, 0)
+        doubled = table.map_values(lambda v: v * 2)
+        assert doubled.get("a") == 4
+
+    def test_filter_update_out_produces_delete(self):
+        table = Table()
+        table.upsert("a", 10, 0)
+        table.upsert("a", 1, 1)  # drops below the threshold
+        filtered = table.filter(lambda v: v >= 5)
+        assert "a" not in filtered
+        # The changelog shows the insert followed by the delete.
+        kinds = [(c.is_insert, c.is_delete) for c in filtered.changelog()]
+        assert kinds == [(True, False), (False, True)]
+
+    def test_group_aggregate_with_retraction(self):
+        table = Table()
+        table.upsert("u1", ("lyon", 10), 0)
+        table.upsert("u2", ("lyon", 5), 1)
+        table.upsert("u1", ("paris", 10), 2)  # moves groups
+        sums = table.group_aggregate(
+            key_fn=lambda key, value: value[0],
+            add=lambda acc, value: acc + value[1],
+            subtract=lambda acc, value: acc - value[1],
+            initial=0)
+        assert sums.get("lyon") == 5
+        assert sums.get("paris") == 10
+
+    def test_table_join(self):
+        left = Table()
+        left.upsert("a", 1, 0)
+        left.upsert("b", 2, 1)
+        right = Table()
+        right.upsert("a", "x", 0)
+        assert left.join(right) == {"a": (1, "x")}
+
+
+class TestDuality:
+    def test_changelog_round_trip(self):
+        table = Table()
+        table.upsert("a", 1, 0)
+        table.upsert("b", 2, 1)
+        table.delete("a", 2)
+        rebuilt = table_from_changelog(changelog_of(table))
+        assert rebuilt.snapshot() == table.snapshot()
+        assert rebuilt.changelog() == table.changelog()
+
+    def test_record_stream_to_table_latest_wins(self):
+        stream = Stream.from_pairs([(("a", 1), 0), (("a", 2), 5)])
+        table = table_from_record_stream(stream, key_fn=lambda v: v[0])
+        assert table.get("a") == ("a", 2)
+
+    def test_record_stream_to_table_with_fold(self):
+        stream = Stream.from_pairs([(("a", 1), 0), (("a", 2), 5)])
+        table = table_from_record_stream(
+            stream, key_fn=lambda v: v[0],
+            fold=lambda acc, v: acc + v[1], initial=0)
+        assert table.get("a") == 3
+
+    def test_record_stream_of_table(self):
+        table = Table()
+        table.upsert("a", 1, 3)
+        table.delete("a", 7)
+        stream = record_stream_of(table)
+        assert list(zip(stream.values(), stream.timestamps())) == [
+            (("a", 1), 3), (("a", None), 7)]
+
+    def test_compaction_preserves_snapshot(self):
+        table = Table()
+        table.upsert("a", 1, 0)
+        table.upsert("b", 9, 1)
+        table.upsert("a", 2, 2)
+        table.delete("b", 3)
+        compacted = compact(changelog_of(table))
+        assert table_from_changelog(compacted).snapshot() == \
+            table.snapshot()
+        assert len(compacted) < len(table.changelog())
+
+
+# ---------------------------------------------------------------------------
+# Property: duality laws under random operation sequences
+# ---------------------------------------------------------------------------
+
+ops = st.lists(st.tuples(
+    st.sampled_from(["upsert", "delete"]),
+    st.integers(min_value=0, max_value=5),
+    st.integers(min_value=0, max_value=99)), max_size=60)
+
+
+def apply_ops(operations):
+    table = Table()
+    t = 0
+    for op, key, value in operations:
+        if op == "upsert":
+            table.upsert(key, value, t)
+        elif key in table:
+            table.delete(key, t)
+        t += 1
+    return table
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations=ops)
+def test_property_changelog_round_trip(operations):
+    table = apply_ops(operations)
+    rebuilt = table_from_changelog(changelog_of(table))
+    assert rebuilt.snapshot() == table.snapshot()
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations=ops)
+def test_property_compaction_preserves_snapshot(operations):
+    table = apply_ops(operations)
+    compacted = compact(changelog_of(table))
+    assert table_from_changelog(compacted).snapshot() == table.snapshot()
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations=ops, cut=st.integers(min_value=0, max_value=60))
+def test_property_prefix_fold_gives_point_in_time_view(operations, cut):
+    table = apply_ops(operations)
+    log = changelog_of(table)
+    prefix_table = table_from_changelog(log[:cut])
+    replay = apply_ops(operations[:0])  # empty
+    # Folding the prefix equals applying the first `cut` operations that
+    # actually produced changelog entries.
+    expected = Table()
+    for change in log[:cut]:
+        if change.new is None:
+            expected.delete(change.key, change.timestamp)
+        else:
+            expected.upsert(change.key, change.new, change.timestamp)
+    assert prefix_table.snapshot() == expected.snapshot()

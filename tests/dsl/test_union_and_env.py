@@ -1,0 +1,60 @@
+"""Tests for DataStream.union and multi-input vertices."""
+
+import pytest
+
+from repro.core import PlanError, TumblingWindow
+from repro.dsl import CountAggregate, StreamEnvironment
+
+
+class TestUnion:
+    def test_union_merges_elements(self):
+        env = StreamEnvironment()
+        left = env.from_collection([(1, 0), (2, 1)])
+        right = env.from_collection([(10, 0), (20, 1)])
+        left.union(right).sink("all")
+        assert sorted(env.execute().values("all")) == [1, 2, 10, 20]
+
+    def test_union_of_three(self):
+        env = StreamEnvironment(parallelism=2)
+        a = env.from_collection([(1, 0)])
+        b = env.from_collection([(2, 0)])
+        c = env.from_collection([(3, 0)])
+        a.union(b, c).map(lambda v: v * 10).sink("out")
+        assert sorted(env.execute().values("out")) == [10, 20, 30]
+
+    def test_union_then_keyed_window(self):
+        env = StreamEnvironment(parallelism=2)
+        sensors_a = env.from_collection(
+            [(("k1", 1), 1), (("k2", 1), 5)])
+        sensors_b = env.from_collection(
+            [(("k1", 1), 3), (("k1", 1), 12)])
+        (sensors_a.union(sensors_b)
+         .key_by(lambda kv: kv[0])
+         .window(TumblingWindow(10))
+         .aggregate(CountAggregate())
+         .sink("counts"))
+        result = env.execute()
+        counts = {(k, w.start): n for k, n, w in result.values("counts")}
+        assert counts == {("k1", 0): 2, ("k2", 0): 1, ("k1", 10): 1}
+
+    def test_union_watermark_is_minimum_of_inputs(self):
+        # The slow source's watermark holds back window firing until both
+        # inputs progressed — results must still be complete and correct.
+        env = StreamEnvironment()
+        fast = env.from_collection([(("k", 1), t) for t in (1, 2, 50)])
+        slow = env.from_collection([(("k", 1), 4)])
+        (fast.union(slow)
+         .key_by(lambda kv: kv[0])
+         .window(TumblingWindow(10))
+         .aggregate(CountAggregate())
+         .sink("out"))
+        counts = {w.start: n for _, n, w in env.execute().values("out")}
+        assert counts == {0: 3, 50: 1}
+
+    def test_cross_environment_union_rejected(self):
+        env1 = StreamEnvironment()
+        env2 = StreamEnvironment()
+        a = env1.from_collection([(1, 0)])
+        b = env2.from_collection([(2, 0)])
+        with pytest.raises(PlanError, match="environments"):
+            a.union(b)

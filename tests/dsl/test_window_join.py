@@ -1,0 +1,106 @@
+"""Tests for the keyed window join (Flink-style stream-stream join)."""
+
+import pytest
+
+from repro.core import PlanError, SlidingWindow, TumblingWindow
+from repro.dsl import StreamEnvironment
+
+
+def run_join(orders, clicks, window=None, parallelism=1, combine=None):
+    env = StreamEnvironment(parallelism=parallelism)
+    left = env.from_collection(orders).key_by(lambda kv: kv[0])
+    right = env.from_collection(clicks).key_by(lambda kv: kv[0])
+    joined = left.window_join(
+        right, window or TumblingWindow(10),
+        combine=combine or (lambda o, c: (o[1], c[1])))
+    joined.sink("out")
+    return sorted(((k, pair, w.start)
+                   for k, pair, w in env.execute().values("out")),
+                  key=repr)
+
+
+ORDERS = [(("u1", "o1"), 1), (("u2", "o2"), 3), (("u1", "o3"), 12)]
+CLICKS = [(("u1", "c1"), 2), (("u1", "c2"), 5), (("u2", "c3"), 14)]
+
+
+class TestWindowJoin:
+    def test_pairs_within_same_key_and_window(self):
+        results = run_join(ORDERS, CLICKS)
+        assert results == sorted([
+            ("u1", ("o1", "c1"), 0),
+            ("u1", ("o1", "c2"), 0),
+        ], key=repr)
+
+    def test_no_pair_across_windows(self):
+        # u1's o3 (t=12) and clicks at t=2/5 are in different windows.
+        results = run_join(ORDERS, CLICKS)
+        assert not any(pair == ("o3", "c1") for _, pair, _ in results)
+
+    def test_no_pair_across_keys(self):
+        results = run_join(ORDERS, CLICKS)
+        assert not any(k == "u2" for k, _, _ in results)
+
+    def test_cross_product_within_pane(self):
+        orders = [(("k", f"o{i}"), i) for i in range(3)]
+        clicks = [(("k", f"c{i}"), i + 3) for i in range(2)]
+        results = run_join(orders, clicks)
+        assert len(results) == 6  # 3 x 2
+
+    def test_sliding_window_pairs_in_overlap(self):
+        orders = [(("k", "o"), 2)]
+        clicks = [(("k", "c"), 8)]
+        results = run_join(orders, clicks,
+                           window=SlidingWindow(10, 5))
+        # Both in [0,10); only the order in [-5,5); only the click in
+        # [5,15): exactly one shared window.
+        assert [start for _, _, start in results] == [0]
+
+    def test_parallelism_preserves_results(self):
+        serial = run_join(ORDERS, CLICKS, parallelism=1)
+        parallel = run_join(ORDERS, CLICKS, parallelism=4)
+        assert serial == parallel
+
+    def test_custom_combine(self):
+        results = run_join(ORDERS, CLICKS,
+                           combine=lambda o, c: f"{o[1]}+{c[1]}")
+        assert ("u1", "o1+c1", 0) in results
+
+    def test_cross_environment_join_rejected(self):
+        env1 = StreamEnvironment()
+        env2 = StreamEnvironment()
+        left = env1.from_collection([(("k", 1), 0)]).key_by(
+            lambda kv: kv[0])
+        right = env2.from_collection([(("k", 2), 0)]).key_by(
+            lambda kv: kv[0])
+        with pytest.raises(PlanError, match="environments"):
+            left.window_join(right, TumblingWindow(10))
+
+    def test_matches_cql_reference(self):
+        """The DSL window join agrees with CQL's windowed equi-join
+        sampled at the same window close."""
+        from repro.bench import OBSERVATION_SCHEMA
+        from repro.core import Schema, Stream
+        from repro.cql import CQLEngine
+
+        orders = [(("u1", "o1"), 1), (("u1", "o2"), 4), (("u2", "o3"), 7)]
+        clicks = [(("u1", "c1"), 3), (("u2", "c2"), 8), (("u1", "c3"), 9)]
+        dsl_pairs = {(k, pair) for k, pair, _ in run_join(orders, clicks)}
+
+        engine = CQLEngine()
+        engine.register_stream("Orders", Schema(["user", "oid"]))
+        engine.register_stream("Clicks", Schema(["user", "cid"]))
+        query = engine.register_query(
+            "SELECT O.user AS user, O.oid AS oid, C.cid AS cid "
+            "FROM Orders O [Range 10 Slide 10], "
+            "Clicks C [Range 10 Slide 10] WHERE O.user = C.user")
+        query.run_recorded({
+            "Orders": Stream.of_records(
+                Schema(["user", "oid"]),
+                [({"user": k, "oid": v}, t) for (k, v), t in orders]),
+            "Clicks": Stream.of_records(
+                Schema(["user", "cid"]),
+                [({"user": k, "cid": v}, t) for (k, v), t in clicks]),
+        })
+        cql_pairs = {(r["user"], (r["oid"], r["cid"]))
+                     for r in query.as_relation().at(10)}
+        assert cql_pairs == dsl_pairs

@@ -1,0 +1,45 @@
+"""Tests for explicit query termination (the Figure 1 contract's end)."""
+
+import pytest
+
+from repro.core import PlanError, Schema
+from repro.dsms import DSMSEngine
+
+
+@pytest.fixture
+def dsms():
+    engine = DSMSEngine()
+    engine.register_stream("Obs", Schema(["id", "temp"]))
+    return engine
+
+
+class TestCancellation:
+    def test_cancelled_query_stops_receiving(self, dsms):
+        handle = dsms.register_query(
+            "q", "SELECT COUNT(*) n FROM Obs [Range Unbounded]")
+        dsms.ingest("Obs", {"id": 1, "temp": 20}, 0)
+        dsms.run_until_idle()
+        dsms.cancel_query("q")
+        admitted = dsms.ingest("Obs", {"id": 2, "temp": 21}, 1)
+        assert admitted == 0
+        # The Store retains the final answer (history is durable).
+        assert [r["n"] for r in handle.store_state()] == [1]
+
+    def test_cancel_unknown_query(self, dsms):
+        with pytest.raises(PlanError, match="unknown"):
+            dsms.cancel_query("ghost")
+
+    def test_other_queries_unaffected(self, dsms):
+        dsms.register_query("a", "SELECT id FROM Obs [Now]")
+        keep = dsms.register_query("b", "SELECT temp FROM Obs [Now]")
+        dsms.cancel_query("a")
+        dsms.ingest("Obs", {"id": 1, "temp": 20}, 0)
+        dsms.run_until_idle()
+        assert keep.metrics.processed == 1
+        assert len(dsms.queries) == 1
+
+    def test_name_reusable_after_cancel(self, dsms):
+        dsms.register_query("q", "SELECT id FROM Obs [Now]")
+        dsms.cancel_query("q")
+        dsms.register_query("q", "SELECT temp FROM Obs [Now]")
+        assert len(dsms.queries) == 1

@@ -1,0 +1,105 @@
+"""Tests for why-provenance in streaming pipelines (paper Section 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TumblingWindow
+from repro.governance import WhyPipeline, blame, verify_witness
+
+
+def sensor_pipeline():
+    return (WhyPipeline()
+            .filter(lambda r: r["temp"] is not None)
+            .map(lambda r: {"room": r["room"], "temp": r["temp"]})
+            .window_aggregate(TumblingWindow(10),
+                              key_fn=lambda r: r["room"],
+                              aggregate=lambda values: sum(
+                                  v["temp"] for v in values)))
+
+
+READINGS = [
+    ({"room": "a", "temp": 10}, 1),
+    ({"room": "b", "temp": 20}, 2),
+    ({"room": "a", "temp": None}, 3),   # filtered out
+    ({"room": "a", "temp": 5}, 8),
+    ({"room": "a", "temp": 7}, 12),     # next window
+]
+
+
+class TestTracking:
+    def test_map_filter_preserve_single_witness(self):
+        outputs = (WhyPipeline()
+                   .map(lambda v: v * 2)
+                   .filter(lambda v: v > 2)
+                   .run([(1, 0), (2, 1)]))
+        (only,) = outputs
+        assert only.value == 4
+        assert only.why == frozenset([1])
+
+    def test_flat_map_children_share_witness(self):
+        outputs = WhyPipeline().flat_map(
+            lambda v: [v, v + 1]).run([(10, 0)])
+        assert [o.why for o in outputs] == [frozenset([0]), frozenset([0])]
+
+    def test_window_aggregate_unions_witnesses(self):
+        outputs = sensor_pipeline().run(READINGS)
+        by_key = {(o.value[0], o.value[2].start): o for o in outputs}
+        window_a0 = by_key[("a", 0)]
+        assert window_a0.value[1] == 15          # 10 + 5; None filtered
+        assert window_a0.why == frozenset([0, 3])
+        assert by_key[("a", 10)].why == frozenset([4])
+
+    def test_filtered_inputs_never_blamed(self):
+        outputs = sensor_pipeline().run(READINGS)
+        all_witnesses = frozenset().union(*(o.why for o in outputs))
+        assert 2 not in all_witnesses  # the None reading
+
+
+class TestWitnessReplay:
+    def test_every_output_verifies(self):
+        pipeline = sensor_pipeline()
+        outputs = pipeline.run(READINGS)
+        assert outputs
+        for output in outputs:
+            assert verify_witness(pipeline, READINGS, output)
+
+    def test_corrupted_witness_fails_verification(self):
+        pipeline = sensor_pipeline()
+        (first, *_) = pipeline.run(READINGS)
+        from repro.governance import Provenant
+        corrupted = Provenant(first.value, first.timestamp,
+                              first.why | frozenset([1]))
+        assert not verify_witness(pipeline, READINGS, corrupted)
+
+
+class TestBlame:
+    def test_blame_selects_contributing_inputs(self):
+        pipeline = sensor_pipeline()
+        outputs = pipeline.run(READINGS)
+        guilty = blame(outputs, lambda v: v[0] == "a" and v[1] > 10)
+        assert guilty == frozenset([0, 3])
+
+    def test_blame_empty_when_nothing_matches(self):
+        outputs = sensor_pipeline().run(READINGS)
+        assert blame(outputs, lambda v: v[1] > 10_000) == frozenset()
+
+
+values = st.lists(st.tuples(
+    st.sampled_from(["a", "b"]),
+    st.integers(min_value=0, max_value=50),
+    st.integers(min_value=0, max_value=40)), max_size=25)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=values)
+def test_property_witness_replay_reproduces_every_output(rows):
+    inputs = [({"room": room, "temp": temp}, ts)
+              for room, temp, ts in rows]
+    pipeline = (WhyPipeline()
+                .filter(lambda r: r["temp"] >= 10)
+                .window_aggregate(TumblingWindow(15),
+                                  key_fn=lambda r: r["room"],
+                                  aggregate=len))
+    for output in pipeline.run(inputs):
+        assert verify_witness(pipeline, inputs, output)

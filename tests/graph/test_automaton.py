@@ -1,0 +1,77 @@
+"""Tests for regex → NFA → DFA compilation."""
+
+import pytest
+
+from repro.core import ParseError
+from repro.graph import compile_regex, parse_regex
+from repro.graph.automaton import Alternate, Concat, Label, Plus, Star
+
+
+class TestParsing:
+    def test_single_label(self):
+        assert parse_regex("knows") == Label("knows")
+
+    def test_concatenation(self):
+        node = parse_regex("knows likes")
+        assert isinstance(node, Concat)
+        assert node.parts == (Label("knows"), Label("likes"))
+
+    def test_alternation_precedence(self):
+        node = parse_regex("a b | c")
+        assert isinstance(node, Alternate)
+        assert isinstance(node.options[0], Concat)
+
+    def test_star_and_plus(self):
+        assert parse_regex("a*") == Star(Label("a"))
+        assert parse_regex("a+") == Plus(Label("a"))
+
+    def test_parentheses(self):
+        node = parse_regex("(a | b)*")
+        assert isinstance(node, Star)
+        assert isinstance(node.inner, Alternate)
+
+    def test_errors(self):
+        for bad in ["", "a |", "(a", "*", "a; b"]:
+            with pytest.raises(ParseError):
+                parse_regex(bad)
+
+
+class TestDFA:
+    @pytest.mark.parametrize("regex,word,expected", [
+        ("a", ["a"], True),
+        ("a", ["b"], False),
+        ("a", [], False),
+        ("a b", ["a", "b"], True),
+        ("a b", ["a"], False),
+        ("a | b", ["b"], True),
+        ("a*", [], True),
+        ("a*", ["a", "a", "a"], True),
+        ("a*", ["a", "b"], False),
+        ("a+", [], False),
+        ("a+", ["a"], True),
+        ("a?", [], True),
+        ("a?", ["a", "a"], False),
+        ("(a b)+", ["a", "b", "a", "b"], True),
+        ("(a b)+", ["a", "b", "a"], False),
+        ("a (b | c)* d", ["a", "d"], True),
+        ("a (b | c)* d", ["a", "c", "b", "d"], True),
+        ("a (b | c)* d", ["a", "c", "b"], False),
+        ("knows+ likes", ["knows", "knows", "likes"], True),
+    ])
+    def test_accepts(self, regex, word, expected):
+        assert compile_regex(regex).accepts(word) is expected
+
+    def test_start_state_is_zero(self):
+        dfa = compile_regex("a b")
+        assert dfa.start == 0
+
+    def test_dead_transition_is_none(self):
+        dfa = compile_regex("a")
+        assert dfa.step(dfa.start, "z") is None
+
+    def test_alphabet(self):
+        assert compile_regex("a b | c*").alphabet == {"a", "b", "c"}
+
+    def test_accepting_start_for_star(self):
+        dfa = compile_regex("a*")
+        assert dfa.is_accepting(dfa.start)

@@ -1,0 +1,146 @@
+"""Tests for the property graph model and graph streams."""
+
+import pytest
+
+from repro.core import GraphError, TimeError
+from repro.graph import GraphStream, PropertyGraph, WindowedGraphView
+
+
+@pytest.fixture
+def graph():
+    g = PropertyGraph()
+    g.add_node("alice", labels=["Person"], age=30)
+    g.add_node("bob", labels=["Person"])
+    g.add_node("post1", labels=["Post"])
+    g.add_edge("e1", "alice", "bob", "knows", since=2020)
+    g.add_edge("e2", "alice", "post1", "wrote")
+    g.add_edge("e3", "bob", "post1", "liked")
+    return g
+
+
+class TestNodesAndEdges:
+    def test_node_properties_and_labels(self, graph):
+        alice = graph.node("alice")
+        assert alice.properties["age"] == 30
+        assert "Person" in alice.labels
+
+    def test_add_node_idempotent_merges(self, graph):
+        graph.add_node("alice", labels=["Admin"], city="lyon")
+        alice = graph.node("alice")
+        assert alice.labels == frozenset({"Person", "Admin"})
+        assert alice.properties["city"] == "lyon"
+
+    def test_edge_properties(self, graph):
+        assert graph.edge("e1").properties["since"] == 2020
+
+    def test_add_edge_creates_endpoints(self):
+        g = PropertyGraph()
+        g.add_edge("e", "x", "y", "r")
+        assert g.has_node("x") and g.has_node("y")
+
+    def test_duplicate_edge_id_rejected(self, graph):
+        with pytest.raises(GraphError):
+            graph.add_edge("e1", "bob", "alice", "knows")
+
+    def test_unknown_lookups(self, graph):
+        with pytest.raises(GraphError):
+            graph.node("ghost")
+        with pytest.raises(GraphError):
+            graph.edge("e99")
+
+    def test_counts(self, graph):
+        assert graph.node_count == 3
+        assert graph.edge_count == 3
+
+    def test_nodes_with_label(self, graph):
+        assert {n.id for n in graph.nodes_with_label("Person")} == \
+            {"alice", "bob"}
+
+    def test_labels(self, graph):
+        assert graph.labels() == {"knows", "wrote", "liked"}
+
+
+class TestTraversal:
+    def test_out_edges_by_label(self, graph):
+        assert [e.dst for e in graph.out_edges("alice", "knows")] == ["bob"]
+        assert len(graph.out_edges("alice")) == 2
+
+    def test_in_edges(self, graph):
+        assert {e.src for e in graph.in_edges("post1")} == {"alice", "bob"}
+
+    def test_successors_predecessors(self, graph):
+        assert set(graph.successors("alice")) == {"bob", "post1"}
+        assert graph.predecessors("post1", "liked") == ["bob"]
+
+    def test_missing_node_traversal_is_empty(self, graph):
+        assert graph.out_edges("ghost") == []
+
+
+class TestRemoval:
+    def test_remove_edge(self, graph):
+        graph.remove_edge("e1")
+        assert not graph.has_edge("e1")
+        assert graph.successors("alice", "knows") == []
+
+    def test_remove_node_cascades(self, graph):
+        graph.remove_node("post1")
+        assert graph.edge_count == 1
+        assert not graph.has_edge("e2")
+        assert not graph.has_edge("e3")
+
+    def test_remove_then_readd_edge_id(self, graph):
+        graph.remove_edge("e1")
+        graph.add_edge("e1", "bob", "alice", "knows")
+        assert graph.edge("e1").src == "bob"
+
+
+class TestGraphStream:
+    def test_snapshot_applies_events(self):
+        stream = GraphStream()
+        stream.insert("e1", "a", "b", "knows", 1)
+        stream.insert("e2", "b", "c", "knows", 2)
+        stream.delete("e1", "a", "b", "knows", 3)
+        at2 = stream.snapshot_at(2)
+        assert at2.edge_count == 2
+        at3 = stream.snapshot_at(3)
+        assert at3.edge_count == 1
+        assert not at3.has_edge("e1")
+
+    def test_time_order_enforced(self):
+        stream = GraphStream()
+        stream.insert("e1", "a", "b", "x", 5)
+        with pytest.raises(TimeError):
+            stream.insert("e2", "a", "b", "x", 4)
+
+    def test_delete_unknown_edge_detected_at_snapshot(self):
+        stream = GraphStream()
+        stream.delete("ghost", "a", "b", "x", 1)
+        with pytest.raises(GraphError):
+            stream.snapshot_at(1)
+
+
+class TestWindowedGraphView:
+    def test_expiry_removes_edges(self):
+        view = WindowedGraphView(window=10)
+        assert view.observe("e1", "a", "b", "knows", 0) == []
+        assert view.observe("e2", "b", "c", "knows", 5) == []
+        expired = view.observe("e3", "c", "d", "knows", 11)
+        assert expired == ["e1"]
+        assert view.graph.edge_count == 2
+        assert view.live_edge_count == 2
+
+    def test_advance_without_data(self):
+        view = WindowedGraphView(window=5)
+        view.observe("e1", "a", "b", "x", 0)
+        assert view.advance(100) == ["e1"]
+        assert view.graph.edge_count == 0
+
+    def test_time_regression_rejected(self):
+        view = WindowedGraphView(window=5)
+        view.observe("e1", "a", "b", "x", 10)
+        with pytest.raises(TimeError):
+            view.observe("e2", "a", "b", "x", 9)
+
+    def test_invalid_window(self):
+        with pytest.raises(GraphError):
+            WindowedGraphView(window=0)

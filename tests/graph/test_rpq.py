@@ -1,0 +1,165 @@
+"""Tests for RPQ evaluation: snapshot, incremental, simple-path (C7)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    IncrementalRPQ,
+    PropertyGraph,
+    WindowedRPQ,
+    compile_regex,
+    evaluate_rpq,
+    evaluate_rpq_simple,
+)
+
+
+def chain_graph(labels):
+    """v0 -l0-> v1 -l1-> v2 ..."""
+    g = PropertyGraph()
+    for i, label in enumerate(labels):
+        g.add_edge(f"e{i}", f"v{i}", f"v{i+1}", label)
+    return g
+
+
+class TestSnapshotRPQ:
+    def test_single_edge(self):
+        g = chain_graph(["knows"])
+        assert evaluate_rpq(g, "knows") == {("v0", "v1")}
+
+    def test_concatenation(self):
+        g = chain_graph(["a", "b"])
+        assert evaluate_rpq(g, "a b") == {("v0", "v2")}
+
+    def test_kleene_star_transitive_closure(self):
+        g = chain_graph(["knows", "knows", "knows"])
+        answers = evaluate_rpq(g, "knows+")
+        assert ("v0", "v3") in answers
+        assert ("v1", "v3") in answers
+        assert len(answers) == 6
+
+    def test_star_includes_empty_path(self):
+        g = chain_graph(["a"])
+        answers = evaluate_rpq(g, "a*")
+        assert ("v0", "v0") in answers  # empty path
+        assert ("v0", "v1") in answers
+
+    def test_alternation(self):
+        g = PropertyGraph()
+        g.add_edge("e1", "x", "y", "mail")
+        g.add_edge("e2", "x", "z", "call")
+        assert evaluate_rpq(g, "mail | call") == {("x", "y"), ("x", "z")}
+
+    def test_sources_restriction(self):
+        g = chain_graph(["a", "a"])
+        assert evaluate_rpq(g, "a", sources=["v1"]) == {("v1", "v2")}
+
+    def test_cycle_terminates(self):
+        g = PropertyGraph()
+        g.add_edge("e1", "a", "b", "x")
+        g.add_edge("e2", "b", "a", "x")
+        answers = evaluate_rpq(g, "x+")
+        assert ("a", "a") in answers
+        assert ("a", "b") in answers
+
+
+class TestSimplePathSemantics:
+    def test_agrees_on_acyclic_graphs(self):
+        g = chain_graph(["a", "a", "a"])
+        assert evaluate_rpq_simple(g, "a+") == evaluate_rpq(g, "a+")
+
+    def test_differs_on_cycles(self):
+        # With a cycle, (a, a) via x x is an arbitrary path but visits a
+        # twice, so simple-path semantics rejects the longer witnesses.
+        g = PropertyGraph()
+        g.add_edge("e1", "a", "b", "x")
+        g.add_edge("e2", "b", "a", "x")
+        arbitrary = evaluate_rpq(g, "x x x")
+        simple = evaluate_rpq_simple(g, "x x x")
+        assert ("a", "b") in arbitrary
+        assert simple == set()
+
+
+class TestIncrementalRPQ:
+    def test_incremental_matches_snapshot(self):
+        random.seed(7)
+        engine = IncrementalRPQ("knows+ likes")
+        g = PropertyGraph()
+        for i in range(60):
+            src = f"v{random.randrange(12)}"
+            dst = f"v{random.randrange(12)}"
+            label = random.choice(["knows", "likes"])
+            engine.insert(src, label, dst)
+            g.add_edge(f"e{i}", src, dst, label)
+        assert engine.answers() == evaluate_rpq(g, "knows+ likes")
+
+    def test_insert_returns_only_new_answers(self):
+        engine = IncrementalRPQ("a b")
+        assert engine.insert("x", "a", "y") == set()
+        assert engine.insert("y", "b", "z") == {("x", "z")}
+        # Re-inserting a parallel edge produces nothing new.
+        assert engine.insert("y", "b", "z") == set()
+
+    def test_new_edge_extends_existing_paths_both_ways(self):
+        engine = IncrementalRPQ("a+")
+        engine.insert("m", "a", "n")
+        engine.insert("o", "a", "p")
+        # Bridging edge connects both fragments.
+        new = engine.insert("n", "a", "o")
+        assert ("m", "p") in new
+        assert ("n", "o") in new
+
+    def test_state_grows_monotonically(self):
+        engine = IncrementalRPQ("a*")
+        before = engine.state_size
+        engine.insert("x", "a", "y")
+        assert engine.state_size > before
+
+
+class TestWindowedRPQ:
+    def test_answers_reflect_window(self):
+        engine = WindowedRPQ("a b", window=10)
+        engine.insert("x", "a", "y", timestamp=0)
+        engine.insert("y", "b", "z", timestamp=5)
+        assert engine.answers() == {("x", "z")}
+        # Advancing past the first edge's lifetime drops the answer.
+        engine.advance(11)
+        assert engine.answers() == set()
+        assert engine.rebuilds == 1
+        assert engine.live_edges == 1
+
+    def test_insert_advances_time(self):
+        engine = WindowedRPQ("a", window=5)
+        engine.insert("x", "a", "y", timestamp=0)
+        engine.insert("p", "a", "q", timestamp=20)
+        assert engine.answers() == {("p", "q")}
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowedRPQ("a", window=0)
+
+
+# ---------------------------------------------------------------------------
+# Property: incremental == snapshot on random graphs and queries
+# ---------------------------------------------------------------------------
+
+QUERIES = ["a", "a b", "a+", "a* b", "(a | b)+", "a (b | c)* a"]
+
+edges = st.lists(st.tuples(
+    st.integers(min_value=0, max_value=7),
+    st.sampled_from(["a", "b", "c"]),
+    st.integers(min_value=0, max_value=7)), max_size=40)
+
+
+@settings(max_examples=40, deadline=None)
+@given(edge_list=edges, query_index=st.integers(0, len(QUERIES) - 1))
+def test_property_incremental_equals_snapshot(edge_list, query_index):
+    query = QUERIES[query_index]
+    engine = IncrementalRPQ(query)
+    graph = PropertyGraph()
+    for i, (src, label, dst) in enumerate(edge_list):
+        engine.insert(f"v{src}", label, f"v{dst}")
+        graph.add_edge(f"e{i}", f"v{src}", f"v{dst}", label)
+    assert engine.answers() == evaluate_rpq(graph, query)

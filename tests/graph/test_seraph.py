@@ -1,0 +1,115 @@
+"""Tests for continuous Cypher (Seraph-style; paper Section 5.2)."""
+
+import pytest
+
+from repro.core import ParseError
+from repro.graph.seraph import (
+    ContinuousCypher,
+    CypherQuery,
+    parse_cypher,
+)
+
+
+class TestParsing:
+    def test_single_relationship(self):
+        query = parse_cypher("MATCH (a)-[:knows]->(b) RETURN a, b")
+        assert len(query.pattern) == 1
+        assert query.returns == ("a", "b")
+
+    def test_multi_edge_pattern(self):
+        query = parse_cypher(
+            "MATCH (a)-[:follows]->(b), (b)-[:follows]->(c) RETURN a, c")
+        assert len(query.pattern) == 2
+        assert query.pattern.variables == ["a", "b", "c"]
+
+    def test_where_conditions(self):
+        query = parse_cypher(
+            "MATCH (a)-[:knows]->(b) "
+            "WHERE a.city = 'lyon' AND b.age > 30 RETURN b")
+        assert len(query.conditions) == 2
+        assert query.conditions[0].value == "lyon"
+        assert query.conditions[1].op == ">"
+        assert query.conditions[1].value == 30
+
+    def test_float_literal(self):
+        query = parse_cypher(
+            "MATCH (a)-[:r]->(b) WHERE a.score >= 0.5 RETURN a")
+        assert query.conditions[0].value == 0.5
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(ParseError, match="RETURN"):
+            parse_cypher("MATCH (a)-[:r]->(b)")
+
+    def test_unbound_return_variable(self):
+        with pytest.raises(ParseError, match="unbound"):
+            parse_cypher("MATCH (a)-[:r]->(b) RETURN z")
+
+    def test_unbound_where_variable(self):
+        with pytest.raises(ParseError, match="unbound"):
+            parse_cypher("MATCH (a)-[:r]->(b) WHERE z.x = 1 RETURN a")
+
+    def test_unsupported_where_shape(self):
+        with pytest.raises(ParseError, match="unsupported"):
+            parse_cypher("MATCH (a)-[:r]->(b) WHERE a.x = b.y RETURN a")
+
+    def test_empty_match(self):
+        with pytest.raises(ParseError):
+            parse_cypher("MATCH nothing RETURN a")
+
+
+class TestContinuousExecution:
+    def test_structural_match_emitted_once(self):
+        query = ContinuousCypher(
+            "MATCH (a)-[:knows]->(b), (b)-[:knows]->(c) RETURN a, c")
+        assert query.insert(1, 2, "knows") == []
+        assert query.insert(2, 3, "knows") == [{"a": 1, "c": 3}]
+        assert query.insert(2, 3, "knows") == []  # no duplicate emission
+
+    def test_label_filtering(self):
+        query = ContinuousCypher("MATCH (a)-[:follows]->(b) RETURN a, b")
+        assert query.insert(1, 2, "blocks") == []
+        assert query.insert(1, 2, "follows") == [{"a": 1, "b": 2}]
+
+    def test_where_blocks_until_property_arrives(self):
+        query = ContinuousCypher(
+            "MATCH (a)-[:knows]->(b) WHERE b.age > 30 RETURN a, b")
+        assert query.insert("x", "y", "knows") == []
+        assert query.pending_count == 1
+        # The property update unblocks the structurally complete match.
+        unblocked = query.set_node("y", age=44)
+        assert unblocked == [{"a": "x", "b": "y"}]
+        assert query.pending_count == 0
+
+    def test_where_evaluated_on_insert_when_properties_known(self):
+        query = ContinuousCypher(
+            "MATCH (a)-[:knows]->(b) WHERE b.city = 'lyon' RETURN a")
+        query.set_node("y", city="lyon")
+        assert query.insert("x", "y", "knows") == [{"a": "x"}]
+
+    def test_failing_condition_never_emits(self):
+        query = ContinuousCypher(
+            "MATCH (a)-[:knows]->(b) WHERE b.age > 30 RETURN a")
+        query.set_node("y", age=20)
+        assert query.insert("x", "y", "knows") == []
+        query.set_node("y", age=25)  # still too young
+        assert query.refresh_pending() == []
+        assert query.results_emitted == 0
+
+    def test_projection_restricts_returned_variables(self):
+        query = ContinuousCypher(
+            "MATCH (a)-[:r]->(b), (b)-[:r]->(c) RETURN c")
+        query.insert(1, 2, "r")
+        (result,) = query.insert(2, 3, "r")
+        assert result == {"c": 3}
+
+    def test_triangle_alert_scenario(self):
+        query = ContinuousCypher(
+            "MATCH (a)-[:tx]->(b), (b)-[:tx]->(c), (c)-[:tx]->(a) "
+            "WHERE a.flagged = 1 RETURN a, b, c")
+        query.set_node(10, flagged=1)
+        query.insert(10, 20, "tx")
+        query.insert(20, 30, "tx")
+        results = query.insert(30, 10, "tx")
+        # Only the rotation anchored at the flagged account qualifies.
+        assert results == [{"a": 10, "b": 20, "c": 30}]
+        assert query.pending_count == 2  # the other rotations wait

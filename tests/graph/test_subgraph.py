@@ -1,0 +1,130 @@
+"""Tests for continuous subgraph pattern matching."""
+
+import pytest
+
+from repro.core import GraphError
+from repro.graph import (
+    ContinuousPatternQuery,
+    Pattern,
+    PatternEdge,
+    PropertyGraph,
+    find_matches,
+)
+
+
+class TestPatternParsing:
+    def test_parse_single_edge(self):
+        pattern = Pattern.parse("a -knows-> b")
+        assert pattern.edges == [PatternEdge("a", "b", "knows")]
+        assert pattern.variables == ["a", "b"]
+
+    def test_parse_multi_edge(self):
+        pattern = Pattern.parse("a -knows-> b, b -knows-> c")
+        assert len(pattern) == 2
+
+    def test_bad_syntax(self):
+        with pytest.raises(GraphError):
+            Pattern.parse("a knows b")
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(GraphError):
+            Pattern([])
+
+
+class TestFindMatches:
+    @pytest.fixture
+    def triangle(self):
+        g = PropertyGraph()
+        g.add_edge("e1", 1, 2, "r")
+        g.add_edge("e2", 2, 3, "r")
+        g.add_edge("e3", 3, 1, "r")
+        g.add_edge("e4", 1, 4, "r")  # a dangling edge
+        return g
+
+    def test_single_edge_pattern(self, triangle):
+        matches = find_matches(triangle, Pattern.parse("x -r-> y"))
+        assert len(matches) == 4
+
+    def test_path_pattern(self, triangle):
+        matches = find_matches(triangle,
+                               Pattern.parse("x -r-> y, y -r-> z"))
+        found = {(m["x"], m["y"], m["z"]) for m in matches}
+        assert (1, 2, 3) in found
+        assert (3, 1, 4) in found
+
+    def test_triangle_pattern(self, triangle):
+        matches = find_matches(
+            triangle, Pattern.parse("x -r-> y, y -r-> z, z -r-> x"))
+        found = {(m["x"], m["y"], m["z"]) for m in matches}
+        # The triangle in each rotation.
+        assert found == {(1, 2, 3), (2, 3, 1), (3, 1, 2)}
+
+    def test_injectivity(self):
+        g = PropertyGraph()
+        g.add_edge("e1", 1, 2, "r")
+        g.add_edge("e2", 2, 1, "r")
+        matches = find_matches(g, Pattern.parse("x -r-> y, y -r-> z"))
+        # z == x would be 1->2->1; injectivity forbids it.
+        assert matches == []
+
+    def test_label_mismatch(self, triangle):
+        assert find_matches(triangle, Pattern.parse("x -other-> y")) == []
+
+
+class TestContinuousPatternQuery:
+    def test_match_emitted_when_completed(self):
+        query = ContinuousPatternQuery("x -r-> y, y -r-> z")
+        assert query.insert(1, 2, "r") == []
+        new = query.insert(2, 3, "r")
+        assert new == [{"x": 1, "y": 2, "z": 3}]
+
+    def test_each_match_reported_once(self):
+        query = ContinuousPatternQuery("x -r-> y, y -r-> z")
+        query.insert(1, 2, "r")
+        query.insert(2, 3, "r")
+        # A second parallel edge creates no *new* variable binding.
+        assert query.insert(2, 3, "r") == []
+        assert len(query.matches()) == 1
+
+    def test_new_edge_can_complete_many_matches(self):
+        query = ContinuousPatternQuery("x -r-> y, y -r-> z")
+        query.insert(1, 10, "r")
+        query.insert(2, 10, "r")
+        new = query.insert(10, 99, "r")
+        assert len(new) == 2
+
+    def test_triangle_closure(self):
+        query = ContinuousPatternQuery("x -r-> y, y -r-> z, z -r-> x")
+        query.insert(1, 2, "r")
+        query.insert(2, 3, "r")
+        new = query.insert(3, 1, "r")
+        assert {(m["x"], m["y"], m["z"]) for m in new} == \
+            {(1, 2, 3), (2, 3, 1), (3, 1, 2)}
+
+    def test_self_loop_rejected_by_injectivity(self):
+        query = ContinuousPatternQuery("x -r-> y")
+        assert query.insert(1, 1, "r") == []
+
+    def test_self_loop_pattern(self):
+        query = ContinuousPatternQuery(
+            Pattern([PatternEdge("x", "x", "self")]))
+        assert query.insert(5, 5, "self") == [{"x": 5}]
+        assert query.insert(5, 6, "self") == []
+
+    def test_label_filtering(self):
+        query = ContinuousPatternQuery("x -follows-> y")
+        assert query.insert(1, 2, "blocks") == []
+        assert query.insert(1, 2, "follows") == [{"x": 1, "y": 2}]
+
+    def test_continuous_equals_batch(self):
+        edges = [(1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (4, 1)]
+        query = ContinuousPatternQuery("x -r-> y, y -r-> z")
+        emitted = []
+        graph = PropertyGraph()
+        for i, (src, dst) in enumerate(edges):
+            emitted.extend(query.insert(src, dst, "r"))
+            graph.add_edge(f"e{i}", src, dst, "r")
+        batch = find_matches(graph, Pattern.parse("x -r-> y, y -r-> z"))
+        as_tuples = lambda ms: sorted(  # noqa: E731
+            (m["x"], m["y"], m["z"]) for m in ms)
+        assert as_tuples(emitted) == as_tuples(batch)

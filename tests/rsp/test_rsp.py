@@ -1,0 +1,276 @@
+"""Tests for the RDF model and RSP-QL continuous queries (C8)."""
+
+import pytest
+
+from repro.core import R2SKind, RSPError
+from repro.rsp import (
+    BasicGraphPattern,
+    ContinuousRSPQuery,
+    RDFGraph,
+    RDFStream,
+    ReportPolicy,
+    RSPEngine,
+    StreamWindow,
+    Triple,
+    TriplePattern,
+    iri,
+    lit,
+    var,
+)
+
+TYPE = iri("rdf:type")
+TEMP = iri("ex:temperature")
+IN = iri("ex:locatedIn")
+SENSOR = iri("ex:Sensor")
+
+
+def reading(sensor, value):
+    return Triple(iri(sensor), TEMP, lit(value))
+
+
+class TestRDFModel:
+    def test_triple_str(self):
+        triple = Triple(iri("s"), iri("p"), lit(3))
+        assert str(triple) == "<s> <p> 3 ."
+
+    def test_variables_not_allowed_in_data(self):
+        with pytest.raises(RSPError):
+            Triple(var("x"), iri("p"), lit(1))
+
+    def test_graph_set_semantics(self):
+        graph = RDFGraph()
+        assert graph.add(reading("s1", 20))
+        assert not graph.add(reading("s1", 20))
+        assert len(graph) == 1
+
+    def test_graph_discard(self):
+        graph = RDFGraph([reading("s1", 20)])
+        assert graph.discard(reading("s1", 20))
+        assert not graph.discard(reading("s1", 20))
+        assert len(graph) == 0
+
+    def test_candidates_use_tightest_index(self):
+        graph = RDFGraph([reading("s1", 20), reading("s2", 21),
+                          Triple(iri("s1"), TYPE, SENSOR)])
+        pattern = TriplePattern(iri("s1"), var("p"), var("o"))
+        assert len(list(graph.candidates(pattern))) == 2
+
+    def test_union(self):
+        a = RDFGraph([reading("s1", 20)])
+        b = RDFGraph([reading("s2", 30)])
+        assert len(a.union(b)) == 2
+
+
+class TestBGPMatching:
+    @pytest.fixture
+    def graph(self):
+        return RDFGraph([
+            Triple(iri("s1"), TYPE, SENSOR),
+            Triple(iri("s2"), TYPE, SENSOR),
+            Triple(iri("s1"), IN, iri("room1")),
+            Triple(iri("s2"), IN, iri("room2")),
+            reading("s1", 20),
+            reading("s2", 28),
+        ])
+
+    def test_single_pattern(self, graph):
+        bgp = BasicGraphPattern([
+            TriplePattern(var("s"), TYPE, SENSOR)])
+        solutions = bgp.match(graph)
+        assert {s["s"].value for s in solutions} == {"s1", "s2"}
+
+    def test_join_across_patterns(self, graph):
+        bgp = BasicGraphPattern([
+            TriplePattern(var("s"), IN, iri("room1")),
+            TriplePattern(var("s"), TEMP, var("t")),
+        ])
+        (solution,) = bgp.match(graph)
+        assert solution["s"].value == "s1"
+        assert solution["t"].value == 20
+
+    def test_three_way_join(self, graph):
+        bgp = BasicGraphPattern([
+            TriplePattern(var("s"), TYPE, SENSOR),
+            TriplePattern(var("s"), IN, var("room")),
+            TriplePattern(var("s"), TEMP, var("t")),
+        ])
+        solutions = bgp.match(graph)
+        assert len(solutions) == 2
+
+    def test_no_match(self, graph):
+        bgp = BasicGraphPattern([
+            TriplePattern(var("s"), IN, iri("room99"))])
+        assert bgp.match(graph) == []
+
+    def test_shared_variable_must_unify(self, graph):
+        bgp = BasicGraphPattern([
+            TriplePattern(var("x"), IN, var("x"))])
+        assert bgp.match(graph) == []
+
+    def test_empty_bgp_rejected(self):
+        with pytest.raises(RSPError):
+            BasicGraphPattern([])
+
+
+class TestStreamWindow:
+    def test_boundaries(self):
+        window = StreamWindow(width=10, slide=5)
+        assert window.boundaries_up_to(21) == [10, 15, 20]
+
+    def test_scope(self):
+        assert StreamWindow(width=10, slide=5).scope_at(15) == (5, 15)
+
+    def test_t0_anchor(self):
+        window = StreamWindow(width=10, slide=10, t0=3)
+        assert window.boundaries_up_to(25) == [13, 23]
+
+    def test_invalid(self):
+        with pytest.raises(RSPError):
+            StreamWindow(width=0, slide=5)
+
+
+def sensor_query(r2s=R2SKind.RSTREAM, report=ReportPolicy.WINDOW_CLOSE,
+                 width=10, slide=10):
+    bgp = BasicGraphPattern([TriplePattern(var("s"), TEMP, var("t"))])
+    return ContinuousRSPQuery(
+        bgp, StreamWindow(width=width, slide=slide),
+        select=["s", "t"], r2s=r2s, report=report)
+
+
+class TestContinuousQueries:
+    def test_window_close_reporting(self):
+        engine = RSPEngine()
+        engine.register_stream("obs")
+        query = engine.register_query("obs", sensor_query())
+        assert engine.push("obs", reading("s1", 20), 1) == []
+        results = engine.push("obs", reading("s2", 25), 12)
+        assert len(results) == 1
+        assert results[0].window_close == 10
+        assert results[0].solutions[0]["t"].value == 20
+
+    def test_advance_fires_pending_windows(self):
+        engine = RSPEngine()
+        engine.register_stream("obs")
+        engine.register_query("obs", sensor_query())
+        engine.push("obs", reading("s1", 20), 1)
+        results = engine.advance(30)
+        closes = [r.window_close for r in results]
+        assert closes == [10, 20, 30]
+
+    def test_istream_emits_only_new_solutions(self):
+        engine = RSPEngine()
+        engine.register_stream("obs")
+        query = engine.register_query(
+            "obs", sensor_query(r2s=R2SKind.ISTREAM, width=20, slide=10))
+        engine.push("obs", reading("s1", 20), 1)
+        engine.push("obs", reading("s2", 25), 11)
+        results = engine.advance(30)
+        # First close is t0 + width = 20, covering [0,20): both readings
+        # are new.  The window closing at 30 covers [10,30): s2 only, and
+        # s2 was already reported, so ISTREAM emits nothing.
+        by_close = {r.window_close: r.solutions for r in results}
+        assert {s["s"].value for s in by_close[20]} == {"s1", "s2"}
+        assert by_close[30] == ()
+
+    def test_dstream_emits_expired_solutions(self):
+        engine = RSPEngine()
+        engine.register_stream("obs")
+        query = engine.register_query(
+            "obs", sensor_query(r2s=R2SKind.DSTREAM, width=10, slide=10))
+        engine.push("obs", reading("s1", 20), 1)
+        results = engine.advance(20)
+        by_close = {r.window_close: r.solutions for r in results}
+        # At close 20 the window [10,20) no longer holds s1.
+        assert {s["s"].value for s in by_close[20]} == {"s1"}
+
+    def test_non_empty_policy_skips_empty_windows(self):
+        engine = RSPEngine()
+        engine.register_stream("obs")
+        engine.register_query(
+            "obs", sensor_query(report=ReportPolicy.NON_EMPTY))
+        engine.push("obs", reading("s1", 20), 1)
+        results = engine.advance(40)
+        assert [r.window_close for r in results] == [10]
+
+    def test_content_change_policy_dedupes(self):
+        engine = RSPEngine()
+        engine.register_stream("obs")
+        engine.register_query(
+            "obs", sensor_query(report=ReportPolicy.CONTENT_CHANGE,
+                                width=20, slide=10))
+        engine.push("obs", reading("s1", 20), 1)
+        results = engine.advance(40)
+        # Closes: 20 over [0,20) = {s1} (changed from nothing → report),
+        # 30 over [10,30) = {} (changed → report), 40 over [20,40) = {}
+        # (unchanged → skipped).
+        closes = [r.window_close for r in results]
+        assert closes == [20, 30]
+
+    def test_select_restriction(self):
+        bgp = BasicGraphPattern([TriplePattern(var("s"), TEMP, var("t"))])
+        query = ContinuousRSPQuery(
+            bgp, StreamWindow(10, 10), select=["s"])
+        stream = RDFStream()
+        stream.push(reading("s1", 20), 1)
+        result = query.evaluate_window(stream, 10)
+        assert result.solutions == ({"s": iri("s1")},)
+
+    def test_unknown_select_variable_rejected(self):
+        bgp = BasicGraphPattern([TriplePattern(var("s"), TEMP, var("t"))])
+        with pytest.raises(RSPError):
+            ContinuousRSPQuery(bgp, StreamWindow(10, 10), select=["zzz"])
+
+    def test_duplicate_stream_rejected(self):
+        engine = RSPEngine()
+        engine.register_stream("obs")
+        with pytest.raises(RSPError):
+            engine.register_stream("obs")
+
+    def test_stream_time_order(self):
+        stream = RDFStream()
+        stream.push(reading("s1", 20), 5)
+        with pytest.raises(RSPError):
+            stream.push(reading("s1", 21), 4)
+
+
+class TestMultiStreamQueries:
+    def test_union_of_streams_inside_window(self):
+        engine = RSPEngine()
+        engine.register_stream("static")
+        engine.register_stream("readings")
+        bgp = BasicGraphPattern([
+            TriplePattern(var("s"), TEMP, var("t")),
+            TriplePattern(var("s"), TYPE, SENSOR),
+        ])
+        query = engine.register_query(
+            ["static", "readings"],
+            ContinuousRSPQuery(bgp, StreamWindow(width=10, slide=10)))
+        engine.push("static", Triple(iri("s1"), TYPE, SENSOR), 1)
+        engine.push("readings", reading("s1", 20), 2)
+        results = engine.advance(10)
+        (report,) = results
+        assert report.solutions[0]["t"].value == 20
+
+    def test_window_applies_to_both_streams(self):
+        engine = RSPEngine()
+        engine.register_stream("static")
+        engine.register_stream("readings")
+        bgp = BasicGraphPattern([
+            TriplePattern(var("s"), TEMP, var("t")),
+            TriplePattern(var("s"), TYPE, SENSOR),
+        ])
+        engine.register_query(
+            ["static", "readings"],
+            ContinuousRSPQuery(bgp, StreamWindow(width=10, slide=10)))
+        engine.push("static", Triple(iri("s1"), TYPE, SENSOR), 1)
+        engine.push("readings", reading("s1", 20), 15)  # later window
+        results = engine.advance(20)
+        # The type triple expired before the reading arrived: no join.
+        assert all(not r.solutions for r in results)
+
+    def test_empty_stream_list_rejected(self):
+        engine = RSPEngine()
+        bgp = BasicGraphPattern([TriplePattern(var("s"), TEMP, var("t"))])
+        with pytest.raises(RSPError):
+            engine.register_query([], ContinuousRSPQuery(
+                bgp, StreamWindow(10, 10)))

@@ -1,0 +1,105 @@
+"""Tests for the deterministic actor system."""
+
+import pytest
+
+from repro.core import StateError
+from repro.runtime import Actor, ActorSystem, FunctionActor
+
+
+class Echo(Actor):
+    def __init__(self):
+        super().__init__()
+        self.seen = []
+
+    def receive(self, message, sender):
+        self.seen.append(message)
+
+
+class TestSpawnAndTell:
+    def test_message_delivery(self):
+        system = ActorSystem()
+        echo = Echo()
+        ref = system.spawn("echo", echo)
+        ref.tell("hello")
+        system.run_until_idle()
+        assert echo.seen == ["hello"]
+
+    def test_duplicate_name_rejected(self):
+        system = ActorSystem()
+        system.spawn("a", Echo())
+        with pytest.raises(StateError):
+            system.spawn("a", Echo())
+
+    def test_unknown_ref(self):
+        with pytest.raises(StateError):
+            ActorSystem().ref("ghost")
+
+    def test_mailbox_is_fifo(self):
+        system = ActorSystem()
+        echo = Echo()
+        ref = system.spawn("echo", echo)
+        for i in range(5):
+            ref.tell(i)
+        system.run_until_idle()
+        assert echo.seen == [0, 1, 2, 3, 4]
+
+
+class TestInteraction:
+    def test_actor_replies_via_context(self):
+        system = ActorSystem()
+        log = []
+
+        def ping(message, ctx):
+            ctx.tell("pong", f"got {message}")
+
+        system.spawn("ping", FunctionActor(ping))
+        system.spawn("pong", FunctionActor(
+            lambda m, ctx: log.append(m)))
+        system.ref("ping").tell("x")
+        system.run_until_idle()
+        assert log == ["got x"]
+
+    def test_spawn_from_actor(self):
+        system = ActorSystem()
+        children = []
+
+        def parent(message, ctx):
+            child = ctx.spawn("child", Echo())
+            children.append(child.name)
+
+        system.spawn("parent", FunctionActor(parent))
+        system.ref("parent").tell("go")
+        system.run_until_idle()
+        assert children == ["child"]
+        assert "child" in system.actor_names
+
+    def test_stop_drops_messages(self):
+        system = ActorSystem()
+        echo = Echo()
+        ref = system.spawn("echo", echo)
+        system.stop("echo")
+        ref.tell("ignored")
+        system.run_until_idle()
+        assert echo.seen == []
+
+    def test_counts(self):
+        system = ActorSystem()
+        ref = system.spawn("echo", Echo())
+        ref.tell(1)
+        ref.tell(2)
+        assert system.pending() == 2
+        processed = system.run_until_idle()
+        assert processed == 2
+        assert system.messages_processed == 2
+        assert system.messages_delivered == 2
+
+    def test_quiescence_guard(self):
+        system = ActorSystem()
+
+        def storm(message, ctx):
+            ctx.tell("storm", message)  # sends to itself forever
+
+        system.spawn("storm", FunctionActor(storm))
+        system.ref("storm").tell("go")
+        with pytest.raises(StateError, match="quiesce"):
+            system.run_until_idle(max_messages=100)

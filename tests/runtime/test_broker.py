@@ -1,0 +1,157 @@
+"""Tests for the Kafka-style broker substitute."""
+
+import pytest
+
+from repro.core import BrokerError
+from repro.runtime import Broker, ConsumerGroup, default_hash, replay
+
+
+@pytest.fixture
+def broker():
+    broker = Broker()
+    broker.create_topic("events", partitions=3)
+    return broker
+
+
+class TestTopics:
+    def test_create_and_lookup(self, broker):
+        assert broker.topic("events").partition_count == 3
+        assert broker.topic_names() == ["events"]
+
+    def test_duplicate_topic_rejected(self, broker):
+        with pytest.raises(BrokerError):
+            broker.create_topic("events")
+
+    def test_unknown_topic(self, broker):
+        with pytest.raises(BrokerError):
+            broker.topic("nope")
+
+    def test_zero_partitions_rejected(self, broker):
+        with pytest.raises(BrokerError):
+            broker.create_topic("bad", partitions=0)
+
+
+class TestProduceFetch:
+    def test_offsets_increase_per_partition(self, broker):
+        r1 = broker.produce("events", "a", key="k", timestamp=1)
+        r2 = broker.produce("events", "b", key="k", timestamp=2)
+        assert r1.partition == r2.partition  # same key, same partition
+        assert (r1.offset, r2.offset) == (0, 1)
+
+    def test_key_routing_is_deterministic(self, broker):
+        partitions = {broker.produce("events", i, key="fixed").partition
+                      for i in range(10)}
+        assert len(partitions) == 1
+
+    def test_keyless_round_robin(self, broker):
+        partitions = [broker.produce("events", i).partition
+                      for i in range(6)]
+        assert sorted(set(partitions)) == [0, 1, 2]
+
+    def test_fetch_from_offset(self, broker):
+        for i in range(5):
+            broker.produce("events", i, key="k")
+        partition = broker.produce("events", 5, key="k").partition
+        records = broker.fetch("events", partition, 2)
+        assert [r.value for r in records] == [2, 3, 4, 5]
+
+    def test_fetch_with_max(self, broker):
+        for i in range(5):
+            broker.produce("events", i, partition=0)
+        records = broker.fetch("events", 0, 0, max_records=2)
+        assert [r.value for r in records] == [0, 1]
+
+    def test_explicit_partition_bounds_checked(self, broker):
+        with pytest.raises(BrokerError):
+            broker.produce("events", "x", partition=7)
+
+    def test_negative_offset_rejected(self, broker):
+        with pytest.raises(BrokerError):
+            broker.fetch("events", 0, -1)
+
+    def test_end_offsets(self, broker):
+        broker.produce("events", "x", partition=1)
+        assert broker.end_offsets("events") == [0, 1, 0]
+
+    def test_replay_covers_everything(self, broker):
+        for i in range(9):
+            broker.produce("events", i)
+        assert sorted(r.value for r in replay(broker, "events")) == \
+            list(range(9))
+
+
+class TestConsumerGroups:
+    def test_single_member_gets_all_partitions(self, broker):
+        group = ConsumerGroup(broker, "g", ["events"])
+        assignment = group.join("m1")
+        assert len(assignment) == 3
+
+    def test_rebalance_splits_partitions(self, broker):
+        group = ConsumerGroup(broker, "g", ["events"])
+        group.join("m1")
+        group.join("m2")
+        a1 = group.assignment("m1")
+        a2 = group.assignment("m2")
+        assert len(a1) + len(a2) == 3
+        assert not set(a1) & set(a2)
+
+    def test_poll_advances_position(self, broker):
+        broker.produce("events", "a", partition=0)
+        broker.produce("events", "b", partition=0)
+        group = ConsumerGroup(broker, "g", ["events"])
+        group.join("m1")
+        first = group.poll("m1")
+        assert [r.value for r in first] == ["a", "b"]
+        assert group.poll("m1") == []
+
+    def test_uncommitted_reads_replay_after_rebalance(self, broker):
+        broker.produce("events", "a", partition=0)
+        group = ConsumerGroup(broker, "g", ["events"])
+        group.join("m1")
+        group.poll("m1")          # read but do not commit
+        group.join("m2")          # rebalance resets to committed offsets
+        polled = group.poll("m1") + group.poll("m2")
+        assert [r.value for r in polled] == ["a"]
+
+    def test_committed_reads_survive_rebalance(self, broker):
+        broker.produce("events", "a", partition=0)
+        group = ConsumerGroup(broker, "g", ["events"])
+        group.join("m1")
+        group.poll("m1")
+        group.commit("m1")
+        group.join("m2")
+        assert group.poll("m1") + group.poll("m2") == []
+
+    def test_lag(self, broker):
+        group = ConsumerGroup(broker, "g", ["events"])
+        group.join("m1")
+        broker.produce("events", "a", partition=0)
+        broker.produce("events", "b", partition=1)
+        assert group.lag() == 2
+        group.poll("m1")
+        group.commit("m1")
+        assert group.lag() == 0
+
+    def test_duplicate_member_rejected(self, broker):
+        group = ConsumerGroup(broker, "g", ["events"])
+        group.join("m1")
+        with pytest.raises(BrokerError):
+            group.join("m1")
+
+    def test_member_leave_rebalances(self, broker):
+        group = ConsumerGroup(broker, "g", ["events"])
+        group.join("m1")
+        group.join("m2")
+        group.leave("m2")
+        assert len(group.assignment("m1")) == 3
+
+
+class TestDefaultHash:
+    def test_stable_across_calls(self):
+        assert default_hash("stream") == default_hash("stream")
+
+    def test_none_is_zero(self):
+        assert default_hash(None) == 0
+
+    def test_int_passthrough(self):
+        assert default_hash(42) == 42

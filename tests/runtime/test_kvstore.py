@@ -1,0 +1,156 @@
+"""Tests for the LSM key-value store, incl. a model-based hypothesis check."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import StateError
+from repro.runtime import LSMStore, MemTable, SortedRun, TOMBSTONE
+
+
+class TestMemTable:
+    def test_put_get(self):
+        table = MemTable()
+        table.put("b", 2)
+        table.put("a", 1)
+        assert table.get("a") == 1
+        assert list(table.items()) == [("a", 1), ("b", 2)]
+
+    def test_overwrite(self):
+        table = MemTable()
+        table.put("k", 1)
+        table.put("k", 2)
+        assert table.get("k") == 2
+        assert len(table) == 1
+
+    def test_scan(self):
+        table = MemTable()
+        for key in "aceg":
+            table.put(key, key.upper())
+        assert list(table.scan("b", "f")) == [("c", "C"), ("e", "E")]
+
+
+class TestSortedRun:
+    def test_get_binary_search(self):
+        run = SortedRun([("a", 1), ("c", 3)])
+        assert run.get("c") == 3
+        assert run.get("b") is None
+        assert "a" in run
+        assert "b" not in run
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(StateError):
+            SortedRun([("b", 1), ("a", 2)])
+
+
+class TestLSMStore:
+    def test_basic_put_get_delete(self):
+        store = LSMStore()
+        store.put("k", "v")
+        assert store.get("k") == "v"
+        store.delete("k")
+        assert store.get("k") is None
+        assert "k" not in store
+
+    def test_flush_on_memtable_limit(self):
+        store = LSMStore(memtable_limit=2)
+        store.put("a", 1)
+        assert store.flushes == 0
+        store.put("b", 2)
+        assert store.flushes == 1
+        assert store.memtable_size == 0
+        assert store.get("a") == 1  # still readable from the run
+
+    def test_newest_run_wins(self):
+        store = LSMStore(memtable_limit=1)
+        store.put("k", "old")
+        store.put("k", "new")
+        assert store.run_count == 2
+        assert store.get("k") == "new"
+
+    def test_tombstone_shadows_older_value(self):
+        store = LSMStore(memtable_limit=1)
+        store.put("k", "v")   # flushed to run
+        store.delete("k")     # tombstone flushed to newer run
+        assert store.get("k") is None
+
+    def test_compaction_merges_and_drops_tombstones(self):
+        store = LSMStore(memtable_limit=1, max_runs=2)
+        store.put("a", 1)
+        store.put("b", 2)
+        store.delete("a")  # third flush triggers compaction
+        assert store.run_count == 1
+        assert store.compactions == 1
+        assert list(store.items()) == [("b", 2)]
+
+    def test_scan_merges_levels(self):
+        store = LSMStore(memtable_limit=2)
+        store.put("a", 1)
+        store.put("b", 2)   # flushed
+        store.put("b", 20)  # newer, in memtable
+        store.put("c", 3)
+        assert list(store.scan("a", "z")) == [("a", 1), ("b", 20), ("c", 3)]
+
+    def test_len_counts_live_keys(self):
+        store = LSMStore(memtable_limit=2)
+        store.put("a", 1)
+        store.put("b", 2)
+        store.delete("a")
+        assert len(store) == 1
+
+    def test_cannot_store_tombstone(self):
+        store = LSMStore()
+        with pytest.raises(StateError):
+            store.put("k", TOMBSTONE)
+
+    def test_default_on_missing(self):
+        assert LSMStore().get("missing", 42) == 42
+
+    def test_recover_equals_original(self):
+        store = LSMStore(memtable_limit=3)
+        for i in range(7):
+            store.put(f"k{i}", i)
+        store.delete("k0")
+        recovered = store.recover()
+        assert list(recovered.items()) == list(store.items())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(StateError):
+            LSMStore(memtable_limit=0)
+        with pytest.raises(StateError):
+            LSMStore(max_runs=0)
+
+
+# ---------------------------------------------------------------------------
+# Model check: the LSM store behaves exactly like a dict
+# ---------------------------------------------------------------------------
+
+operations = st.lists(
+    st.tuples(st.sampled_from(["put", "delete", "flush"]),
+              st.integers(min_value=0, max_value=20),
+              st.integers(min_value=0, max_value=99)),
+    max_size=120)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=operations,
+       memtable_limit=st.integers(min_value=1, max_value=8),
+       max_runs=st.integers(min_value=1, max_value=4))
+def test_lsm_store_matches_dict_model(ops, memtable_limit, max_runs):
+    store = LSMStore(memtable_limit=memtable_limit, max_runs=max_runs)
+    model: dict[int, int] = {}
+    for op, key, value in ops:
+        if op == "put":
+            store.put(key, value)
+            model[key] = value
+        elif op == "delete":
+            store.delete(key)
+            model.pop(key, None)
+        else:
+            store.flush()
+        assert store.get(key) == model.get(key)
+    assert list(store.items()) == sorted(model.items())
+    assert list(store.scan(5, 15)) == sorted(
+        (k, v) for k, v in model.items() if 5 <= k < 15)
+    recovered = store.recover()
+    assert list(recovered.items()) == sorted(model.items())

@@ -1,0 +1,133 @@
+"""Tests for operator placement and fission advice (Section 4.2)."""
+
+import pytest
+
+from repro.core import PlanError
+from repro.runtime import JobGraph, MapOperator
+from repro.runtime.placement import (
+    ComputeNode,
+    Network,
+    advise_fission,
+    bottlenecks,
+    place,
+)
+
+
+def linear_graph(n_ops=3, parallelism=1):
+    graph = JobGraph()
+    graph.add_source("src", [[("x", None, 0)]])
+    previous = "src"
+    for i in range(n_ops):
+        name = f"op{i}"
+        graph.add_operator(name, lambda: MapOperator(lambda v: v),
+                           parallelism)
+        graph.connect(previous, name)
+        previous = name
+    return graph
+
+
+def two_host_network(latency=10.0):
+    network = Network([ComputeNode("edge", 2), ComputeNode("cloud", 4)],
+                      default_latency=latency)
+    return network
+
+
+class TestNetwork:
+    def test_same_host_is_free(self):
+        network = two_host_network()
+        assert network.latency("edge", "edge") == 0.0
+        assert network.latency("edge", "cloud") == 10.0
+
+    def test_explicit_link_latency(self):
+        network = two_host_network()
+        network.set_latency("edge", "cloud", 3.5)
+        assert network.latency("cloud", "edge") == 3.5
+
+    def test_invalid_networks(self):
+        with pytest.raises(PlanError):
+            Network([])
+        with pytest.raises(PlanError):
+            Network([ComputeNode("a", 1), ComputeNode("a", 1)])
+        with pytest.raises(PlanError):
+            ComputeNode("x", 0)
+
+
+class TestPlacement:
+    def test_colocation_when_capacity_allows(self):
+        graph = linear_graph(n_ops=2)
+        network = Network([ComputeNode("big", 8)])
+        placement = place(graph, network)
+        assert placement.cost == 0.0
+        assert set(placement.assignment.values()) == {"big"}
+
+    def test_capacity_forces_spreading(self):
+        graph = linear_graph(n_ops=3)  # 4 vertices incl. source
+        network = Network([ComputeNode("edge", 2),
+                           ComputeNode("cloud", 3)])
+        placement = place(graph, network)
+        # Neither host fits the whole chain, so it must be cut — and the
+        # exact solver cuts the linear chain exactly once.
+        hosts = set(placement.assignment.values())
+        assert hosts == {"edge", "cloud"}
+        assert placement.cost == 10.0
+
+    def test_pinning_respected(self):
+        graph = linear_graph(n_ops=2)
+        network = two_host_network()
+        placement = place(graph, network, pinned={"src": "edge"})
+        assert placement.host_of("src") == "edge"
+
+    def test_hot_edge_stays_local(self):
+        # Edge src->op0 is 100x hotter than op0->op1: the cut must land
+        # on the cold edge.
+        graph = linear_graph(n_ops=2)
+        network = Network([ComputeNode("a", 2), ComputeNode("b", 2)])
+        rates = {("src", "op0"): 100.0, ("op0", "op1"): 1.0}
+        placement = place(graph, network, rates=rates,
+                          pinned={"src": "a", "op1": "b"})
+        assert placement.host_of("op0") == "a"
+        assert placement.cost == 10.0
+
+    def test_insufficient_slots_rejected(self):
+        graph = linear_graph(n_ops=4)
+        with pytest.raises(PlanError, match="slots"):
+            place(graph, Network([ComputeNode("tiny", 2)]))
+
+    def test_bad_pin_rejected(self):
+        graph = linear_graph(n_ops=1)
+        network = two_host_network()
+        with pytest.raises(PlanError):
+            place(graph, network, pinned={"ghost": "edge"})
+        with pytest.raises(PlanError):
+            place(graph, network, pinned={"src": "mars"})
+
+    def test_greedy_close_to_exact_on_small_graph(self):
+        graph = linear_graph(n_ops=4)
+        network = two_host_network()
+        exact = place(graph, network)
+        greedy = place(graph, network, exhaustive_limit=0)
+        assert greedy.method == "greedy"
+        assert greedy.cost <= exact.cost * 3  # same order of magnitude
+        # Greedy placements are always feasible.
+        hosts = list(greedy.assignment.values())
+        assert hosts.count("edge") <= 2 and hosts.count("cloud") <= 4
+
+
+class TestFission:
+    def test_bottleneck_detected_and_scaled(self):
+        graph = linear_graph(n_ops=2, parallelism=2)
+        advice = advise_fission(
+            graph,
+            input_rates={"op0": 10.0, "op1": 1.0},
+            unit_costs={"op0": 0.5, "op1": 0.1},
+            target_utilisation=0.8)
+        by_name = {a.vertex: a for a in advice}
+        # op0: load 5.0 over parallelism 2 → utilisation 2.5: bottleneck.
+        assert by_name["op0"].utilisation == pytest.approx(2.5)
+        assert by_name["op0"].recommended_parallelism == 7  # ceil(5/0.8)
+        assert by_name["op1"].recommended_parallelism == 2  # unchanged
+        assert [a.vertex for a in bottlenecks(advice)] == ["op0"]
+
+    def test_invalid_target(self):
+        with pytest.raises(PlanError):
+            advise_fission(linear_graph(), {}, {}, target_utilisation=0)

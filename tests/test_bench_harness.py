@@ -1,0 +1,119 @@
+"""Tests for the experiment harness and workload generators."""
+
+import pytest
+
+from repro.bench import (
+    ExperimentTable,
+    assert_dominates,
+    assert_monotone,
+    out_of_order_readings,
+    person_rows,
+    rdf_sensor_triples,
+    room_observations,
+    social_edges,
+    timed,
+    transactions,
+    zipfian_keys,
+)
+
+
+class TestExperimentTable:
+    def test_render_aligns_columns(self):
+        table = ExperimentTable("demo", ["name", "value"])
+        table.add_row("alpha", 1)
+        table.add_row("b", 123456)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "== demo =="
+        assert all(len(line) == len(lines[1]) for line in lines[2:])
+
+    def test_wrong_arity_rejected(self):
+        table = ExperimentTable("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = ExperimentTable("demo", ["a", "b"])
+        table.add_row(1, "x")
+        table.add_row(2, "y")
+        assert table.column("a") == [1, 2]
+        assert table.column("b") == ["x", "y"]
+
+    def test_float_formatting(self):
+        table = ExperimentTable("demo", ["v"])
+        table.add_row(0.123456)
+        table.add_row(12345.678)
+        text = table.render()
+        assert "0.123" in text
+        assert "12,345.7" in text
+
+
+class TestAssertions:
+    def test_monotone(self):
+        assert_monotone([1, 2, 3])
+        assert_monotone([3, 2, 1], increasing=False)
+        assert_monotone([1, 0.95, 2], increasing=True, tolerance=0.1)
+        with pytest.raises(AssertionError):
+            assert_monotone([1, 3, 2])
+
+    def test_dominates(self):
+        assert_dominates([1, 2], [10, 20], factor=2)
+        with pytest.raises(AssertionError):
+            assert_dominates([6, 2], [10, 20], factor=2)
+
+    def test_timed_returns_result_and_duration(self):
+        result, seconds = timed(lambda: sum(range(100)))
+        assert result == 4950
+        assert seconds >= 0
+
+
+class TestWorkloads:
+    def test_room_observations_deterministic(self):
+        assert room_observations(20) == room_observations(20)
+        assert room_observations(20, seed=1) != room_observations(20,
+                                                                  seed=2)
+
+    def test_room_observations_shape(self):
+        rows = room_observations(30, persons=5, rooms=2)
+        timestamps = [t for _, t in rows]
+        assert timestamps == sorted(timestamps)
+        assert all(0 <= row["id"] < 5 for row, _ in rows)
+        assert all(row["room"] in ("room0", "room1") for row, _ in rows)
+
+    def test_person_rows_cover_ids(self):
+        rows = person_rows(7)
+        assert [r["id"] for r in rows] == list(range(7))
+
+    def test_transactions_heavy_tail(self):
+        rows = transactions(500)
+        large = sum(1 for row, _ in rows if row["amount"] > 100)
+        assert 0.05 < large / len(rows) < 0.35
+
+    def test_out_of_order_bounded(self):
+        arrivals = out_of_order_readings(100, disorder=5)
+        max_seen = -1
+        for (_, _), event_time in arrivals:
+            # Lateness relative to the running maximum is bounded.
+            assert max_seen - event_time <= 5
+            max_seen = max(max_seen, event_time)
+
+    def test_out_of_order_zero_disorder_is_sorted(self):
+        arrivals = out_of_order_readings(50, disorder=0)
+        times = [t for _, t in arrivals]
+        assert times == sorted(times)
+
+    def test_social_edges_no_self_loops(self):
+        for src, label, dst, _ in social_edges(100):
+            assert src != dst
+            assert label in ("follows", "likes", "blocks")
+
+    def test_rdf_sensor_triples_time_ordered(self):
+        triples = rdf_sensor_triples(40)
+        times = [t for _, t in triples]
+        assert times == sorted(times)
+
+    def test_zipfian_keys_skewed(self):
+        keys = zipfian_keys(2000, keys=10)
+        assert all(0 <= k < 10 for k in keys)
+        # The hottest key dominates.
+        assert keys.count(0) > keys.count(9) * 2

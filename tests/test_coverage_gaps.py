@@ -1,0 +1,129 @@
+"""Focused tests for paths the main suites exercise lightly."""
+
+import pytest
+
+from repro.core import Schema, TumblingWindow
+from repro.cql import CQLEngine
+from repro.dataflow import (
+    AfterAny,
+    AfterCount,
+    AfterProcessingTime,
+    FixedWindows,
+    Pipeline,
+    Repeatedly,
+)
+from repro.dsl import StreamEnvironment
+from repro.runtime import Element
+
+
+class TestProcessOperatorTimers:
+    """The DSL's low-level escape hatch: per-key state + event timers."""
+
+    def test_timer_fires_on_watermark(self):
+        def buffer_until_timer(op, element):
+            pending = op.state.get(element.key) or []
+            op.state.put(element.key, pending + [element.value])
+            op.timers.register(20, element.key)
+            return ()
+
+        def flush(op, fire_at, key):
+            pending = op.state.get(key) or []
+            op.state.delete(key)
+            yield Element((key, sorted(pending)), key, fire_at)
+
+        env = StreamEnvironment()
+        (env.from_collection([(("k", 2), 1), (("k", 1), 5), (("k", 3), 30)])
+         .key_by(lambda kv: kv[0])
+         .process(buffer_until_timer, on_timer=flush)
+         .sink("out"))
+        result = env.execute()
+        values = result.values("out")
+        # The watermark trails the data: by the time it passes 20 (after
+        # the t=30 element arrived) all three elements are buffered, so
+        # the timer flushes them as one batch.
+        assert values == [("k", [("k", 1), ("k", 2), ("k", 3)])]
+
+
+class TestRelationOnlyQueries:
+    def test_query_over_relation_with_updates(self):
+        engine = CQLEngine()
+        engine.register_relation(
+            "Users", Schema(["id", "city"]),
+            rows=[{"id": 1, "city": "lyon"}])
+        query = engine.register_query(
+            "SELECT ISTREAM id FROM Users WHERE city = 'lyon'")
+        started = query.start()
+        assert [e.record["id"] for e in started] == [1]
+        emitted = query.update_relation(
+            "Users", {"id": 2, "city": "lyon"}, +1, 5)
+        assert [e.record["id"] for e in emitted] == [2]
+        # A non-matching insert emits nothing.
+        assert query.update_relation(
+            "Users", {"id": 3, "city": "nice"}, +1, 6) == []
+
+    def test_relation_delete_with_dstream(self):
+        engine = CQLEngine()
+        engine.register_relation(
+            "Users", Schema(["id", "city"]),
+            rows=[{"id": 1, "city": "lyon"}])
+        query = engine.register_query("SELECT DSTREAM id FROM Users")
+        query.start()
+        emitted = query.update_relation(
+            "Users", {"id": 1, "city": "lyon"}, -1, 3)
+        assert [e.record["id"] for e in emitted] == [1]
+
+    def test_relation_aggregate(self):
+        engine = CQLEngine()
+        engine.register_relation(
+            "Users", Schema(["id", "city"]),
+            rows=[{"id": i, "city": "lyon"} for i in range(4)])
+        query = engine.register_query(
+            "SELECT COUNT(*) AS n FROM Users")
+        query.start()
+        (row,) = list(query.current())
+        assert row["n"] == 4
+
+
+class TestDSLWatermarkLag:
+    def test_lag_admits_out_of_order_events(self):
+        # Event at t=8 arrives after t=12; without lag the window [0,10)
+        # fires at watermark 11 and the straggler becomes a late re-fire;
+        # with lag 5 the watermark holds and the pane is complete.
+        events = [(("k", 1), 1), (("k", 1), 12), (("k", 1), 8)]
+
+        def run(lag):
+            env = StreamEnvironment()
+            (env.from_collection(events, watermark_lag=lag)
+             .key_by(lambda kv: kv[0])
+             .window(TumblingWindow(10))
+             .aggregate(__import__("repro.dsl",
+                                   fromlist=["CountAggregate"]
+                                   ).CountAggregate())
+             .sink("out"))
+            return [(n, w.start)
+                    for _, n, w in env.execute().values("out")]
+
+        with_lag = run(5)
+        # Window [0,10) counted both early events in one pane.
+        assert (2, 0) in with_lag
+        without_lag = run(0)
+        # Without slack the pane for [0,10) fired early with 1, then the
+        # straggler produced a late refinement pane of 1.
+        panes_w0 = sorted(n for n, start in without_lag if start == 0)
+        assert panes_w0 == [1, 1]
+
+
+class TestDataflowAfterAny:
+    def test_after_any_fires_on_first_sub_trigger(self):
+        p = Pipeline()
+        (p.create([(("k", 1), t) for t in range(1, 6)])
+         .window_into(FixedWindows(100),
+                      trigger=Repeatedly(AfterAny(
+                          AfterCount(3), AfterProcessingTime(100))))
+         .combine_per_key(sum)
+         .collect("out"))
+        result = p.run()
+        # AfterCount(3) fires first (processing-time trigger needs 100
+        # arrivals); with 5 elements: one pane of 3, remainder at close.
+        pane_sizes = [wv.value[1] for wv in result["out"]]
+        assert pane_sizes[0] == 3

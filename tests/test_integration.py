@@ -1,0 +1,145 @@
+"""Cross-layer integration tests.
+
+The survey's Figure 4 claim made executable: the same continuous query
+expressed at different abstraction levels computes the same answer, and
+the era-spanning engines (CQL/DSMS, DSL/runtime, streaming SQL, dataflow)
+interoperate over the shared core abstractions.
+"""
+
+import pytest
+
+from repro.bench import (
+    OBSERVATION_SCHEMA,
+    observation_stream,
+    room_observations,
+)
+from repro.core import Stream, TumblingWindow
+from repro.cql import CQLEngine
+from repro.dataflow import FixedWindows, Pipeline
+from repro.dsl import CountAggregate, StreamEnvironment
+from repro.dsms import DSMSEngine
+from repro.sql import run_sql
+
+WINDOW = 200
+# CQL's [Range w Slide w] window is (b-w, b] while tumbling windows are
+# [b-w, b): they agree except for elements exactly on a boundary, so the
+# equivalence workload nudges those off (event time allows ties).
+ROWS = [(row, t + 1 if t % WINDOW == 0 else t)
+        for row, t in room_observations(100)]
+
+
+def windowed_counts_via_sql():
+    records = run_sql(
+        f"SELECT room, window_start, COUNT(*) AS n FROM Obs "
+        f"GROUP BY room, TUMBLE({WINDOW})",
+        OBSERVATION_SCHEMA, "Obs", ROWS)
+    return {(r["room"], r["window_start"]): r["n"] for r in records}
+
+
+def windowed_counts_via_dsl():
+    env = StreamEnvironment(parallelism=3)
+    (env.from_collection(ROWS)
+     .key_by(lambda row: row["room"])
+     .window(TumblingWindow(WINDOW))
+     .aggregate(CountAggregate())
+     .sink("out"))
+    return {(room, window.start): count
+            for room, count, window in env.execute().values("out")}
+
+
+def windowed_counts_via_dataflow():
+    p = Pipeline()
+    (p.create(ROWS)
+     .map(lambda row: (row["room"], 1))
+     .window_into(FixedWindows(WINDOW))
+     .combine_per_key(sum)
+     .collect("out"))
+    return {(wv.value[0], wv.windows[0].start): wv.value[1]
+            for wv in p.run()["out"]}
+
+
+def windowed_counts_via_cql():
+    """CQL's [Range w Slide w] sampled at window boundaries is the
+    tumbling count (modulo boundary conventions, which this workload
+    avoids by never landing on a boundary)."""
+    engine = CQLEngine()
+    engine.register_stream("Obs", OBSERVATION_SCHEMA)
+    query = engine.register_query(
+        f"SELECT room, COUNT(*) AS n FROM Obs "
+        f"[Range {WINDOW} Slide {WINDOW}] GROUP BY room")
+    query.run_recorded({"Obs": Stream.of_records(OBSERVATION_SCHEMA,
+                                                 ROWS)})
+    out = {}
+    relation = query.as_relation()
+    horizon = ROWS[-1][1]
+    boundary = WINDOW
+    while boundary <= horizon + WINDOW:
+        for record in relation.at(boundary):
+            out[(record["room"], boundary - WINDOW)] = record["n"]
+        boundary += WINDOW
+    return out
+
+
+def test_figure4_cross_layer_equivalence():
+    sql_counts = windowed_counts_via_sql()
+    assert sql_counts  # non-degenerate workload
+    assert windowed_counts_via_dsl() == sql_counts
+    assert windowed_counts_via_dataflow() == sql_counts
+    assert windowed_counts_via_cql() == sql_counts
+
+
+def test_dsms_agrees_with_sql_on_grouped_average():
+    dsms = DSMSEngine()
+    dsms.register_stream("Obs", OBSERVATION_SCHEMA)
+    handle = dsms.register_query(
+        "avg", "SELECT room, AVG(temp) AS a FROM Obs GROUP BY room")
+    for row, t in ROWS:
+        dsms.ingest("Obs", row, t)
+    dsms.run_until_idle()
+    dsms_result = {r["room"]: r["a"] for r in handle.store_state()}
+
+    sql_records = run_sql(
+        "SELECT room, AVG(temp) AS a FROM Obs GROUP BY room EMIT CHANGES",
+        OBSERVATION_SCHEMA, "Obs", ROWS)
+    sql_final = {}
+    for record in sql_records:  # last refinement per room wins
+        sql_final[record["room"]] = record["a"]
+    assert dsms_result == pytest.approx(sql_final)
+
+
+def test_core_reference_agrees_with_dsl_on_unwindowed_count():
+    stream = observation_stream(60)
+    from repro.core import count_query, continuous_evaluation
+    reference = continuous_evaluation(count_query(), stream)
+    final_count = next(iter(reference.at(stream.max_timestamp)))
+
+    env = StreamEnvironment()
+    (env.from_collection([(e.value, e.timestamp) for e in stream])
+     .key_by(lambda row: "all")
+     .reduce(lambda acc, row: acc if isinstance(acc, int) else 1)
+     .sink("out"))
+    # Count via running reduce: each update increments; take the number
+    # of updates observed.
+    updates = env.execute().values("out")
+    assert len(updates) == final_count
+
+
+def test_broker_feeds_cql_engine():
+    """The Figure 5 queue feeding the Figure 3 engine: eras compose."""
+    from repro.runtime import Broker, ConsumerGroup
+    broker = Broker()
+    broker.create_topic("obs", partitions=2)
+    broker.produce_all("obs", ((row["room"], row, t) for row, t in ROWS))
+
+    engine = CQLEngine()
+    engine.register_stream("Obs", OBSERVATION_SCHEMA)
+    query = engine.register_query(
+        "SELECT COUNT(*) AS n FROM Obs [Range Unbounded]")
+    query.start()
+    group = ConsumerGroup(broker, "cq", ["obs"])
+    group.join("w")
+    records = sorted(group.poll("w"), key=lambda r: r.timestamp)
+    for record in records:
+        query.push("Obs", record.value, record.timestamp)
+    (answer,) = list(query.current())
+    assert answer["n"] == len(ROWS)

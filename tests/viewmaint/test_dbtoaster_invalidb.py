@@ -1,0 +1,204 @@
+"""Tests for higher-order delta views and the InvaliDB-style push layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import StateError
+from repro.viewmaint import (
+    ChangeEvent,
+    EventKind,
+    GroupedJoinAggregateView,
+    JoinAggregateView,
+    LiveQuery,
+    RealTimeDatabase,
+)
+
+
+def fresh_view():
+    return JoinAggregateView(
+        left_key=lambda r: r["k"], right_key=lambda r: r["k"],
+        left_value=lambda r: r["x"], right_value=lambda r: r["y"])
+
+
+class TestJoinAggregateView:
+    def test_maintains_sum_over_join(self):
+        view = fresh_view()
+        view.insert_left({"k": 1, "x": 2})
+        assert view.result == 0  # no matching right rows yet
+        view.insert_right({"k": 1, "y": 10})
+        assert view.result == 20
+        view.insert_left({"k": 1, "x": 3})
+        assert view.result == 50
+
+    def test_non_matching_keys_do_not_contribute(self):
+        view = fresh_view()
+        view.insert_left({"k": 1, "x": 2})
+        view.insert_right({"k": 2, "y": 10})
+        assert view.result == 0
+
+    def test_delete_retracts(self):
+        view = fresh_view()
+        view.insert_left({"k": 1, "x": 2})
+        view.insert_right({"k": 1, "y": 10})
+        view.delete_left({"k": 1, "x": 2})
+        assert view.result == 0
+
+    def test_constant_work_per_update(self):
+        view = fresh_view()
+        for i in range(100):
+            view.insert_left({"k": i, "x": 1})
+        work_before = view.update_work
+        view.insert_right({"k": 50, "y": 5})
+        assert view.update_work - work_before == 2  # O(1), not O(|left|)
+
+    def test_matches_recompute(self):
+        view = fresh_view()
+        lefts, rights = [], []
+        for i in range(10):
+            left = {"k": i % 3, "x": i}
+            right = {"k": i % 4, "y": 2 * i}
+            lefts.append(left)
+            rights.append(right)
+            view.insert_left(left)
+            view.insert_right(right)
+        expected, _ = JoinAggregateView.recompute(
+            lefts, rights,
+            lambda r: r["k"], lambda r: r["k"],
+            lambda r: r["x"], lambda r: r["y"])
+        assert view.result == expected
+
+
+class TestGroupedJoinAggregateView:
+    def test_grouped_results(self):
+        view = GroupedJoinAggregateView(
+            left_key=lambda r: r["k"], right_key=lambda r: r["k"],
+            group_key=lambda r: r["g"],
+            left_value=lambda r: r["x"], right_value=lambda r: 1)
+        view.insert_left({"k": 1, "g": "east", "x": 5})
+        view.insert_left({"k": 1, "g": "west", "x": 7})
+        view.insert_right({"k": 1})
+        view.insert_right({"k": 1})
+        assert view.results() == {"east": 10, "west": 14}
+
+    def test_retraction_clears_group(self):
+        view = GroupedJoinAggregateView(
+            left_key=lambda r: r["k"], right_key=lambda r: r["k"],
+            group_key=lambda r: r["g"])
+        view.insert_left({"k": 1, "g": "east"})
+        view.insert_right({"k": 1})
+        view.delete_left({"k": 1, "g": "east"})
+        assert view.results() == {}
+
+
+hypo_ops = st.lists(st.tuples(
+    st.sampled_from(["left", "right"]),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=-5, max_value=5)), max_size=60)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=hypo_ops)
+def test_property_higher_order_matches_recompute(ops):
+    view = fresh_view()
+    lefts, rights = [], []
+    for side, key, value in ops:
+        if side == "left":
+            row = {"k": key, "x": value}
+            lefts.append(row)
+            view.insert_left(row)
+        else:
+            row = {"k": key, "y": value}
+            rights.append(row)
+            view.insert_right(row)
+    expected, _ = JoinAggregateView.recompute(
+        lefts, rights, lambda r: r["k"], lambda r: r["k"],
+        lambda r: r["x"], lambda r: r["y"])
+    assert view.result == expected
+
+
+class TestRealTimeDatabase:
+    @pytest.fixture
+    def db(self):
+        return RealTimeDatabase()
+
+    def test_pull_interface(self, db):
+        db.put("u1", {"name": "ada", "score": 10})
+        assert db.get("u1")["name"] == "ada"
+        assert db.find(lambda d: d["score"] > 5) == [
+            {"name": "ada", "score": 10}]
+
+    def test_subscribe_returns_initial_adds(self, db):
+        db.put("u1", {"score": 10})
+        db.put("u2", {"score": 2})
+        events = db.subscribe(
+            "high", LiveQuery(lambda d: d["score"] >= 5))
+        assert [e.kind for e in events] == [EventKind.ADD]
+        assert events[0].key == "u1"
+
+    def test_write_pushes_add_event(self, db):
+        db.subscribe("high", LiveQuery(lambda d: d["score"] >= 5))
+        notifications = db.put("u1", {"score": 9})
+        assert notifications["high"][0].kind is EventKind.ADD
+
+    def test_update_moving_out_pushes_remove(self, db):
+        db.put("u1", {"score": 9})
+        db.subscribe("high", LiveQuery(lambda d: d["score"] >= 5))
+        notifications = db.update("u1", {"score": 1})
+        assert notifications["high"][0].kind is EventKind.REMOVE
+
+    def test_change_event_for_content_update(self, db):
+        db.put("u1", {"score": 9, "name": "x"})
+        db.subscribe("high", LiveQuery(lambda d: d["score"] >= 5))
+        notifications = db.update("u1", {"name": "y"})
+        assert notifications["high"][0].kind is EventKind.CHANGE
+
+    def test_change_index_for_reordering(self, db):
+        db.put("u1", {"score": 9})
+        db.put("u2", {"score": 7})
+        query = LiveQuery(lambda d: True,
+                          order_by=lambda d: -d["score"])
+        db.subscribe("board", query)
+        assert query.result_keys() == ["u1", "u2"]
+        notifications = db.update("u2", {"score": 20})
+        kinds = {e.key: e.kind for e in notifications["board"]}
+        assert kinds["u2"] is EventKind.CHANGE
+        assert kinds["u1"] is EventKind.CHANGE_INDEX
+        assert query.result_keys() == ["u2", "u1"]
+
+    def test_top_k_limit(self, db):
+        query = LiveQuery(lambda d: True, order_by=lambda d: -d["score"],
+                          limit=2)
+        db.subscribe("top2", query)
+        for i, score in enumerate([5, 9, 7]):
+            db.put(f"u{i}", {"score": score})
+        assert query.result_keys() == ["u1", "u2"]
+        # A new high score evicts the current second place.
+        notifications = db.put("u9", {"score": 100})
+        kinds = {e.key: e.kind for e in notifications["top2"]}
+        assert kinds["u9"] is EventKind.ADD
+        assert kinds["u2"] is EventKind.REMOVE
+
+    def test_unsubscribe_stops_notifications(self, db):
+        db.subscribe("q", LiveQuery(lambda d: True))
+        db.unsubscribe("q")
+        assert db.put("u1", {"score": 1}) == {}
+
+    def test_duplicate_subscription_rejected(self, db):
+        db.subscribe("q", LiveQuery(lambda d: True))
+        with pytest.raises(StateError):
+            db.subscribe("q", LiveQuery(lambda d: True))
+
+    def test_remove_unknown_document(self, db):
+        with pytest.raises(StateError):
+            db.remove("ghost")
+
+    def test_pull_and_push_agree(self, db):
+        query = LiveQuery(lambda d: d["score"] > 5)
+        db.subscribe("q", query)
+        for i in range(10):
+            db.put(f"u{i}", {"score": i})
+        push_view = sorted(d["score"] for d in query.result_documents())
+        pull_view = sorted(d["score"]
+                           for d in db.find(lambda d: d["score"] > 5))
+        assert push_view == pull_view

@@ -1,0 +1,168 @@
+"""Tests for view-maintenance strategies (paper Section 5.1, C6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import StateError
+from repro.viewmaint import (
+    EagerView,
+    LazyView,
+    RecomputeView,
+    SplitView,
+)
+
+STRATEGIES = [RecomputeView, EagerView, LazyView, SplitView]
+
+
+def make(strategy):
+    return strategy(group_fn=lambda r: r["g"], value_fn=lambda r: r["v"])
+
+
+ROWS = [{"g": "a", "v": 1}, {"g": "a", "v": 3},
+        {"g": "b", "v": 10}, {"g": "a", "v": 5}]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestAllStrategiesAgree:
+    def test_grouped_aggregates(self, strategy):
+        view = make(strategy)
+        for row in ROWS:
+            view.insert(row)
+        result = view.query()
+        assert result["a"]["count"] == 3
+        assert result["a"]["sum"] == 9
+        assert result["a"]["avg"] == 3
+        assert result["a"]["min"] == 1
+        assert result["a"]["max"] == 5
+        assert result["b"]["count"] == 1
+
+    def test_delete_retracts(self, strategy):
+        view = make(strategy)
+        for row in ROWS:
+            view.insert(row)
+        view.delete({"g": "a", "v": 3})
+        result = view.query()
+        assert result["a"]["count"] == 2
+        assert result["a"]["sum"] == 6
+
+    def test_group_disappears_when_empty(self, strategy):
+        view = make(strategy)
+        view.insert({"g": "x", "v": 1})
+        view.delete({"g": "x", "v": 1})
+        assert "x" not in view.query()
+
+    def test_empty_view(self, strategy):
+        assert make(strategy).query() == {}
+
+    def test_query_is_idempotent(self, strategy):
+        view = make(strategy)
+        for row in ROWS:
+            view.insert(row)
+        assert view.query() == view.query()
+
+
+class TestWorkProfiles:
+    """The defining cost characteristics of each strategy."""
+
+    def test_eager_pays_on_update(self):
+        view = make(EagerView)
+        for i in range(100):
+            view.insert({"g": "a", "v": i})
+        assert view.update_work == 100
+        view.query()
+        assert view.query_work == 1  # one group
+
+    def test_lazy_pays_on_query(self):
+        view = make(LazyView)
+        for i in range(100):
+            view.insert({"g": "a", "v": i})
+        assert view.update_work == 0
+        assert view.pending_count == 100
+        view.query()
+        assert view.pending_count == 0
+        assert view.query_work >= 100
+
+    def test_recompute_scans_everything_per_query(self):
+        view = make(RecomputeView)
+        for i in range(50):
+            view.insert({"g": "a", "v": i})
+        view.query()
+        view.query()
+        assert view.query_work == 100
+
+    def test_split_amortises_merges(self):
+        view = SplitView(group_fn=lambda r: r["g"],
+                         value_fn=lambda r: r["v"], merge_threshold=10)
+        for i in range(25):
+            view.insert({"g": "a", "v": i})
+        assert view.merges == 2
+        assert view.delta_size == 5
+        result = view.query()
+        assert result["a"]["count"] == 25
+
+    def test_split_query_cost_bounded_by_threshold(self):
+        view = SplitView(group_fn=lambda r: r["g"],
+                         value_fn=lambda r: r["v"], merge_threshold=8)
+        for i in range(100):
+            view.insert({"g": f"g{i % 3}", "v": i})
+        view.query_work = 0
+        view.query()
+        # Query touches groups + at most threshold-1 delta rows.
+        assert view.query_work <= 3 + 7
+
+    def test_split_delete_from_delta_and_snapshot(self):
+        view = SplitView(group_fn=lambda r: r["g"],
+                         value_fn=lambda r: r["v"], merge_threshold=4)
+        for i in range(4):
+            view.insert({"g": "a", "v": i})  # merged at 4
+        view.insert({"g": "a", "v": 99})     # stays in delta
+        view.delete({"g": "a", "v": 99})     # delta delete
+        view.delete({"g": "a", "v": 0})      # snapshot delete
+        assert view.query()["a"]["count"] == 3
+
+    def test_invalid_threshold(self):
+        with pytest.raises(StateError):
+            SplitView(lambda r: 0, lambda r: 0, merge_threshold=0)
+
+
+class TestErrors:
+    def test_eager_delete_absent_group(self):
+        with pytest.raises(StateError):
+            make(EagerView).delete({"g": "x", "v": 1})
+
+    def test_recompute_delete_absent_row(self):
+        with pytest.raises(StateError):
+            make(RecomputeView).delete({"g": "x", "v": 1})
+
+
+# ---------------------------------------------------------------------------
+# Property: all strategies compute the same view
+# ---------------------------------------------------------------------------
+
+operation = st.tuples(
+    st.sampled_from(["insert", "delete", "query"]),
+    st.sampled_from(["a", "b", "c"]),
+    st.integers(min_value=0, max_value=9))
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(operation, max_size=80))
+def test_property_strategies_equivalent(ops):
+    views = [make(s) for s in STRATEGIES]
+    live: list[dict] = []
+    for op, group, value in ops:
+        row = {"g": group, "v": value}
+        if op == "insert":
+            live.append(row)
+            for view in views:
+                view.insert(row)
+        elif op == "delete" and row in live:
+            live.remove(row)
+            for view in views:
+                view.delete(row)
+        elif op == "query":
+            results = [view.query() for view in views]
+            assert all(r == results[0] for r in results[1:])
+    final = [view.query() for view in views]
+    assert all(r == final[0] for r in final[1:])
