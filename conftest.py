@@ -1,12 +1,26 @@
 """Repo-root pytest configuration.
 
 Puts ``src/`` on the path so the suite runs straight from a checkout,
-before any ``pip install -e .`` / ``python setup.py develop``.
+before any ``pip install -e .`` / ``python setup.py develop``, and resets
+the global observability state around every test so metrics/traces never
+leak between tests (or into timing-sensitive benchmarks).
 """
 
 import pathlib
 import sys
 
+import pytest
+
 SRC = pathlib.Path(__file__).resolve().parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_observability():
+    """Every test starts with an empty registry and a no-op tracer."""
+    import repro.obs as obs
+
+    obs.reset()
+    yield
+    obs.reset()

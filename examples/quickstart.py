@@ -6,11 +6,14 @@ the three generations of systems the paper describes:
 1. a CQL query on the DSMS era's engine (Listing 1, verbatim);
 2. a functional DSL program on the streaming-systems era's runtime
    (Listing 2's shape);
-3. a streaming SQL query in the streaming-database era's dialect.
+3. a streaming SQL query in the streaming-database era's dialect;
+
+then prints what the observability layer saw along the way.
 
 Run:  python examples/quickstart.py
 """
 
+import repro.obs as obs
 from repro.core import Schema, TumblingWindow, minutes
 from repro.cql import CQLEngine
 from repro.dsl import CountAggregate, StreamEnvironment
@@ -47,6 +50,7 @@ def era_1_cql_dsms() -> None:
     query.advance_to(minutes(30))
     (answer,) = list(query.current())
     print(f"  t=30 min  after expiry: {answer['n']}")
+    query.publish_metrics(query="quickstart")
 
 
 def era_2_functional_dsl() -> None:
@@ -84,10 +88,17 @@ def era_3_streaming_sql() -> None:
 
 
 def main() -> None:
+    obs.enable()  # counters, histograms and spans for everything below
     era_1_cql_dsms()
     era_2_functional_dsl()
     era_3_streaming_sql()
     print("\nThree eras, one concept: the standing query.")
+    print()
+    print(obs.console_table(obs.get_registry(), title="what the engines saw"))
+    trace = obs.get_tracer().last_trace()
+    if trace is not None:
+        print("\nlast trace:")
+        print(trace.render())
 
 
 if __name__ == "__main__":

@@ -4,7 +4,10 @@ from repro.bench.harness import (
     ExperimentTable,
     assert_dominates,
     assert_monotone,
+    bench_result,
+    obs_snapshot,
     timed,
+    write_bench_json,
 )
 from repro.bench.workloads import (
     OBSERVATION_SCHEMA,
@@ -22,6 +25,7 @@ from repro.bench.workloads import (
 
 __all__ = [
     "ExperimentTable", "timed", "assert_monotone", "assert_dominates",
+    "bench_result", "obs_snapshot", "write_bench_json",
     "room_observations", "person_rows", "observation_stream",
     "transactions", "out_of_order_readings", "social_edges",
     "rdf_sensor_triples", "zipfian_keys",

@@ -8,8 +8,12 @@ the contract DESIGN.md sets for a simulator-substrate reproduction.
 
 from __future__ import annotations
 
+import json
+import pathlib
 import time
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
+
+import repro.obs as obs
 
 
 class ExperimentTable:
@@ -52,6 +56,55 @@ class ExperimentTable:
     def show(self) -> None:
         print()
         print(self.render())
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-ready shape: title, columns, rows."""
+        return {"title": self.title, "columns": list(self.columns),
+                "rows": [list(row) for row in self.rows]}
+
+
+def obs_snapshot() -> dict[str, Any]:
+    """The observability state a benchmark result carries.
+
+    Captures the global registry (every metric the instrumented layers
+    published) and, when tracing is enabled, the completed trace trees.
+    """
+    snapshot: dict[str, Any] = {
+        "enabled": obs.is_enabled(),
+        "metrics": obs.get_registry().snapshot(),
+    }
+    tracer = obs.get_tracer()
+    if tracer.traces:
+        snapshot["traces"] = [trace.as_dict() for trace in tracer.traces]
+    return snapshot
+
+
+def bench_result(name: str, table: ExperimentTable | None = None,
+                 **fields: Any) -> dict[str, Any]:
+    """Assemble one benchmark's result payload, ``obs`` section included."""
+    result: dict[str, Any] = {"name": name}
+    if table is not None:
+        result["table"] = table.as_dict()
+    result.update(fields)
+    result["obs"] = obs_snapshot()
+    return result
+
+
+def write_bench_json(result: Mapping[str, Any],
+                     directory: str | pathlib.Path = ".") -> pathlib.Path:
+    """Write a :func:`bench_result` payload to ``BENCH_<name>.json``.
+
+    The ``obs`` section is refreshed at write time if absent, so callers
+    that build plain dicts still get a metrics snapshot attached.
+    """
+    payload = dict(result)
+    if "name" not in payload:
+        raise ValueError("benchmark result needs a 'name'")
+    payload.setdefault("obs", obs_snapshot())
+    path = pathlib.Path(directory) / f"BENCH_{payload['name']}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True,
+                               default=str) + "\n", encoding="utf-8")
+    return path
 
 
 def timed(fn: Callable[[], Any]) -> tuple[Any, float]:

@@ -20,8 +20,14 @@ equal the reference R2S streams.
 from __future__ import annotations
 
 import heapq
+import time
 from collections import Counter, defaultdict, deque
 from typing import Any, Callable, Mapping, NamedTuple, Sequence
+
+from repro.obs import get_registry as _obs_registry
+# Hot-path gate: reading the state attribute directly (instead of calling
+# is_enabled()) keeps the per-operator disabled cost to one attribute load.
+from repro.obs import _STATE as _obs_state
 
 from repro.core.errors import PlanError, StateError
 from repro.core.operators import AggregateKind, R2SKind
@@ -106,17 +112,36 @@ class PhysicalOp:
         self.children = list(children)
         #: Total deltas this operator has emitted (a work measure).
         self.emitted = 0
+        #: Total deltas received from children (rows-in accounting).
+        self.received = 0
+        #: Cumulative seconds spent in ``process`` (only accumulated while
+        #: observability is enabled; see :mod:`repro.obs`).
+        self.eval_seconds = 0.0
 
     def process(self, t: Timestamp,
                 child_deltas: list[list[Delta]]) -> list[Delta]:
         """Consume one batch of child deltas at instant ``t``."""
         raise NotImplementedError
 
+    def _timed_process(self, t: Timestamp,
+                       child_deltas: list[list[Delta]]) -> list[Delta]:
+        """``process`` with eval-time accounting (the enabled-only path)."""
+        started = time.perf_counter()
+        deltas = self.process(t, child_deltas)
+        self.eval_seconds += time.perf_counter() - started
+        return deltas
+
     def process_instant(self, t: Timestamp) -> tuple[list[Delta], bool]:
         """Recursively process instant ``t``; returns (deltas, active)."""
         child_results = [child.process_instant(t)
                          for child in self.children]
-        deltas = self.process(t, [d for d, _ in child_results])
+        child_deltas = [d for d, _ in child_results]
+        for deltas in child_deltas:
+            self.received += len(deltas)
+        if _obs_state.enabled:
+            deltas = self._timed_process(t, child_deltas)
+        else:
+            deltas = self.process(t, child_deltas)
         self.emitted += len(deltas)
         active = bool(deltas) or any(a for _, a in child_results)
         return deltas, active
@@ -159,7 +184,8 @@ class StreamSourceOp(PhysicalOp):
     def process_instant(self, t: Timestamp) -> tuple[list[Delta], bool]:
         arrived = self._arrived
         self._arrived = False
-        deltas = self.process(t, [])
+        deltas = (self._timed_process(t, []) if _obs_state.enabled
+                  else self.process(t, []))
         self.emitted += len(deltas)
         return deltas, arrived or bool(deltas)
 
@@ -258,7 +284,8 @@ class RelationSourceOp(PhysicalOp):
     def process_instant(self, t: Timestamp) -> tuple[list[Delta], bool]:
         initial = self._initial is not None
         staged = bool(self._staged)
-        deltas = self.process(t, [])
+        deltas = (self._timed_process(t, []) if _obs_state.enabled
+                  else self.process(t, []))
         self.emitted += len(deltas)
         return deltas, initial or staged or bool(deltas)
 
@@ -431,7 +458,11 @@ class AggregateOp(PhysicalOp):
         (child,) = self.children
         child_deltas, child_active = child.process_instant(t)
         self._child_active = child_active
-        deltas = self.process(t, [child_deltas])
+        self.received += len(child_deltas)
+        if _obs_state.enabled:
+            deltas = self._timed_process(t, [child_deltas])
+        else:
+            deltas = self.process(t, [child_deltas])
         self.emitted += len(deltas)
         return deltas, child_active or bool(deltas)
 
@@ -713,6 +744,8 @@ class ContinuousQuery:
         self._emissions: list[Emission] = []
         self._last_instant: Timestamp | None = None
         self._deltas_processed = 0
+        self._eval_hist = None
+        self._published_ops: dict[tuple[int, str], float] = {}
 
     # -- feeding -------------------------------------------------------------
 
@@ -797,7 +830,15 @@ class ContinuousQuery:
     # -- processing ----------------------------------------------------------
 
     def _process_instant(self, t: Timestamp) -> list[Emission]:
-        deltas, _active = self._root.process_instant(t)
+        if _obs_state.enabled:
+            if self._eval_hist is None:
+                self._eval_hist = _obs_registry().histogram(
+                    "cql.executor.instant_eval_seconds")
+            started = time.perf_counter()
+            deltas, _active = self._root.process_instant(t)
+            self._eval_hist.observe(time.perf_counter() - started)
+        else:
+            deltas, _active = self._root.process_instant(t)
         self._deltas_processed += len(deltas)
         # Cancel opposite-signed deltas within the instant: the reference
         # semantics only sees the *net* change R(τ) − R(τ−).
@@ -869,6 +910,43 @@ class ContinuousQuery:
     def deltas_processed(self) -> int:
         """Total deltas that flowed through the root (a work measure)."""
         return self._deltas_processed
+
+    def operators(self) -> list[tuple[str, PhysicalOp]]:
+        """Every physical operator, depth-first, with a stable label."""
+        out: list[tuple[str, PhysicalOp]] = []
+
+        def visit(op: PhysicalOp) -> None:
+            out.append((type(op).__name__, op))
+            for child in op.children:
+                visit(child)
+
+        visit(self._root)
+        return out
+
+    def publish_metrics(self, registry=None, prefix: str = "cql.executor",
+                        **labels: str) -> None:
+        """Publish per-operator rows in/out and eval time into a registry.
+
+        Pull-based and idempotent: repeated calls publish only the growth
+        since the previous call, so the hot path stays untouched and the
+        registry's counters stay correct however often a driver snapshots.
+        """
+        registry = registry if registry is not None else _obs_registry()
+        for index, (name, op) in enumerate(self.operators()):
+            tags = dict(labels, operator=name, index=str(index))
+            for field, value in (("rows_in", op.received),
+                                 ("rows_out", op.emitted)):
+                counter = registry.counter(f"{prefix}.{field}", **tags)
+                key = (index, field)
+                counter.inc(int(value - self._published_ops.get(key, 0)))
+                self._published_ops[key] = value
+            if op.eval_seconds:
+                registry.gauge(f"{prefix}.eval_seconds", **tags).set(
+                    op.eval_seconds)
+        deltas = registry.counter(f"{prefix}.deltas", **labels)
+        deltas.inc(self._deltas_processed
+                   - int(self._published_ops.get((-1, "deltas"), 0)))
+        self._published_ops[(-1, "deltas")] = self._deltas_processed
 
     @property
     def operator_work(self) -> int:

@@ -30,6 +30,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
+import repro.obs as obs
 from repro.core.errors import PlanError
 from repro.core.punctuation import AscendingWatermarks, WatermarkGenerator
 from repro.core.time import MAX_TIMESTAMP, Timestamp
@@ -210,20 +211,27 @@ class _DirectRunner:
             if node.kind == "gbk":
                 self._gbk_states[id(node)] = _GBKState(node)
         self._arrival_index = 0
+        self._obs = obs.is_enabled()
+        self._registry = obs.get_registry() if self._obs else None
 
     def run(self) -> PipelineResult:
-        for source in self.pipeline._sources:
-            generator: WatermarkGenerator = source.spec["watermark"]
-            for value, timestamp in source.spec["elements"]:
-                self._arrival_index += 1
-                wv = WindowedValue(value, timestamp,
-                                   (GlobalWindows.WINDOW,))
-                self._push(source, wv, generator.current().value)
-                mark = generator.observe(timestamp)
-                if mark is not None:
-                    self._advance_watermark(source, mark.value)
-            self._advance_watermark(source, MAX_TIMESTAMP)
-        self._finalize()
+        tracer = obs.get_tracer() if self._obs else obs.NoopTracer()
+        with tracer.span("dataflow.pipeline.run") as root:
+            for index, source in enumerate(self.pipeline._sources):
+                generator: WatermarkGenerator = source.spec["watermark"]
+                with tracer.span("dataflow.source", index=index) as span:
+                    for value, timestamp in source.spec["elements"]:
+                        self._arrival_index += 1
+                        wv = WindowedValue(value, timestamp,
+                                           (GlobalWindows.WINDOW,))
+                        self._push(source, wv, generator.current().value)
+                        mark = generator.observe(timestamp)
+                        if mark is not None:
+                            self._advance_watermark(source, mark.value)
+                    span.add(elements=len(source.spec["elements"]))
+                self._advance_watermark(source, MAX_TIMESTAMP)
+            self._finalize()
+            root.add(dropped_late=self.result.dropped_late)
         return self.result
 
     def _finalize(self) -> None:
@@ -253,6 +261,9 @@ class _DirectRunner:
 
     def _apply(self, node: PCollection, wv: WindowedValue,
                watermark: Timestamp) -> None:
+        if self._obs:
+            self._registry.counter("dataflow.transform.elements",
+                                   kind=node.kind).inc()
         if node.kind == "pardo":
             for value in node.spec["fn"](wv.value):
                 self._push(node, wv.with_value(value), watermark)
@@ -287,6 +298,8 @@ class _DirectRunner:
             if watermark >= window.end - 1 + strategy.allowed_lateness \
                     and watermark >= window.end - 1:
                 self.result.dropped_late += 1
+                if self._obs:
+                    self._registry.counter("dataflow.dropped_late").inc()
                 continue
             if strategy.window_fn.is_merging:
                 window = self._merge_into(state, key, window, strategy)
@@ -372,6 +385,9 @@ class _DirectRunner:
         if timing is PaneTiming.ON_TIME:
             pane.on_time_fired = True
         self.result.panes_by_timing[timing] += 1
+        if self._obs:
+            self._registry.counter("dataflow.trigger.firings",
+                                   timing=timing.name).inc()
         combiner = node.spec.get("combiner")
         payload = combiner(list(contents)) if combiner else list(contents)
         out = WindowedValue((key, payload),

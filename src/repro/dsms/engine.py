@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping
 
+import repro.obs as obs
 from repro.core.errors import PlanError
 from repro.core.records import Record, Schema
 from repro.core.relation import Bag, TimeVaryingRelation
@@ -59,7 +60,8 @@ class QueryHandle:
 
     def __init__(self, name: str, query: ContinuousQuery,
                  queue: InputQueue, shedder: Shedder,
-                 store: Store, scratch: Scratch, throw: Throw) -> None:
+                 store: Store, scratch: Scratch, throw: Throw,
+                 wm_clock: obs.WatermarkClock | None = None) -> None:
         self.name = name
         self.query = query
         self.queue = queue
@@ -67,6 +69,7 @@ class QueryHandle:
         self._store = store
         self._scratch = scratch
         self._throw = throw
+        self._wm_clock = wm_clock
         self.metrics = QueryMetrics()
         self._emissions: list[Emission] = []
         self._ingest_seq = 0
@@ -98,6 +101,9 @@ class QueryHandle:
             self.metrics.queue_dropped += 1
             return False
         self._ingest_seq += 1
+        if obs._STATE.enabled:
+            obs.get_registry().gauge(
+                "dsms.queue.depth", query=self.name).observe(len(self.queue))
         return True
 
     def service_one(self) -> bool:
@@ -105,6 +111,15 @@ class QueryHandle:
         queued = self.queue.poll()
         if queued is None:
             return False
+        if obs._STATE.enabled:
+            with obs.get_tracer().span("dsms.service",
+                                       query=self.name) as span:
+                self._service(queued, span)
+        else:
+            self._service(queued, None)
+        return True
+
+    def _service(self, queued, span) -> None:
         stream_name, record, seq = queued.value
         before = self._evictions()
         emitted = self.query.push(stream_name, record, queued.timestamp)
@@ -115,8 +130,16 @@ class QueryHandle:
         self.metrics.queue_wait.observe(self._process_seq - seq)
         self._process_seq += 1
         self.metrics.scratch.observe(self._scratch.occupancy())
-        self._store.write(self.name, self.query.current(), queued.timestamp)
-        return True
+        if span is not None:
+            span.add(records=1, emitted=len(emitted))
+            obs.get_registry().histogram(
+                "dsms.queue.wait", query=self.name).observe(
+                    self._process_seq - 1 - seq)
+            if self._wm_clock is not None:
+                self._wm_clock.observe_processed(
+                    stream_name, queued.timestamp)
+        self._store.write(self.name, self.query.current(),
+                          queued.timestamp)
 
     def advance_to(self, t: Timestamp) -> list[Emission]:
         """Advance event time (window expirations) with no new data."""
@@ -161,6 +184,9 @@ class DSMSEngine:
         self.throw = Throw(keep_tuples=keep_thrown_tuples)
         self._handles: list[QueryHandle] = []
         self._by_name: dict[str, QueryHandle] = {}
+        # Event-time lag accounting, published under dsms.watermark.*.
+        self.watermark_clock = obs.WatermarkClock(
+            obs.get_registry(), prefix="dsms.watermark")
 
     @property
     def catalog(self) -> Catalog:
@@ -188,7 +214,8 @@ class DSMSEngine:
             name, query,
             InputQueue(queue_capacity or self.queue_capacity),
             shedder or NoShedding(),
-            self.store, self.scratch, self.throw)
+            self.store, self.scratch, self.throw,
+            wm_clock=self.watermark_clock)
         self._handles.append(handle)
         self._by_name[name] = handle
         self.store.write(name, query.current(), 0)
@@ -220,6 +247,8 @@ class DSMSEngine:
         Returns the number of queries that admitted the tuple.
         """
         self.catalog.stream(stream_name)  # validates the name
+        if obs._STATE.enabled:
+            self.watermark_clock.observe_arrival(stream_name, t)
         admitted = 0
         for handle in self._handles:
             if handle.reads_stream(stream_name):
@@ -237,8 +266,15 @@ class DSMSEngine:
     def run_until_idle(self, max_steps: int = 1_000_000) -> int:
         """Drain all queues; returns the number of quanta executed."""
         steps = 0
-        while steps < max_steps and self.step():
-            steps += 1
+        if not obs._STATE.enabled:
+            while steps < max_steps and self.step():
+                steps += 1
+            return steps
+        with obs.get_tracer().span("dsms.run_until_idle") as span:
+            while steps < max_steps and self.step():
+                steps += 1
+            span.add(steps=steps)
+            self.publish_observability()
         return steps
 
     def advance_time(self, t: Timestamp) -> None:
@@ -249,3 +285,27 @@ class DSMSEngine:
     def metrics_table(self) -> dict[str, dict[str, float]]:
         """Per-query metrics snapshot (used by the Figure 3 bench)."""
         return {h.name: h.metrics.as_dict() for h in self._handles}
+
+    def publish_observability(self, registry=None) -> None:
+        """Push the engine's state into the (global) metrics registry.
+
+        Pull-based: per-query tuple-flow counters, per-operator executor
+        counters, and component gauges are snapshotted on demand, so the
+        hot path pays nothing for them.  Idempotent across calls.
+        """
+        registry = registry if registry is not None else obs.get_registry()
+        for handle in self._handles:
+            labels = {"query": handle.name}
+            for field, counter in handle.metrics.counters().items():
+                published = registry.counter(f"dsms.query.{field}", **labels)
+                published.inc(counter.value - published.value)
+            registry.gauge("dsms.query.queue_length", **labels).set(
+                len(handle.queue))
+            handle.query.publish_metrics(registry, **labels)
+        registry.gauge("dsms.scratch.occupancy").set(
+            self.scratch.occupancy())
+        registry.gauge("dsms.scratch.peak").set(self.scratch.peak)
+        thrown = registry.counter("dsms.throw.discarded")
+        thrown.inc(self.throw.discarded - thrown.value)
+        writes = registry.counter("dsms.store.writes")
+        writes.inc(self.store.writes - writes.value)

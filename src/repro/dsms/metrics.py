@@ -1,45 +1,59 @@
-"""Lightweight metrics for the DSMS engine.
+"""Per-query DSMS metrics, backed by the :mod:`repro.obs` primitives.
 
-Counters plus a streaming mean/max — enough to report the throughput,
-queueing and memory numbers the Figure 3 benchmark prints, without pulling
-in a metrics library.
+Historically this module carried its own ad-hoc counters; it is now a thin
+compatibility layer over :class:`repro.obs.metrics.Counter` and
+:class:`repro.obs.metrics.Gauge` so the DSMS reports through the same
+machinery as every other engine layer.  The public surface is unchanged:
+``Gauge.observe/count/total/mean/max`` and ``QueryMetrics.as_dict()`` keep
+their exact shapes (the Figure 3 benchmark output is byte-identical), with
+two upgrades inherited from the shared primitives: ``max`` is correct for
+all-negative observations (it used to be pinned at ``0.0``) and ``min`` is
+now reported too.
+
+The tuple-flow tallies stay plain integer attributes — the obs design rule
+is that the hot path pays one attribute add — and are materialised into
+obs :class:`Counter` objects on demand by :meth:`QueryMetrics.counters`,
+the same pull-based publication the engines use.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.obs.metrics import Counter as _Counter
+from repro.obs.metrics import Gauge as _ObsGauge
 
 
-@dataclass
-class Gauge:
-    """A running statistic: count / mean / max of observed values."""
+class Gauge(_ObsGauge):
+    """A running statistic: count / mean / min / max of observed values."""
 
-    count: int = 0
-    total: float = 0.0
-    max: float = 0.0
-
-    def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if value > self.max:
-            self.max = value
-
-    @property
-    def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+    def __init__(self, name: str = "", **labels: str) -> None:
+        super().__init__(name, labels)
 
 
-@dataclass
 class QueryMetrics:
-    """Per-query accounting maintained by the DSMS engine."""
+    """Per-query accounting maintained by the DSMS engine.
 
-    ingested: int = 0
-    shed: int = 0
-    queue_dropped: int = 0
-    processed: int = 0
-    emitted: int = 0
-    queue_wait: Gauge = field(default_factory=Gauge)
-    scratch: Gauge = field(default_factory=Gauge)
+    The tuple-flow tallies (``ingested``, ``shed``, ...) are plain ints on
+    the hot path; :meth:`counters` snapshots them into obs counters for
+    registry publication.
+    """
+
+    _COUNTERS = ("ingested", "shed", "queue_dropped", "processed", "emitted")
+
+    def __init__(self) -> None:
+        self.ingested = 0
+        self.shed = 0
+        self.queue_dropped = 0
+        self.processed = 0
+        self.emitted = 0
+        self._counters = {field: _Counter(field) for field in self._COUNTERS}
+        self.queue_wait = Gauge("queue_wait")
+        self.scratch = Gauge("scratch")
+
+    def counters(self) -> dict[str, _Counter]:
+        """The tallies as obs counters, synced at call time."""
+        for field, counter in self._counters.items():
+            counter.value = getattr(self, field)
+        return dict(self._counters)
 
     def as_dict(self) -> dict[str, float]:
         return {

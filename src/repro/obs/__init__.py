@@ -1,0 +1,115 @@
+"""obs — the unified observability layer.
+
+One registry, one tracer, one watermark clock, shared by every engine
+layer (``cql`` executor, ``dsms`` engine, ``runtime`` jobs, ``dataflow``
+pipelines).  The module-level accessors are the single entry point:
+
+* :func:`get_registry` — the global :class:`MetricsRegistry`; counters,
+  gauges and histograms are always live (an increment is one attribute
+  add, so layers record them unconditionally).
+* :func:`get_tracer` — the global tracer.  **Disabled by default**: layers
+  receive a shared :class:`NoopTracer` whose spans cost ~nothing; call
+  :func:`enable` to swap in a recording :class:`Tracer` (and to turn on
+  the optional timing instrumentation hot paths gate behind
+  :func:`is_enabled`).
+* :func:`get_watermark_clock` — the global per-stream lag tracker.
+* :func:`reset` — fresh registry/tracer/clock and back to disabled; the
+  repo's ``conftest.py`` calls this around every test.
+
+Typical session::
+
+    import repro.obs as obs
+    from repro.obs.export import to_jsonl, console_table
+
+    obs.enable()
+    ... run queries ...
+    print(console_table(obs.get_registry()))
+    dump = to_jsonl(obs.get_registry(), obs.get_tracer())
+"""
+
+from __future__ import annotations
+
+from repro.obs.export import (
+    console_table,
+    summary,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, Metric
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import NoopSpan, NoopTracer, Span, Tracer
+from repro.obs.watermarks import WatermarkClock
+
+_NOOP_TRACER = NoopTracer()
+
+
+class _ObsState:
+    """The process-wide observability singleton."""
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer: Tracer | NoopTracer = _NOOP_TRACER
+        self.clock = WatermarkClock(self.registry)
+        self.enabled = False
+
+
+_STATE = _ObsState()
+
+
+def get_registry() -> MetricsRegistry:
+    """The global metrics registry (always recording)."""
+    return _STATE.registry
+
+
+def get_tracer() -> Tracer | NoopTracer:
+    """The global tracer: no-op while disabled, recording once enabled."""
+    return _STATE.tracer
+
+
+def get_watermark_clock() -> WatermarkClock:
+    """The global per-stream watermark/lag tracker."""
+    return _STATE.clock
+
+
+def is_enabled() -> bool:
+    """Whether full observability (tracing + timing) is on."""
+    return _STATE.enabled
+
+
+def enable() -> None:
+    """Turn on tracing and the timing instrumentation layers gate on.
+
+    Re-enabling after :func:`disable` keeps the already-recorded traces —
+    only :func:`reset` discards them.
+    """
+    if not _STATE.enabled:
+        _STATE.enabled = True
+        if not isinstance(_STATE.tracer, Tracer):
+            _STATE.tracer = Tracer()
+
+
+def disable() -> None:
+    """Stop tracing/timing; recorded traces stay readable until reset.
+
+    Instrumentation sites gate span creation on :func:`is_enabled`, so the
+    recording tracer can stay in place purely as a read handle.
+    """
+    _STATE.enabled = False
+
+
+def reset() -> None:
+    """Fresh registry, tracer and clock; observability disabled."""
+    _STATE.registry = MetricsRegistry()
+    _STATE.tracer = _NOOP_TRACER
+    _STATE.clock = WatermarkClock(_STATE.registry)
+    _STATE.enabled = False
+
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "Metric", "MetricsRegistry",
+    "Span", "Tracer", "NoopSpan", "NoopTracer", "WatermarkClock",
+    "get_registry", "get_tracer", "get_watermark_clock",
+    "is_enabled", "enable", "disable", "reset",
+    "to_jsonl", "to_prometheus", "write_jsonl", "console_table", "summary",
+]

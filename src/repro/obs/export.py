@@ -1,0 +1,143 @@
+"""Exporters: JSON-lines, Prometheus text exposition, console table.
+
+Three ways out of the registry/tracer, one per audience:
+
+* :func:`to_jsonl` — machine-readable dump (one JSON object per line:
+  every metric, then every completed trace tree) for benchmark artifacts
+  and offline analysis;
+* :func:`to_prometheus` — the text exposition format a scraper would read,
+  with hierarchical dots folded to underscores and labels rendered inline;
+* :func:`console_table` — an aligned text table for examples and
+  benchmarks to print.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any
+
+from repro.obs.metrics import Counter, Gauge, Histogram
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import NoopTracer, Tracer
+
+
+def to_jsonl(registry: MetricsRegistry,
+             tracer: Tracer | NoopTracer | None = None) -> str:
+    """One JSON object per line: metrics first, then trace trees."""
+    lines = []
+    for entry in registry.snapshot():
+        lines.append(json.dumps({"type": "metric", **entry},
+                                sort_keys=True))
+    if tracer is not None:
+        for trace in tracer.traces:
+            lines.append(json.dumps({"type": "trace",
+                                     "tree": trace.as_dict()},
+                                    sort_keys=True))
+    return "\n".join(lines)
+
+
+def write_jsonl(path: str | pathlib.Path, registry: MetricsRegistry,
+                tracer: Tracer | NoopTracer | None = None) -> pathlib.Path:
+    path = pathlib.Path(path)
+    path.write_text(to_jsonl(registry, tracer) + "\n", encoding="utf-8")
+    return path
+
+
+def _prom_name(name: str, suffix: str = "") -> str:
+    return name.replace(".", "_").replace("-", "_") + suffix
+
+
+def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None,
+                 ) -> str:
+    merged = {**labels, **(extra or {})}
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The Prometheus text exposition of every registered metric."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def headline(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for metric in registry:
+        base = _prom_name(metric.name)
+        if isinstance(metric, Counter):
+            headline(base + "_total", "counter")
+            lines.append(f"{base}_total{_prom_labels(metric.labels)} "
+                         f"{metric.value}")
+        elif isinstance(metric, Histogram):
+            headline(base, "histogram")
+            for bound, cumulative in metric.cumulative_buckets():
+                lines.append(
+                    f"{base}_bucket"
+                    f"{_prom_labels(metric.labels, {'le': str(bound)})} "
+                    f"{cumulative}")
+            lines.append(
+                f"{base}_bucket"
+                f"{_prom_labels(metric.labels, {'le': '+Inf'})} "
+                f"{metric.count}")
+            lines.append(f"{base}_sum{_prom_labels(metric.labels)} "
+                         f"{metric.total}")
+            lines.append(f"{base}_count{_prom_labels(metric.labels)} "
+                         f"{metric.count}")
+        elif isinstance(metric, Gauge):
+            headline(base, "gauge")
+            lines.append(f"{base}{_prom_labels(metric.labels)} "
+                         f"{metric.value}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def console_table(registry: MetricsRegistry, title: str = "observability",
+                  prefix: str = "") -> str:
+    """An aligned text table of the registry (optionally one subtree)."""
+    rows: list[list[str]] = []
+    metrics = registry.find(prefix) if prefix else list(registry)
+    for metric in metrics:
+        labels = ",".join(f"{k}={v}"
+                          for k, v in sorted(metric.labels.items()))
+        if isinstance(metric, Counter):
+            value = str(metric.value)
+        elif isinstance(metric, Histogram):
+            p = metric.percentiles()
+            value = (f"n={metric.count} mean={metric.mean:.3f} "
+                     f"p50={p['p50']:.3f} p95={p['p95']:.3f} "
+                     f"p99={p['p99']:.3f}")
+        else:
+            value = (f"{metric.value:.3f}"
+                     if isinstance(metric.value, float)
+                     else str(metric.value))
+        rows.append([metric.name, metric.kind, labels, value])
+    columns = ["metric", "kind", "labels", "value"]
+    widths = [max(len(columns[i]), *(len(r[i]) for r in rows))
+              if rows else len(columns[i]) for i in range(len(columns))]
+    header = " | ".join(c.ljust(w) for c, w in zip(columns, widths))
+    rule = "-+-".join("-" * w for w in widths)
+    body = [" | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+            for row in rows]
+    return "\n".join([f"== {title} ==", header, rule, *body])
+
+
+def summary(registry: MetricsRegistry) -> dict[str, Any]:
+    """A nested dict view: hierarchical names expanded into a tree."""
+    tree: dict[str, Any] = {}
+    for entry in registry.snapshot():
+        node = tree
+        parts = entry["name"].split(".")
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        leaf_key = parts[-1]
+        if entry["labels"]:
+            labels = ",".join(f"{k}={v}"
+                              for k, v in sorted(entry["labels"].items()))
+            leaf_key = f"{leaf_key}{{{labels}}}"
+        node[leaf_key] = {k: v for k, v in entry.items()
+                          if k not in ("name", "labels")}
+    return tree

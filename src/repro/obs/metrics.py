@@ -1,0 +1,221 @@
+"""Metric primitives: Counter, Gauge, Histogram.
+
+These are the building blocks the :class:`~repro.obs.registry.MetricsRegistry`
+hands out.  They are deliberately dependency-free and cheap: a counter
+increment is one attribute add, a histogram observation is an append (or a
+deterministic reservoir replacement once full), so instrumented hot paths
+stay fast even with observability enabled.
+
+Quantiles come from a bounded **reservoir sample**: exact while fewer than
+``reservoir_size`` values have been observed (the common case for
+laptop-scale runs), and a deterministic Algorithm-R approximation beyond
+that.  Fixed bucket boundaries can be supplied as well, giving
+Prometheus-style cumulative bucket counts in the exposition format.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Mapping, Sequence
+
+
+def _sorted_quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile of a pre-sorted sequence.
+
+    Matches ``statistics.quantiles(..., n=100, method='inclusive')`` at the
+    percentile points, which is what the accuracy tests pin against.
+    """
+    if not values:
+        return 0.0
+    if len(values) == 1:
+        return values[0]
+    position = q * (len(values) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(values) - 1)
+    fraction = position - lower
+    return values[lower] + (values[upper] - values[lower]) * fraction
+
+
+class Metric:
+    """Base metric: a hierarchical dotted name plus optional labels."""
+
+    kind = "metric"
+
+    def __init__(self, name: str = "", labels: Mapping[str, str] | None = None,
+                 ) -> None:
+        self.name = name
+        self.labels: dict[str, str] = dict(labels or {})
+
+    def as_dict(self) -> dict[str, Any]:
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing count (rows, firings, drops...)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str = "", labels: Mapping[str, str] | None = None,
+                 ) -> None:
+        super().__init__(name, labels)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease "
+                             f"(inc by {amount})")
+        self.value += amount
+
+    def __int__(self) -> int:
+        return self.value
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"value": self.value}
+
+
+class Gauge(Metric):
+    """A point-in-time value with running statistics.
+
+    Beyond the instantaneous ``value`` (the Prometheus gauge notion) it
+    keeps count / total / min / max of everything observed, so it doubles
+    as the running-statistic the DSMS layer has always reported.  Min and
+    max start as *absent*, not zero — the first observation defines them
+    even when it is negative.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str = "", labels: Mapping[str, str] | None = None,
+                 ) -> None:
+        super().__init__(name, labels)
+        self.value = 0.0
+        self.count = 0
+        self.total = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+
+    def set(self, value: float) -> None:
+        """Set the instantaneous value without recording a sample."""
+        self.value = value
+
+    def observe(self, value: float) -> None:
+        """Record a sample: updates value, count, total, min and max."""
+        self.value = value
+        self.count += 1
+        self.total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._max is not None else 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"value": self.value, "count": self.count,
+                "total": self.total, "mean": self.mean,
+                "min": self.min, "max": self.max}
+
+
+class Histogram(Metric):
+    """A distribution with streaming p50/p95/p99.
+
+    A bounded reservoir keeps quantiles exact until ``reservoir_size``
+    observations, then degrades gracefully to uniform sampling (Algorithm R
+    with a seeded generator, so runs stay reproducible).  Optional fixed
+    ``buckets`` (upper bounds) additionally maintain cumulative counts for
+    the Prometheus exposition.
+    """
+
+    kind = "histogram"
+
+    PERCENTILES = (0.50, 0.95, 0.99)
+
+    def __init__(self, name: str = "", labels: Mapping[str, str] | None = None,
+                 buckets: Sequence[float] | None = None,
+                 reservoir_size: int = 1024) -> None:
+        super().__init__(name, labels)
+        if reservoir_size <= 0:
+            raise ValueError("reservoir_size must be positive")
+        self.count = 0
+        self.total = 0.0
+        self._min: float | None = None
+        self._max: float | None = None
+        self._reservoir: list[float] = []
+        self._reservoir_size = reservoir_size
+        self._rng = random.Random(0x5EED)
+        self.buckets = sorted(buckets) if buckets else None
+        self._bucket_counts = [0] * len(self.buckets) if self.buckets else []
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if len(self._reservoir) < self._reservoir_size:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < self._reservoir_size:
+                self._reservoir[slot] = value
+        if self.buckets:
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._bucket_counts[i] += 1
+                    break
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self._min is not None else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._max is not None else 0.0
+
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1) of the sampled distribution."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        return _sorted_quantile(sorted(self._reservoir), q)
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard latency trio: p50 / p95 / p99."""
+        ordered = sorted(self._reservoir)
+        return {f"p{int(q * 100)}": _sorted_quantile(ordered, q)
+                for q in self.PERCENTILES}
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Prometheus-style cumulative (upper_bound, count) pairs."""
+        if not self.buckets:
+            return []
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket_count in zip(self.buckets, self._bucket_counts):
+            running += bucket_count
+            out.append((bound, running))
+        return out
+
+    def as_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"count": self.count, "total": self.total,
+                                "mean": self.mean, "min": self.min,
+                                "max": self.max}
+        data.update(self.percentiles())
+        if self.buckets:
+            data["buckets"] = {str(b): c
+                               for b, c in self.cumulative_buckets()}
+        return data

@@ -1,0 +1,102 @@
+"""The metrics registry: hierarchical names, labeled children, snapshots.
+
+One :class:`MetricsRegistry` holds every metric the engine layers publish.
+Metrics are addressed by a **hierarchical dotted name** plus an optional
+label set, e.g.::
+
+    registry.counter("cql.executor.join.rows", query="hot")
+    registry.histogram("dsms.queue.wait", buckets=(1, 10, 100))
+
+Repeated calls with the same name and labels return the same object, so
+instrumented code can look a metric up once and keep the reference.  Tests
+reset the whole registry through :func:`repro.obs.reset` (an autouse
+fixture in the repo's ``conftest.py`` does this between tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.obs.metrics import Counter, Gauge, Histogram, Metric
+
+#: A metric's identity: (dotted name, sorted label items).
+MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Mapping[str, str]) -> MetricKey:
+    if not name:
+        raise ValueError("metric name must be non-empty")
+    return name, tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """A flat store of metrics addressed by hierarchical name + labels."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[MetricKey, Metric] = {}
+
+    # -- metric factories ------------------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets: Sequence[float] | None = None,
+                  **labels: str) -> Histogram:
+        key = _key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Histogram(name, dict(key[1]), buckets=buckets)
+            self._metrics[key] = metric
+        elif not isinstance(metric, Histogram):
+            raise TypeError(
+                f"metric {name!r}{dict(key[1])} already registered as "
+                f"{type(metric).__name__}")
+        return metric
+
+    def _get_or_create(self, cls: type, name: str,
+                       labels: Mapping[str, str]) -> Any:
+        key = _key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, dict(key[1]))
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r}{dict(key[1])} already registered as "
+                f"{type(metric).__name__}")
+        return metric
+
+    # -- navigation ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        for key in sorted(self._metrics):
+            yield self._metrics[key]
+
+    def find(self, prefix: str) -> list[Metric]:
+        """All metrics whose dotted name starts with ``prefix``."""
+        return [m for m in self
+                if m.name == prefix or m.name.startswith(prefix + ".")]
+
+    def get(self, name: str, **labels: str) -> Metric | None:
+        return self._metrics.get(_key(name, labels))
+
+    def children(self, name: str) -> list[Metric]:
+        """Every labeled child registered under exactly ``name``."""
+        return [m for m in self if m.name == name]
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every metric (test isolation)."""
+        self._metrics.clear()
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """A JSON-ready dump: one dict per metric, sorted by identity."""
+        return [{"name": m.name, "kind": m.kind, "labels": m.labels,
+                 **m.as_dict()} for m in self]

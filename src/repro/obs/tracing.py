@@ -1,0 +1,215 @@
+"""Span-based tracing with a zero-cost no-op twin.
+
+A :class:`Tracer` produces a navigable tree of :class:`Span` objects::
+
+    with tracer.span("dsms.run", query="hot") as root:
+        with tracer.span("dsms.service") as child:
+            child.add(records=3)
+
+Spans record wall time (``time.perf_counter``), arbitrary attributes, and
+additive counts (record tallies).  Exceptions propagate but never corrupt
+nesting: the span is closed and flagged before re-raising.
+
+When observability is disabled the engine layers receive a
+:class:`NoopTracer` whose single reusable :class:`NoopSpan` makes the
+instrumented ``with`` blocks cost two trivial method calls — close enough
+to free that hot paths keep their instrumentation unconditionally.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterator
+
+
+class Span:
+    """One timed region of work; nests into a trace tree."""
+
+    __slots__ = ("name", "attributes", "counts", "children", "parent",
+                 "start", "end", "error")
+
+    def __init__(self, name: str, parent: "Span | None" = None,
+                 **attributes: Any) -> None:
+        self.name = name
+        self.parent = parent
+        self.attributes = dict(attributes)
+        self.counts: dict[str, int] = {}
+        self.children: list[Span] = []
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        self.error: str | None = None
+        if parent is not None:
+            parent.children.append(self)
+
+    # -- recording -------------------------------------------------------------
+
+    def add(self, **counts: int) -> None:
+        """Add to this span's named tallies (e.g. ``span.add(records=5)``)."""
+        for key, amount in counts.items():
+            self.counts[key] = self.counts.get(key, 0) + amount
+
+    def annotate(self, **attributes: Any) -> None:
+        self.attributes.update(attributes)
+
+    # -- inspection ------------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock seconds; measured up to now for an open span."""
+        return (self.end if self.end is not None
+                else time.perf_counter()) - self.start
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        return [s for s in self.walk() if s.name == name]
+
+    def as_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
+            "name": self.name,
+            "duration_s": self.duration,
+        }
+        if self.attributes:
+            data["attributes"] = dict(self.attributes)
+        if self.counts:
+            data["counts"] = dict(self.counts)
+        if self.error is not None:
+            data["error"] = self.error
+        if self.children:
+            data["children"] = [c.as_dict() for c in self.children]
+        return data
+
+    def render(self, indent: int = 0) -> str:
+        """A readable one-line-per-span tree."""
+        counts = " ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        attrs = " ".join(f"{k}={v!r}"
+                         for k, v in sorted(self.attributes.items()))
+        parts = [f"{'  ' * indent}{self.name}",
+                 f"{self.duration * 1e3:.3f}ms"]
+        if counts:
+            parts.append(counts)
+        if attrs:
+            parts.append(attrs)
+        if self.error:
+            parts.append(f"ERROR({self.error})")
+        lines = ["  ".join(parts)]
+        lines.extend(c.render(indent + 1) for c in self.children)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"Span({self.name!r}, children={len(self.children)}, "
+                f"duration={self.duration:.6f}s)")
+
+
+class _SpanContext:
+    """Context manager tying a span's lifetime to a ``with`` block."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self._span.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._close(self._span)
+        return False  # never swallow
+
+
+class Tracer:
+    """Produces spans and keeps the forest of completed root spans."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._stack: list[Span] = []
+        self.traces: list[Span] = []
+
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        parent = self._stack[-1] if self._stack else None
+        span = Span(name, parent, **attributes)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        # Exception-safe unwinding: pop through any abandoned descendants.
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.end is None:
+                top.end = span.end
+        if span.parent is None:
+            self.traces.append(span)
+
+    @property
+    def current(self) -> Span | None:
+        return self._stack[-1] if self._stack else None
+
+    def last_trace(self) -> Span | None:
+        return self.traces[-1] if self.traces else None
+
+    def reset(self) -> None:
+        self._stack.clear()
+        self.traces.clear()
+
+
+class NoopSpan:
+    """A reusable span stand-in whose every method does nothing."""
+
+    __slots__ = ()
+
+    name = "noop"
+    children: list = []
+    counts: dict = {}
+    attributes: dict = {}
+    duration = 0.0
+    error = None
+
+    def add(self, **counts: int) -> None:
+        pass
+
+    def annotate(self, **attributes: Any) -> None:
+        pass
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NOOP_SPAN = NoopSpan()
+
+
+class NoopTracer:
+    """The disabled tracer: hands out one shared no-op span."""
+
+    enabled = False
+    traces: list = []
+
+    def span(self, name: str, **attributes: Any) -> NoopSpan:
+        return _NOOP_SPAN
+
+    @property
+    def current(self) -> None:
+        return None
+
+    def last_trace(self) -> None:
+        return None
+
+    def reset(self) -> None:
+        pass

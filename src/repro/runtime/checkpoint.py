@@ -12,6 +12,7 @@ giving exactly-once results with transactional sinks.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -26,11 +27,21 @@ class CheckpointSnapshot:
     expected: set[tuple[str, int]]
     operator_state: dict[tuple[str, int], Any] = field(default_factory=dict)
     source_offsets: dict[tuple[str, int], int] = field(default_factory=dict)
+    #: Wall-clock bracket: first report → completing report (observability).
+    started_at: float = field(default_factory=time.perf_counter)
+    completed_at: float | None = None
 
     @property
     def complete(self) -> bool:
         reported = set(self.operator_state) | set(self.source_offsets)
         return reported >= self.expected
+
+    @property
+    def duration(self) -> float | None:
+        """Seconds from first to last report, or None while incomplete."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
 
 
 class CheckpointCoordinator:
@@ -51,6 +62,8 @@ class CheckpointCoordinator:
         self.interval = interval
         self.participants = participants
         self._snapshots: dict[int, CheckpointSnapshot] = {}
+        #: Completed-checkpoint wall times: (checkpoint id, seconds).
+        self.durations: list[tuple[int, float]] = []
 
     def barrier_due(self, records_emitted: int) -> int | None:
         """Checkpoint id to inject after ``records_emitted`` records, or
@@ -69,13 +82,21 @@ class CheckpointCoordinator:
 
     def report_operator(self, checkpoint_id: int, vertex: str,
                         subtask: int, state: Any) -> None:
-        self._snapshot_for(checkpoint_id).operator_state[
-            (vertex, subtask)] = state
+        snapshot = self._snapshot_for(checkpoint_id)
+        snapshot.operator_state[(vertex, subtask)] = state
+        self._stamp_if_complete(snapshot)
 
     def report_source(self, checkpoint_id: int, vertex: str,
                       subtask: int, offset: int) -> None:
-        self._snapshot_for(checkpoint_id).source_offsets[
-            (vertex, subtask)] = offset
+        snapshot = self._snapshot_for(checkpoint_id)
+        snapshot.source_offsets[(vertex, subtask)] = offset
+        self._stamp_if_complete(snapshot)
+
+    def _stamp_if_complete(self, snapshot: CheckpointSnapshot) -> None:
+        if snapshot.completed_at is None and snapshot.complete:
+            snapshot.completed_at = time.perf_counter()
+            self.durations.append(
+                (snapshot.checkpoint_id, snapshot.duration))
 
     def latest_complete(self) -> CheckpointSnapshot | None:
         """The newest checkpoint every participant reported for."""

@@ -15,6 +15,7 @@ import heapq
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+import repro.obs as obs
 from repro.core.errors import PlanError, StateError
 from repro.core.time import Timestamp
 from repro.runtime.partitioning import ForwardPartitioner, Partitioner
@@ -438,6 +439,7 @@ def chain_operators(graph: JobGraph) -> JobGraph:
     out.sinks = set(graph.sinks)
     out.sink_origin = dict(graph.sink_origin)
 
+    fused = 0
     changed = True
     while changed:
         changed = False
@@ -455,8 +457,17 @@ def chain_operators(graph: JobGraph) -> JobGraph:
             if len(out.upstream_edges(edge.downstream)) != 1:
                 continue
             _fuse(out, edge, upstream, downstream)
+            fused += 1
             changed = True
             break
+    if obs.is_enabled():
+        registry = obs.get_registry()
+        registry.counter("runtime.chaining.fusions", job=graph.name).inc(
+            fused)
+        registry.gauge("runtime.graph.vertices", job=out.name).set(
+            len(out.vertices))
+        registry.gauge("runtime.graph.edges", job=out.name).set(
+            len(out.edges))
     return out
 
 

@@ -21,6 +21,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
 
+import repro.obs as obs
 from repro.core.errors import StateError
 from repro.core.time import MAX_TIMESTAMP, Timestamp
 from repro.runtime.actors import Actor, ActorRef, ActorSystem
@@ -200,6 +201,15 @@ class OperatorSubtask(Actor):
             raise StateError(f"unexpected message {message!r}")
 
     def _process_data(self, message: DataMsg) -> None:
+        if obs.is_enabled():
+            registry = obs.get_registry()
+            registry.counter("runtime.vertex.records_in",
+                             vertex=self.vertex).inc()
+            mailbox = self.context.system._mailboxes.get(
+                f"{self.vertex}#{self.subtask}")
+            if mailbox is not None:
+                registry.gauge("runtime.vertex.queue_depth",
+                               vertex=self.vertex).observe(len(mailbox))
         self._emitter.emit(self.operator.process(message.element))
 
     def _process_watermark(self, message: WatermarkMsg) -> None:
@@ -209,6 +219,10 @@ class OperatorSubtask(Actor):
         combined = min(self._watermarks.values())
         if combined > self._combined:
             self._combined = combined
+            if obs.is_enabled():
+                obs.get_registry().gauge(
+                    "runtime.vertex.watermark", vertex=self.vertex).set(
+                        combined)
             for fire_at, key in self.operator.timers.due(combined):
                 self._emitter.emit(self.operator.on_timer(fire_at, key))
             self._emitter.emit(self.operator.on_watermark(combined))
@@ -305,6 +319,7 @@ class JobRunner:
             defaultdict(dict)
         self.system: ActorSystem | None = None
         self._operators: dict[tuple[str, int], StreamOperator] = {}
+        self._emitters: dict[tuple[str, int], _Emitter] = {}
 
     # -- deployment -------------------------------------------------------------
 
@@ -328,6 +343,7 @@ class JobRunner:
     def _deploy(self, restore_from=None) -> None:
         self.system = ActorSystem()
         self._operators = {}
+        self._emitters = {}
         offsets = {}
         states = {}
         if restore_from is not None:
@@ -346,6 +362,7 @@ class JobRunner:
                 self._operators[key] = operator
                 emitter = _Emitter(self.system, name, subtask,
                                    self._out_edges(name, subtask))
+                self._emitters[key] = emitter
                 self.system.spawn(
                     f"{name}#{subtask}",
                     OperatorSubtask(name, subtask, operator, channels,
@@ -354,6 +371,7 @@ class JobRunner:
             for subtask in range(source.parallelism):
                 emitter = _Emitter(self.system, name, subtask,
                                    self._out_edges(name, subtask))
+                self._emitters[(name, subtask)] = emitter
                 self.system.spawn(
                     f"{name}#{subtask}",
                     SourceSubtask(name, subtask, source.records[subtask],
@@ -370,25 +388,37 @@ class JobRunner:
         result = JobResult()
         restore_from = None
         attempts = 0
-        while True:
-            self._deploy(restore_from)
-            for name, source in self.graph.sources.items():
-                for subtask in range(source.parallelism):
-                    self.system.ref(f"{name}#{subtask}").tell(RunSourceMsg())
-            try:
-                self.system.run_until_idle()
-                result.messages_processed += self.system.messages_processed
-                break
-            except JobFailure:
-                # The crashed attempt's work still counts: it is the
-                # overhead recovery pays for (the ablation's metric).
-                result.messages_processed += self.system.messages_processed
-                attempts += 1
-                result.recoveries += 1
-                if attempts > self.max_restarts:
-                    raise
-                restore_from = self.coordinator.latest_complete()
-                self._collect_committed()
+        tracer = obs.get_tracer() if obs.is_enabled() else obs.NoopTracer()
+        with tracer.span("runtime.job.run", job=self.graph.name) as root:
+            while True:
+                self._deploy(restore_from)
+                for name, source in self.graph.sources.items():
+                    for subtask in range(source.parallelism):
+                        self.system.ref(f"{name}#{subtask}").tell(
+                            RunSourceMsg())
+                try:
+                    with tracer.span("runtime.job.attempt",
+                                     attempt=attempts) as span:
+                        self.system.run_until_idle()
+                        span.add(messages=self.system.messages_processed)
+                    result.messages_processed += \
+                        self.system.messages_processed
+                    break
+                except JobFailure:
+                    # The crashed attempt's work still counts: it is the
+                    # overhead recovery pays for (the ablation's metric).
+                    result.messages_processed += \
+                        self.system.messages_processed
+                    attempts += 1
+                    result.recoveries += 1
+                    if attempts > self.max_restarts:
+                        raise
+                    restore_from = self.coordinator.latest_complete()
+                    self._collect_committed()
+            root.add(messages=result.messages_processed,
+                     recoveries=result.recoveries)
+            if obs.is_enabled():
+                self.publish_observability()
         self._collect_committed()
         for (name, subtask), epochs in self._committed_sink.items():
             if name in self.graph.sinks:
@@ -416,3 +446,21 @@ class JobRunner:
                           subtask: int = 0) -> StreamOperator:
         """Access a deployed operator (tests and metrics)."""
         return self._operators[(vertex, subtask)]
+
+    def publish_observability(self, registry=None) -> None:
+        """Snapshot per-vertex throughput and checkpoint durations into
+        the (global) metrics registry.  Pull-based and idempotent."""
+        registry = registry if registry is not None else obs.get_registry()
+        per_vertex: dict[str, int] = defaultdict(int)
+        for (name, _subtask), emitter in self._emitters.items():
+            per_vertex[name] += emitter.records_out
+        for name, records_out in per_vertex.items():
+            counter = registry.counter("runtime.vertex.records_out",
+                                       vertex=name)
+            counter.inc(max(0, records_out - counter.value))
+        durations = registry.histogram("runtime.checkpoint.duration_seconds")
+        for _checkpoint_id, seconds in \
+                self.coordinator.durations[durations.count:]:
+            durations.observe(seconds)
+        registry.gauge("runtime.checkpoints.completed").set(
+            len(self.coordinator.completed_ids()))

@@ -1,0 +1,103 @@
+"""Exporters: JSON-lines, Prometheus text, console table, summary tree."""
+
+import json
+
+from repro.obs.export import (
+    console_table,
+    summary,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("cql.executor.rows_in", operator="JoinOp").inc(12)
+    registry.gauge("dsms.queue.depth", query="q1").observe(4.0)
+    hist = registry.histogram("dsms.queue.wait", buckets=(1.0, 10.0))
+    for value in (0.5, 2.0, 3.0, 50.0):
+        hist.observe(value)
+    return registry
+
+
+class TestJsonl:
+    def test_one_object_per_line(self):
+        registry = populated_registry()
+        lines = [json.loads(line)
+                 for line in to_jsonl(registry).splitlines()]
+        assert len(lines) == 3
+        assert all(entry["type"] == "metric" for entry in lines)
+        by_name = {entry["name"]: entry for entry in lines}
+        assert by_name["cql.executor.rows_in"]["value"] == 12
+        assert by_name["cql.executor.rows_in"]["labels"] == {
+            "operator": "JoinOp"}
+        assert by_name["dsms.queue.wait"]["p50"] == 2.5
+
+    def test_traces_appended(self):
+        registry = populated_registry()
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        lines = [json.loads(line)
+                 for line in to_jsonl(registry, tracer).splitlines()]
+        traces = [entry for entry in lines if entry["type"] == "trace"]
+        assert len(traces) == 1
+        assert traces[0]["tree"]["name"] == "root"
+        assert traces[0]["tree"]["children"][0]["name"] == "child"
+
+    def test_write_jsonl(self, tmp_path):
+        registry = populated_registry()
+        path = write_jsonl(tmp_path / "obs.jsonl", registry)
+        content = path.read_text(encoding="utf-8")
+        assert content.endswith("\n")
+        assert len(content.strip().splitlines()) == 3
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = to_prometheus(populated_registry())
+        assert "# TYPE cql_executor_rows_in_total counter" in text
+        assert 'cql_executor_rows_in_total{operator="JoinOp"} 12' in text
+        assert "# TYPE dsms_queue_depth gauge" in text
+        assert 'dsms_queue_depth{query="q1"} 4.0' in text
+
+    def test_histogram_buckets(self):
+        text = to_prometheus(populated_registry())
+        assert 'dsms_queue_wait_bucket{le="1.0"} 1' in text
+        assert 'dsms_queue_wait_bucket{le="10.0"} 3' in text
+        assert 'dsms_queue_wait_bucket{le="+Inf"} 4' in text
+        assert "dsms_queue_wait_sum 55.5" in text
+        assert "dsms_queue_wait_count 4" in text
+
+    def test_empty_registry(self):
+        assert to_prometheus(MetricsRegistry()) == ""
+
+
+class TestConsoleTable:
+    def test_all_metrics_listed(self):
+        table = console_table(populated_registry(), title="t")
+        assert table.startswith("== t ==")
+        assert "cql.executor.rows_in" in table
+        assert "operator=JoinOp" in table
+        assert "p95=" in table  # histograms summarise percentiles
+
+    def test_prefix_filters(self):
+        table = console_table(populated_registry(), prefix="dsms")
+        assert "dsms.queue.depth" in table
+        assert "cql.executor.rows_in" not in table
+
+    def test_empty_registry_renders_header(self):
+        table = console_table(MetricsRegistry(), title="empty")
+        assert table.startswith("== empty ==")
+
+
+class TestSummary:
+    def test_nested_tree(self):
+        tree = summary(populated_registry())
+        assert tree["cql"]["executor"]["rows_in{operator=JoinOp}"][
+            "value"] == 12
+        assert "p99" in tree["dsms"]["queue"]["wait"]

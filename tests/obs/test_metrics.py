@@ -1,0 +1,224 @@
+"""Metric primitives and the registry: counters, gauges, histograms."""
+
+import statistics
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.metrics import Counter, Gauge, Histogram
+from repro.obs.registry import MetricsRegistry
+
+
+class TestCounter:
+    def test_monotonic(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_running_stats(self):
+        gauge = Gauge("g")
+        for value in (4.0, -2.0, 3.0):
+            gauge.observe(value)
+        assert gauge.count == 3
+        assert gauge.total == 5.0
+        assert gauge.mean == pytest.approx(5.0 / 3)
+        assert gauge.min == -2.0
+        assert gauge.max == 4.0
+        assert gauge.value == 3.0  # last observation
+
+    def test_all_negative_max_is_reported(self):
+        """The historical bug: max initialised to 0.0 masked negatives."""
+        gauge = Gauge("g")
+        gauge.observe(-5.0)
+        gauge.observe(-3.0)
+        assert gauge.max == -3.0
+        assert gauge.min == -5.0
+
+    def test_set_does_not_count_a_sample(self):
+        gauge = Gauge("g")
+        gauge.set(7.0)
+        assert gauge.value == 7.0
+        assert gauge.count == 0
+
+    def test_empty_defaults(self):
+        gauge = Gauge("g")
+        assert gauge.mean == 0.0
+        assert gauge.min == 0.0
+        assert gauge.max == 0.0
+
+
+class TestDsmsGaugeCompat:
+    """The dsms wrapper keeps its old surface and inherits the fixes."""
+
+    def test_wrapper_api(self):
+        from repro.dsms import Gauge as DsmsGauge
+
+        gauge = DsmsGauge()
+        for value in (1.0, 3.0, 2.0):
+            gauge.observe(value)
+        assert (gauge.count, gauge.mean, gauge.max) == (3, 2.0, 3.0)
+        assert gauge.min == 1.0
+
+    def test_wrapper_negative_max_fixed(self):
+        from repro.dsms import Gauge as DsmsGauge
+
+        gauge = DsmsGauge()
+        gauge.observe(-1.5)
+        assert gauge.max == -1.5
+
+    def test_query_metrics_as_dict_shape_unchanged(self):
+        from repro.dsms import QueryMetrics
+
+        metrics = QueryMetrics()
+        metrics.ingested += 3
+        metrics.processed += 2
+        metrics.queue_wait.observe(1.0)
+        metrics.scratch.observe(4.0)
+        assert metrics.as_dict() == {
+            "ingested": 3, "shed": 0, "queue_dropped": 0,
+            "processed": 2, "emitted": 0,
+            "mean_queue_wait": 1.0, "mean_scratch": 4.0,
+            "peak_scratch": 4.0,
+        }
+
+
+class TestHistogram:
+    def test_quantiles_match_statistics_module(self):
+        data = [float(v) for v in range(1, 202)]  # 1..201, exact quantiles
+        histogram = Histogram("h")
+        for value in data:
+            histogram.observe(value)
+        reference = statistics.quantiles(data, n=100, method="inclusive")
+        assert histogram.quantile(0.50) == pytest.approx(reference[49])
+        assert histogram.quantile(0.95) == pytest.approx(reference[94])
+        assert histogram.quantile(0.99) == pytest.approx(reference[98])
+        p = histogram.percentiles()
+        assert set(p) == {"p50", "p95", "p99"}
+        assert p["p50"] == pytest.approx(statistics.median(data))
+
+    def test_quantiles_on_shuffled_input(self):
+        import random
+        data = [float(v) for v in range(500)]
+        random.Random(7).shuffle(data)
+        histogram = Histogram("h")
+        for value in data:
+            histogram.observe(value)
+        reference = statistics.quantiles(data, n=100, method="inclusive")
+        assert histogram.quantile(0.95) == pytest.approx(reference[94])
+
+    def test_reservoir_degrades_but_stays_sane(self):
+        histogram = Histogram("h", reservoir_size=64)
+        for value in range(10_000):
+            histogram.observe(float(value))
+        assert histogram.count == 10_000
+        assert histogram.min == 0.0 and histogram.max == 9_999.0
+        # Approximate, but within the observed range and ordered.
+        assert 0.0 <= histogram.quantile(0.5) <= 9_999.0
+        assert histogram.quantile(0.5) <= histogram.quantile(0.99)
+
+    def test_fixed_buckets_cumulative(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 5.0, 7.0, 50.0, 1000.0):
+            histogram.observe(value)
+        assert histogram.cumulative_buckets() == [
+            (1.0, 1), (10.0, 3), (100.0, 4)]
+
+    def test_empty_histogram(self):
+        histogram = Histogram("h")
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.percentiles() == {"p50": 0.0, "p95": 0.0,
+                                           "p99": 0.0}
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+
+class TestRegistry:
+    def test_same_identity_returns_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("cql.executor.join.rows", query="q1")
+        b = registry.counter("cql.executor.join.rows", query="q1")
+        assert a is b
+
+    def test_labels_create_children(self):
+        registry = MetricsRegistry()
+        registry.counter("dsms.query.ingested", query="a").inc()
+        registry.counter("dsms.query.ingested", query="b").inc(2)
+        children = registry.children("dsms.query.ingested")
+        assert sorted(c.labels["query"] for c in children) == ["a", "b"]
+
+    def test_hierarchical_find(self):
+        registry = MetricsRegistry()
+        registry.counter("cql.executor.rows")
+        registry.gauge("cql.planner.depth")
+        registry.counter("dsms.query.ingested")
+        names = {m.name for m in registry.find("cql")}
+        assert names == {"cql.executor.rows", "cql.planner.depth"}
+        assert not registry.find("cq")  # prefix is dotted, not textual
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x.y")
+        with pytest.raises(TypeError):
+            registry.gauge("x.y")
+        with pytest.raises(TypeError):
+            registry.histogram("x.y")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("")
+
+    def test_reset_clears(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert len(registry) == 0
+
+    def test_snapshot_is_json_ready(self):
+        import json
+        registry = MetricsRegistry()
+        registry.counter("a.b", q="1").inc(3)
+        registry.histogram("a.h").observe(2.0)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)
+        by_name = {entry["name"]: entry for entry in snapshot}
+        assert by_name["a.b"]["value"] == 3
+        assert by_name["a.b"]["labels"] == {"q": "1"}
+        assert by_name["a.h"]["p50"] == 2.0
+
+
+class TestGlobalState:
+    def test_global_registry_reset_isolation(self):
+        obs.get_registry().counter("leftover").inc()
+        assert obs.get_registry().get("leftover") is not None
+        obs.reset()
+        assert obs.get_registry().get("leftover") is None
+        assert not obs.is_enabled()
+
+    def test_enable_swaps_tracer(self):
+        assert not obs.get_tracer().enabled
+        obs.enable()
+        assert obs.get_tracer().enabled
+        obs.disable()
+        assert not obs.is_enabled()
+
+    def test_disable_keeps_recorded_traces(self):
+        obs.enable()
+        with obs.get_tracer().span("kept"):
+            pass
+        obs.disable()
+        assert [t.name for t in obs.get_tracer().traces] == ["kept"]
+        obs.enable()  # re-enabling must not discard them either
+        assert [t.name for t in obs.get_tracer().traces] == ["kept"]
+
+    def test_autouse_fixture_left_registry_empty(self):
+        # The repo conftest resets between tests; whatever earlier tests
+        # published must not be visible here.
+        assert len(obs.get_registry()) == 0
+        assert obs.get_tracer().traces == []

@@ -1,0 +1,143 @@
+"""Tracer: nesting, exception safety, and the no-op twin."""
+
+import pytest
+
+from repro.obs.tracing import NoopTracer, Tracer
+
+
+class TestNesting:
+    def test_span_tree_shape(self):
+        tracer = Tracer()
+        with tracer.span("root", query="q") as root:
+            with tracer.span("child-a") as a:
+                a.add(records=2)
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child-b"):
+                pass
+        assert len(tracer.traces) == 1
+        (trace,) = tracer.traces
+        assert trace is root
+        assert [c.name for c in trace.children] == ["child-a", "child-b"]
+        assert trace.children[0].children[0].name == "grandchild"
+        assert trace.attributes == {"query": "q"}
+        assert trace.children[0].counts == {"records": 2}
+
+    def test_durations_nest(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        (trace,) = tracer.traces
+        assert trace.closed
+        assert trace.duration >= trace.children[0].duration >= 0.0
+
+    def test_walk_and_find(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("x"):
+                pass
+            with tracer.span("x"):
+                pass
+        (trace,) = tracer.traces
+        assert len(list(trace.walk())) == 3
+        assert len(trace.find("x")) == 2
+
+    def test_sibling_roots_form_a_forest(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [t.name for t in tracer.traces] == ["first", "second"]
+
+    def test_counts_accumulate(self):
+        tracer = Tracer()
+        with tracer.span("s") as span:
+            span.add(records=1)
+            span.add(records=4, emitted=2)
+        assert span.counts == {"records": 5, "emitted": 2}
+
+
+class TestExceptionSafety:
+    def test_exception_closes_and_flags_span(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("root"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        (trace,) = tracer.traces
+        assert trace.closed
+        inner = trace.children[0]
+        assert inner.closed
+        assert inner.error == "ValueError: boom"
+        assert tracer.current is None  # stack fully unwound
+
+    def test_exception_in_middle_of_stack_unwinds_descendants(self):
+        tracer = Tracer()
+        root_ctx = tracer.span("root")
+        root = root_ctx.__enter__()
+        child_ctx = tracer.span("child")
+        child_ctx.__enter__()
+        tracer.span("grandchild").__enter__()
+        # Close the *root* directly: abandoned descendants must be closed.
+        root_ctx.__exit__(None, None, None)
+        assert root.closed
+        assert all(span.closed for span in root.walk())
+        assert tracer.current is None
+        assert tracer.traces == [root]
+
+    def test_tracer_usable_after_exception(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("bad"):
+                raise RuntimeError
+        with tracer.span("good"):
+            pass
+        assert [t.name for t in tracer.traces] == ["bad", "good"]
+
+
+class TestRendering:
+    def test_as_dict_round_trips_json(self):
+        import json
+        tracer = Tracer()
+        with tracer.span("root", q="1") as root:
+            root.add(records=3)
+            with tracer.span("child"):
+                pass
+        data = tracer.last_trace().as_dict()
+        json.dumps(data)
+        assert data["name"] == "root"
+        assert data["counts"] == {"records": 3}
+        assert data["children"][0]["name"] == "child"
+
+    def test_render_indents_children(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        text = tracer.last_trace().render()
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  child")
+
+
+class TestNoop:
+    def test_noop_records_nothing(self):
+        tracer = NoopTracer()
+        with tracer.span("anything", key="value") as span:
+            span.add(records=10)
+            span.annotate(more="attrs")
+        assert tracer.traces == []
+        assert tracer.last_trace() is None
+        assert tracer.current is None
+
+    def test_noop_span_is_shared(self):
+        tracer = NoopTracer()
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_noop_does_not_swallow_exceptions(self):
+        tracer = NoopTracer()
+        with pytest.raises(KeyError):
+            with tracer.span("x"):
+                raise KeyError("k")

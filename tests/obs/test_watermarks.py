@@ -1,0 +1,82 @@
+"""WatermarkClock: event-time progress and processing lag."""
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.watermarks import WatermarkClock
+
+
+def make_clock():
+    registry = MetricsRegistry()
+    return registry, WatermarkClock(registry)
+
+
+class TestWatermark:
+    def test_watermark_is_high_water_mark(self):
+        _, clock = make_clock()
+        clock.observe_arrival("s", 10)
+        clock.observe_arrival("s", 5)   # out of order: no regression
+        clock.observe_arrival("s", 20)
+        assert clock.watermark("s") == 20
+
+    def test_streams_are_independent(self):
+        _, clock = make_clock()
+        clock.observe_arrival("a", 3)
+        clock.observe_arrival("b", 7)
+        assert clock.watermark("a") == 3
+        assert clock.watermark("b") == 7
+        assert clock.streams() == ["a", "b"]
+
+    def test_unseen_stream(self):
+        _, clock = make_clock()
+        assert clock.watermark("nope") is None
+        assert clock.lag("nope") == 0.0
+
+    def test_event_time_gauge_published(self):
+        registry, clock = make_clock()
+        clock.observe_arrival("s", 42)
+        gauge = registry.get("obs.watermark.event_time", stream="s")
+        assert gauge.value == 42
+
+
+class TestLag:
+    def test_fresh_record_has_zero_lag(self):
+        _, clock = make_clock()
+        clock.observe_arrival("s", 10)
+        assert clock.observe_processed("s", 10) == 0
+
+    def test_stale_record_lags_by_watermark_delta(self):
+        _, clock = make_clock()
+        clock.observe_arrival("s", 10)
+        clock.observe_arrival("s", 25)
+        assert clock.observe_processed("s", 10) == 15
+        assert clock.lag("s") == 15
+
+    def test_lag_floors_at_zero(self):
+        _, clock = make_clock()
+        clock.observe_arrival("s", 5)
+        # Processing something *ahead* of the watermark is not negative lag.
+        assert clock.observe_processed("s", 9) == 0
+
+    def test_lag_metrics_published(self):
+        registry, clock = make_clock()
+        clock.observe_arrival("s", 10)
+        for event_time in (10, 8, 4):
+            clock.observe_processed("s", event_time)
+        gauge = registry.get("obs.watermark.lag", stream="s")
+        assert gauge.count == 3
+        assert gauge.max == 6
+        histogram = registry.get("obs.watermark.lag_histogram", stream="s")
+        assert histogram.count == 3
+        assert histogram.quantile(0.5) == 2.0
+
+    def test_as_dict(self):
+        _, clock = make_clock()
+        clock.observe_arrival("s", 10)
+        clock.observe_processed("s", 7)
+        assert clock.as_dict() == {"s": {"watermark": 10, "lag": 3}}
+
+    def test_custom_prefix(self):
+        registry = MetricsRegistry()
+        clock = WatermarkClock(registry, prefix="dsms.watermark")
+        clock.observe_arrival("s", 1)
+        clock.observe_processed("s", 1)
+        assert registry.get("dsms.watermark.lag", stream="s") is not None

@@ -1,11 +1,16 @@
 """Tests for the experiment harness and workload generators."""
 
+import json
+
 import pytest
 
+import repro.obs as obs
 from repro.bench import (
     ExperimentTable,
     assert_dominates,
     assert_monotone,
+    bench_result,
+    obs_snapshot,
     out_of_order_readings,
     person_rows,
     rdf_sensor_triples,
@@ -13,6 +18,7 @@ from repro.bench import (
     social_edges,
     timed,
     transactions,
+    write_bench_json,
     zipfian_keys,
 )
 
@@ -65,6 +71,54 @@ class TestAssertions:
         result, seconds = timed(lambda: sum(range(100)))
         assert result == 4950
         assert seconds >= 0
+
+
+class TestBenchResult:
+    def test_obs_snapshot_captures_registry_and_traces(self):
+        obs.enable()
+        obs.get_registry().counter("bench.demo").inc(3)
+        with obs.get_tracer().span("bench.run"):
+            pass
+        snapshot = obs_snapshot()
+        assert snapshot["enabled"] is True
+        assert any(m["name"] == "bench.demo" and m["value"] == 3
+                   for m in snapshot["metrics"])
+        assert snapshot["traces"][0]["name"] == "bench.run"
+
+    def test_obs_snapshot_disabled_still_reports_metrics(self):
+        obs.get_registry().counter("bench.demo").inc()
+        snapshot = obs_snapshot()
+        assert snapshot["enabled"] is False
+        assert "traces" not in snapshot
+        assert len(snapshot["metrics"]) == 1
+
+    def test_bench_result_attaches_obs_and_table(self):
+        table = ExperimentTable("demo", ["n", "seconds"])
+        table.add_row(100, 0.5)
+        result = bench_result("fig3", table=table, rows=100)
+        assert result["name"] == "fig3"
+        assert result["rows"] == 100
+        assert result["table"]["columns"] == ["n", "seconds"]
+        assert result["table"]["rows"] == [[100, 0.5]]
+        assert "obs" in result
+
+    def test_write_bench_json(self, tmp_path):
+        obs.get_registry().counter("bench.rows").inc(7)
+        path = write_bench_json(bench_result("demo"), tmp_path)
+        assert path.name == "BENCH_demo.json"
+        payload = json.loads(path.read_text())
+        assert payload["name"] == "demo"
+        assert any(m["name"] == "bench.rows" and m["value"] == 7
+                   for m in payload["obs"]["metrics"])
+
+    def test_write_bench_json_requires_name(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_bench_json({"rows": 1}, tmp_path)
+
+    def test_write_bench_json_defaults_obs_section(self, tmp_path):
+        path = write_bench_json({"name": "bare"}, tmp_path)
+        payload = json.loads(path.read_text())
+        assert payload["obs"]["enabled"] is False
 
 
 class TestWorkloads:
