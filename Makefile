@@ -1,0 +1,19 @@
+PYTHON ?= python
+PYTHONPATH := src
+
+export PYTHONPATH
+
+.PHONY: test fuzz fuzz-quick
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Bounded, seeded fuzz — the same budget the tier-1 suite runs.
+fuzz-quick:
+	$(PYTHON) -m repro.difftest --cases 500 --core-cases 200 --seed 0
+
+# Long unseeded campaign: a fresh seed each run, repros emitted into
+# difftest_repros/ and timing into benchmarks/BENCH_difftest_fuzz.json.
+fuzz:
+	$(PYTHON) -m repro.difftest --cases 20000 --core-cases 5000 \
+		--unseeded --repro-dir difftest_repros --bench-dir benchmarks

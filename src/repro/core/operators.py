@@ -71,13 +71,13 @@ def _relevant_instants(stream: Stream[Any], window: S2RWindow) -> list[Timestamp
             instants.add(window.expiry_boundary(t))
     elif isinstance(window, SlidingWindow):
         for t in arrivals:
-            # An element can leave at any later slide boundary up to when it
-            # falls out of range entirely.
-            first = window.scope(t).start + window.slide
-            boundary = first
-            while boundary <= t + window.size:
-                instants.add(boundary)
-                boundary += window.slide
+            # Under scope semantics an element is visible exactly until the
+            # next slide boundary after it; later boundaries cannot change
+            # its visibility again.  For gappy windows (slide > size) this
+            # boundary lies beyond t + size, so it must not be capped by the
+            # window extent — capping used to leave elements visible forever
+            # in the sparse change-log.
+            instants.add(window.expiry_boundary(t))
     # Unbounded, landmark, count and partitioned windows only change on
     # arrival, which ``arrivals`` already covers.
     return sorted(instants)
@@ -193,12 +193,20 @@ def equijoin(left: TimeVaryingRelation, right: TimeVaryingRelation,
         schema = left.schema.concat(right.schema)
 
     def joined(lbag: Bag, rbag: Bag) -> Bag:
+        # SQL three-valued logic: NULL = NULL is unknown, so rows with a
+        # NULL key component can never match (same as the theta-join form).
         index: dict[tuple, list[tuple[Record, int]]] = defaultdict(list)
         for ritem, rcount in rbag.items():
-            index[ritem.key(right_key)].append((ritem, rcount))
+            key = ritem.key(right_key)
+            if None in key:
+                continue
+            index[key].append((ritem, rcount))
         out = Bag()
         for litem, lcount in lbag.items():
-            for ritem, rcount in index.get(litem.key(left_key), ()):
+            key = litem.key(left_key)
+            if None in key:
+                continue
+            for ritem, rcount in index.get(key, ()):
                 out.add(litem.concat(ritem), lcount * rcount)
         return out
 

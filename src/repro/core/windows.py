@@ -105,6 +105,18 @@ class SlidingWindow(WindowAssigner):
         start = ((t - self.offset) // self.slide) * self.slide + self.offset
         return Window(start, start + self.size)
 
+    def expiry_boundary(self, t: Timestamp) -> Timestamp:
+        """The first slide boundary strictly after ``t``.
+
+        Under ``scope`` semantics an element stamped ``t`` stops being
+        visible no later than this instant: the window in force jumps to the
+        next boundary, which either still covers ``t`` (``slide < size``) or
+        leaves it behind.  For gappy windows (``slide > size``) this can
+        exceed ``t + size``, so expiry logic must not cap the boundary at
+        the window's own extent.
+        """
+        return self.scope(t).start + self.slide
+
     def __repr__(self) -> str:
         return (f"SlidingWindow(size={self.size}, slide={self.slide}, "
                 f"offset={self.offset})")

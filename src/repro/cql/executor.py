@@ -29,12 +29,12 @@ from repro.obs import get_registry as _obs_registry
 # is_enabled()) keeps the per-operator disabled cost to one attribute load.
 from repro.obs import _STATE as _obs_state
 
-from repro.core.errors import PlanError, StateError
+from repro.core.errors import PlanError, StateError, TimeError
 from repro.core.operators import AggregateKind, R2SKind
 from repro.core.records import Record, Schema
 from repro.core.relation import Bag, TimeVaryingRelation
 from repro.core.stream import Stream
-from repro.core.time import Timestamp
+from repro.core.time import MIN_TIMESTAMP, Timestamp
 from repro.cql.algebra import (
     Aggregate,
     Distinct,
@@ -362,6 +362,14 @@ class JoinOp(PhysicalOp):
 
     def process(self, t, child_deltas):
         left_deltas, right_deltas = child_deltas
+        # SQL three-valued logic: a NULL key component can never satisfy the
+        # originating equality predicate, so such rows join nothing and are
+        # not worth indexing (keeps the incremental join aligned with the
+        # naive filtered-cross-product plan).
+        left_deltas = [(r, m) for r, m in left_deltas
+                       if None not in self._left_key(r)]
+        right_deltas = [(r, m) for r, m in right_deltas
+                        if None not in self._right_key(r)]
         out: list[Delta] = []
         # ΔL against the old right state.
         for record, mult in left_deltas:
@@ -770,6 +778,12 @@ class ContinuousQuery:
         is processed first, then the batch.  Returns the emissions produced
         from the missed instants and this batch.
         """
+        if timestamp < MIN_TIMESTAMP:
+            # The semantics layer (Stream) rejects negative timestamps; the
+            # incremental driver must agree, or it maintains states the
+            # reference evaluator cannot even express.
+            raise TimeError(
+                f"timestamp {timestamp} before the epoch {MIN_TIMESTAMP}")
         if self._last_instant is not None and \
                 timestamp < self._last_instant:
             raise StateError(
@@ -894,16 +908,21 @@ class ContinuousQuery:
         return out
 
     def as_relation(self) -> TimeVaryingRelation:
-        """The maintained state's change-log as a time-varying relation."""
+        """The maintained state's change-log as a time-varying relation.
+
+        Same-instant batches (e.g. a DSMS servicing one tuple at a time)
+        append several log entries at one timestamp; only the last state per
+        instant is the relation's value there.  Collapsing must happen
+        *before* feeding ``set_at``, because ``set_at`` coalesces no-op
+        states — popping its tail entry to overwrite could otherwise remove
+        an earlier instant's state.
+        """
         relation = TimeVaryingRelation(schema=self.output_schema)
-        last_t: Timestamp | None = None
+        last_per_instant: dict[Timestamp, Bag] = {}
         for t, bag in self._log:
-            if t == last_t:
-                # Same-instant batches: the later state wins.
-                relation._times.pop()
-                relation._states.pop()
+            last_per_instant[t] = bag
+        for t, bag in last_per_instant.items():
             relation.set_at(t, bag)
-            last_t = t
         return relation
 
     @property

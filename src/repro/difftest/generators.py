@@ -1,0 +1,243 @@
+"""Seeded generators for differential-testing cases.
+
+Two kinds of cases are generated:
+
+* :class:`Case` — a CQL query text plus raw ``(row, timestamp)`` pairs per
+  input stream.  Kept as plain JSON-able data so the shrinker can slice it
+  and the repro emitter can embed it literally in a pytest file.
+* :class:`CoreWindowCase` — a window object from ``core/windows.py`` plus a
+  record stream, for the sparse-vs-dense S2R leg that covers the window
+  kinds CQL's surface syntax cannot express (tumbling, sliding, landmark,
+  session).
+
+Stream profiles deliberately stress the executor's weak spots: bursty
+same-instant ties, duplicate-heavy rows, zero-timestamp pile-ups and
+NULL-heavy values.  Timestamps are always ``>= 0`` — the semantics layer
+rejects negative time, and the oracle separately asserts all three
+evaluators agree on that rejection.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core import Schema, Stream
+from repro.core.windows import (
+    LandmarkWindow,
+    NowWindow,
+    RangeWindow,
+    SessionWindow,
+    SlidingWindow,
+    SteppedRangeWindow,
+    TumblingWindow,
+    UnboundedWindow,
+)
+from repro.cql import CQLEngine
+
+OBS_SCHEMA = Schema(["id", "room", "temp"])
+ALERTS_SCHEMA = Schema(["id", "level"])
+ROOMS_SCHEMA = Schema(["room", "floor"])
+ROOMS_ROWS = ({"room": "a", "floor": 1}, {"room": "b", "floor": 2})
+
+#: (stream row-domain) — small domains so joins and duplicates hit often.
+_ROOMS = ("a", "b")
+_TEMPS = (None, None, 0, 1, 5, 30)
+
+
+@dataclass
+class Case:
+    """One CQL differential case: a query plus raw stream contents."""
+
+    query: str
+    streams: dict[str, list[tuple[dict[str, Any], int]]]
+    seed: int | None = None
+
+    def total_rows(self) -> int:
+        return sum(len(rows) for rows in self.streams.values())
+
+
+@dataclass
+class CoreWindowCase:
+    """One core S2R case: a window assigner plus raw stream contents."""
+
+    window: Any
+    rows: list[tuple[dict[str, Any], int]] = field(default_factory=list)
+    seed: int | None = None
+
+
+def build_engine() -> CQLEngine:
+    """A CQL engine with the fixed difftest catalog registered."""
+    engine = CQLEngine()
+    engine.register_stream("Obs", OBS_SCHEMA)
+    engine.register_stream("Alerts", ALERTS_SCHEMA)
+    engine.register_relation("Rooms", ROOMS_SCHEMA, ROOMS_ROWS)
+    return engine
+
+
+def build_streams(case: Case) -> dict[str, Stream]:
+    """Materialise a case's raw pairs as event-time streams."""
+    schemas = {"Obs": OBS_SCHEMA, "Alerts": ALERTS_SCHEMA}
+    return {name: Stream.of_records(schemas[name], rows)
+            for name, rows in case.streams.items()}
+
+
+# ---------------------------------------------------------------------------
+# Query generation
+# ---------------------------------------------------------------------------
+
+
+def _window(rng: random.Random, partition_ok: bool = True) -> str:
+    r = rng.randint(1, 10)
+    s = rng.randint(1, 10)
+    options = [
+        "",                              # unbounded
+        "[Now]",
+        f"[Range {r}]",
+        f"[Range {r} Slide {s}]",
+        f"[Rows {rng.randint(1, 4)}]",
+    ]
+    if partition_ok:
+        options.append(f"[Partition By room Rows {rng.randint(1, 3)}]")
+    return rng.choice(options)
+
+
+def _r2s(rng: random.Random) -> str:
+    return rng.choice(["", "ISTREAM ", "DSTREAM ", "RSTREAM "])
+
+
+def _aggregate(rng: random.Random) -> str:
+    return rng.choice([
+        "COUNT(*) AS n", "COUNT(temp) AS n", "SUM(temp) AS n",
+        "AVG(temp) AS n", "MIN(temp) AS n", "MAX(temp) AS n",
+    ])
+
+
+def gen_query(rng: random.Random) -> str:
+    """One random CQL query over the fixed catalog.
+
+    Shapes cover projection with scalar expressions, filters, all
+    ``AggregateKind``s (global, grouped, HAVING, DISTINCT), stream-stream
+    and stream-relation joins, every set operation, and all three R2S
+    operators — the surface the oracle must agree on.
+    """
+    shape = rng.randrange(9)
+    w1 = _window(rng)
+    w2 = _window(rng, partition_ok=False)
+    r2s = _r2s(rng)
+    agg = _aggregate(rng)
+    if shape == 0:
+        return f"SELECT {r2s}id, temp FROM Obs {w1}"
+    if shape == 1:
+        # The dialect has no IS NULL; COALESCE sentinels and 3VL NOT probe
+        # the same NULL paths through the shared expression compiler.
+        predicate = rng.choice(
+            ["temp > 1", "COALESCE(temp, 0 - 1) < 0",
+             "COALESCE(temp, 0 - 1) >= 0", "NOT temp > 1",
+             "room = 'a'", "temp + 1 >= 2"])
+        return f"SELECT {r2s}id, room FROM Obs {w1} WHERE {predicate}"
+    if shape == 2:
+        expr = rng.choice(
+            ["temp + 1 AS t1", "temp * 2 AS t1", "COALESCE(temp, 0) AS t1",
+             "ABS(temp - 5) AS t1"])
+        return f"SELECT {r2s}id, {expr} FROM Obs {w1}"
+    if shape == 3:
+        return f"SELECT {r2s}{agg} FROM Obs {w1}"
+    if shape == 4:
+        having = (" HAVING COUNT(*) >= 2" if rng.random() < 0.5 else "")
+        return (f"SELECT {r2s}room, {agg} FROM Obs {w1} "
+                f"GROUP BY room{having}")
+    if shape == 5:
+        return (f"SELECT {r2s}O.id, A.level FROM Obs O {w1}, "
+                f"Alerts A {w2} WHERE O.id = A.id")
+    if shape == 6:
+        return (f"SELECT {r2s}O.id, R.floor FROM Obs O {w1}, "
+                f"Rooms R WHERE O.room = R.room")
+    if shape == 7:
+        kind = rng.choice(["UNION ALL", "EXCEPT ALL", "INTERSECT ALL",
+                           "UNION", "EXCEPT", "INTERSECT"])
+        left = f"SELECT id FROM Obs {w1}"
+        right = f"SELECT id FROM Alerts {w2}"
+        if r2s:
+            return f"{r2s.strip()} ({left} {kind} {right})"
+        return f"{left} {kind} {right}"
+    return f"SELECT {r2s}DISTINCT room, temp FROM Obs {w1}"
+
+
+# ---------------------------------------------------------------------------
+# Stream generation
+# ---------------------------------------------------------------------------
+
+
+def _gen_rows(rng: random.Random, rowfn, count: int,
+              profile: str) -> list[tuple[dict[str, Any], int]]:
+    if profile == "bursty":
+        gaps = [0, 0, 0, 0, 1, 1, 2, 9]
+    elif profile == "zero-heavy":
+        gaps = [0, 0, 0, 0, 0, 0, 1, 3]
+    elif profile == "sparse":
+        gaps = [1, 2, 3, 5, 7, 11]
+    else:  # mixed
+        gaps = [0, 0, 1, 1, 2, 5, 9]
+    t = 0
+    rows: list[tuple[dict[str, Any], int]] = []
+    for _ in range(count):
+        t += rng.choice(gaps)
+        row = rowfn()
+        rows.append((row, t))
+        # Duplicate-heavy: sometimes repeat the identical row at the same
+        # instant (bag semantics must preserve the multiplicity).
+        if profile == "duplicate-heavy" and rng.random() < 0.5:
+            rows.append((dict(row), t))
+    return rows
+
+
+def gen_streams(rng: random.Random) -> dict[str, list[tuple[dict, int]]]:
+    profile = rng.choice(
+        ["bursty", "zero-heavy", "sparse", "mixed", "duplicate-heavy"])
+    obs = _gen_rows(
+        rng,
+        lambda: {"id": rng.randint(0, 2), "room": rng.choice(_ROOMS),
+                 "temp": rng.choice(_TEMPS)},
+        rng.randint(0, 10), profile)
+    alerts = _gen_rows(
+        rng,
+        lambda: {"id": rng.randint(0, 2), "level": rng.randint(0, 3)},
+        rng.randint(0, 5), profile)
+    return {"Obs": obs, "Alerts": alerts}
+
+
+def gen_case(rng: random.Random, seed: int | None = None) -> Case:
+    return Case(query=gen_query(rng), streams=gen_streams(rng), seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Core-window cases (window kinds CQL cannot express)
+# ---------------------------------------------------------------------------
+
+
+def gen_core_window(rng: random.Random) -> Any:
+    size = rng.randint(1, 9)
+    slide = rng.randint(1, 9)
+    offset = rng.randint(0, 9)
+    return rng.choice([
+        TumblingWindow(size, offset),
+        SlidingWindow(size, slide, offset),
+        RangeWindow(size),
+        SteppedRangeWindow(size, slide),
+        NowWindow(),
+        UnboundedWindow(),
+        LandmarkWindow(rng.randint(0, 6)),
+        SessionWindow(rng.randint(1, 5)),
+    ])
+
+
+def gen_core_window_case(rng: random.Random,
+                         seed: int | None = None) -> CoreWindowCase:
+    rows = _gen_rows(
+        rng,
+        lambda: {"id": rng.randint(0, 2), "v": rng.randint(0, 4)},
+        rng.randint(0, 8),
+        rng.choice(["bursty", "zero-heavy", "sparse", "mixed"]))
+    return CoreWindowCase(window=gen_core_window(rng), rows=rows, seed=seed)

@@ -1,0 +1,161 @@
+"""Mutation smoke-check: seeded bugs the oracle must catch.
+
+Each mutant monkeypatches one known bug class into a live layer and
+restores the original on exit.  If the differential oracle cannot find a
+divergence while a mutant is active, the oracle itself is broken — this
+is the harness testing the harness.
+
+The mutants cover the bug classes named by the issue:
+
+* ``range-off-by-one``     — window bounds: plain ``[Range r]`` windows
+  expire one tick late in the executor.
+* ``dropped-expiry``       — the executor's event-time agenda silently
+  drops scheduled instants, so windows never evict.
+* ``null-counting-count``  — NULL handling: the incremental COUNT(expr)
+  accumulator counts NULL values (SQL says it must not).
+* ``sliding-expiry-capped``— the core sparse change-log caps a sliding
+  window's expiry boundary at ``t + size``, losing the expiry of gappy
+  ``slide > size`` windows (the historical bug, reintroduced).
+* ``state-log-coalesce``   — ``as_relation`` pops the change-log tail on
+  same-instant batches, corrupting earlier instants (the historical DSMS
+  divergence, reintroduced).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator
+
+from repro.core import windows as core_windows
+from repro.core.relation import TimeVaryingRelation
+from repro.cql import executor as cql_executor
+from repro.cql.ast import WindowSpecKind
+
+
+@contextlib.contextmanager
+def range_off_by_one() -> Iterator[None]:
+    """Plain [Range r] windows expire at ``t + r + 1`` in the executor."""
+    original = cql_executor.StreamSourceOp.stage
+
+    def mutated(self, record, t):
+        kind = self.spec.kind
+        if kind is WindowSpecKind.RANGE and not self.spec.slide:
+            self._arrived = True
+            self._staged.append(record)
+            expiry = t + self.spec.range_ + 1
+            self._expiries[expiry].append(record)
+            self._agenda.schedule(expiry)
+            return
+        original(self, record, t)
+
+    cql_executor.StreamSourceOp.stage = mutated
+    try:
+        yield
+    finally:
+        cql_executor.StreamSourceOp.stage = original
+
+
+@contextlib.contextmanager
+def dropped_expiry() -> Iterator[None]:
+    """The agenda forgets everything scheduled — no window ever closes."""
+    original = cql_executor.Agenda.schedule
+
+    def mutated(self, t):
+        return None
+
+    cql_executor.Agenda.schedule = mutated
+    try:
+        yield
+    finally:
+        cql_executor.Agenda.schedule = original
+
+
+@contextlib.contextmanager
+def null_counting_count() -> Iterator[None]:
+    """COUNT(expr) counts NULL values in the incremental accumulator."""
+    original = cql_executor.AggregateOp._fold
+    AggregateKind = cql_executor.AggregateKind
+
+    def mutated(self, group, record, mult):
+        group.rows += mult
+        for i, (kind, evaluator) in enumerate(
+                zip(self._kinds, self._evaluators)):
+            if evaluator is None:
+                group.counts[i] += mult
+                continue
+            value = evaluator(record)
+            if value is None:
+                if kind is AggregateKind.COUNT:
+                    group.counts[i] += mult  # the injected bug
+                continue
+            group.counts[i] += mult
+            if kind in (AggregateKind.SUM, AggregateKind.AVG):
+                group.sums[i] += value * mult
+            elif kind in (AggregateKind.MIN, AggregateKind.MAX):
+                if group.minmax[i] is None:
+                    group.minmax[i] = cql_executor._MinMaxAccumulator()
+                group.minmax[i].add(value, mult)
+
+    cql_executor.AggregateOp._fold = mutated
+    try:
+        yield
+    finally:
+        cql_executor.AggregateOp._fold = original
+
+
+@contextlib.contextmanager
+def sliding_expiry_capped() -> Iterator[None]:
+    """Reintroduce the gappy-window bug: expiry capped at ``t + size``."""
+    original = core_windows.SlidingWindow.expiry_boundary
+
+    def mutated(self, t):
+        boundary = self.scope(t).start + self.slide
+        # The historical bug never recorded a boundary beyond the window
+        # extent; returning the arrival instant adds no new change point.
+        return boundary if boundary <= t + self.size else t
+
+    core_windows.SlidingWindow.expiry_boundary = mutated
+    try:
+        yield
+    finally:
+        core_windows.SlidingWindow.expiry_boundary = original
+
+
+@contextlib.contextmanager
+def state_log_coalesce() -> Iterator[None]:
+    """Reintroduce the as_relation tail-pop corruption."""
+    original = cql_executor.ContinuousQuery.as_relation
+
+    def mutated(self):
+        relation = TimeVaryingRelation(schema=self.output_schema)
+        last_t = None
+        for t, bag in self._log:
+            if t == last_t:
+                relation._times.pop()
+                relation._states.pop()
+            relation.set_at(t, bag)
+            last_t = t
+        return relation
+
+    cql_executor.ContinuousQuery.as_relation = mutated
+    try:
+        yield
+    finally:
+        cql_executor.ContinuousQuery.as_relation = original
+
+
+#: name -> (context manager, oracle leg: "cql" or "core")
+MUTANTS: dict[str, tuple[Callable[[], contextlib.AbstractContextManager],
+                         str]] = {
+    "range-off-by-one": (range_off_by_one, "cql"),
+    "dropped-expiry": (dropped_expiry, "cql"),
+    "null-counting-count": (null_counting_count, "cql"),
+    "sliding-expiry-capped": (sliding_expiry_capped, "core"),
+    "state-log-coalesce": (state_log_coalesce, "cql"),
+}
+
+
+def apply_mutant(name: str) -> contextlib.AbstractContextManager:
+    """Enter the named mutant's patch context."""
+    factory, _leg = MUTANTS[name]
+    return factory()

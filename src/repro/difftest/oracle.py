@@ -1,0 +1,299 @@
+"""The three-way differential oracle.
+
+For one :class:`~repro.difftest.generators.Case` the oracle replays the
+same inputs through every evaluator and compares results instant by
+instant under bag equality:
+
+* ``reference(naive plan)`` is the ground truth — the denotational
+  evaluator over the unoptimised plan.
+* ``reference(optimised plan)`` must agree: the optimiser may only apply
+  equivalence-preserving rewrites.
+* The incremental executor runs both plan variants via ``run_recorded``
+  (exact per-instant batching).  R2S queries compare emitted streams;
+  relation queries compare the maintained change-log.
+* The DSMS engine services **one tuple at a time**, so several states can
+  be appended at one instant; snapshot-reducibility demands only that the
+  *final* state per instant equals the reference relation of the R2S
+  child plan (intermediate same-instant states are an artifact of
+  per-tuple scheduling, not a bug).
+
+The core-window leg (:func:`run_core_window_case`) checks the sparse S2R
+change-log against dense per-instant evaluation for the window kinds CQL
+syntax cannot reach, and merge properties for session windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core import Schema, Stream
+from repro.core.errors import ReproError
+from repro.core.operators import stream_to_relation
+from repro.core.relation import Bag
+from repro.core.windows import (
+    SessionWindow,
+    SlidingWindow,
+    TumblingWindow,
+    merge_sessions,
+)
+from repro.cql import reference_evaluate
+from repro.dsms import DSMSEngine
+from repro.dsms.shedding import NoShedding
+
+from repro.difftest.generators import (
+    ALERTS_SCHEMA,
+    OBS_SCHEMA,
+    Case,
+    CoreWindowCase,
+    build_engine,
+    build_streams,
+)
+
+_R2S_OPS = ("istream", "dstream", "rstream")
+
+
+@dataclass
+class Divergence:
+    """One disagreement between evaluators (or an evaluator crash)."""
+
+    kind: str    # which leg diverged: optimizer | executor | executor-naive
+                 # | dsms | core-sparse | core-assign | session | error
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.detail}"
+
+
+def _snapshot_list(relation) -> list[tuple[int, list]]:
+    return [(t, sorted(bag, key=repr)) for t, bag in relation.snapshots()]
+
+
+def _stream_list(stream) -> list[tuple[int, Any]]:
+    return list(zip(stream.timestamps(), stream.values()))
+
+
+def _diff_detail(label_a: str, a: Any, label_b: str, b: Any) -> str:
+    return f"{label_a}={a!r} vs {label_b}={b!r}"
+
+
+def run_case(case: Case) -> Divergence | None:
+    """Replay one case through all evaluators; None means agreement."""
+    streams = build_streams(case)
+    engine = build_engine()
+    try:
+        plan_naive = engine.plan(case.query, optimize=False)
+        plan_opt = engine.plan(case.query, optimize=True)
+    except ReproError as exc:
+        return Divergence("error", f"planning failed: {exc!r}")
+
+    try:
+        truth = reference_evaluate(plan_naive, engine.catalog, streams)
+    except ReproError as exc:
+        return Divergence("error", f"reference(naive) failed: {exc!r}")
+
+    is_r2s = plan_naive.op_name in _R2S_OPS
+
+    # Leg 1: the optimiser must preserve denotational semantics.
+    try:
+        ref_opt = reference_evaluate(plan_opt, engine.catalog, streams)
+    except ReproError as exc:
+        return Divergence("error", f"reference(optimized) failed: {exc!r}")
+    if is_r2s:
+        same = (truth.timestamps() == ref_opt.timestamps()
+                and truth.values() == ref_opt.values())
+        if not same:
+            return Divergence("optimizer", _diff_detail(
+                "naive", _stream_list(truth),
+                "optimized", _stream_list(ref_opt)))
+    elif not (truth == ref_opt):
+        return Divergence("optimizer", _diff_detail(
+            "naive", _snapshot_list(truth),
+            "optimized", _snapshot_list(ref_opt)))
+
+    # Leg 2: the incremental executor, on both plan variants.
+    for optimize, leg in ((True, "executor"), (False, "executor-naive")):
+        exec_engine = build_engine()
+        try:
+            query = exec_engine.register_query(case.query, optimize=optimize)
+            query.run_recorded(
+                {name: stream for name, stream in streams.items()
+                 if name in query._stream_sources})
+        except ReproError as exc:
+            return Divergence(leg, f"executor crashed: {exc!r}")
+        if is_r2s:
+            produced = query.emitted_stream()
+            same = (produced.timestamps() == truth.timestamps()
+                    and produced.values() == truth.values())
+            if not same:
+                return Divergence(leg, _diff_detail(
+                    "executor", _stream_list(produced),
+                    "reference", _stream_list(truth)))
+        elif not (query.as_relation() == truth):
+            return Divergence(leg, _diff_detail(
+                "executor", _snapshot_list(query.as_relation()),
+                "reference", _snapshot_list(truth)))
+
+    # Leg 3: the DSMS engine, one tuple per scheduling quantum.
+    return _dsms_leg(case, streams, plan_opt, engine)
+
+
+def _dsms_leg(case: Case, streams, plan_opt, engine) -> Divergence | None:
+    dsms = DSMSEngine(queue_capacity=1_000_000)
+    dsms.register_stream("Obs", OBS_SCHEMA)
+    dsms.register_stream("Alerts", ALERTS_SCHEMA)
+    from repro.difftest.generators import ROOMS_ROWS, ROOMS_SCHEMA
+    dsms.register_relation("Rooms", ROOMS_SCHEMA, ROOMS_ROWS)
+    try:
+        handle = dsms.register_query("q", case.query, shedder=NoShedding())
+    except ReproError as exc:
+        return Divergence("dsms", f"registration failed: {exc!r}")
+    arrivals: list[tuple[int, str, Any]] = []
+    for name, stream in streams.items():
+        if not handle.reads_stream(name):
+            continue
+        for element in stream:
+            arrivals.append((element.timestamp, name, element.value))
+    arrivals.sort(key=lambda item: item[0])  # stable: preserves gen order
+    try:
+        for t, name, record in arrivals:
+            dsms.ingest(name, record, t)
+            dsms.run_until_idle()
+        handle.query.finish()
+    except ReproError as exc:
+        return Divergence("dsms", f"servicing crashed: {exc!r}")
+
+    # Snapshot-reducibility: the maintained state per instant must equal
+    # the reference relation of the R2S child (the relation the stream
+    # operator samples from).
+    state_plan = (plan_opt.child if plan_opt.op_name in _R2S_OPS
+                  else plan_opt)
+    ref_state = reference_evaluate(state_plan, engine.catalog, streams)
+    got = handle.query.as_relation()
+    if not (got == ref_state):
+        return Divergence("dsms", _diff_detail(
+            "dsms", _snapshot_list(got),
+            "reference", _snapshot_list(ref_state)))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Core-window leg
+# ---------------------------------------------------------------------------
+
+_CORE_SCHEMA = Schema(["id", "v"])
+
+
+def run_core_window_case(case: CoreWindowCase) -> Divergence | None:
+    """Sparse change-log vs dense evaluation (plus session properties)."""
+    stream = Stream.of_records(_CORE_SCHEMA, case.rows)
+    window = case.window
+    if isinstance(window, SessionWindow):
+        return _check_sessions(window, stream)
+    horizon = (stream.max_timestamp or 0) + 4 * _window_extent(window) + 4
+    sparse = stream_to_relation(stream, window)
+    dense = stream_to_relation(stream, window, instants=range(horizon))
+    bad = [t for t in range(horizon) if sparse.at(t) != dense.at(t)]
+    if bad:
+        t = bad[0]
+        return Divergence("core-sparse", (
+            f"{window!r}: change-log diverges from dense evaluation at "
+            f"t={t}: sparse={sorted(sparse.at(t), key=repr)} "
+            f"dense={sorted(dense.at(t), key=repr)} (and {len(bad) - 1} "
+            f"more instants)"))
+    if isinstance(window, (TumblingWindow, SlidingWindow)):
+        return _check_assign_scope(window, stream, horizon)
+    return None
+
+
+def _window_extent(window: Any) -> int:
+    for attribute in ("size", "range", "range_", "slide", "gap"):
+        value = getattr(window, attribute, None)
+        if isinstance(value, int) and value > 0:
+            return value
+    return 8
+
+
+def _check_assign_scope(window: Any, stream: Stream,
+                        horizon: int) -> Divergence | None:
+    """``assign`` (per-element windows) and ``scope`` (window in force)
+    must describe the same visibility: an element is visible at τ exactly
+    when one of its assigned windows *is* the window in force."""
+    for tau in range(horizon):
+        in_force = window.scope(tau)
+        scope_view = Bag(e.value for e in stream.up_to(tau)
+                         if e.timestamp in in_force)
+        assign_view = Bag(e.value for e in stream.up_to(tau)
+                          if any(w == in_force
+                                 for w in window.assign(e.timestamp)))
+        if scope_view != assign_view:
+            return Divergence("core-assign", (
+                f"{window!r} at tau={tau}: scope view "
+                f"{sorted(scope_view, key=repr)} != assign view "
+                f"{sorted(assign_view, key=repr)}"))
+    return None
+
+
+def _check_sessions(window: SessionWindow,
+                    stream: Stream) -> Divergence | None:
+    """Merged sessions must be maximal, disjoint and gap-separated, and
+    incremental merging must agree with batch merging."""
+    protos = [w for e in stream for w in window.assign(e.timestamp)]
+    merged = merge_sessions(protos)
+    for left, right in zip(merged, merged[1:]):
+        if right.start - left.end < 0:
+            return Divergence(
+                "session", f"{window!r}: overlapping sessions {left} {right}")
+    for proto in protos:
+        if not any(s.start <= proto.start and proto.end <= s.end
+                   for s in merged):
+            return Divergence(
+                "session", f"{window!r}: element window {proto} not covered")
+    incremental: list = []
+    for proto in protos:
+        incremental = merge_sessions(incremental + [proto])
+    if incremental != merged:
+        return Divergence(
+            "session", f"{window!r}: incremental merge {incremental} != "
+            f"batch merge {merged}")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Negative-timestamp agreement
+# ---------------------------------------------------------------------------
+
+
+def check_negative_timestamp_rejection() -> list[str]:
+    """All three evaluators must reject pre-epoch timestamps alike.
+
+    Returns a list of human-readable problems (empty = agreement).  The
+    reference path rejects at stream construction; the executor rejects at
+    ``push_batch``; the DSMS rejects at ``ingest``.
+    """
+    from repro.core.errors import TimeError
+
+    problems: list[str] = []
+    row = {"id": 0, "room": "a", "temp": 1}
+    try:
+        Stream.of_records(OBS_SCHEMA, [(row, -1)])
+        problems.append("Stream accepted a negative timestamp")
+    except TimeError:
+        pass
+    engine = build_engine()
+    query = engine.register_query("SELECT id FROM Obs [Range 2]")
+    query.start()
+    try:
+        query.push("Obs", row, -1)
+        problems.append("executor accepted a negative timestamp")
+    except TimeError:
+        pass
+    dsms = DSMSEngine()
+    dsms.register_stream("Obs", OBS_SCHEMA)
+    dsms.register_query("q", "SELECT id FROM Obs [Range 2]")
+    try:
+        dsms.ingest("Obs", row, -1)
+        problems.append("DSMS accepted a negative timestamp")
+    except TimeError:
+        pass
+    return problems

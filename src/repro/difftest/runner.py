@@ -1,0 +1,128 @@
+"""Fuzz campaign driver for the differential oracle.
+
+``fuzz`` runs a seeded campaign over CQL cases and core-window cases,
+optionally shrinking any divergence and emitting repro files.  Timing and
+throughput go into the standard ``BENCH_<name>.json`` payload via the
+bench harness, so fuzz runs are tracked like any other benchmark.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.bench.harness import bench_result, write_bench_json
+
+from repro.difftest.generators import (
+    Case,
+    CoreWindowCase,
+    gen_case,
+    gen_core_window_case,
+)
+from repro.difftest.oracle import (
+    Divergence,
+    check_negative_timestamp_rejection,
+    run_case,
+    run_core_window_case,
+)
+from repro.difftest import shrinker
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz campaign."""
+
+    seed: int | None
+    cases: int
+    core_cases: int
+    failures: list[tuple[Case, Divergence]] = field(default_factory=list)
+    core_failures: list[tuple[CoreWindowCase, Divergence]] = \
+        field(default_factory=list)
+    consistency_problems: list[str] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    repro_paths: list[pathlib.Path] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return (not self.failures and not self.core_failures
+                and not self.consistency_problems)
+
+    def summary(self) -> str:
+        status = "clean" if self.clean else (
+            f"{len(self.failures)} CQL + {len(self.core_failures)} core "
+            f"divergences, {len(self.consistency_problems)} consistency "
+            f"problems")
+        return (f"difftest: {self.cases} CQL cases, {self.core_cases} core "
+                f"cases in {self.elapsed_seconds:.1f}s — {status}")
+
+
+def fuzz(seed: int | None = 0, cases: int = 500, core_cases: int = 200,
+         shrink: bool = True, max_failures: int = 5,
+         repro_dir: str | pathlib.Path | None = None,
+         bench_dir: str | pathlib.Path | None = None,
+         bench_name: str = "difftest_fuzz") -> FuzzReport:
+    """Run one fuzz campaign.
+
+    ``seed=None`` draws fresh system entropy (the long-run mode behind
+    ``make fuzz``); any integer gives a fully deterministic campaign.
+    Stops early after ``max_failures`` divergences.
+    """
+    rng = random.Random(seed)
+    report = FuzzReport(seed=seed, cases=cases, core_cases=core_cases)
+    started = time.perf_counter()
+
+    report.consistency_problems = check_negative_timestamp_rejection()
+
+    for index in range(cases):
+        if len(report.failures) >= max_failures:
+            break
+        case = gen_case(rng, seed=index)
+        divergence = run_case(case)
+        if divergence is None:
+            continue
+        if shrink:
+            case, divergence = shrinker.shrink_case(case, divergence)
+        report.failures.append((case, divergence))
+        if repro_dir is not None:
+            path = pathlib.Path(repro_dir) / f"test_repro_cql_{index}.py"
+            report.repro_paths.append(
+                shrinker.emit_repro(case, divergence, path))
+
+    for index in range(core_cases):
+        if len(report.core_failures) >= max_failures:
+            break
+        case = gen_core_window_case(rng, seed=index)
+        divergence = run_core_window_case(case)
+        if divergence is None:
+            continue
+        if shrink:
+            case, divergence = shrinker.shrink_core_case(case, divergence)
+        report.core_failures.append((case, divergence))
+        if repro_dir is not None:
+            path = pathlib.Path(repro_dir) / f"test_repro_core_{index}.py"
+            report.repro_paths.append(
+                shrinker.emit_core_repro(case, divergence, path))
+
+    report.elapsed_seconds = time.perf_counter() - started
+
+    if bench_dir is not None:
+        write_bench_json(_bench_payload(report, bench_name), bench_dir)
+    return report
+
+
+def _bench_payload(report: FuzzReport, name: str) -> dict[str, Any]:
+    total = report.cases + report.core_cases
+    rate = total / report.elapsed_seconds if report.elapsed_seconds else 0.0
+    return bench_result(
+        name,
+        seed=report.seed,
+        cql_cases=report.cases,
+        core_cases=report.core_cases,
+        failures=len(report.failures) + len(report.core_failures),
+        consistency_problems=list(report.consistency_problems),
+        elapsed_seconds=round(report.elapsed_seconds, 3),
+        cases_per_second=round(rate, 1),
+    )

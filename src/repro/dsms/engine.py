@@ -23,9 +23,10 @@ from typing import Any, Iterable, Mapping
 
 import repro.obs as obs
 from repro.core.errors import PlanError
+from repro.core.errors import TimeError as CoreTimeError
 from repro.core.records import Record, Schema
 from repro.core.relation import Bag, TimeVaryingRelation
-from repro.core.time import Timestamp
+from repro.core.time import MIN_TIMESTAMP, Timestamp
 from repro.cql.catalog import Catalog
 from repro.cql.engine import CQLEngine
 from repro.cql.executor import (
@@ -99,6 +100,9 @@ class QueryHandle:
             return False
         if not self.queue.offer((stream_name, record, self._ingest_seq), t):
             self.metrics.queue_dropped += 1
+            # The policy said yes but the queue bounced the tuple: tell the
+            # shedder so shed_fraction keeps reporting the true drop rate.
+            self.shedder.record_queue_drop()
             return False
         self._ingest_seq += 1
         if obs._STATE.enabled:
@@ -247,6 +251,11 @@ class DSMSEngine:
         Returns the number of queries that admitted the tuple.
         """
         self.catalog.stream(stream_name)  # validates the name
+        if t < MIN_TIMESTAMP:
+            # Reject here rather than letting the executor blow up
+            # asynchronously at service time, after the tuple was queued.
+            raise CoreTimeError(
+                f"timestamp {t} before the epoch {MIN_TIMESTAMP}")
         if obs._STATE.enabled:
             self.watermark_clock.observe_arrival(stream_name, t)
         admitted = 0

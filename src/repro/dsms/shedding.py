@@ -21,6 +21,7 @@ class Shedder:
     def __init__(self) -> None:
         self.shed = 0
         self.admitted = 0
+        self.queue_dropped = 0
 
     def admit(self, value: Any, queue: InputQueue) -> bool:
         decision = self._decide(value, queue)
@@ -30,13 +31,24 @@ class Shedder:
             self.shed += 1
         return decision
 
+    def record_queue_drop(self) -> None:
+        """Account a tuple the policy admitted but a full queue then dropped.
+
+        Without this, tuples lost at the queue boundary bypass ``admit`` 's
+        books entirely and ``shed_fraction`` under-reports the true drop
+        rate.
+        """
+        self.queue_dropped += 1
+
     def _decide(self, value: Any, queue: InputQueue) -> bool:
         raise NotImplementedError
 
     @property
     def shed_fraction(self) -> float:
+        """Fraction of offered tuples dropped before processing — whether by
+        the policy (``shed``) or by a full queue after admission."""
         total = self.shed + self.admitted
-        return self.shed / total if total else 0.0
+        return (self.shed + self.queue_dropped) / total if total else 0.0
 
 
 class NoShedding(Shedder):
@@ -63,6 +75,12 @@ class RandomShedder(Shedder):
 
     def _decide(self, value: Any, queue: InputQueue) -> bool:
         occupancy = queue.occupancy
+        if occupancy >= 1.0:
+            # A full queue means drop probability exactly 1.0 — admitting
+            # here would only bounce off the queue anyway.  Checked first so
+            # the outcome is deterministic rather than relying on
+            # ``random() >= 1.0`` never being true by float convention.
+            return False
         if occupancy <= self.threshold:
             return True
         if self.threshold >= 1.0:

@@ -1,0 +1,164 @@
+"""Direct boundary tests for the window edge cases the oracle exercises.
+
+Covers the satellite bugs: sliding windows with nonzero offset and gappy
+``slide > size`` parameters (where the sparse S2R change-log used to keep
+elements visible forever), and SteppedRangeWindow's boundary helpers at
+exact slide boundaries.
+"""
+
+import pytest
+
+from repro.core import Schema, Stream
+from repro.core.operators import stream_to_relation
+from repro.core.relation import Bag
+from repro.core.windows import (
+    SlidingWindow,
+    SteppedRangeWindow,
+    TumblingWindow,
+)
+
+SCHEMA = Schema(["id", "v"])
+
+
+def _stream(pairs):
+    return Stream.of_records(
+        SCHEMA, [({"id": i, "v": 0}, t) for i, t in enumerate(pairs)])
+
+
+class TestSlidingWindowAssignScope:
+    @pytest.mark.parametrize("size,slide,offset", [
+        (3, 1, 0), (3, 2, 1), (5, 2, 0), (1, 1, 0),
+        (3, 7, 5),   # gappy: slide > size, nonzero offset
+        (2, 9, 4),   # gappy
+        (4, 4, 3),   # tumbling degenerate with offset
+    ])
+    def test_assign_is_exactly_boundary_windows_containing_element(
+            self, size, slide, offset):
+        window = SlidingWindow(size, slide, offset)
+        boundaries = [b for b in range(-2 * slide - size, 60)
+                      if (b - window.offset) % slide == 0]
+        for e in range(0, 30):
+            truth = [(b, b + size) for b in boundaries if b <= e < b + size]
+            got = [(w.start, w.end) for w in window.assign(e)]
+            assert got == truth, (size, slide, offset, e)
+
+    @pytest.mark.parametrize("size,slide,offset", [
+        (3, 1, 0), (3, 2, 1), (5, 2, 0), (3, 7, 5), (2, 9, 4), (4, 4, 3),
+    ])
+    def test_scope_is_latest_boundary_window(self, size, slide, offset):
+        window = SlidingWindow(size, slide, offset)
+        for t in range(0, 30):
+            scope = window.scope(t)
+            assert (scope.start - window.offset) % slide == 0
+            assert scope.start <= t < scope.start + slide
+            assert scope.end == scope.start + size
+
+    @pytest.mark.parametrize("size,slide,offset", [
+        (3, 1, 0), (3, 2, 1), (5, 2, 0), (3, 7, 5), (2, 9, 4), (4, 4, 3),
+    ])
+    def test_scope_and_assign_agree_on_visibility(self, size, slide, offset):
+        """An element is visible at τ exactly when one of its assigned
+        windows is the window in force — the two views must never
+        disagree, offset or not, gappy or not."""
+        window = SlidingWindow(size, slide, offset)
+        stream = _stream([0, 1, 2, 5, 5, 9, 12, 20])
+        for tau in range(0, 45):
+            in_force = window.scope(tau)
+            scope_view = Bag(e.value for e in stream.up_to(tau)
+                             if e.timestamp in in_force)
+            assign_view = Bag(
+                e.value for e in stream.up_to(tau)
+                if any(w == in_force for w in window.assign(e.timestamp)))
+            assert scope_view == assign_view, (size, slide, offset, tau)
+
+    def test_expiry_boundary_is_first_boundary_after_element(self):
+        window = SlidingWindow(3, 7, 5)
+        # Boundaries sit at ..., 5, 12, 19, ... (offset 5 mod 7).
+        assert window.expiry_boundary(5) == 12
+        assert window.expiry_boundary(11) == 12
+        assert window.expiry_boundary(12) == 19
+        # For gappy windows the expiry exceeds t + size — the historical
+        # bug capped it there and never expired anything.
+        assert window.expiry_boundary(5) > 5 + window.size
+
+    def test_gappy_window_elements_expire_in_sparse_changelog(self):
+        """Regression: slide > size kept elements visible forever because
+        no expiry instant fell inside ``(t, t + size]``."""
+        window = SlidingWindow(3, 7, 5)
+        stream = _stream([5, 6])
+        sparse = stream_to_relation(stream, window)
+        dense = stream_to_relation(stream, window, instants=range(40))
+        for t in range(40):
+            assert sparse.at(t) == dense.at(t), t
+        # Concretely: both elements visible at t=11, gone at t=12.
+        assert len(sparse.at(11)) == 2
+        assert len(sparse.at(12)) == 0
+
+    def test_nonzero_offset_sparse_matches_dense(self):
+        window = SlidingWindow(4, 3, 2)
+        stream = _stream([0, 0, 1, 4, 7, 7, 13])
+        sparse = stream_to_relation(stream, window)
+        dense = stream_to_relation(stream, window, instants=range(40))
+        for t in range(40):
+            assert sparse.at(t) == dense.at(t), t
+
+
+class TestSteppedRangeBoundaries:
+    @pytest.mark.parametrize("range_,slide", [
+        (1, 1), (2, 2), (4, 2), (2, 4), (3, 5), (5, 3), (6, 6),
+    ])
+    def test_helpers_match_scope_ground_truth(self, range_, slide):
+        window = SteppedRangeWindow(range_, slide)
+        for e in range(0, 4 * slide + range_ + 2):
+            visible = [tau for tau in range(0, 8 * slide + 2 * range_)
+                       if e in window.scope(tau)]
+            first = window.first_boundary_covering(e)
+            expiry = window.expiry_boundary(e)
+            if visible:
+                assert first == visible[0], (range_, slide, e)
+                assert expiry == visible[-1] + 1, (range_, slide, e)
+            else:
+                assert first >= expiry, (range_, slide, e)
+
+    @pytest.mark.parametrize("range_,slide", [(2, 2), (4, 2), (3, 3)])
+    def test_element_at_exact_slide_boundary(self, range_, slide):
+        """An element landing exactly on a slide boundary becomes visible
+        at that same boundary (enter == its own timestamp) and expires at
+        the boundary ceiling of ``t + range``."""
+        window = SteppedRangeWindow(range_, slide)
+        for k in range(0, 5):
+            t = k * slide
+            assert window.first_boundary_covering(t) == t
+            assert t in window.scope(t)
+            expiry = window.expiry_boundary(t)
+            assert expiry % slide == 0
+            assert t not in window.scope(expiry)
+            assert t in window.scope(expiry - slide)
+
+    def test_expiry_at_boundary_is_not_off_by_one(self):
+        window = SteppedRangeWindow(2, 2)
+        # Element at t=2: visible via boundaries 2 (scope [1,3)) and
+        # nothing later — expiry boundary is 4, not 6.
+        assert window.first_boundary_covering(2) == 2
+        assert window.expiry_boundary(2) == 4
+        assert 2 in window.scope(3)      # boundary still 2 at tau=3
+        assert 2 not in window.scope(4)  # scope [3,5) at tau=4
+
+
+class TestTumblingOffsetBoundaries:
+    @pytest.mark.parametrize("size,offset", [(4, 0), (4, 1), (3, 2), (5, 5)])
+    def test_assign_unique_and_aligned(self, size, offset):
+        window = TumblingWindow(size, offset)
+        for e in range(0, 25):
+            (assigned,) = window.assign(e)
+            assert e in assigned
+            assert (assigned.start - window.offset) % size == 0
+            assert window.scope(e) == assigned
+
+    def test_sparse_matches_dense_with_offset(self):
+        window = TumblingWindow(4, 3)
+        stream = _stream([0, 2, 3, 3, 6, 11])
+        sparse = stream_to_relation(stream, window)
+        dense = stream_to_relation(stream, window, instants=range(30))
+        for t in range(30):
+            assert sparse.at(t) == dense.at(t), t

@@ -1,0 +1,162 @@
+"""Empty-group / NULL aggregate semantics, pinned across both evaluators.
+
+The chosen semantics (documented in DESIGN.md) is standard SQL:
+
+* ``COUNT(*)`` counts rows, NULL-bearing or not.
+* ``COUNT(expr)`` counts only rows where ``expr`` is non-NULL.
+* ``SUM/AVG/MIN/MAX`` over an empty or all-NULL value set return NULL.
+* A keyed group whose rows all expire disappears; the global group keeps
+  reporting its zero row (``COUNT = 0``, other aggregates NULL).
+* A NULL join key never matches anything (``NULL = NULL`` is unknown) —
+  including through the optimiser's hash equijoin.
+
+Every test asserts the reference evaluator and the incremental executor
+produce identical instant-by-instant results on NULL-bearing streams.
+"""
+
+from repro.core import Schema, Stream
+from repro.cql import CQLEngine, reference_evaluate
+
+OBS = Schema(["id", "room", "temp"])
+ALERTS = Schema(["id", "level"])
+
+
+def _engine():
+    engine = CQLEngine()
+    engine.register_stream("Obs", OBS)
+    engine.register_stream("Alerts", ALERTS)
+    return engine
+
+
+def _both(query, streams):
+    """(reference relation, executor relation) for a relation query."""
+    engine = _engine()
+    plan = engine.plan(query)
+    reference = reference_evaluate(plan, engine.catalog, streams)
+    query_exec = _engine().register_query(query)
+    query_exec.run_recorded(
+        {name: s for name, s in streams.items()
+         if name in query_exec._stream_sources})
+    return reference, query_exec
+
+
+def _rows_at(relation, t):
+    return sorted(
+        (tuple(record) for record in relation.at(t)), key=repr)
+
+
+class TestAllNullGroups:
+    def test_sum_over_all_null_group_is_null_in_both(self):
+        streams = {"Obs": Stream.of_records(OBS, [
+            ({"id": 0, "room": "a", "temp": None}, 1),
+            ({"id": 1, "room": "a", "temp": None}, 1),
+        ])}
+        reference, executor = _both(
+            "SELECT room, SUM(temp) AS s FROM Obs [Range 5] "
+            "GROUP BY room", streams)
+        assert _rows_at(reference, 1) == [("a", None)]
+        assert executor.as_relation() == reference
+
+    def test_count_star_vs_count_column_on_nulls(self):
+        streams = {"Obs": Stream.of_records(OBS, [
+            ({"id": 0, "room": "a", "temp": None}, 0),
+            ({"id": 1, "room": "a", "temp": 3}, 0),
+            ({"id": 2, "room": "a", "temp": None}, 2),
+        ])}
+        reference, executor = _both(
+            "SELECT COUNT(*) AS rows_, COUNT(temp) AS vals "
+            "FROM Obs [Range 10]", streams)
+        assert _rows_at(reference, 2) == [(3, 1)]
+        assert executor.as_relation() == reference
+
+    def test_avg_min_max_all_null_group(self):
+        streams = {"Obs": Stream.of_records(OBS, [
+            ({"id": 0, "room": "b", "temp": None}, 0),
+        ])}
+        reference, executor = _both(
+            "SELECT AVG(temp) AS a, MIN(temp) AS lo, MAX(temp) AS hi "
+            "FROM Obs [Range 3]", streams)
+        assert _rows_at(reference, 0) == [(None, None, None)]
+        assert executor.as_relation() == reference
+
+    def test_global_group_survives_expiry_keyed_group_disappears(self):
+        streams = {"Obs": Stream.of_records(OBS, [
+            ({"id": 0, "room": "a", "temp": 4}, 0),
+        ])}
+        # Global: after the row expires at t=2, COUNT drops to 0 and SUM
+        # to NULL — the zero row persists.
+        reference, executor = _both(
+            "SELECT COUNT(temp) AS n, SUM(temp) AS s FROM Obs [Range 2]",
+            streams)
+        assert _rows_at(reference, 0) == [(1, 4)]
+        assert _rows_at(reference, 2) == [(0, None)]
+        assert executor.as_relation() == reference
+        # Keyed: the 'a' group vanishes entirely at t=2.
+        reference, executor = _both(
+            "SELECT room, COUNT(*) AS n FROM Obs [Range 2] GROUP BY room",
+            streams)
+        assert _rows_at(reference, 0) == [("a", 1)]
+        assert _rows_at(reference, 2) == []
+        assert executor.as_relation() == reference
+
+    def test_transition_from_values_to_all_null_window(self):
+        """As non-NULL rows expire and NULL rows remain, SUM must fall
+        back to NULL (not 0) in both evaluators."""
+        streams = {"Obs": Stream.of_records(OBS, [
+            ({"id": 0, "room": "a", "temp": 7}, 0),
+            ({"id": 1, "room": "a", "temp": None}, 1),
+        ])}
+        reference, executor = _both(
+            "SELECT SUM(temp) AS s, COUNT(*) AS n FROM Obs [Range 2]",
+            streams)
+        assert _rows_at(reference, 1) == [(7, 2)]
+        assert _rows_at(reference, 2) == [(None, 1)]  # only the NULL row
+        assert executor.as_relation() == reference
+
+    def test_having_on_null_aggregate_filters_group(self):
+        streams = {"Obs": Stream.of_records(OBS, [
+            ({"id": 0, "room": "a", "temp": None}, 0),
+            ({"id": 1, "room": "b", "temp": 5}, 0),
+        ])}
+        reference, executor = _both(
+            "SELECT room, SUM(temp) AS s FROM Obs [Range 4] "
+            "GROUP BY room HAVING SUM(temp) > 1", streams)
+        # SUM over the all-NULL group is NULL; NULL > 1 is unknown, so
+        # the 'a' group is filtered out — in both evaluators.
+        assert _rows_at(reference, 0) == [("b", 5)]
+        assert executor.as_relation() == reference
+
+
+class TestNullJoinKeys:
+    STREAMS = {
+        "Obs": [({"id": None, "room": "a", "temp": 1}, 1),
+                ({"id": 2, "room": "b", "temp": 3}, 1)],
+        "Alerts": [({"id": None, "level": 9}, 1),
+                   ({"id": 2, "level": 4}, 1)],
+    }
+    QUERY = ("SELECT O.room, A.level FROM Obs O [Range 10], "
+             "Alerts A [Range 10] WHERE O.id = A.id")
+
+    def _streams(self):
+        return {"Obs": Stream.of_records(OBS, self.STREAMS["Obs"]),
+                "Alerts": Stream.of_records(ALERTS, self.STREAMS["Alerts"])}
+
+    def test_reference_naive_and_optimized_agree(self):
+        """Regression: the optimiser's hash equijoin used to match NULL
+        keys by tuple equality while the naive filtered cross product
+        correctly rejected them."""
+        engine = _engine()
+        streams = self._streams()
+        naive = reference_evaluate(
+            engine.plan(self.QUERY, optimize=False), engine.catalog,
+            streams)
+        optimized = reference_evaluate(
+            engine.plan(self.QUERY, optimize=True), engine.catalog,
+            streams)
+        assert naive == optimized
+        assert _rows_at(naive, 1) == [("b", 4)]  # only the non-NULL match
+
+    def test_executor_rejects_null_keys(self):
+        reference, executor = _both(self.QUERY, self._streams())
+        assert _rows_at(reference, 1) == [("b", 4)]
+        assert executor.as_relation() == reference

@@ -1,0 +1,50 @@
+"""Tier-1 bounded differential fuzz: fixed seeds, <60 s, must run clean.
+
+This is the CI face of the harness — 500 CQL cases plus 200 core-window
+cases, deterministic under seed 0.  A failure here means two evaluators
+disagree on some (query, stream) pair: the report carries the shrunk
+counterexample.
+"""
+
+import json
+
+import pytest
+
+from repro.difftest import fuzz
+from repro.difftest.__main__ import main as difftest_main
+
+
+@pytest.mark.difftest
+def test_bounded_seeded_fuzz_is_clean(tmp_path):
+    report = fuzz(seed=0, cases=500, core_cases=200, bench_dir=tmp_path)
+    detail = "\n".join(
+        [str(d) for _, d in report.failures]
+        + [str(d) for _, d in report.core_failures]
+        + report.consistency_problems)
+    assert report.clean, f"{report.summary()}\n{detail}"
+    assert report.elapsed_seconds < 60
+
+    payload = json.loads(
+        (tmp_path / "BENCH_difftest_fuzz.json").read_text())
+    assert payload["name"] == "difftest_fuzz"
+    assert payload["cql_cases"] == 500
+    assert payload["core_cases"] == 200
+    assert payload["failures"] == 0
+    assert "obs" in payload
+
+
+@pytest.mark.difftest
+def test_fuzz_is_deterministic_per_seed():
+    first = fuzz(seed=7, cases=40, core_cases=20)
+    second = fuzz(seed=7, cases=40, core_cases=20)
+    assert first.clean and second.clean
+    assert [(c.query, c.streams) for c, _ in first.failures] == \
+        [(c.query, c.streams) for c, _ in second.failures]
+
+
+@pytest.mark.difftest
+def test_cli_exit_code_clean(capsys):
+    code = difftest_main(["--cases", "30", "--core-cases", "10"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "clean" in out
