@@ -3,10 +3,24 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test fuzz fuzz-quick
+.PHONY: test lint bench-kernel fuzz fuzz-quick
 
-test:
+test: lint
 	$(PYTHON) -m pytest -x -q
+
+# Style gate: ruff when available; the image may not ship it (and
+# installing is off the table), so its absence skips with a notice.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks; \
+	else \
+		echo "lint: ruff not installed; skipping style gate"; \
+	fi
+
+# Kernel-vs-legacy overhead comparison on the Figure 4 workload.
+# Writes BENCH_kernel_unification.json in the working directory.
+bench-kernel:
+	$(PYTHON) -m pytest benchmarks/bench_kernel_unification.py -x -q
 
 # Bounded, seeded fuzz — the same budget the tier-1 suite runs.
 fuzz-quick:

@@ -1,0 +1,155 @@
+"""K1 — kernel unification: one push-based substrate under four layers.
+
+The Figure 4 workload (per-room count of hot readings over tumbling
+windows) runs at each API layer twice: through the layer's legacy
+machinery and through the shared ``repro.exec`` kernel.  Results must be
+identical pair-wise, and the kernel must be overhead-neutral — within 10%
+of (or better than) each legacy path.  Timings and ratios land in
+``BENCH_kernel_unification.json``.
+"""
+
+import gc
+
+import pytest
+
+from repro.bench import (
+    ExperimentTable,
+    OBSERVATION_SCHEMA,
+    bench_result,
+    room_observations,
+    timed,
+    write_bench_json,
+)
+from repro.core import TumblingWindow
+from repro.cql import CQLEngine
+from repro.dataflow import FixedWindows, Pipeline
+from repro.dsl import CountAggregate, StreamEnvironment
+from repro.dsms import DSMSEngine
+
+ROWS = room_observations(200)
+WINDOW = 100
+HOT = 25
+HORIZON = max(t for _, t in ROWS) + WINDOW
+
+CQL_QUERY = (f"SELECT room, COUNT(*) FROM Obs "
+             f"[Range {WINDOW} Slide {WINDOW}] "
+             f"WHERE temp > {HOT} GROUP BY room")
+
+#: the overhead-neutrality criterion: kernel <= legacy * (1 + slack).
+SLACK = 0.10
+#: timing repetitions; the best run of each path is compared (the rest is
+#: scheduler noise, which a laptop-scale bench cannot average away).
+REPEATS = 5
+
+
+def run_cql(kernel):
+    engine = CQLEngine()
+    engine.register_stream("Obs", OBSERVATION_SCHEMA)
+    query = engine.register_query(CQL_QUERY, kernel=kernel)
+    query.start()
+    for row, t in ROWS:
+        query.push("Obs", row, t)
+    query.advance_to(HORIZON)
+    return sorted(tuple(r.values) for r in query.current())
+
+
+def run_dsms(kernel):
+    dsms = DSMSEngine(kernel=kernel)
+    dsms.register_stream("Obs", OBSERVATION_SCHEMA)
+    handle = dsms.register_query("hot", CQL_QUERY)
+    for row, t in ROWS:
+        dsms.ingest("Obs", row, t)
+    dsms.run_until_idle()
+    dsms.advance_time(HORIZON)
+    return sorted(tuple(r.values) for r in handle.query.current())
+
+
+def run_dataflow(kernel):
+    p = Pipeline()
+    (p.create([(row, t) for row, t in ROWS])
+     .filter(lambda row: row["temp"] > HOT)
+     .map(lambda row: (row["room"], 1))
+     .window_into(FixedWindows(WINDOW))
+     .combine_per_key(sum)
+     .collect("out"))
+    result = p.run(kernel=kernel)
+    return sorted((wv.value[0], wv.windows[0].start, wv.value[1])
+                  for wv in result["out"])
+
+
+def run_runtime(kernel):
+    env = StreamEnvironment(kernel=kernel)
+    (env.from_collection(ROWS)
+     .filter(lambda row: row["temp"] > HOT)
+     .key_by(lambda row: row["room"])
+     .window(TumblingWindow(WINDOW))
+     .aggregate(CountAggregate())
+     .sink("out"))
+    result = env.execute()
+    return sorted((key, window.start, count)
+                  for key, count, window in result.values("out"))
+
+
+LAYERS = [
+    ("cql", run_cql),
+    ("dsms", run_dsms),
+    ("dataflow", run_dataflow),
+    ("runtime", run_runtime),
+]
+
+
+def best_times(runner):
+    """Best-of-REPEATS for both paths, interleaved so GC pressure and
+    allocator drift hit legacy and kernel runs alike."""
+    legacy_s = kernel_s = float("inf")
+    for _ in range(REPEATS):
+        gc.collect()
+        legacy_s = min(legacy_s, timed(lambda: runner(kernel=False))[1])
+        kernel_s = min(kernel_s, timed(lambda: runner(kernel=True))[1])
+    return legacy_s, kernel_s
+
+
+def measure():
+    table = ExperimentTable(
+        "Kernel unification: Figure 4 workload, kernel vs legacy "
+        "(200 events)",
+        ["layer", "legacy_s", "kernel_s", "ratio", "identical"])
+    for name, runner in LAYERS:
+        legacy = runner(kernel=False)
+        kernel = runner(kernel=True)
+        legacy_s, kernel_s = best_times(runner)
+        table.add_row(name, legacy_s, kernel_s, kernel_s / legacy_s,
+                      kernel == legacy)
+    return table
+
+
+def test_kernel_results_identical_at_every_layer():
+    for name, runner in LAYERS:
+        assert runner(kernel=True) == runner(kernel=False), name
+        assert runner(kernel=True), f"{name} produced no windows"
+
+
+def test_bench_kernel_unification_writes_json():
+    table = measure()
+    table.show()
+    assert all(table.column("identical"))
+    payload = bench_result(
+        "kernel_unification", table,
+        window=WINDOW, events=len(ROWS), slack=SLACK,
+        within_slack=all(r <= 1 + SLACK for r in table.column("ratio")))
+    write_bench_json(payload)
+    # Overhead-neutrality: the kernel stays within SLACK of every legacy
+    # path (ratios land in the JSON for the record).
+    for layer, ratio in zip(table.column("layer"), table.column("ratio")):
+        assert ratio <= 1 + SLACK, (
+            f"{layer}: kernel {ratio:.2f}x legacy exceeds "
+            f"{1 + SLACK:.2f}x budget")
+
+
+@pytest.mark.benchmark(group="kernel-unification")
+@pytest.mark.parametrize("layer", [name for name, _ in LAYERS])
+@pytest.mark.parametrize("kernel", [False, True],
+                         ids=["legacy", "kernel"])
+def test_bench_kernel_layer(benchmark, layer, kernel):
+    runner = dict(LAYERS)[layer]
+    assert benchmark(lambda: runner(kernel=kernel))

@@ -73,10 +73,13 @@ class CQLEngine:
     # -- execution -----------------------------------------------------------
 
     def register_query(self, text: str,
-                       optimize: bool | None = None) -> ContinuousQuery:
+                       optimize: bool | None = None,
+                       kernel: bool = True) -> ContinuousQuery:
         """Register a continuous query: compiled once, runs until cancelled
-        (the paper's Figure 1 contract)."""
-        query = ContinuousQuery(self.plan(text, optimize), self.catalog)
+        (the paper's Figure 1 contract).  ``kernel=False`` keeps the
+        legacy pull recursion (benchmark comparisons)."""
+        query = ContinuousQuery(self.plan(text, optimize), self.catalog,
+                                kernel=kernel)
         self._queries.append(query)
         return query
 

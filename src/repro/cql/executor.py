@@ -131,11 +131,15 @@ class PhysicalOp:
         self.eval_seconds += time.perf_counter() - started
         return deltas
 
-    def process_instant(self, t: Timestamp) -> tuple[list[Delta], bool]:
-        """Recursively process instant ``t``; returns (deltas, active)."""
-        child_results = [child.process_instant(t)
-                         for child in self.children]
-        child_deltas = [d for d, _ in child_results]
+    def apply(self, t: Timestamp, child_deltas: list[list[Delta]],
+              child_active: bool) -> tuple[list[Delta], bool]:
+        """Process one instant's child batches (with accounting).
+
+        This is the per-operator step shared by the legacy pull recursion
+        (:meth:`process_instant`) and the push-based kernel adapters in
+        :mod:`repro.cql.kernel`, which supply ``child_deltas`` from
+        upstream kernel emissions instead of recursing.
+        """
         for deltas in child_deltas:
             self.received += len(deltas)
         if _obs_state.enabled:
@@ -143,8 +147,14 @@ class PhysicalOp:
         else:
             deltas = self.process(t, child_deltas)
         self.emitted += len(deltas)
-        active = bool(deltas) or any(a for _, a in child_results)
-        return deltas, active
+        return deltas, bool(deltas) or child_active
+
+    def process_instant(self, t: Timestamp) -> tuple[list[Delta], bool]:
+        """Recursively process instant ``t``; returns (deltas, active)."""
+        child_results = [child.process_instant(t)
+                         for child in self.children]
+        return self.apply(t, [d for d, _ in child_results],
+                          any(a for _, a in child_results))
 
 
 # ---------------------------------------------------------------------------
@@ -462,17 +472,12 @@ class AggregateOp(PhysicalOp):
         self._global = not plan.group_by
         self._child_active = False
 
-    def process_instant(self, t: Timestamp) -> tuple[list[Delta], bool]:
-        (child,) = self.children
-        child_deltas, child_active = child.process_instant(t)
+    def apply(self, t: Timestamp, child_deltas: list[list[Delta]],
+              child_active: bool) -> tuple[list[Delta], bool]:
+        # ``process`` consults the child's activity flag to decide when the
+        # global group materialises its zero row, so stash it first.
         self._child_active = child_active
-        self.received += len(child_deltas)
-        if _obs_state.enabled:
-            deltas = self._timed_process(t, [child_deltas])
-        else:
-            deltas = self.process(t, [child_deltas])
-        self.emitted += len(deltas)
-        return deltas, child_active or bool(deltas)
+        return super().apply(t, child_deltas, child_active)
 
     def process(self, t, child_deltas):
         (deltas,) = child_deltas
@@ -739,7 +744,8 @@ class ContinuousQuery:
     batching.
     """
 
-    def __init__(self, plan: LogicalOp, catalog: Catalog) -> None:
+    def __init__(self, plan: LogicalOp, catalog: Catalog,
+                 kernel: bool = True) -> None:
         self.plan = plan
         self.catalog = catalog
         self.r2s = plan.kind if isinstance(plan, RelToStream) else None
@@ -747,6 +753,11 @@ class ContinuousQuery:
         self._agenda = Agenda()
         self._root, self._stream_sources, self._relation_sources = \
             compile_plan(plan, catalog, self._agenda)
+        self._kernel = None
+        if kernel:
+            # Imported lazily; repro.cql.kernel imports this module.
+            from repro.cql.kernel import QueryKernel
+            self._kernel = QueryKernel(self._root)
         self._state = Bag()
         self._log: list[tuple[Timestamp, Bag]] = []
         self._emissions: list[Emission] = []
@@ -843,16 +854,22 @@ class ContinuousQuery:
 
     # -- processing ----------------------------------------------------------
 
+    def _evaluate_instant(self, t: Timestamp) -> tuple[list[Delta], bool]:
+        """One instant through the kernel plan (or the legacy recursion)."""
+        if self._kernel is not None:
+            return self._kernel.run_instant(t)
+        return self._root.process_instant(t)
+
     def _process_instant(self, t: Timestamp) -> list[Emission]:
         if _obs_state.enabled:
             if self._eval_hist is None:
                 self._eval_hist = _obs_registry().histogram(
-                    "cql.executor.instant_eval_seconds")
+                    "exec.query.instant_eval_seconds", layer="cql")
             started = time.perf_counter()
-            deltas, _active = self._root.process_instant(t)
+            deltas, _active = self._evaluate_instant(t)
             self._eval_hist.observe(time.perf_counter() - started)
         else:
-            deltas, _active = self._root.process_instant(t)
+            deltas, _active = self._evaluate_instant(t)
         self._deltas_processed += len(deltas)
         # Cancel opposite-signed deltas within the instant: the reference
         # semantics only sees the *net* change R(τ) − R(τ−).
@@ -942,19 +959,23 @@ class ContinuousQuery:
         visit(self._root)
         return out
 
-    def publish_metrics(self, registry=None, prefix: str = "cql.executor",
+    def publish_metrics(self, registry=None, prefix: str = "exec.operator",
                         **labels: str) -> None:
-        """Publish per-operator rows in/out and eval time into a registry.
+        """Publish per-operator records in/out and eval time into a registry.
 
         Pull-based and idempotent: repeated calls publish only the growth
         since the previous call, so the hot path stays untouched and the
         registry's counters stay correct however often a driver snapshots.
+        The metric names are the kernel's unified ``exec.operator.*``
+        family (with ``layer="cql"``), so one dashboard covers every
+        substrate.
         """
         registry = registry if registry is not None else _obs_registry()
+        labels = dict(labels, layer="cql")
         for index, (name, op) in enumerate(self.operators()):
             tags = dict(labels, operator=name, index=str(index))
-            for field, value in (("rows_in", op.received),
-                                 ("rows_out", op.emitted)):
+            for field, value in (("records_in", op.received),
+                                 ("records_out", op.emitted)):
                 counter = registry.counter(f"{prefix}.{field}", **tags)
                 key = (index, field)
                 counter.inc(int(value - self._published_ops.get(key, 0)))
@@ -962,7 +983,7 @@ class ContinuousQuery:
             if op.eval_seconds:
                 registry.gauge(f"{prefix}.eval_seconds", **tags).set(
                     op.eval_seconds)
-        deltas = registry.counter(f"{prefix}.deltas", **labels)
+        deltas = registry.counter("exec.query.deltas", **labels)
         deltas.inc(self._deltas_processed
                    - int(self._published_ops.get((-1, "deltas"), 0)))
         self._published_ops[(-1, "deltas")] = self._deltas_processed

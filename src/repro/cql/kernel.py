@@ -1,0 +1,152 @@
+"""Lowering the CQL physical tree onto the shared execution kernel.
+
+The delta executor's :class:`~repro.cql.executor.PhysicalOp` tree used to
+be evaluated by a bespoke pull recursion (``process_instant`` walking the
+children).  :class:`QueryKernel` instead compiles the tree into a
+:class:`repro.exec.Plan`: every physical operator becomes a kernel
+operator, instants are driven by pushing a *tick* (the instant's
+timestamp) into each source, and deltas flow downstream as
+``_InstantBatch`` elements.  The ``Agenda``/``Delta`` machinery is
+untouched — it now drives the kernel instead of a recursion.
+
+Multi-input operators (joins, set ops) buffer one batch per input and
+apply once all inputs have reported the instant; since every source is
+ticked exactly once per instant, every operator fires exactly once, and
+the result equals the pull evaluation batch-for-batch.
+
+Stateless unary stages are fused by the kernel's generic chaining pass
+(``Plan.fuse``) — the same optimisation ``runtime/dag.py`` applies to job
+graphs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import NamedTuple
+
+from repro.core.time import Timestamp
+from repro.cql.executor import Delta, PhysicalOp
+from repro.exec import Operator, Plan
+
+
+class _InstantBatch(NamedTuple):
+    """One operator's full output for one instant."""
+
+    t: Timestamp
+    deltas: list[Delta]
+    active: bool
+
+
+class _SourceAdapter(Operator):
+    """Wraps a leaf PhysicalOp; a pushed tick evaluates the instant."""
+
+    fusible = True
+
+    def __init__(self, phys: PhysicalOp) -> None:
+        self.phys = phys
+
+    def open(self, ctx) -> None:
+        super().open(ctx)
+        self._emit = ctx.emitter.emit
+
+    def process_element(self, t: Timestamp, input_index: int = 0) -> None:
+        deltas, active = self.phys.process_instant(t)
+        self._emit(_InstantBatch(t, deltas, active))
+
+
+class _UnaryAdapter(Operator):
+    """Wraps a single-input PhysicalOp; applies on every batch."""
+
+    fusible = True
+
+    def __init__(self, phys: PhysicalOp) -> None:
+        self.phys = phys
+
+    def open(self, ctx) -> None:
+        super().open(ctx)
+        self._emit = ctx.emitter.emit
+        self._apply = self.phys.apply
+
+    def process_element(self, batch: _InstantBatch,
+                        input_index: int = 0) -> None:
+        deltas, active = self._apply(batch.t, [batch.deltas], batch.active)
+        self._emit(_InstantBatch(batch.t, deltas, active))
+
+
+class _OpAdapter(Operator):
+    """Wraps a multi-input PhysicalOp; applies once all inputs reported."""
+
+    fusible = True
+
+    def __init__(self, phys: PhysicalOp, arity: int) -> None:
+        self.phys = phys
+        self.arity = arity
+        self._pending: list[_InstantBatch | None] = [None] * arity
+
+    def process_element(self, batch: _InstantBatch,
+                        input_index: int = 0) -> None:
+        self._pending[input_index] = batch
+        if any(b is None for b in self._pending):
+            return
+        pending, self._pending = self._pending, [None] * self.arity
+        deltas, active = self.phys.apply(
+            batch.t, [b.deltas for b in pending],
+            any(b.active for b in pending))
+        self.emit(_InstantBatch(batch.t, deltas, active))
+
+
+class _RootCollector(Operator):
+    """Catches the root operator's batch for the driver to take."""
+
+    fusible = True
+
+    def __init__(self) -> None:
+        self._batch: _InstantBatch | None = None
+
+    def process_element(self, batch: _InstantBatch,
+                        input_index: int = 0) -> None:
+        self._batch = batch
+
+    def take(self) -> _InstantBatch:
+        batch, self._batch = self._batch, None
+        if batch is None:
+            raise RuntimeError("kernel instant produced no root batch")
+        return batch
+
+
+class QueryKernel:
+    """A compiled-to-kernel continuous query, driven instant by instant."""
+
+    def __init__(self, root: PhysicalOp) -> None:
+        self.plan = Plan()
+        self._collector = _RootCollector()
+        self._ticks: list[str] = []
+        counter = itertools.count()
+
+        def build(op: PhysicalOp) -> str:
+            name = f"{type(op).__name__}#{next(counter)}"
+            if not op.children:
+                tick = self.plan.add_source(f"tick:{name}")
+                self._ticks.append(tick)
+                self.plan.add_operator(name, _SourceAdapter(op), [tick])
+            else:
+                inputs = [build(child) for child in op.children]
+                adapter = (_UnaryAdapter(op) if len(inputs) == 1
+                           else _OpAdapter(op, len(inputs)))
+                self.plan.add_operator(name, adapter, inputs)
+            return name
+
+        root_name = build(root)
+        self.plan.add_operator("collect", self._collector, [root_name])
+        self.fusions = self.plan.fuse()
+        # Physical operators keep their own rows-in/out accounting
+        # (published via ContinuousQuery.publish_metrics), so plan-level
+        # element counting stays off to avoid double counting.
+        self.plan.open(count_elements=False, layer="cql")
+
+    def run_instant(self, t: Timestamp) -> tuple[list[Delta], bool]:
+        """Evaluate one instant by ticking every source through the plan."""
+        for tick in self._ticks:
+            self.plan.push(tick, t)
+        batch = self._collector.take()
+        return batch.deltas, batch.active

@@ -43,6 +43,7 @@ from repro.dataflow.triggers import (
     Trigger,
 )
 from repro.dataflow.windowfn import GlobalWindows, WindowFn
+from repro.exec import Operator, Plan
 
 
 @dataclass
@@ -194,98 +195,41 @@ class Pipeline:
 
     # -- execution ----------------------------------------------------------------
 
-    def run(self) -> PipelineResult:
-        """Execute with the direct runner."""
-        runner = _DirectRunner(self)
+    def run(self, kernel: bool = True) -> PipelineResult:
+        """Execute the pipeline.
+
+        By default the DAG is lowered onto the shared execution kernel
+        (:mod:`repro.exec`); ``kernel=False`` keeps the legacy direct
+        runner for benchmark comparisons.  Both produce identical output.
+        """
+        runner = _KernelRunner(self) if kernel else _DirectRunner(self)
         return runner.run()
 
 
-class _DirectRunner:
-    """Single-threaded evaluation: arrival order in, panes out."""
+class _GBKEngine:
+    """The GroupByKey pane machinery: insert, merge, fire, finalise.
 
-    def __init__(self, pipeline: Pipeline) -> None:
-        self.pipeline = pipeline
-        self.result = PipelineResult()
-        self._gbk_states: dict[int, _GBKState] = {}
-        for node in pipeline._nodes:
-            if node.kind == "gbk":
-                self._gbk_states[id(node)] = _GBKState(node)
-        self._arrival_index = 0
+    One engine per GBK node, shared by the legacy direct runner and the
+    kernel lowering so both produce identical panes.  Output leaves
+    through the host-supplied ``out(windowed_value, watermark)`` callback;
+    ``arrival_index`` reads the host's arrival counter (processing-time
+    triggers count arrivals, not elements per node).
+    """
+
+    def __init__(self, node: PCollection, result: PipelineResult,
+                 arrival_index: Callable[[], int],
+                 out: Callable[[WindowedValue, Timestamp], None]) -> None:
+        self.node = node
+        self.state = _GBKState(node)
+        self.result = result
+        self._arrival_index = arrival_index
+        self._out = out
         self._obs = obs.is_enabled()
         self._registry = obs.get_registry() if self._obs else None
 
-    def run(self) -> PipelineResult:
-        tracer = obs.get_tracer() if self._obs else obs.NoopTracer()
-        with tracer.span("dataflow.pipeline.run") as root:
-            for index, source in enumerate(self.pipeline._sources):
-                generator: WatermarkGenerator = source.spec["watermark"]
-                with tracer.span("dataflow.source", index=index) as span:
-                    for value, timestamp in source.spec["elements"]:
-                        self._arrival_index += 1
-                        wv = WindowedValue(value, timestamp,
-                                           (GlobalWindows.WINDOW,))
-                        self._push(source, wv, generator.current().value)
-                        mark = generator.observe(timestamp)
-                        if mark is not None:
-                            self._advance_watermark(source, mark.value)
-                    span.add(elements=len(source.spec["elements"]))
-                self._advance_watermark(source, MAX_TIMESTAMP)
-            self._finalize()
-            root.add(dropped_late=self.result.dropped_late)
-        return self.result
-
-    def _finalize(self) -> None:
-        """Drain: force-fire panes whose trigger never did (e.g. Never).
-
-        Fired as ON_TIME — finalisation is the moment the watermark
-        conceptually passes the end of every window.
-        """
-        for node in self.pipeline._nodes:
-            if node.kind != "gbk":
-                continue
-            state = self._gbk_states[id(node)]
-            for (key, window) in sorted(
-                    state.panes, key=lambda kw: (kw[1], repr(kw[0]))):
-                pane = state.panes[(key, window)]
-                if not pane.on_time_fired and pane.buffer:
-                    self._fire(node, state, key, window,
-                               PaneTiming.ON_TIME, MAX_TIMESTAMP)
-                    pane.on_time_fired = True
-
-    # -- element propagation --------------------------------------------------
-
-    def _push(self, node: PCollection, wv: WindowedValue,
-              watermark: Timestamp) -> None:
-        for child in node.children:
-            self._apply(child, wv, watermark)
-
-    def _apply(self, node: PCollection, wv: WindowedValue,
-               watermark: Timestamp) -> None:
-        if self._obs:
-            self._registry.counter("dataflow.transform.elements",
-                                   kind=node.kind).inc()
-        if node.kind == "pardo":
-            for value in node.spec["fn"](wv.value):
-                self._push(node, wv.with_value(value), watermark)
-        elif node.kind == "window":
-            windows = tuple(
-                node.windowing.window_fn.assign(wv.timestamp))
-            self._push(node, WindowedValue(wv.value, wv.timestamp,
-                                           windows, wv.pane), watermark)
-        elif node.kind == "gbk":
-            self._insert_gbk(node, wv, watermark)
-        elif node.kind == "sink":
-            self.result.outputs[node.spec["label"]].append(wv)
-            self._push(node, wv, watermark)
-        else:
-            raise PlanError(f"unexpected node kind {node.kind}")
-
-    # -- GroupByKey -------------------------------------------------------------
-
-    def _insert_gbk(self, node: PCollection, wv: WindowedValue,
-                    watermark: Timestamp) -> None:
-        strategy = node.windowing
-        state = self._gbk_states[id(node)]
+    def insert(self, wv: WindowedValue, watermark: Timestamp) -> None:
+        strategy = self.node.windowing
+        state = self.state
         try:
             key, value = wv.value
         except (TypeError, ValueError):
@@ -302,21 +246,22 @@ class _DirectRunner:
                     self._registry.counter("dataflow.dropped_late").inc()
                 continue
             if strategy.window_fn.is_merging:
-                window = self._merge_into(state, key, window, strategy)
+                window = self._merge_into(key, window, strategy)
             pane = state.pane(key, window)
             pane.buffer.append(value)
             pane.had_data = True
             fire = strategy.trigger.on_element(
-                pane.trigger_state, self._arrival_index)
+                pane.trigger_state, self._arrival_index())
             if fire:
                 timing = (PaneTiming.LATE if pane.on_time_fired
                           else PaneTiming.EARLY)
-                self._fire(node, state, key, window, timing, watermark)
+                self._fire(key, window, timing, watermark)
 
-    def _merge_into(self, state: _GBKState, key: Any, window: Window,
+    def _merge_into(self, key: Any, window: Window,
                     strategy: WindowingStrategy) -> Window:
         """Session merging: coalesce the new proto-window with the key's
         active windows, transplanting buffered state."""
+        state = self.state
         active = [w for (k, w) in state.panes if k == key
                   and (k, w) not in state.merged_away]
         merged = strategy.window_fn.merge(active + [window])
@@ -338,39 +283,40 @@ class _DirectRunner:
             # Replay the combined buffer into a fresh trigger state.
             for i in range(len(fresh.buffer)):
                 strategy.trigger.on_element(fresh.trigger_state,
-                                            self._arrival_index)
+                                            self._arrival_index())
             state.panes[(key, target)] = fresh
         return target
 
-    def _advance_watermark(self, source: PCollection,
-                           watermark: Timestamp) -> None:
-        for node in self.pipeline._nodes:
-            if node.kind != "gbk" or not self._downstream_of(source, node):
-                continue
-            state = self._gbk_states[id(node)]
-            strategy = node.windowing
-            for (key, window) in sorted(
-                    state.panes, key=lambda kw: (kw[1], repr(kw[0]))):
-                pane = state.panes[(key, window)]
-                if strategy.trigger.on_watermark(
-                        pane.trigger_state, window, watermark):
-                    if pane.had_data:
-                        self._fire(node, state, key, window,
-                                   PaneTiming.ON_TIME, watermark)
-                    pane.on_time_fired = True
+    def on_watermark(self, watermark: Timestamp) -> None:
+        state = self.state
+        strategy = self.node.windowing
+        for (key, window) in sorted(
+                state.panes, key=lambda kw: (kw[1], repr(kw[0]))):
+            pane = state.panes[(key, window)]
+            if strategy.trigger.on_watermark(
+                    pane.trigger_state, window, watermark):
+                if pane.had_data:
+                    self._fire(key, window, PaneTiming.ON_TIME, watermark)
+                pane.on_time_fired = True
 
-    def _downstream_of(self, source: PCollection,
-                       node: PCollection) -> bool:
-        current = node
-        while current.parent is not None:
-            current = current.parent
-        return current is source
+    def finalize(self) -> None:
+        """Drain: force-fire panes whose trigger never did (e.g. Never).
 
-    def _fire(self, node: PCollection, state: _GBKState, key: Any,
-              window: Window, timing: PaneTiming,
+        Fired as ON_TIME — finalisation is the moment the watermark
+        conceptually passes the end of every window.
+        """
+        state = self.state
+        for (key, window) in sorted(
+                state.panes, key=lambda kw: (kw[1], repr(kw[0]))):
+            pane = state.panes[(key, window)]
+            if not pane.on_time_fired and pane.buffer:
+                self._fire(key, window, PaneTiming.ON_TIME, MAX_TIMESTAMP)
+                pane.on_time_fired = True
+
+    def _fire(self, key: Any, window: Window, timing: PaneTiming,
               watermark: Timestamp) -> None:
-        strategy = node.windowing
-        pane = state.panes[(key, window)]
+        strategy = self.node.windowing
+        pane = self.state.panes[(key, window)]
         if strategy.accumulation is AccumulationMode.ACCUMULATING:
             contents = pane.retained + pane.buffer
             pane.retained = contents
@@ -388,9 +334,230 @@ class _DirectRunner:
         if self._obs:
             self._registry.counter("dataflow.trigger.firings",
                                    timing=timing.name).inc()
-        combiner = node.spec.get("combiner")
+        combiner = self.node.spec.get("combiner")
         payload = combiner(list(contents)) if combiner else list(contents)
         out = WindowedValue((key, payload),
                             min(window.end - 1, MAX_TIMESTAMP - 1),
                             (window,), info)
-        self._push(node, out, watermark)
+        self._out(out, watermark)
+
+
+class _DirectRunner:
+    """Single-threaded legacy evaluation: arrival order in, panes out."""
+
+    def __init__(self, pipeline: Pipeline) -> None:
+        self.pipeline = pipeline
+        self.result = PipelineResult()
+        self._arrival_index = 0
+        self._engines: dict[int, _GBKEngine] = {}
+        for node in pipeline._nodes:
+            if node.kind == "gbk":
+                self._engines[id(node)] = _GBKEngine(
+                    node, self.result, lambda: self._arrival_index,
+                    lambda wv, watermark, node=node:
+                    self._push(node, wv, watermark))
+
+    def run(self) -> PipelineResult:
+        tracer = obs.get_tracer() if obs.is_enabled() else obs.NoopTracer()
+        with tracer.span("dataflow.pipeline.run") as root:
+            for index, source in enumerate(self.pipeline._sources):
+                generator: WatermarkGenerator = source.spec["watermark"]
+                with tracer.span("dataflow.source", index=index) as span:
+                    for value, timestamp in source.spec["elements"]:
+                        self._arrival_index += 1
+                        wv = WindowedValue(value, timestamp,
+                                           (GlobalWindows.WINDOW,))
+                        self._push(source, wv, generator.current().value)
+                        mark = generator.observe(timestamp)
+                        if mark is not None:
+                            self._advance_watermark(source, mark.value)
+                    span.add(elements=len(source.spec["elements"]))
+                self._advance_watermark(source, MAX_TIMESTAMP)
+            for node in self.pipeline._nodes:
+                if node.kind == "gbk":
+                    self._engines[id(node)].finalize()
+            root.add(dropped_late=self.result.dropped_late)
+        return self.result
+
+    # -- element propagation --------------------------------------------------
+
+    def _push(self, node: PCollection, wv: WindowedValue,
+              watermark: Timestamp) -> None:
+        for child in node.children:
+            self._apply(child, wv, watermark)
+
+    def _apply(self, node: PCollection, wv: WindowedValue,
+               watermark: Timestamp) -> None:
+        if node.kind == "pardo":
+            for value in node.spec["fn"](wv.value):
+                self._push(node, wv.with_value(value), watermark)
+        elif node.kind == "window":
+            windows = tuple(
+                node.windowing.window_fn.assign(wv.timestamp))
+            self._push(node, WindowedValue(wv.value, wv.timestamp,
+                                           windows, wv.pane), watermark)
+        elif node.kind == "gbk":
+            self._engines[id(node)].insert(wv, watermark)
+        elif node.kind == "sink":
+            self.result.outputs[node.spec["label"]].append(wv)
+            self._push(node, wv, watermark)
+        else:
+            raise PlanError(f"unexpected node kind {node.kind}")
+
+    def _advance_watermark(self, source: PCollection,
+                           watermark: Timestamp) -> None:
+        for node in self.pipeline._nodes:
+            if node.kind != "gbk" or not self._downstream_of(source, node):
+                continue
+            self._engines[id(node)].on_watermark(watermark)
+
+    def _downstream_of(self, source: PCollection,
+                       node: PCollection) -> bool:
+        current = node
+        while current.parent is not None:
+            current = current.parent
+        return current is source
+
+
+# ---------------------------------------------------------------------------
+# Kernel lowering
+# ---------------------------------------------------------------------------
+
+
+class _ParDoOp(Operator):
+    """ParDo as a kernel operator (stateless, fusible)."""
+
+    fusible = True
+
+    def __init__(self, fn: Callable[[Any], Iterable[Any]]) -> None:
+        self._fn = fn
+
+    def process_element(self, wv: WindowedValue,
+                        input_index: int = 0) -> None:
+        for value in self._fn(wv.value):
+            self.emit(wv.with_value(value))
+
+
+class _WindowOp(Operator):
+    """Window assignment as a kernel operator (stateless, fusible)."""
+
+    fusible = True
+
+    def __init__(self, window_fn: WindowFn) -> None:
+        self._window_fn = window_fn
+
+    def process_element(self, wv: WindowedValue,
+                        input_index: int = 0) -> None:
+        windows = tuple(self._window_fn.assign(wv.timestamp))
+        self.emit(WindowedValue(wv.value, wv.timestamp, windows, wv.pane))
+
+
+class _GBKOp(Operator):
+    """GroupByKey as a kernel operator.
+
+    The pane machinery lives in the shared :class:`_GBKEngine`; the
+    operator supplies the kernel's tracked watermark to inserts, fires on
+    ``process_watermark``, and force-drains on ``close`` — so lateness and
+    trigger decisions match the legacy runner decision-for-decision.
+    """
+
+    def __init__(self) -> None:
+        self.engine: _GBKEngine | None = None
+
+    def open(self, ctx) -> None:
+        super().open(ctx)
+        self._insert = self.engine.insert
+        self._watermark = ctx.watermark
+
+    def process_element(self, wv: WindowedValue,
+                        input_index: int = 0) -> None:
+        self._insert(wv, self._watermark())
+
+    def process_watermark(self, watermark: Timestamp,
+                          input_index: int = 0) -> None:
+        self.engine.on_watermark(watermark)
+
+    def close(self) -> None:
+        self.engine.finalize()
+
+
+class _SinkOp(Operator):
+    """Records outputs under a label; passes elements through."""
+
+    fusible = True
+
+    def __init__(self, label: str, result: PipelineResult) -> None:
+        self._label = label
+        self._result = result
+
+    def process_element(self, wv: WindowedValue,
+                        input_index: int = 0) -> None:
+        self._result.outputs[self._label].append(wv)
+        self.emit(wv)
+
+
+class _KernelRunner:
+    """Lowers the pipeline DAG onto a :class:`repro.exec.Plan`.
+
+    Sources become plan channels whose initial watermark matches the
+    generator's pre-observation value; the per-element driver loop is
+    identical to the legacy runner's, but element routing, watermark
+    propagation and per-operator counters all come from the kernel.
+    """
+
+    def __init__(self, pipeline: Pipeline) -> None:
+        self.pipeline = pipeline
+        self.result = PipelineResult()
+        self._arrival_index = 0
+        self.plan = Plan()
+        names: dict[int, str] = {}
+        for index, node in enumerate(pipeline._nodes):
+            name = f"{node.kind}{index}"
+            names[id(node)] = name
+            if node.kind == "source":
+                generator: WatermarkGenerator = node.spec["watermark"]
+                self.plan.add_source(
+                    name, initial_watermark=generator.current().value)
+                continue
+            parent_name = names[id(node.parent)]
+            if node.kind == "pardo":
+                op: Operator = _ParDoOp(node.spec["fn"])
+            elif node.kind == "window":
+                op = _WindowOp(node.windowing.window_fn)
+            elif node.kind == "gbk":
+                gbk = _GBKOp()
+                gbk.engine = _GBKEngine(
+                    node, self.result, lambda: self._arrival_index,
+                    lambda wv, watermark, op=gbk: op.emit(wv))
+                op = gbk
+            elif node.kind == "sink":
+                op = _SinkOp(node.spec["label"], self.result)
+            else:
+                raise PlanError(f"unexpected node kind {node.kind}")
+            self.plan.add_operator(name, op, [parent_name])
+        self._source_channels = {
+            id(source): names[id(source)]
+            for source in pipeline._sources}
+        self.plan.fuse()
+
+    def run(self) -> PipelineResult:
+        tracer = obs.get_tracer() if obs.is_enabled() else obs.NoopTracer()
+        self.plan.open(layer="dataflow")
+        with tracer.span("dataflow.pipeline.run") as root:
+            for index, source in enumerate(self.pipeline._sources):
+                channel = self._source_channels[id(source)]
+                generator: WatermarkGenerator = source.spec["watermark"]
+                with tracer.span("dataflow.source", index=index) as span:
+                    for value, timestamp in source.spec["elements"]:
+                        self._arrival_index += 1
+                        wv = WindowedValue(value, timestamp,
+                                           (GlobalWindows.WINDOW,))
+                        self.plan.push(channel, wv)
+                        mark = generator.observe(timestamp)
+                        if mark is not None:
+                            self.plan.advance_watermark(channel, mark.value)
+                    span.add(elements=len(source.spec["elements"]))
+                self.plan.advance_watermark(channel, MAX_TIMESTAMP)
+            self.plan.close()
+            root.add(dropped_late=self.result.dropped_late)
+        return self.result

@@ -58,7 +58,8 @@ class Divergence:
     """One disagreement between evaluators (or an evaluator crash)."""
 
     kind: str    # which leg diverged: optimizer | executor | executor-naive
-                 # | dsms | core-sparse | core-assign | session | error
+                 # | kernel | dsms | core-sparse | core-assign | session
+                 # | error
     detail: str
 
     def __str__(self) -> str:
@@ -111,11 +112,16 @@ def run_case(case: Case) -> Divergence | None:
             "naive", _snapshot_list(truth),
             "optimized", _snapshot_list(ref_opt)))
 
-    # Leg 2: the incremental executor, on both plan variants.
-    for optimize, leg in ((True, "executor"), (False, "executor-naive")):
+    # Legs 2-3: the incremental executor on both plan variants (pull
+    # recursion), plus the push-based execution kernel on the optimised
+    # plan — every instant of all three must match the reference.
+    for optimize, kernel, leg in ((True, False, "executor"),
+                                  (False, False, "executor-naive"),
+                                  (True, True, "kernel")):
         exec_engine = build_engine()
         try:
-            query = exec_engine.register_query(case.query, optimize=optimize)
+            query = exec_engine.register_query(case.query, optimize=optimize,
+                                               kernel=kernel)
             query.run_recorded(
                 {name: stream for name, stream in streams.items()
                  if name in query._stream_sources})
@@ -134,7 +140,7 @@ def run_case(case: Case) -> Divergence | None:
                 "executor", _snapshot_list(query.as_relation()),
                 "reference", _snapshot_list(truth)))
 
-    # Leg 3: the DSMS engine, one tuple per scheduling quantum.
+    # Final leg: the DSMS engine, one tuple per scheduling quantum.
     return _dsms_leg(case, streams, plan_opt, engine)
 
 

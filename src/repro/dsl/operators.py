@@ -14,66 +14,14 @@ from typing import Any, Callable, Iterable
 from repro.core.errors import StateError
 from repro.core.time import Timestamp
 from repro.core.windows import Window, WindowAssigner
+from repro.exec import OperatorContext
+from repro.exec.state import DictStateBackend, LSMStateBackend, StateBackend
 from repro.runtime.dag import Element, StreamOperator
-from repro.runtime.kvstore import LSMStore
 
-
-class StateBackend:
-    """Keyed state: the minimal get/put/delete/items surface."""
-
-    def get(self, key: Any, default: Any = None) -> Any:
-        raise NotImplementedError
-
-    def put(self, key: Any, value: Any) -> None:
-        raise NotImplementedError
-
-    def delete(self, key: Any) -> None:
-        raise NotImplementedError
-
-    def items(self) -> Iterable[tuple[Any, Any]]:
-        raise NotImplementedError
-
-
-class DictBackend(StateBackend):
-    """Heap state backend (Flink's 'hashmap' backend)."""
-
-    def __init__(self) -> None:
-        self._data: dict[Any, Any] = {}
-
-    def get(self, key: Any, default: Any = None) -> Any:
-        return self._data.get(key, default)
-
-    def put(self, key: Any, value: Any) -> None:
-        self._data[key] = value
-
-    def delete(self, key: Any) -> None:
-        self._data.pop(key, None)
-
-    def items(self) -> Iterable[tuple[Any, Any]]:
-        return list(self._data.items())
-
-
-class LSMBackend(StateBackend):
-    """Embedded LSM state backend (the RocksDB stand-in).
-
-    Keys must be orderable; window state keys are (key, start, end) tuples,
-    so heterogeneous user keys should be strings or ints.
-    """
-
-    def __init__(self, memtable_limit: int = 256) -> None:
-        self.store = LSMStore(memtable_limit=memtable_limit)
-
-    def get(self, key: Any, default: Any = None) -> Any:
-        return self.store.get(key, default)
-
-    def put(self, key: Any, value: Any) -> None:
-        self.store.put(key, value)
-
-    def delete(self, key: Any) -> None:
-        self.store.delete(key)
-
-    def items(self) -> Iterable[tuple[Any, Any]]:
-        return list(self.store.items())
+# Keyed state moved into the kernel (repro.exec.state); the DSL names stay
+# as aliases so programs and benchmarks keep reading naturally.
+DictBackend = DictStateBackend
+LSMBackend = LSMStateBackend
 
 
 class AggregateFunction:
@@ -171,15 +119,15 @@ class WindowAggregateOperator(StreamOperator):
 
     def __init__(self, assigner: WindowAssigner,
                  aggregate: AggregateFunction,
-                 backend_factory: Callable[[], StateBackend] = DictBackend,
+                 backend_factory: Callable[[], StateBackend] | None = None,
                  ) -> None:
         self._assigner = assigner
         self._aggregate = aggregate
         self._backend_factory = backend_factory
 
-    def open(self, subtask: int, parallelism: int) -> None:
-        super().open(subtask, parallelism)
-        self.state = self._backend_factory()
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self.state = (self._backend_factory or ctx.state_factory)()
 
     def process(self, element: Element) -> Iterable[Element]:
         for window in self._assigner.assign(element.timestamp):
@@ -226,7 +174,7 @@ class SessionAggregateOperator(StreamOperator):
     """
 
     def __init__(self, gap: Timestamp, aggregate: AggregateFunction,
-                 backend_factory: Callable[[], StateBackend] = DictBackend,
+                 backend_factory: Callable[[], StateBackend] | None = None,
                  ) -> None:
         if gap <= 0:
             raise StateError(f"session gap must be positive, got {gap}")
@@ -234,9 +182,9 @@ class SessionAggregateOperator(StreamOperator):
         self._aggregate = aggregate
         self._backend_factory = backend_factory
 
-    def open(self, subtask: int, parallelism: int) -> None:
-        super().open(subtask, parallelism)
-        self.state = self._backend_factory()
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self.state = (self._backend_factory or ctx.state_factory)()
 
     def process(self, element: Element) -> Iterable[Element]:
         sessions: list[tuple[Timestamp, Timestamp, Any]] = \
@@ -293,15 +241,15 @@ class WindowJoinOperator(StreamOperator):
 
     def __init__(self, assigner: WindowAssigner,
                  combine: Callable[[Any, Any], Any] = lambda l, r: (l, r),
-                 backend_factory: Callable[[], StateBackend] = DictBackend,
+                 backend_factory: Callable[[], StateBackend] | None = None,
                  ) -> None:
         self._assigner = assigner
         self._combine = combine
         self._backend_factory = backend_factory
 
-    def open(self, subtask: int, parallelism: int) -> None:
-        super().open(subtask, parallelism)
-        self.state = self._backend_factory()
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self.state = (self._backend_factory or ctx.state_factory)()
 
     def process(self, element: Element) -> Iterable[Element]:
         side, value = element.value
@@ -345,14 +293,14 @@ class RunningReduceOperator(StreamOperator):
     every input element (an update stream — a changelog)."""
 
     def __init__(self, fn: Callable[[Any, Any], Any],
-                 backend_factory: Callable[[], StateBackend] = DictBackend,
+                 backend_factory: Callable[[], StateBackend] | None = None,
                  ) -> None:
         self._fn = fn
         self._backend_factory = backend_factory
 
-    def open(self, subtask: int, parallelism: int) -> None:
-        super().open(subtask, parallelism)
-        self.state = self._backend_factory()
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self.state = (self._backend_factory or ctx.state_factory)()
 
     def process(self, element: Element) -> Iterable[Element]:
         _missing = object()
@@ -378,7 +326,7 @@ class ProcessOperator(StreamOperator):
 
     def __init__(self, fn: Callable[["ProcessOperator", Element],
                                     Iterable[Element]],
-                 backend_factory: Callable[[], StateBackend] = DictBackend,
+                 backend_factory: Callable[[], StateBackend] | None = None,
                  on_timer_fn: Callable[["ProcessOperator", Timestamp, Any],
                                        Iterable[Element]] | None = None,
                  ) -> None:
@@ -386,9 +334,9 @@ class ProcessOperator(StreamOperator):
         self._on_timer_fn = on_timer_fn
         self._backend_factory = backend_factory
 
-    def open(self, subtask: int, parallelism: int) -> None:
-        super().open(subtask, parallelism)
-        self.state = self._backend_factory()
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self.state = (self._backend_factory or ctx.state_factory)()
 
     def process(self, element: Element) -> Iterable[Element]:
         return self._fn(self, element)

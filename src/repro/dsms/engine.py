@@ -179,8 +179,10 @@ class DSMSEngine:
 
     def __init__(self, scheduler: Scheduler | None = None,
                  queue_capacity: int = 1024,
-                 keep_thrown_tuples: bool = False) -> None:
+                 keep_thrown_tuples: bool = False,
+                 kernel: bool = True) -> None:
         self._cql = CQLEngine()
+        self._kernel = kernel
         self.scheduler = scheduler or RoundRobinScheduler()
         self.queue_capacity = queue_capacity
         self.store = Store()
@@ -212,7 +214,7 @@ class DSMSEngine:
         active until cancelled)."""
         if name in self._by_name:
             raise PlanError(f"query name {name!r} already registered")
-        query = self._cql.register_query(text)
+        query = self._cql.register_query(text, kernel=self._kernel)
         query.start()
         handle = QueryHandle(
             name, query,

@@ -1,0 +1,35 @@
+"""repro.exec — the shared push-based execution kernel.
+
+One physical substrate under all four API layers (Figure 4 of the
+survey): CQL's delta executor, the DSMS engine, the dataflow direct
+runner and the actor-style job runtime all lower to kernel
+:class:`Operator` plans.  See DESIGN.md § "Execution kernel".
+"""
+
+from repro.exec.fusion import fuse_fixpoint
+from repro.exec.operator import (
+    CollectingEmitter,
+    StageEmitter,
+    Emitter,
+    FusedOperator,
+    Operator,
+    OperatorContext,
+)
+from repro.exec.plan import Plan
+from repro.exec.state import DictStateBackend, LSMStateBackend, StateBackend
+from repro.exec.watermarks import WatermarkTracker
+
+__all__ = [
+    "CollectingEmitter",
+    "DictStateBackend",
+    "Emitter",
+    "FusedOperator",
+    "LSMStateBackend",
+    "Operator",
+    "OperatorContext",
+    "Plan",
+    "StageEmitter",
+    "StateBackend",
+    "WatermarkTracker",
+    "fuse_fixpoint",
+]

@@ -1,0 +1,35 @@
+"""Generic operator-fusion fixpoint.
+
+Chaining in ``runtime/dag.py`` and plan fusion in ``repro.exec.plan``
+share the same shape: repeatedly find an edge whose endpoints may legally
+be collapsed, merge them, and stop when no edge qualifies.  The graph
+representation differs per caller, so the loop is parameterised by
+callbacks rather than a concrete graph type.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, TypeVar
+
+Edge = TypeVar("Edge")
+
+
+def fuse_fixpoint(edges: Callable[[], Iterable[Edge]],
+                  can_fuse: Callable[[Edge], bool],
+                  merge: Callable[[Edge], None]) -> int:
+    """Greedily merge fusible edges until none remain; returns the count.
+
+    ``edges`` is re-evaluated after every merge because a merge rewrites
+    the graph underneath the iterator.
+    """
+    fused = 0
+    changed = True
+    while changed:
+        changed = False
+        for edge in list(edges()):
+            if can_fuse(edge):
+                merge(edge)
+                fused += 1
+                changed = True
+                break
+    return fused

@@ -13,11 +13,18 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 import repro.obs as obs
 from repro.core.errors import PlanError, StateError
 from repro.core.time import Timestamp
+from repro.exec import (
+    CollectingEmitter,
+    Operator,
+    OperatorContext,
+    StageEmitter,
+    fuse_fixpoint,
+)
 from repro.runtime.partitioning import ForwardPartitioner, Partitioner
 
 
@@ -61,18 +68,24 @@ class TimerService:
         heapq.heapify(self._heap)
 
 
-class StreamOperator:
-    """Base runtime operator.
+class StreamOperator(Operator):
+    """Base runtime operator — a kernel operator with runtime hooks.
 
-    Lifecycle: ``open`` once per subtask, then ``process`` per element,
+    Lifecycle: ``open`` once per subtask (with an
+    :class:`~repro.exec.OperatorContext`), then ``process`` per element,
     ``on_watermark`` per watermark advance (with ``timers`` already
     populated), ``on_end`` at end of stream.  ``snapshot``/``restore``
-    implement checkpointing.  All hooks return the elements they emit.
+    implement checkpointing.  The iterable-returning hooks are the
+    authoring surface; the kernel protocol (``process_element`` /
+    ``process_watermark`` / ``close``) wraps them, emitting through the
+    context so the subtask runtime and kernel plans drive runtime
+    operators identically.
     """
 
-    def open(self, subtask: int, parallelism: int) -> None:
-        self.subtask = subtask
-        self.parallelism = parallelism
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self.subtask = ctx.subtask
+        self.parallelism = ctx.parallelism
         self.timers = TimerService()
 
     def process(self, element: Element) -> Iterable[Element]:
@@ -99,6 +112,21 @@ class StreamOperator:
         if state is not None:
             raise StateError(f"{type(self).__name__} has no state to "
                              f"restore into")
+
+    # -- kernel protocol -------------------------------------------------------
+
+    def process_element(self, element: Element, input_index: int = 0) -> None:
+        self.ctx.emitter.emit_all(self.process(element))
+
+    def process_watermark(self, watermark: Timestamp,
+                          input_index: int = 0) -> None:
+        emitter = self.ctx.emitter
+        for fire_at, key in self.timers.due(watermark):
+            emitter.emit_all(self.on_timer(fire_at, key))
+        emitter.emit_all(self.on_watermark(watermark))
+
+    def close(self) -> None:
+        self.ctx.emitter.emit_all(self.on_end())
 
 
 class MapOperator(StreamOperator):
@@ -157,48 +185,52 @@ class ChainedOperator(StreamOperator):
             raise PlanError("cannot chain zero operators")
         self.operators = list(operators)
 
-    def open(self, subtask: int, parallelism: int) -> None:
-        super().open(subtask, parallelism)
-        for op in self.operators:
-            op.open(subtask, parallelism)
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        # Wire members tail-first through StageEmitters so each member's
+        # output is pushed straight into its successor's ``process_element``
+        # — the kernel's fusion wiring, replacing the recursive cascade.
+        # The tail collects into a buffer the chain's own hooks drain.
+        self._tail = CollectingEmitter()
+        downstream: Any = self._tail
+        for position in range(len(self.operators) - 1, -1, -1):
+            op = self.operators[position]
+            op.open(OperatorContext(
+                name=f"{ctx.name}[{position}]", subtask=ctx.subtask,
+                parallelism=ctx.parallelism, emitter=downstream,
+                state_factory=ctx.state_factory,
+                watermark_fn=ctx._watermark_fn))
             op.timers = self.timers  # one shared timer service per chain
-
-    def _cascade(self, start: int, elements: Iterable[Element],
-                 ) -> Iterator[Element]:
-        if start >= len(self.operators):
-            yield from elements
-            return
-        for element in elements:
-            yield from self._cascade(
-                start + 1, self.operators[start].process(element))
+            downstream = StageEmitter(op)
 
     def process(self, element: Element) -> Iterable[Element]:
-        return self._cascade(1, self.operators[0].process(element))
+        self.operators[0].process_element(element)
+        return self._tail.drain()
+
+    def _cascade_hook(self, produced_per_op) -> list[Element]:
+        # Each member's hook output enters the chain *after* that member:
+        # emitting through the member's own emitter routes it into the next
+        # member's process path (or the tail buffer for the last member).
+        for op, produced in produced_per_op:
+            for element in produced:
+                op.ctx.emitter.emit(element)
+        return self._tail.drain()
 
     def on_watermark(self, watermark: Timestamp) -> Iterable[Element]:
-        out: list[Element] = []
-        for index, op in enumerate(self.operators):
-            produced = op.on_watermark(watermark)
-            out.extend(self._cascade(index + 1, produced))
-        return out
+        return self._cascade_hook(
+            (op, op.on_watermark(watermark)) for op in self.operators)
 
     def on_timer(self, fire_at: Timestamp, key: Any) -> Iterable[Element]:
-        out: list[Element] = []
-        for index, op in enumerate(self.operators):
-            produced = op.on_timer(fire_at, key)
-            out.extend(self._cascade(index + 1, produced))
-        return out
+        return self._cascade_hook(
+            (op, op.on_timer(fire_at, key)) for op in self.operators)
 
     def on_barrier(self, checkpoint_id: int) -> None:
         for op in self.operators:
             op.on_barrier(checkpoint_id)
 
     def on_end(self) -> Iterable[Element]:
-        out: list[Element] = []
-        for index, op in enumerate(self.operators):
-            produced = op.on_end()
-            out.extend(self._cascade(index + 1, produced))
-        return out
+        return self._cascade_hook(
+            (op, op.on_end()) for op in self.operators)
 
     def snapshot(self) -> Any:
         return [op.snapshot() for op in self.operators]
@@ -439,27 +471,22 @@ def chain_operators(graph: JobGraph) -> JobGraph:
     out.sinks = set(graph.sinks)
     out.sink_origin = dict(graph.sink_origin)
 
-    fused = 0
-    changed = True
-    while changed:
-        changed = False
-        for edge in list(out.edges):
-            if not edge.is_forward():
-                continue
-            if edge.upstream not in out.vertices:
-                continue  # never fuse into a source
-            upstream = out.vertices[edge.upstream]
-            downstream = out.vertices[edge.downstream]
-            if upstream.parallelism != downstream.parallelism:
-                continue
-            if len(out.downstream_edges(edge.upstream)) != 1:
-                continue
-            if len(out.upstream_edges(edge.downstream)) != 1:
-                continue
-            _fuse(out, edge, upstream, downstream)
-            fused += 1
-            changed = True
-            break
+    def can_fuse(edge: EdgeSpec) -> bool:
+        if not edge.is_forward():
+            return False
+        if edge.upstream not in out.vertices:
+            return False  # never fuse into a source
+        upstream = out.vertices[edge.upstream]
+        downstream = out.vertices[edge.downstream]
+        return (upstream.parallelism == downstream.parallelism
+                and len(out.downstream_edges(edge.upstream)) == 1
+                and len(out.upstream_edges(edge.downstream)) == 1)
+
+    def merge(edge: EdgeSpec) -> None:
+        _fuse(out, edge, out.vertices[edge.upstream],
+              out.vertices[edge.downstream])
+
+    fused = fuse_fixpoint(lambda: out.edges, can_fuse, merge)
     if obs.is_enabled():
         registry = obs.get_registry()
         registry.counter("runtime.chaining.fusions", job=graph.name).inc(

@@ -19,11 +19,12 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from typing import Any, Callable
 
 import repro.obs as obs
 from repro.core.errors import StateError
 from repro.core.time import MAX_TIMESTAMP, Timestamp
+from repro.exec import Emitter, OperatorContext, WatermarkTracker
 from repro.runtime.actors import Actor, ActorRef, ActorSystem
 from repro.runtime.checkpoint import CheckpointCoordinator
 from repro.runtime.dag import (
@@ -81,8 +82,13 @@ class _OutEdge:
             partitioner.upstream_index = subtask
 
 
-class _Emitter:
-    """Shared emission logic for source and operator subtasks."""
+class _Emitter(Emitter):
+    """Kernel emitter that routes elements as actor messages.
+
+    Operators opened with this as their context emitter push output
+    straight onto downstream mailboxes — the kernel's ``emit`` surface
+    bound to the actor transport.
+    """
 
     def __init__(self, system: ActorSystem, vertex: str, subtask: int,
                  out_edges: list[_OutEdge]) -> None:
@@ -94,14 +100,13 @@ class _Emitter:
     def _ref(self, vertex: str, index: int) -> ActorRef:
         return self._system.ref(f"{vertex}#{index}")
 
-    def emit(self, elements: Iterable[Element]) -> None:
-        for element in elements:
-            self.records_out += 1
-            for edge in self._out:
-                for index in edge.partitioner.route(
-                        element.value, element.key, edge.parallelism):
-                    self._ref(edge.downstream, index).tell(
-                        DataMsg(self.channel, element))
+    def emit(self, element: Element) -> None:
+        self.records_out += 1
+        for edge in self._out:
+            for index in edge.partitioner.route(
+                    element.value, element.key, edge.parallelism):
+                self._ref(edge.downstream, index).tell(
+                    DataMsg(self.channel, element))
 
     def broadcast(self, make_msg: Callable[[Channel], Any]) -> None:
         message = make_msg(self.channel)
@@ -137,7 +142,7 @@ class SourceSubtask(Actor):
             max_seen = max(max_seen, timestamp)
         while self._offset < len(self._records):
             value, key, timestamp = self._records[self._offset]
-            self._emitter.emit([Element(value, key, timestamp)])
+            self._emitter.emit(Element(value, key, timestamp))
             self._offset += 1
             barrier = self._coordinator.barrier_due(self._offset)
             if barrier is not None:
@@ -160,16 +165,16 @@ class OperatorSubtask(Actor):
 
     def __init__(self, vertex: str, subtask: int, operator: StreamOperator,
                  channels: list[Channel], emitter: _Emitter,
-                 coordinator: CheckpointCoordinator) -> None:
+                 coordinator: CheckpointCoordinator,
+                 kernel: bool = True) -> None:
         super().__init__()
         self.vertex = vertex
         self.subtask = subtask
         self.operator = operator
         self._emitter = emitter
         self._coordinator = coordinator
-        self._watermarks: dict[Channel, Timestamp] = {
-            c: -1 for c in channels}
-        self._combined: Timestamp = -1
+        self._kernel = kernel
+        self._tracker = WatermarkTracker(channels)
         self._ended: set[Channel] = set()
         self._channels = list(channels)
         # Barrier alignment state.
@@ -203,31 +208,36 @@ class OperatorSubtask(Actor):
     def _process_data(self, message: DataMsg) -> None:
         if obs.is_enabled():
             registry = obs.get_registry()
-            registry.counter("runtime.vertex.records_in",
-                             vertex=self.vertex).inc()
+            registry.counter("exec.operator.records_in", layer="runtime",
+                             operator=self.vertex).inc()
             mailbox = self.context.system._mailboxes.get(
                 f"{self.vertex}#{self.subtask}")
             if mailbox is not None:
                 registry.gauge("runtime.vertex.queue_depth",
                                vertex=self.vertex).observe(len(mailbox))
-        self._emitter.emit(self.operator.process(message.element))
+        if self._kernel:
+            self.operator.process_element(message.element)
+        else:
+            self._emitter.emit_all(self.operator.process(message.element))
 
     def _process_watermark(self, message: WatermarkMsg) -> None:
-        if message.value <= self._watermarks.get(message.channel, -1):
-            return
-        self._watermarks[message.channel] = message.value
-        combined = min(self._watermarks.values())
-        if combined > self._combined:
-            self._combined = combined
-            if obs.is_enabled():
-                obs.get_registry().gauge(
-                    "runtime.vertex.watermark", vertex=self.vertex).set(
-                        combined)
+        combined = self._tracker.advance(message.channel, message.value)
+        if combined is not None:
+            self._fire_watermark(combined)
+
+    def _fire_watermark(self, combined: Timestamp) -> None:
+        if obs.is_enabled():
+            obs.get_registry().gauge(
+                "exec.operator.watermark", layer="runtime",
+                operator=self.vertex).set(combined)
+        if self._kernel:
+            self.operator.process_watermark(combined)
+        else:
             for fire_at, key in self.operator.timers.due(combined):
-                self._emitter.emit(self.operator.on_timer(fire_at, key))
-            self._emitter.emit(self.operator.on_watermark(combined))
-            self._emitter.broadcast(
-                lambda ch, w=combined: WatermarkMsg(ch, w))
+                self._emitter.emit_all(self.operator.on_timer(fire_at, key))
+            self._emitter.emit_all(self.operator.on_watermark(combined))
+        self._emitter.broadcast(
+            lambda ch, w=combined: WatermarkMsg(ch, w))
 
     def _process_barrier(self, message: BarrierMsg) -> None:
         if self._aligning is None:
@@ -256,11 +266,18 @@ class OperatorSubtask(Actor):
 
     def _process_end(self, message: EndMsg) -> None:
         self._ended.add(message.channel)
-        # An ended channel no longer blocks alignment.
+        # An ended channel stops holding back the combined watermark...
+        combined = self._tracker.mark_idle(message.channel)
+        if combined is not None:
+            self._fire_watermark(combined)
+        # ...and no longer blocks alignment.
         if self._aligning is not None:
             self._process_barrier_progress()
         if self._ended >= set(self._channels):
-            self._emitter.emit(self.operator.on_end())
+            if self._kernel:
+                self.operator.close()
+            else:
+                self._emitter.emit_all(self.operator.on_end())
             self._emitter.broadcast(EndMsg)
             self.context.stop_self()
 
@@ -297,11 +314,12 @@ class JobRunner:
 
     def __init__(self, graph: JobGraph, chaining: bool = True,
                  checkpoint_interval: int | None = None,
-                 max_restarts: int = 3) -> None:
+                 max_restarts: int = 3, kernel: bool = True) -> None:
         graph.validate()
         self.graph = chain_operators(graph) if chaining else graph
         self.checkpoint_interval = checkpoint_interval
         self.max_restarts = max_restarts
+        self.kernel = kernel
         participants: set[tuple[str, int]] = set()
         for name, source in self.graph.sources.items():
             participants.update((name, i)
@@ -353,20 +371,23 @@ class JobRunner:
             channels = self._channels_into(name)
             for subtask in range(vertex.parallelism):
                 operator = vertex.factory()
-                operator.open(subtask, vertex.parallelism)
+                emitter = _Emitter(self.system, name, subtask,
+                                   self._out_edges(name, subtask))
+                operator.open(OperatorContext(
+                    name=name, subtask=subtask,
+                    parallelism=vertex.parallelism, emitter=emitter))
                 key = (name, subtask)
                 if key in states:
                     op_state, timer_state = states[key]
                     operator.restore(op_state)
                     operator.timers.restore(timer_state)
                 self._operators[key] = operator
-                emitter = _Emitter(self.system, name, subtask,
-                                   self._out_edges(name, subtask))
                 self._emitters[key] = emitter
                 self.system.spawn(
                     f"{name}#{subtask}",
                     OperatorSubtask(name, subtask, operator, channels,
-                                    emitter, self.coordinator))
+                                    emitter, self.coordinator,
+                                    kernel=self.kernel))
         for name, source in self.graph.sources.items():
             for subtask in range(source.parallelism):
                 emitter = _Emitter(self.system, name, subtask,
@@ -455,8 +476,8 @@ class JobRunner:
         for (name, _subtask), emitter in self._emitters.items():
             per_vertex[name] += emitter.records_out
         for name, records_out in per_vertex.items():
-            counter = registry.counter("runtime.vertex.records_out",
-                                       vertex=name)
+            counter = registry.counter("exec.operator.records_out",
+                                       layer="runtime", operator=name)
             counter.inc(max(0, records_out - counter.value))
         durations = registry.histogram("runtime.checkpoint.duration_seconds")
         for _checkpoint_id, seconds in \

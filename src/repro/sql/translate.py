@@ -116,9 +116,10 @@ class CompositeAggregate(AggregateFunction):
 class SQLEngine:
     """The streaming-SQL front end: catalog + parser + DSL compiler."""
 
-    def __init__(self, parallelism: int = 1) -> None:
+    def __init__(self, parallelism: int = 1, kernel: bool = True) -> None:
         self.catalog = Catalog()
         self.parallelism = parallelism
+        self.kernel = kernel
 
     def register_stream(self, name: str, schema: Schema) -> None:
         self.catalog.register_stream(name, schema)
@@ -135,7 +136,8 @@ class SQLEngine:
         statement = parse_sql(text)
         schema = self.catalog.stream(statement.source).schema \
             .qualify(statement.binding)
-        env = StreamEnvironment(parallelism=self.parallelism)
+        env = StreamEnvironment(parallelism=self.parallelism,
+                                kernel=self.kernel)
         records = [(Record(schema, tuple(row[f] for f in
                                          schema.unqualified().fields),
                            validate=False), t)
@@ -264,8 +266,8 @@ class SQLEngine:
 
 def run_sql(text: str, schema: Schema, stream_name: str,
             rows: Iterable[tuple[Mapping[str, Any], Timestamp]],
-            parallelism: int = 1) -> list[Record]:
+            parallelism: int = 1, kernel: bool = True) -> list[Record]:
     """One-shot convenience: register, run, return records."""
-    engine = SQLEngine(parallelism=parallelism)
+    engine = SQLEngine(parallelism=parallelism, kernel=kernel)
     engine.register_stream(stream_name, schema)
     return engine.run(text, rows)

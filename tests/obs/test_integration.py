@@ -39,12 +39,13 @@ class TestDsmsAcceptance:
         obs.enable()
         run_dsms_query()
         registry = obs.get_registry()
-        rows_in = registry.children("cql.executor.rows_in")
+        rows_in = registry.children("exec.operator.records_in")
         assert rows_in, "no per-operator counters published"
         assert sum(c.value for c in rows_in) > 0
         operators = {c.labels["operator"] for c in rows_in}
         assert "StreamSourceOp" in operators
         assert all(c.labels["query"] == "hot" for c in rows_in)
+        assert all(c.labels["layer"] == "cql" for c in rows_in)
         # And the engine's own tuple-flow counters agree with QueryMetrics.
         ingested = registry.get("dsms.query.ingested", query="hot")
         assert ingested.value == len(ROWS)
@@ -93,7 +94,7 @@ class TestDsmsAcceptance:
         metrics = [e for e in entries if e["type"] == "metric"]
         traces = [e for e in entries if e["type"] == "trace"]
         names = {e["name"] for e in metrics}
-        assert "cql.executor.rows_in" in names
+        assert "exec.operator.records_in" in names
         assert "dsms.watermark.lag" in names
         wait = next(e for e in metrics if e["name"] == "dsms.queue.wait")
         assert {"p50", "p95", "p99"} <= set(wait)
@@ -137,10 +138,11 @@ class TestRuntimeJob:
         JobRunner(self.build_graph(), chaining=False,
                   checkpoint_interval=2).run()
         registry = obs.get_registry()
-        records_in = registry.children("runtime.vertex.records_in")
+        records_in = registry.children("exec.operator.records_in")
         assert records_in and sum(c.value for c in records_in) > 0
-        records_out = registry.children("runtime.vertex.records_out")
-        assert {c.labels["vertex"] for c in records_out} >= {"src", "key"}
+        assert all(c.labels["layer"] == "runtime" for c in records_in)
+        records_out = registry.children("exec.operator.records_out")
+        assert {c.labels["operator"] for c in records_out} >= {"src", "key"}
         durations = registry.get("runtime.checkpoint.duration_seconds")
         assert durations is not None and durations.count > 0
         trace = obs.get_tracer().last_trace()
@@ -160,8 +162,9 @@ class TestDataflowPipeline:
          .collect("out"))
         p.run()
         registry = obs.get_registry()
-        elements = registry.children("dataflow.transform.elements")
+        elements = registry.children("exec.operator.records_in")
         assert elements and sum(c.value for c in elements) > 0
+        assert all(c.labels["layer"] == "dataflow" for c in elements)
         firings = registry.get("dataflow.trigger.firings", timing="ON_TIME")
         assert firings is not None and firings.value >= 2
         trace = obs.get_tracer().last_trace()

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import PlanError
+from repro.exec import OperatorContext
 from repro.runtime import (
     BroadcastPartitioner,
     ChainedOperator,
@@ -25,8 +26,8 @@ from repro.runtime import (
 class CountOperator(StreamOperator):
     """Running count per key — the canonical stateful operator."""
 
-    def open(self, subtask, parallelism):
-        super().open(subtask, parallelism)
+    def open(self, ctx):
+        super().open(ctx)
         self.counts = {}
 
     def process(self, element):
@@ -191,7 +192,7 @@ class TestChaining:
             FilterOperator(lambda v: v % 2 == 0),
             MapOperator(lambda v: v * 10),
         ])
-        chain.open(0, 1)
+        chain.open(OperatorContext())
         assert [e.value for e in chain.process(Element(1))] == [20]
         assert [e.value for e in chain.process(Element(2))] == []
 
