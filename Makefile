@@ -3,7 +3,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test lint bench-kernel fuzz fuzz-quick
+.PHONY: test lint bench-kernel bench-plan fuzz fuzz-quick
 
 test: lint
 	$(PYTHON) -m pytest -x -q
@@ -21,6 +21,11 @@ lint:
 # Writes BENCH_kernel_unification.json in the working directory.
 bench-kernel:
 	$(PYTHON) -m pytest benchmarks/bench_kernel_unification.py -x -q
+
+# Multi-query plan sharing: 8 overlapping standing queries, shared vs
+# private plans.  Writes BENCH_plan_sharing.json.
+bench-plan:
+	$(PYTHON) -m pytest benchmarks/bench_plan_sharing.py -x -q
 
 # Bounded, seeded fuzz — the same budget the tier-1 suite runs.
 fuzz-quick:

@@ -54,6 +54,9 @@ _PRESERVING = frozenset({
     "scan", "stream_scan", "relation_scan", "select", "filter", "project",
     "rename", "join", "equijoin", "cross", "union", "distinct", "extend",
     "map", "flat_map", "istream",
+    # Pass-through plumbing in the dataflow/DSL frontends: repartitioning
+    # and sinks forward elements unchanged.
+    "key_by", "rebalance", "sink",
 })
 
 #: Operators that are non-monotonic regardless of their inputs.

@@ -1,389 +1,31 @@
-"""Logical algebra for continuous queries.
+"""Compatibility shim: the logical algebra moved to :mod:`repro.plan.ir`.
 
-The plan language shared by the CQL parser (:mod:`repro.cql.planner`) and
-the streaming-SQL dialect (:mod:`repro.sql`): an operator tree whose leaves
-scan streams or relations, whose inner nodes are the relational operators
-lifted over time (CQL's R2R class), plus the S2R window node and the R2S
-output node.  Nodes expose ``op_name``/``children`` so the monotonicity
-classifier in :mod:`repro.core.monotonicity` applies directly, and carry
-their output :class:`~repro.core.records.Schema` so expression compilation
-can resolve column positions at plan time.
+The operator hierarchy formerly defined here is now the unified IR that
+every frontend (CQL, streaming SQL, RSP-QL, dataflow) lowers into.  This
+module re-exports it so existing imports — and isinstance checks, since
+these are the *same* classes — keep working.  New code should import
+from :mod:`repro.plan` directly.
 """
 
-from __future__ import annotations
-
-from dataclasses import dataclass, replace
-from typing import Sequence
-
-from repro.core.errors import PlanError
-from repro.core.operators import AggregateKind, R2SKind
-from repro.core.records import Schema
-from repro.cql.ast import Expr, WindowSpec
-
-
-@dataclass(frozen=True)
-class LogicalOp:
-    """Base class for logical plan nodes."""
-
-    @property
-    def op_name(self) -> str:
-        raise NotImplementedError
-
-    @property
-    def children(self) -> tuple["LogicalOp", ...]:
-        return ()
-
-    @property
-    def schema(self) -> Schema:
-        raise NotImplementedError
-
-    def with_children(self, children: Sequence["LogicalOp"]) -> "LogicalOp":
-        """A copy of this node over different children (same arity)."""
-        raise NotImplementedError
-
-    # -- pretty printing -----------------------------------------------------
-
-    def explain(self, indent: int = 0) -> str:
-        """An EXPLAIN-style rendering of the plan tree."""
-        pad = "  " * indent
-        lines = [f"{pad}{self.describe()}"]
-        for child in self.children:
-            lines.append(child.explain(indent + 1))
-        return "\n".join(lines)
-
-    def describe(self) -> str:
-        return self.op_name
-
-
-@dataclass(frozen=True)
-class StreamScan(LogicalOp):
-    """Leaf: read a registered stream.  Schema is alias-qualified."""
-
-    name: str
-    alias: str
-    stream_schema: Schema
-
-    @property
-    def op_name(self) -> str:
-        return "stream_scan"
-
-    @property
-    def schema(self) -> Schema:
-        return self.stream_schema
-
-    def with_children(self, children: Sequence[LogicalOp]) -> "StreamScan":
-        if children:
-            raise PlanError("stream_scan takes no children")
-        return self
-
-    def describe(self) -> str:
-        return f"StreamScan({self.name} AS {self.alias})"
-
-
-@dataclass(frozen=True)
-class RelationScan(LogicalOp):
-    """Leaf: read a registered (time-varying) relation."""
-
-    name: str
-    alias: str
-    relation_schema: Schema
-
-    @property
-    def op_name(self) -> str:
-        return "relation_scan"
-
-    @property
-    def schema(self) -> Schema:
-        return self.relation_schema
-
-    def with_children(self, children: Sequence[LogicalOp]) -> "RelationScan":
-        if children:
-            raise PlanError("relation_scan takes no children")
-        return self
-
-    def describe(self) -> str:
-        return f"RelationScan({self.name} AS {self.alias})"
-
-
-@dataclass(frozen=True)
-class WindowOp(LogicalOp):
-    """S2R: apply a window specification to a stream scan."""
-
-    child: LogicalOp
-    spec: WindowSpec
-
-    @property
-    def op_name(self) -> str:
-        from repro.cql.ast import WindowSpecKind
-        if self.spec.kind is WindowSpecKind.UNBOUNDED:
-            return "unbounded_window"
-        return "window"
-
-    @property
-    def children(self) -> tuple[LogicalOp, ...]:
-        return (self.child,)
-
-    @property
-    def schema(self) -> Schema:
-        return self.child.schema
-
-    def with_children(self, children: Sequence[LogicalOp]) -> "WindowOp":
-        (child,) = children
-        return replace(self, child=child)
-
-    def describe(self) -> str:
-        return f"Window{self.spec}"
-
-
-@dataclass(frozen=True)
-class Filter(LogicalOp):
-    """R2R: σ — keep records satisfying ``predicate``."""
-
-    child: LogicalOp
-    predicate: Expr
-
-    @property
-    def op_name(self) -> str:
-        return "select"
-
-    @property
-    def children(self) -> tuple[LogicalOp, ...]:
-        return (self.child,)
-
-    @property
-    def schema(self) -> Schema:
-        return self.child.schema
-
-    def with_children(self, children: Sequence[LogicalOp]) -> "Filter":
-        (child,) = children
-        return replace(self, child=child)
-
-    def describe(self) -> str:
-        return f"Filter({self.predicate})"
-
-
-@dataclass(frozen=True)
-class Project(LogicalOp):
-    """R2R: π — compute output columns from expressions."""
-
-    child: LogicalOp
-    exprs: tuple[Expr, ...]
-    names: tuple[str, ...]
-
-    def __post_init__(self) -> None:
-        if len(self.exprs) != len(self.names):
-            raise PlanError("projection exprs/names arity mismatch")
-
-    @property
-    def op_name(self) -> str:
-        return "project"
-
-    @property
-    def children(self) -> tuple[LogicalOp, ...]:
-        return (self.child,)
-
-    @property
-    def schema(self) -> Schema:
-        return Schema(self.names)
-
-    def with_children(self, children: Sequence[LogicalOp]) -> "Project":
-        (child,) = children
-        return replace(self, child=child)
-
-    def describe(self) -> str:
-        cols = ", ".join(f"{e} AS {n}" for e, n in
-                         zip(self.exprs, self.names))
-        return f"Project({cols})"
-
-
-@dataclass(frozen=True)
-class Join(LogicalOp):
-    """R2R: ⋈ — join two relations.
-
-    ``left_keys``/``right_keys`` hold the extracted equi-join columns (empty
-    for a pure cross/theta join); ``residual`` is any non-equi condition
-    applied to joined records.
-    """
-
-    left: LogicalOp
-    right: LogicalOp
-    left_keys: tuple[str, ...] = ()
-    right_keys: tuple[str, ...] = ()
-    residual: Expr | None = None
-
-    @property
-    def op_name(self) -> str:
-        return "equijoin" if self.left_keys else "cross"
-
-    @property
-    def children(self) -> tuple[LogicalOp, ...]:
-        return (self.left, self.right)
-
-    @property
-    def schema(self) -> Schema:
-        return self.left.schema.concat(self.right.schema)
-
-    def with_children(self, children: Sequence[LogicalOp]) -> "Join":
-        left, right = children
-        return replace(self, left=left, right=right)
-
-    def describe(self) -> str:
-        if self.left_keys:
-            keys = ", ".join(f"{l}={r}" for l, r in
-                             zip(self.left_keys, self.right_keys))
-            extra = f" residual={self.residual}" if self.residual else ""
-            return f"EquiJoin({keys}){extra}"
-        if self.residual is not None:
-            return f"ThetaJoin({self.residual})"
-        return "CrossJoin"
-
-
-@dataclass(frozen=True)
-class AggregateExpr:
-    """One aggregate output column at the plan level."""
-
-    kind: AggregateKind
-    arg: Expr | None  # None for COUNT(*)
-    name: str
-
-    def describe(self) -> str:
-        arg = "*" if self.arg is None else str(self.arg)
-        return f"{self.kind.value}({arg}) AS {self.name}"
-
-
-@dataclass(frozen=True)
-class Aggregate(LogicalOp):
-    """R2R: γ — grouped aggregation.
-
-    Output schema: group-by columns (under their given output names)
-    followed by aggregate columns.
-    """
-
-    child: LogicalOp
-    group_by: tuple[str, ...]           # input column names
-    group_names: tuple[str, ...]        # output names for the group columns
-    aggregates: tuple[AggregateExpr, ...]
-
-    def __post_init__(self) -> None:
-        if len(self.group_by) != len(self.group_names):
-            raise PlanError("group_by/group_names arity mismatch")
-
-    @property
-    def op_name(self) -> str:
-        return "aggregate"
-
-    @property
-    def children(self) -> tuple[LogicalOp, ...]:
-        return (self.child,)
-
-    @property
-    def schema(self) -> Schema:
-        return Schema(self.group_names + tuple(a.name
-                                               for a in self.aggregates))
-
-    def with_children(self, children: Sequence[LogicalOp]) -> "Aggregate":
-        (child,) = children
-        return replace(self, child=child)
-
-    def describe(self) -> str:
-        parts = list(self.group_by) + [a.describe() for a in self.aggregates]
-        return f"Aggregate({', '.join(parts)})"
-
-
-@dataclass(frozen=True)
-class Distinct(LogicalOp):
-    """R2R: δ — duplicate elimination."""
-
-    child: LogicalOp
-
-    @property
-    def op_name(self) -> str:
-        return "distinct"
-
-    @property
-    def children(self) -> tuple[LogicalOp, ...]:
-        return (self.child,)
-
-    @property
-    def schema(self) -> Schema:
-        return self.child.schema
-
-    def with_children(self, children: Sequence[LogicalOp]) -> "Distinct":
-        (child,) = children
-        return replace(self, child=child)
-
-
-@dataclass(frozen=True)
-class SetOp(LogicalOp):
-    """R2R: bag union / difference / intersection of two relations."""
-
-    kind: str  # "union" | "difference" | "intersection"
-    left: LogicalOp
-    right: LogicalOp
-
-    _VALID = ("union", "difference", "intersection")
-
-    def __post_init__(self) -> None:
-        if self.kind not in self._VALID:
-            raise PlanError(f"bad set-op kind {self.kind!r}")
-        if self.left.schema.arity != self.right.schema.arity:
-            raise PlanError("set operands must have equal arity")
-
-    @property
-    def op_name(self) -> str:
-        return self.kind
-
-    @property
-    def children(self) -> tuple[LogicalOp, ...]:
-        return (self.left, self.right)
-
-    @property
-    def schema(self) -> Schema:
-        return self.left.schema
-
-    def with_children(self, children: Sequence[LogicalOp]) -> "SetOp":
-        left, right = children
-        return replace(self, left=left, right=right)
-
-    def describe(self) -> str:
-        return self.kind.capitalize()
-
-
-@dataclass(frozen=True)
-class RelToStream(LogicalOp):
-    """R2S: the topmost ISTREAM / DSTREAM / RSTREAM operator."""
-
-    child: LogicalOp
-    kind: R2SKind
-
-    @property
-    def op_name(self) -> str:
-        return self.kind.value
-
-    @property
-    def children(self) -> tuple[LogicalOp, ...]:
-        return (self.child,)
-
-    @property
-    def schema(self) -> Schema:
-        return self.child.schema
-
-    def with_children(self, children: Sequence[LogicalOp]) -> "RelToStream":
-        (child,) = children
-        return replace(self, child=child)
-
-    def describe(self) -> str:
-        return self.kind.value.upper()
-
-
-def walk(plan: LogicalOp):
-    """Pre-order traversal of a plan tree."""
-    yield plan
-    for child in plan.children:
-        yield from walk(child)
-
-
-def scans_of(plan: LogicalOp) -> list[StreamScan | RelationScan]:
-    """All leaf scans of a plan, in left-to-right order."""
-    return [node for node in walk(plan)
-            if isinstance(node, (StreamScan, RelationScan))]
+from repro.plan.ir import (  # noqa: F401  (compatibility re-exports)
+    Aggregate,
+    AggregateExpr,
+    Distinct,
+    Filter,
+    Join,
+    LogicalOp,
+    Project,
+    RelToStream,
+    RelationScan,
+    SetOp,
+    StreamScan,
+    WindowOp,
+    scans_of,
+    walk,
+)
+
+__all__ = [
+    "Aggregate", "AggregateExpr", "Distinct", "Filter", "Join", "LogicalOp",
+    "Project", "RelToStream", "RelationScan", "SetOp", "StreamScan",
+    "WindowOp", "scans_of", "walk",
+]

@@ -5,216 +5,35 @@ FROM sources may be streams decorated with window specifications
 (``[Range 15 min]``, ``[Rows 10]``, ``[Partition By k Rows 10]``, ``[Now]``,
 ``[Range Unbounded]``), and whose output may be wrapped by one of the three
 relation-to-stream operators (``ISTREAM`` / ``DSTREAM`` / ``RSTREAM``).
+
+The expression layer and window specifications now live in
+:mod:`repro.plan.exprs` — the IR shared by every frontend — and are
+re-exported here for compatibility.  Only the statement forms (the part
+that is genuinely CQL surface syntax) remain in this module.
 """
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
-from typing import Any, Sequence
 
 from repro.core.operators import R2SKind
-from repro.core.time import Timestamp
-
-# ---------------------------------------------------------------------------
-# Expressions
-# ---------------------------------------------------------------------------
-
-
-class Expr:
-    """Base class for scalar expressions."""
-
-    def columns(self) -> list["Column"]:
-        """All column references in this expression (pre-order)."""
-        return []
-
-
-@dataclass(frozen=True)
-class Literal(Expr):
-    """A constant: number, string, boolean or NULL."""
-
-    value: Any
-
-    def __str__(self) -> str:
-        if isinstance(self.value, str):
-            return f"'{self.value}'"
-        return repr(self.value)
-
-
-@dataclass(frozen=True)
-class Column(Expr):
-    """A column reference, possibly qualified (``P.id``)."""
-
-    name: str
-
-    def columns(self) -> list["Column"]:
-        return [self]
-
-    def __str__(self) -> str:
-        return self.name
-
-
-@dataclass(frozen=True)
-class Star(Expr):
-    """``*`` in a select list or inside COUNT(*)."""
-
-    def __str__(self) -> str:
-        return "*"
-
-
-class BinOp(enum.Enum):
-    """Binary operators, grouped by family."""
-
-    ADD = "+"
-    SUB = "-"
-    MUL = "*"
-    DIV = "/"
-    MOD = "%"
-    EQ = "="
-    NE = "<>"
-    LT = "<"
-    LE = "<="
-    GT = ">"
-    GE = ">="
-    AND = "AND"
-    OR = "OR"
-
-    @property
-    def is_comparison(self) -> bool:
-        return self in (BinOp.EQ, BinOp.NE, BinOp.LT, BinOp.LE,
-                        BinOp.GT, BinOp.GE)
-
-    @property
-    def is_boolean(self) -> bool:
-        return self in (BinOp.AND, BinOp.OR)
-
-
-@dataclass(frozen=True)
-class Binary(Expr):
-    """A binary expression ``left op right``."""
-
-    op: BinOp
-    left: Expr
-    right: Expr
-
-    def columns(self) -> list[Column]:
-        return self.left.columns() + self.right.columns()
-
-    def __str__(self) -> str:
-        return f"({self.left} {self.op.value} {self.right})"
-
-
-@dataclass(frozen=True)
-class Unary(Expr):
-    """``NOT expr`` or ``-expr``."""
-
-    op: str  # "NOT" | "-"
-    operand: Expr
-
-    def columns(self) -> list[Column]:
-        return self.operand.columns()
-
-    def __str__(self) -> str:
-        return f"{self.op} {self.operand}"
-
-
-@dataclass(frozen=True)
-class FuncCall(Expr):
-    """A function call — aggregates (COUNT/SUM/AVG/MIN/MAX) or scalars."""
-
-    name: str  # upper-cased
-    args: tuple[Expr, ...]
-
-    AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
-
-    @property
-    def is_aggregate(self) -> bool:
-        return self.name in self.AGGREGATES
-
-    def columns(self) -> list[Column]:
-        out: list[Column] = []
-        for arg in self.args:
-            out.extend(arg.columns())
-        return out
-
-    def __str__(self) -> str:
-        return f"{self.name}({', '.join(str(a) for a in self.args)})"
-
-
-def contains_aggregate(expr: Expr) -> bool:
-    """True when the expression tree contains any aggregate call."""
-    if isinstance(expr, FuncCall):
-        if expr.is_aggregate:
-            return True
-        return any(contains_aggregate(a) for a in expr.args)
-    if isinstance(expr, Binary):
-        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
-    if isinstance(expr, Unary):
-        return contains_aggregate(expr.operand)
-    return False
-
-
-def split_conjuncts(expr: Expr | None) -> list[Expr]:
-    """Flatten a predicate into its AND-ed conjuncts."""
-    if expr is None:
-        return []
-    if isinstance(expr, Binary) and expr.op is BinOp.AND:
-        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
-    return [expr]
-
-
-def conjoin(conjuncts: Sequence[Expr]) -> Expr | None:
-    """Rebuild a predicate from conjuncts (inverse of split_conjuncts)."""
-    result: Expr | None = None
-    for conjunct in conjuncts:
-        result = conjunct if result is None else \
-            Binary(BinOp.AND, result, conjunct)
-    return result
-
-
-# ---------------------------------------------------------------------------
-# Window specifications
-# ---------------------------------------------------------------------------
-
-
-class WindowSpecKind(enum.Enum):
-    """CQL's S2R window families."""
-
-    RANGE = "range"            # [Range r] with optional Slide
-    NOW = "now"                # [Now]
-    UNBOUNDED = "unbounded"    # [Range Unbounded]
-    ROWS = "rows"              # [Rows n]
-    PARTITIONED = "partition"  # [Partition By cols Rows n]
-
-
-@dataclass(frozen=True)
-class WindowSpec:
-    """A parsed window specification attached to a FROM source."""
-
-    kind: WindowSpecKind
-    range_: Timestamp | None = None
-    slide: Timestamp | None = None
-    rows: int | None = None
-    partition_by: tuple[str, ...] = ()
-
-    def __str__(self) -> str:
-        if self.kind is WindowSpecKind.NOW:
-            return "[Now]"
-        if self.kind is WindowSpecKind.UNBOUNDED:
-            return "[Range Unbounded]"
-        if self.kind is WindowSpecKind.ROWS:
-            return f"[Rows {self.rows}]"
-        if self.kind is WindowSpecKind.PARTITIONED:
-            return (f"[Partition By {', '.join(self.partition_by)} "
-                    f"Rows {self.rows}]")
-        if self.slide:
-            return f"[Range {self.range_} Slide {self.slide}]"
-        return f"[Range {self.range_}]"
-
-
-UNBOUNDED_SPEC = WindowSpec(kind=WindowSpecKind.UNBOUNDED)
-NOW_SPEC = WindowSpec(kind=WindowSpecKind.NOW)
-
+from repro.plan.exprs import (  # noqa: F401  (compatibility re-exports)
+    Binary,
+    BinOp,
+    Column,
+    Expr,
+    FuncCall,
+    Literal,
+    NOW_SPEC,
+    Star,
+    UNBOUNDED_SPEC,
+    Unary,
+    WindowSpec,
+    WindowSpecKind,
+    conjoin,
+    contains_aggregate,
+    split_conjuncts,
+)
 
 # ---------------------------------------------------------------------------
 # Statements

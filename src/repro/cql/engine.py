@@ -67,21 +67,36 @@ class CQLEngine:
         return plan
 
     def explain(self, text: str) -> str:
-        """EXPLAIN: the (optimised) plan tree as text."""
-        return self.plan(text).explain()
+        """EXPLAIN: the (optimised) plan tree with incremental-strategy
+        annotations and the plan's canonical signature."""
+        from repro.plan.explain import explain_logical
+        return explain_logical(self.plan(text))
 
     # -- execution -----------------------------------------------------------
 
     def register_query(self, text: str,
                        optimize: bool | None = None,
-                       kernel: bool = True) -> ContinuousQuery:
+                       kernel: bool = True,
+                       shared=None) -> ContinuousQuery:
         """Register a continuous query: compiled once, runs until cancelled
         (the paper's Figure 1 contract).  ``kernel=False`` keeps the
-        legacy pull recursion (benchmark comparisons)."""
-        query = ContinuousQuery(self.plan(text, optimize), self.catalog,
-                                kernel=kernel)
+        legacy pull recursion (benchmark comparisons).  Passing a
+        :class:`repro.cql.shared.SharedGroup` as ``shared`` compiles the
+        query *into the group*, reusing physical subplans other members
+        already built (multi-query optimisation)."""
+        plan = self.plan(text, optimize)
+        if shared is not None:
+            query = shared.register(plan)
+        else:
+            query = ContinuousQuery(plan, self.catalog, kernel=kernel)
         self._queries.append(query)
         return query
+
+    def shared_group(self):
+        """Create an empty :class:`~repro.cql.shared.SharedGroup` bound to
+        this engine's catalog; pass it to :meth:`register_query`."""
+        from repro.cql.shared import SharedGroup
+        return SharedGroup(self.catalog)
 
     def push(self, stream_name: str, row: Mapping[str, Any] | Record,
              timestamp: int) -> dict[int, list[Emission]]:

@@ -168,12 +168,22 @@ class StreamSourceOp(PhysicalOp):
     The executor stages arriving records here; ``process`` turns them into
     ``+1`` deltas and handles window eviction (``-1`` deltas) according to
     the window specification.
+
+    ``prefilter`` is the physical form of a filter the optimizer pushed
+    below the window (``push_filter_through_window``): rejected arrivals
+    are dropped before they enter the window buffer — the state saving
+    the rewrite exists for — but still mark the source *active* at their
+    instant, so the maintained relation keeps the same change points as
+    the un-rewritten plan (the reference evaluates the pushed filter
+    above the window).
     """
 
-    def __init__(self, scan: StreamScan, spec, agenda: Agenda) -> None:
+    def __init__(self, scan: StreamScan, spec, agenda: Agenda,
+                 prefilter: Callable[[Record], bool] | None = None) -> None:
         super().__init__([])
         self.scan = scan
         self.spec = spec
+        self._prefilter = prefilter
         self._agenda = agenda
         self._staged: list[Record] = []
         # Range/Now state: expiry time -> records.
@@ -202,6 +212,8 @@ class StreamSourceOp(PhysicalOp):
     def stage(self, record: Record, t: Timestamp) -> None:
         """Queue a (schema-qualified) arrival for the next process call."""
         self._arrived = True
+        if self._prefilter is not None and not self._prefilter(record):
+            return
         self._staged.append(record)
         kind = self.spec.kind
         if kind is WindowSpecKind.RANGE and self.spec.slide:
@@ -416,6 +428,56 @@ class JoinOp(PhysicalOp):
                 + sum(sum(c.values()) for c in self._right_state.values()))
 
 
+class AppendOnlyJoinOp(JoinOp):
+    """Join over provably append-only inputs — the monotone fast path.
+
+    The monotonicity pass (:mod:`repro.plan.monotone`) proves both input
+    sub-plans are monotonic, so no retraction can ever arrive; the
+    operator indexes plain insert-only lists instead of multiplicity
+    counters.  This is the incremental SPJ rewrite of Section 3.2 applied
+    at plan time, where — and only where — it is legal.
+    """
+
+    def __init__(self, left: PhysicalOp, right: PhysicalOp,
+                 left_key: Callable[[Record], tuple],
+                 right_key: Callable[[Record], tuple],
+                 residual: Callable[[Record], bool] | None) -> None:
+        super().__init__(left, right, left_key, right_key, residual)
+        self._left_index: dict[tuple, list[tuple[Record, int]]] = \
+            defaultdict(list)
+        self._right_index: dict[tuple, list[tuple[Record, int]]] = \
+            defaultdict(list)
+
+    def process(self, t, child_deltas):
+        left_deltas, right_deltas = child_deltas
+        out: list[Delta] = []
+        for record, mult in left_deltas:
+            if mult < 0:
+                raise StateError("retraction reached an append-only join")
+            key = self._left_key(record)
+            if None in key:
+                continue
+            for right_record, count in self._right_index.get(key, ()):
+                self._emit(record, right_record, mult * count, out)
+            self._left_index[key].append((record, mult))
+        for record, mult in right_deltas:
+            if mult < 0:
+                raise StateError("retraction reached an append-only join")
+            key = self._right_key(record)
+            if None in key:
+                continue
+            for left_record, count in self._left_index.get(key, ()):
+                self._emit(left_record, record, count * mult, out)
+            self._right_index[key].append((record, mult))
+        return out
+
+    @property
+    def state_size(self) -> int:
+        return (sum(sum(m for _, m in v) for v in self._left_index.values())
+                + sum(sum(m for _, m in v)
+                      for v in self._right_index.values()))
+
+
 class _MinMaxAccumulator:
     """Multiset of values with min/max on demand (supports retraction)."""
 
@@ -591,6 +653,34 @@ class DistinctOp(PhysicalOp):
         return out
 
 
+class AppendOnlyDistinctOp(DistinctOp):
+    """Duplicate elimination over a provably append-only input.
+
+    With no retractions possible, a seen-set replaces the multiplicity
+    counter: first occurrence emits ``+1``, everything after is dropped.
+    """
+
+    def __init__(self, child: PhysicalOp) -> None:
+        PhysicalOp.__init__(self, [child])
+        self._seen: set[Record] = set()
+
+    @property
+    def state_size(self) -> int:
+        return len(self._seen)
+
+    def process(self, t, child_deltas):
+        (deltas,) = child_deltas
+        out: list[Delta] = []
+        for record, mult in deltas:
+            if mult < 0:
+                raise StateError(
+                    "retraction reached an append-only distinct")
+            if mult and record not in self._seen:
+                self._seen.add(record)
+                out.append(Delta(record, +1))
+        return out
+
+
 class SetOpOp(PhysicalOp):
     """Incremental bag union / difference / intersection.
 
@@ -645,25 +735,95 @@ class SetOpOp(PhysicalOp):
 # ---------------------------------------------------------------------------
 
 
+def _subtree_streams(op: PhysicalOp) -> dict[str, list[StreamSourceOp]]:
+    """The stream sources inside a physical subtree (for the memo)."""
+    found: dict[str, list[StreamSourceOp]] = defaultdict(list)
+    stack = [op]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, StreamSourceOp):
+            found[current.scan.name].append(current)
+        stack.extend(current.children)
+    return dict(found)
+
+
+def _executor_append_only(node: LogicalOp) -> bool:
+    """Append-only fast path legality for the executor.
+
+    The static classifier calls relation scans monotonic (the append-only
+    database model), but this executor supports deletes on base relations
+    (:meth:`ContinuousQuery.update_relation`), so a subtree reading a
+    relation may still see retractions and must keep counted state.
+    """
+    from repro.plan.ir import RelationScan as _RelScan, walk as _walk
+    from repro.plan.monotone import append_only_inputs
+    if not append_only_inputs(node):
+        return False
+    return not any(isinstance(n, _RelScan) for n in _walk(node))
+
+
 def compile_plan(plan: LogicalOp, catalog: Catalog, agenda: Agenda,
+                 memo=None,
                  ) -> tuple[PhysicalOp, dict[str, list[StreamSourceOp]],
                             dict[str, list[RelationSourceOp]]]:
     """Compile a logical plan into a physical tree.
 
     Returns the root physical operator plus the stream/relation source maps
     (name → source operators) the driver feeds.
+
+    ``memo`` is an optional :class:`repro.plan.sharing.SubplanMemo`: when
+    given, subtrees whose canonical signature matches an already-compiled
+    subtree from an earlier query reuse that physical operator (and its
+    window state) instead of compiling a private copy, and freshly built
+    subtrees are published for later queries.  The caller must bracket the
+    call with ``memo.start_compile()`` / ``memo.finish_compile()``.
     """
     stream_sources: dict[str, list[StreamSourceOp]] = defaultdict(list)
     relation_sources: dict[str, list[RelationSourceOp]] = defaultdict(list)
+    if memo is not None:
+        from repro.plan.sharing import memo_key
+    else:
+        memo_key = None
 
     def build(node: LogicalOp) -> PhysicalOp:
         if isinstance(node, RelToStream):
             raise PlanError("R2S must be the plan root")
+        key = memo_key(node) if memo is not None else None
+        if memo is not None:
+            hit = memo.lookup(key)
+            if hit is not None:
+                shared_op, shared_streams = hit
+                for name, sources in shared_streams.items():
+                    stream_sources[name].extend(sources)
+                return shared_op
+        op = _build_fresh(node)
+        if memo is not None:
+            memo.publish(key, (op, _subtree_streams(op)))
+        return op
+
+    def _build_fresh(node: LogicalOp) -> PhysicalOp:
         if isinstance(node, WindowOp):
-            scan = node.child
+            # The optimizer may have pushed filters below the window; they
+            # compile into a source prefilter (see StreamSourceOp).
+            inner = node.child
+            predicates = []
+            while isinstance(inner, Filter):
+                predicates.append(inner.predicate)
+                inner = inner.child
+            scan = inner
             if not isinstance(scan, StreamScan):
                 raise PlanError("window operator must sit on a stream scan")
-            source = StreamSourceOp(scan, node.spec, agenda)
+            prefilter = None
+            if predicates:
+                compiled = [compile_predicate(p, scan.schema)
+                            for p in predicates]
+                if len(compiled) == 1:
+                    prefilter = compiled[0]
+                else:
+                    prefilter = (lambda r, _preds=compiled:
+                                 all(p(r) for p in _preds))
+            source = StreamSourceOp(scan, node.spec, agenda,
+                                    prefilter=prefilter)
             stream_sources[scan.name].append(source)
             return source
         if isinstance(node, StreamScan):
@@ -700,7 +860,9 @@ def compile_plan(plan: LogicalOp, catalog: Catalog, agenda: Agenda,
             right_idx = [right_schema.index_of(c) for c in node.right_keys]
             residual = (compile_predicate(node.residual, node.schema)
                         if node.residual is not None else None)
-            return JoinOp(
+            join_cls = (AppendOnlyJoinOp if _executor_append_only(node)
+                        else JoinOp)
+            return join_cls(
                 left, right,
                 left_key=lambda r, _i=left_idx: tuple(r[i] for i in _i),
                 right_key=lambda r, _i=right_idx: tuple(r[i] for i in _i),
@@ -711,7 +873,9 @@ def compile_plan(plan: LogicalOp, catalog: Catalog, agenda: Agenda,
             op.children = [child]
             return op
         if isinstance(node, Distinct):
-            return DistinctOp(build(node.child))
+            distinct_cls = (AppendOnlyDistinctOp
+                            if _executor_append_only(node) else DistinctOp)
+            return distinct_cls(build(node.child))
         if isinstance(node, SetOp):
             return SetOpOp(node.kind, build(node.left), build(node.right),
                            node.schema)
@@ -745,22 +909,30 @@ class ContinuousQuery:
     """
 
     def __init__(self, plan: LogicalOp, catalog: Catalog,
-                 kernel: bool = True) -> None:
+                 kernel: bool = True, shared=None, memo=None) -> None:
         self.plan = plan
         self.catalog = catalog
         self.r2s = plan.kind if isinstance(plan, RelToStream) else None
         self.output_schema = plan.schema
-        self._agenda = Agenda()
+        #: The :class:`repro.cql.shared.SharedGroup` this query belongs to,
+        #: or None for a private query.  Shared members have no kernel of
+        #: their own: the group's MultiQueryKernel runs every member's
+        #: (possibly overlapping) physical tree in one exec.Plan.
+        self._shared = shared
+        self._agenda = shared.agenda if shared is not None else Agenda()
         self._root, self._stream_sources, self._relation_sources = \
-            compile_plan(plan, catalog, self._agenda)
+            compile_plan(plan, catalog, self._agenda, memo=memo)
         self._kernel = None
-        if kernel:
+        if kernel and shared is None:
             # Imported lazily; repro.cql.kernel imports this module.
             from repro.cql.kernel import QueryKernel
             self._kernel = QueryKernel(self._root)
         self._state = Bag()
         self._log: list[tuple[Timestamp, Bag]] = []
         self._emissions: list[Emission] = []
+        #: Emissions produced by group instants another member triggered,
+        #: waiting to be returned from this member's next feeding call.
+        self._undelivered: list[Emission] = []
         self._last_instant: Timestamp | None = None
         self._deltas_processed = 0
         self._eval_hist = None
@@ -772,6 +944,8 @@ class ContinuousQuery:
         """Process the registration instant: flushes base relations' initial
         contents so the maintained state matches the reference semantics
         from time ``at`` on."""
+        if self._shared is not None:
+            return self._shared.start(self, at)
         return self._process_instant(at)
 
     def push(self, stream_name: str, row: Mapping[str, Any] | Record,
@@ -789,6 +963,8 @@ class ContinuousQuery:
         is processed first, then the batch.  Returns the emissions produced
         from the missed instants and this batch.
         """
+        if self._shared is not None:
+            return self._shared.push_batch(timestamp, arrivals, member=self)
         if timestamp < MIN_TIMESTAMP:
             # The semantics layer (Stream) rejects negative timestamps; the
             # incremental driver must agree, or it maintains states the
@@ -823,6 +999,9 @@ class ContinuousQuery:
                         mult: int, timestamp: Timestamp) -> list[Emission]:
         """Apply an insert (+mult) / delete (-mult) to a base relation the
         query reads, propagating incrementally (InvaliDB-style push)."""
+        if self._shared is not None:
+            return self._shared.update_relation(name, row, mult, timestamp,
+                                                member=self)
         sources = self._relation_sources.get(name)
         if not sources:
             raise PlanError(f"query does not read relation {name!r}")
@@ -839,6 +1018,8 @@ class ContinuousQuery:
 
     def advance_to(self, timestamp: Timestamp) -> list[Emission]:
         """Advance event time without new data (fires due expirations)."""
+        if self._shared is not None:
+            return self._shared.advance_to(timestamp, member=self)
         emitted: list[Emission] = []
         for instant in self._agenda.due(timestamp):
             emitted.extend(self._process_instant(instant))
@@ -847,10 +1028,18 @@ class ContinuousQuery:
     def finish(self) -> list[Emission]:
         """Drain all scheduled future work (window closes after end of
         input) and return the final emissions."""
+        if self._shared is not None:
+            return self._shared.finish(member=self)
         emitted: list[Emission] = []
         for instant in self._agenda.drain():
             emitted.extend(self._process_instant(instant))
         return emitted
+
+    def _drain_undelivered(self) -> list[Emission]:
+        """Collect emissions buffered while other group members drove
+        processing (shared groups only)."""
+        out, self._undelivered = self._undelivered, []
+        return out
 
     # -- processing ----------------------------------------------------------
 
@@ -870,6 +1059,16 @@ class ContinuousQuery:
             self._eval_hist.observe(time.perf_counter() - started)
         else:
             deltas, _active = self._evaluate_instant(t)
+        return self._apply_instant(t, deltas)
+
+    def _apply_instant(self, t: Timestamp,
+                       deltas: list[Delta]) -> list[Emission]:
+        """Fold one instant's root deltas into state, log and emissions.
+
+        Split from :meth:`_process_instant` so a shared group's kernel can
+        evaluate all member plans in one pass and hand each member its own
+        root batch.
+        """
         self._deltas_processed += len(deltas)
         # Cancel opposite-signed deltas within the instant: the reference
         # semantics only sees the *net* change R(τ) − R(τ−).

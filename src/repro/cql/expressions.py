@@ -14,7 +14,7 @@ from typing import Any, Callable
 
 from repro.core.errors import PlanError
 from repro.core.records import Record, Schema
-from repro.cql.ast import (
+from repro.plan.exprs import (
     Binary,
     BinOp,
     Column,
@@ -23,6 +23,10 @@ from repro.cql.ast import (
     Literal,
     Star,
     Unary,
+)
+from repro.plan.exprs import (  # noqa: F401  (compatibility re-exports)
+    columns_resolvable,
+    equality_columns,
 )
 
 #: A compiled scalar expression.
@@ -160,17 +164,3 @@ def _sql_or(a: Any, b: Any) -> Any:
     if a is None or b is None:
         return None
     return bool(a) or bool(b)
-
-
-def equality_columns(expr: Expr) -> tuple[str, str] | None:
-    """Recognise ``col = col`` conjuncts (the equi-join pattern)."""
-    if isinstance(expr, Binary) and expr.op is BinOp.EQ \
-            and isinstance(expr.left, Column) \
-            and isinstance(expr.right, Column):
-        return (expr.left.name, expr.right.name)
-    return None
-
-
-def columns_resolvable(expr: Expr, schema: Schema) -> bool:
-    """True when every column in ``expr`` resolves against ``schema``."""
-    return all(c.name in schema for c in expr.columns())

@@ -150,3 +150,66 @@ class QueryKernel:
             self.plan.push(tick, t)
         batch = self._collector.take()
         return batch.deltas, batch.active
+
+
+class MultiQueryKernel:
+    """N standing queries compiled into ONE kernel plan with shared nodes.
+
+    The multi-query optimiser (:mod:`repro.plan.sharing`) makes distinct
+    queries reuse the *same* :class:`PhysicalOp` objects for common
+    subplans; this kernel materialises the resulting DAG faithfully: each
+    distinct physical operator becomes exactly one kernel node (deduped by
+    object identity), and a shared node fans its batches out to every
+    consumer through the kernel's multi-target channels.  One tick per
+    distinct leaf per instant evaluates *all* member queries; each member's
+    root batch lands in a per-member collector.
+
+    ``exec.Plan`` cannot be reopened, so registering a new member means
+    building a fresh ``MultiQueryKernel`` — cheap, because the adapters
+    are stateless wrappers and all operator state lives in the shared
+    ``PhysicalOp`` objects that carry over.
+    """
+
+    def __init__(self, roots: list[PhysicalOp]) -> None:
+        self.plan = Plan()
+        self._collectors: list[_RootCollector] = []
+        self._ticks: list[str] = []
+        counter = itertools.count()
+        names: dict[int, str] = {}  # id(phys op) -> kernel channel
+
+        def build(op: PhysicalOp) -> str:
+            existing = names.get(id(op))
+            if existing is not None:
+                return existing
+            name = f"{type(op).__name__}#{next(counter)}"
+            if not op.children:
+                tick = self.plan.add_source(f"tick:{name}")
+                self._ticks.append(tick)
+                self.plan.add_operator(name, _SourceAdapter(op), [tick])
+            else:
+                inputs = [build(child) for child in op.children]
+                adapter = (_UnaryAdapter(op) if len(inputs) == 1
+                           else _OpAdapter(op, len(inputs)))
+                self.plan.add_operator(name, adapter, inputs)
+            names[id(op)] = name
+            return name
+
+        for index, root in enumerate(roots):
+            collector = _RootCollector()
+            self.plan.add_operator(f"collect#{index}", collector,
+                                   [build(root)])
+            self._collectors.append(collector)
+        self.fusions = self.plan.fuse()
+        self.plan.open(count_elements=False, layer="cql")
+        #: Distinct physical operators in the DAG (shared nodes count once).
+        self.distinct_operators = len(names)
+
+    def run_instant(self, t: Timestamp) -> list[tuple[list[Delta], bool]]:
+        """Evaluate one instant for every member; one batch per root."""
+        for tick in self._ticks:
+            self.plan.push(tick, t)
+        out = []
+        for collector in self._collectors:
+            batch = collector.take()
+            out.append((batch.deltas, batch.active))
+        return out

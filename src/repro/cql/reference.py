@@ -73,12 +73,27 @@ def _evaluate_relation(plan: LogicalOp, catalog: Catalog,
                        streams: Mapping[str, Stream[Record]],
                        ) -> TimeVaryingRelation:
     if isinstance(plan, WindowOp):
-        scan = plan.child
+        # The optimizer may have pushed filters below the window
+        # (push_filter_through_window).  Evaluate them *above* the window:
+        # for time-based windows the two orders produce the same relation,
+        # and windowing the raw stream keeps the change-point structure
+        # (instants where the relation is re-evaluated) identical to the
+        # un-rewritten plan's.
+        node = plan.child
+        predicates = []
+        while isinstance(node, Filter):
+            predicates.append(node.predicate)
+            node = node.child
+        scan = node
         if not isinstance(scan, StreamScan):
             raise PlanError("window operator must sit on a stream scan")
         stream = _qualified_stream(scan, streams)
         window = window_object(plan.spec, schema=scan.schema)
-        return core_ops.stream_to_relation(stream, window)
+        relation = core_ops.stream_to_relation(stream, window)
+        for predicate in predicates:
+            relation = core_ops.select(
+                relation, compile_predicate(predicate, scan.schema))
+        return relation
 
     if isinstance(plan, StreamScan):
         raise PlanError(

@@ -1,0 +1,208 @@
+"""Multi-query plan sharing: N standing queries, one kernel plan.
+
+The paper's DSMS model registers *many* standing queries over few streams;
+running each in isolation repeats the same window buffering and join work
+per query.  :class:`SharedGroup` applies the classic multi-query
+optimisation instead: every member query is compiled through one
+:class:`repro.plan.sharing.SubplanMemo`, so subtrees with the same
+canonical signature (``plan_signature(detail=True)`` — commutativity
+aware, so ``A ⋈ B`` and ``B ⋈ A`` share) map to the *same* physical
+operator, and the whole group runs as one
+:class:`repro.cql.kernel.MultiQueryKernel` with fan-out emitters.  Window
+state, join state and per-source arrival staging are paid once per
+distinct subplan, not once per query.
+
+The group owns the event-time :class:`~repro.cql.executor.Agenda`: any
+member's feeding call advances *all* members in lockstep, which is what
+keeps shared window state sound — every member observes every instant.
+Emissions for members other than the caller are buffered per member
+(``_undelivered``) and returned from that member's next feeding call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.core.errors import PlanError, StateError, TimeError
+from repro.core.records import Record
+from repro.core.time import MIN_TIMESTAMP, Timestamp
+from repro.cql.algebra import LogicalOp
+from repro.cql.catalog import Catalog
+from repro.cql.executor import (
+    Agenda,
+    ContinuousQuery,
+    Emission,
+    PhysicalOp,
+    StreamSourceOp,
+)
+from repro.cql.kernel import MultiQueryKernel
+from repro.plan.sharing import SubplanMemo
+
+
+class SharedGroup:
+    """A set of continuous queries executing as one shared kernel plan.
+
+    Members are added with :meth:`register` while the group is *cold* (no
+    data pushed yet); each registration recompiles the kernel around the
+    union of member physical trees (operator state is preserved — the
+    kernel adapters are stateless wrappers).  Once data has flowed the
+    plan is frozen: ``exec.Plan`` channels cannot be rewired mid-stream
+    without replaying history into the newcomer's private operators.
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self.agenda = Agenda()
+        self.memo = SubplanMemo()
+        self.members: list[ContinuousQuery] = []
+        self.kernel: MultiQueryKernel | None = None
+        self._started = False       # data has flowed; group frozen
+        self._cursor: Timestamp | None = None
+
+    # -- membership ----------------------------------------------------------
+
+    def register(self, plan: LogicalOp) -> ContinuousQuery:
+        """Compile ``plan`` into the group, sharing common subplans."""
+        if self._started:
+            raise PlanError(
+                "cannot add a query to a shared group after data has "
+                "flowed: the shared window state would be missing the "
+                "newcomer's history")
+        self.memo.start_compile()
+        query = ContinuousQuery(plan, self.catalog, kernel=False,
+                                shared=self, memo=self.memo)
+        self.memo.finish_compile()
+        self.members.append(query)
+        self.kernel = MultiQueryKernel([m._root for m in self.members])
+        return query
+
+    def reads_stream(self, name: str) -> bool:
+        return any(name in m._stream_sources for m in self.members)
+
+    @property
+    def shared_hits(self) -> int:
+        """Subplan compilations avoided by sharing (memo hits)."""
+        return self.memo.hits
+
+    def distinct_operators(self) -> list[PhysicalOp]:
+        """Every physical operator in the group DAG, counted once."""
+        seen: set[int] = set()
+        out: list[PhysicalOp] = []
+        stack: list[PhysicalOp] = [m._root for m in self.members]
+        while stack:
+            op = stack.pop()
+            if id(op) in seen:
+                continue
+            seen.add(id(op))
+            out.append(op)
+            stack.extend(op.children)
+        return out
+
+    def state_size(self) -> int:
+        """Total tuples held by stateful operators, shared state counted
+        once (contrast with summing each member's private accounting)."""
+        return sum(getattr(op, "state_size", 0)
+                   for op in self.distinct_operators())
+
+    # -- feeding (member-delegated) ------------------------------------------
+
+    def start(self, member: ContinuousQuery,
+              at: Timestamp = 0) -> list[Emission]:
+        self._process_instant(at)
+        return member._drain_undelivered()
+
+    def push_batch(self, timestamp: Timestamp,
+                   arrivals: Mapping[str, Sequence[Mapping[str, Any]
+                                                   | Record]],
+                   member: ContinuousQuery | None = None,
+                   ) -> list[Emission]:
+        """Push one instant's arrivals through the whole group.
+
+        Arrivals are staged into every *distinct* source reading each
+        stream (a shared window buffers the record once), then the group
+        instant runs for all members.  Returns the calling member's
+        pending emissions; other members' outputs are buffered for them.
+        """
+        if timestamp < MIN_TIMESTAMP:
+            raise TimeError(
+                f"timestamp {timestamp} before the epoch {MIN_TIMESTAMP}")
+        if self._cursor is not None and timestamp < self._cursor:
+            raise StateError(
+                f"arrivals must be pushed in timestamp order: {timestamp} "
+                f"after {self._cursor}")
+        for instant in self.agenda.due(timestamp - 1):
+            self._process_instant(instant)
+        for name, rows in arrivals.items():
+            sources = self._sources_for(name)
+            if not sources:
+                raise PlanError(
+                    f"no query in the shared group reads stream {name!r}")
+            base_schema = self.catalog.stream(name).schema
+            for row in rows:
+                record = (row if isinstance(row, Record)
+                          else Record.from_mapping(base_schema, row))
+                for source in sources:
+                    source.stage(record.with_schema(source.scan.schema),
+                                 timestamp)
+        self.agenda.due(timestamp)  # consume anything scheduled == now
+        self._process_instant(timestamp)
+        self._started = True
+        return member._drain_undelivered() if member is not None else []
+
+    def update_relation(self, name: str, row: Mapping[str, Any] | Record,
+                        mult: int, timestamp: Timestamp,
+                        member: ContinuousQuery) -> list[Emission]:
+        """Apply a base-relation update for ``member``.
+
+        Relation scans are never shared (the memo refuses them: members
+        may diverge via private updates), so staging touches only the
+        member's own sources — but the instant still runs group-wide to
+        keep every member's clock aligned.
+        """
+        sources = member._relation_sources.get(name)
+        if not sources:
+            raise PlanError(f"query does not read relation {name!r}")
+        base_schema = self.catalog.relation(name).schema
+        record = (row if isinstance(row, Record)
+                  else Record.from_mapping(base_schema, row))
+        for source in sources:
+            source.stage_update(record, mult)
+        for instant in self.agenda.due(timestamp - 1):
+            self._process_instant(instant)
+        self._process_instant(timestamp)
+        self._started = True
+        return member._drain_undelivered()
+
+    def advance_to(self, timestamp: Timestamp,
+                   member: ContinuousQuery | None = None) -> list[Emission]:
+        for instant in self.agenda.due(timestamp):
+            self._process_instant(instant)
+        return member._drain_undelivered() if member is not None else []
+
+    def finish(self, member: ContinuousQuery | None = None) -> list[Emission]:
+        for instant in self.agenda.drain():
+            self._process_instant(instant)
+        return member._drain_undelivered() if member is not None else []
+
+    # -- internals -----------------------------------------------------------
+
+    def _sources_for(self, stream_name: str) -> list[StreamSourceOp]:
+        """Distinct source operators reading ``stream_name`` (a source
+        shared by several members is staged into exactly once)."""
+        seen: set[int] = set()
+        out: list[StreamSourceOp] = []
+        for query in self.members:
+            for source in query._stream_sources.get(stream_name, ()):
+                if id(source) not in seen:
+                    seen.add(id(source))
+                    out.append(source)
+        return out
+
+    def _process_instant(self, t: Timestamp) -> None:
+        """Run one instant through the shared kernel for every member."""
+        assert self.kernel is not None
+        self._cursor = t if self._cursor is None else max(self._cursor, t)
+        batches = self.kernel.run_instant(t)
+        for query, (deltas, _active) in zip(self.members, batches):
+            emitted = query._apply_instant(t, deltas)
+            query._undelivered.extend(emitted)

@@ -74,19 +74,21 @@ class PCollection:
 
     # -- element-wise transforms (ParDo family) --------------------------------
 
-    def par_do(self, fn: Callable[[Any], Iterable[Any]]) -> "PCollection":
+    def par_do(self, fn: Callable[[Any], Iterable[Any]],
+               _op: str = "flat_map") -> "PCollection":
         """The generic element-wise primitive: zero or more outputs per
         input (the paper's ParDo)."""
-        return PCollection(self.pipeline, "pardo", self, fn=fn)
+        return PCollection(self.pipeline, "pardo", self, fn=fn, op=_op)
 
     def flat_map(self, fn: Callable[[Any], Iterable[Any]]) -> "PCollection":
         return self.par_do(fn)
 
     def map(self, fn: Callable[[Any], Any]) -> "PCollection":
-        return self.par_do(lambda v: (fn(v),))
+        return self.par_do(lambda v: (fn(v),), _op="map")
 
     def filter(self, predicate: Callable[[Any], bool]) -> "PCollection":
-        return self.par_do(lambda v: (v,) if predicate(v) else ())
+        return self.par_do(lambda v: (v,) if predicate(v) else (),
+                           _op="filter")
 
     # -- windowing --------------------------------------------------------------
 
@@ -193,6 +195,47 @@ class Pipeline:
         self._sources.append(node)
         return node
 
+    # -- planning -----------------------------------------------------------------
+
+    def logical_plan(self):
+        """The pipeline DAG lowered onto the unified logical IR.
+
+        Dataflow transforms carry arbitrary user code, so they lower to
+        :class:`~repro.plan.ir.OpaqueOp`/``OpaqueSource`` nodes whose
+        ``kind`` is the monotonicity-relevant operator name — enough for
+        :mod:`repro.plan.monotone`, :func:`repro.plan.signature.plan_signature`
+        and EXPLAIN to work without interpreting the payloads.
+        """
+        from repro.plan.ir import OpaqueOp, OpaqueSource
+
+        plans: dict[int, Any] = {}
+        roots: list[Any] = []
+        for index, node in enumerate(self._nodes):
+            if node.kind == "source":
+                generator = node.spec["watermark"]
+                plan = OpaqueSource(
+                    "stream_scan",
+                    f"create#{index}[{type(generator).__name__}]",
+                    payload=node)
+            else:
+                child = plans[id(node.parent)]
+                kind, tag = _logical_label(node)
+                plan = OpaqueOp(kind, tag, (child,), payload=node)
+            plans[id(node)] = plan
+            if not node.children:
+                roots.append(plan)
+        if not roots:
+            raise PlanError("empty pipeline has no logical plan")
+        out = roots[0]
+        for other in roots[1:]:
+            out = OpaqueOp("union", "outputs", (out, other))
+        return out
+
+    def explain(self) -> str:
+        """EXPLAIN: the lowered IR tree with strategy annotations."""
+        from repro.plan.explain import explain_logical
+        return explain_logical(self.logical_plan())
+
     # -- execution ----------------------------------------------------------------
 
     def run(self, kernel: bool = True) -> PipelineResult:
@@ -204,6 +247,23 @@ class Pipeline:
         """
         runner = _KernelRunner(self) if kernel else _DirectRunner(self)
         return runner.run()
+
+
+def _logical_label(node: PCollection) -> tuple[str, str]:
+    """(IR kind, display tag) for a non-source pipeline node."""
+    if node.kind == "pardo":
+        fn = node.spec["fn"]
+        return (node.spec.get("op", "flat_map"),
+                getattr(fn, "__name__", "<fn>"))
+    if node.kind == "window":
+        return "window", type(node.windowing.window_fn).__name__
+    if node.kind == "gbk":
+        tag = ("combine_per_key" if node.spec.get("combiner")
+               else "group_by_key")
+        return "group_aggregate", tag
+    if node.kind == "sink":
+        return "sink", node.spec["label"]
+    raise PlanError(f"unexpected node kind {node.kind}")
 
 
 class _GBKEngine:

@@ -58,8 +58,8 @@ class Divergence:
     """One disagreement between evaluators (or an evaluator crash)."""
 
     kind: str    # which leg diverged: optimizer | executor | executor-naive
-                 # | kernel | dsms | core-sparse | core-assign | session
-                 # | error
+                 # | kernel | kernel-naive | dsms | dsms-shared
+                 # | core-sparse | core-assign | session | error
     detail: str
 
     def __str__(self) -> str:
@@ -112,12 +112,14 @@ def run_case(case: Case) -> Divergence | None:
             "naive", _snapshot_list(truth),
             "optimized", _snapshot_list(ref_opt)))
 
-    # Legs 2-3: the incremental executor on both plan variants (pull
-    # recursion), plus the push-based execution kernel on the optimised
-    # plan — every instant of all three must match the reference.
+    # Legs 2-5: the incremental executor and the push-based kernel, each
+    # with the rule optimiser toggled on and off — every generated query
+    # runs both ways, and every instant of all four must match the
+    # reference.
     for optimize, kernel, leg in ((True, False, "executor"),
                                   (False, False, "executor-naive"),
-                                  (True, True, "kernel")):
+                                  (True, True, "kernel"),
+                                  (False, True, "kernel-naive")):
         exec_engine = build_engine()
         try:
             query = exec_engine.register_query(case.query, optimize=optimize,
@@ -140,8 +142,16 @@ def run_case(case: Case) -> Divergence | None:
                 "executor", _snapshot_list(query.as_relation()),
                 "reference", _snapshot_list(truth)))
 
-    # Final leg: the DSMS engine, one tuple per scheduling quantum.
-    return _dsms_leg(case, streams, plan_opt, engine)
+    # DSMS leg: the engine servicing one tuple per scheduling quantum.
+    divergence = _dsms_leg(case, streams, plan_opt, engine)
+    if divergence is not None:
+        return divergence
+
+    # Final leg: multi-query plan sharing.  The same query registered
+    # twice in a sharing engine runs as one shared kernel plan; both
+    # members must still match the reference instant by instant, and
+    # must agree with each other emission for emission.
+    return _dsms_shared_leg(case, streams, plan_opt, engine)
 
 
 def _dsms_leg(case: Case, streams, plan_opt, engine) -> Divergence | None:
@@ -180,6 +190,48 @@ def _dsms_leg(case: Case, streams, plan_opt, engine) -> Divergence | None:
         return Divergence("dsms", _diff_detail(
             "dsms", _snapshot_list(got),
             "reference", _snapshot_list(ref_state)))
+    return None
+
+
+def _dsms_shared_leg(case: Case, streams, plan_opt,
+                     engine) -> Divergence | None:
+    dsms = DSMSEngine(queue_capacity=1_000_000, sharing=True)
+    dsms.register_stream("Obs", OBS_SCHEMA)
+    dsms.register_stream("Alerts", ALERTS_SCHEMA)
+    from repro.difftest.generators import ROOMS_ROWS, ROOMS_SCHEMA
+    dsms.register_relation("Rooms", ROOMS_SCHEMA, ROOMS_ROWS)
+    try:
+        first = dsms.register_query("q1", case.query)
+        second = dsms.register_query("q2", case.query)
+    except ReproError as exc:
+        return Divergence("dsms-shared", f"registration failed: {exc!r}")
+    arrivals: list[tuple[int, str, Any]] = []
+    for name, stream in streams.items():
+        if not first.reads_stream(name):
+            continue
+        for element in stream:
+            arrivals.append((element.timestamp, name, element.value))
+    arrivals.sort(key=lambda item: item[0])  # stable: preserves gen order
+    try:
+        for t, name, record in arrivals:
+            dsms.ingest(name, record, t)
+            dsms.run_until_idle()
+        first.query.finish()
+    except ReproError as exc:
+        return Divergence("dsms-shared", f"servicing crashed: {exc!r}")
+
+    state_plan = (plan_opt.child if plan_opt.op_name in _R2S_OPS
+                  else plan_opt)
+    ref_state = reference_evaluate(state_plan, engine.catalog, streams)
+    for handle in (first, second):
+        got = handle.query.as_relation()
+        if not (got == ref_state):
+            return Divergence("dsms-shared", _diff_detail(
+                f"shared:{handle.name}", _snapshot_list(got),
+                "reference", _snapshot_list(ref_state)))
+    if first.emissions() != second.emissions():
+        return Divergence("dsms-shared", _diff_detail(
+            "q1", first.emissions(), "q2", second.emissions()))
     return None
 
 

@@ -97,6 +97,77 @@ class StreamEnvironment:
         self._last_runner = runner
         return runner.run()
 
+    # -- planning ----------------------------------------------------------------
+
+    def logical_plan(self):
+        """The DSL job graph lowered onto the unified logical IR.
+
+        DSL operators wrap arbitrary user functions, so vertices lower to
+        :class:`~repro.plan.ir.OpaqueOp`/``OpaqueSource`` nodes keyed by
+        the monotonicity-relevant operator kind — enough for
+        :mod:`repro.plan.monotone`, plan signatures and EXPLAIN without
+        interpreting the payloads.
+        """
+        from repro.plan.ir import OpaqueOp, OpaqueSource
+
+        graph = self.graph
+        memo: dict[str, Any] = {}
+
+        def build(name: str):
+            if name in memo:
+                return memo[name]
+            if name in graph.sources:
+                plan = OpaqueSource("stream_scan", name)
+            else:
+                inputs = tuple(build(edge.upstream)
+                               for edge in graph.upstream_edges(name))
+                plan = OpaqueOp(_vertex_kind(name), name, inputs)
+            memo[name] = plan
+            return plan
+
+        upstreams = {edge.upstream for edge in graph.edges}
+        roots = sorted(graph.sinks) or sorted(
+            name for name in graph.vertices if name not in upstreams)
+        if not roots:
+            raise PlanError("empty DSL program has no logical plan")
+        out = build(roots[0])
+        for other in roots[1:]:
+            out = OpaqueOp("union", "outputs", (out, build(other)))
+        return out
+
+    def explain(self) -> str:
+        """EXPLAIN: the lowered IR tree with strategy annotations."""
+        from repro.plan.explain import explain_logical
+        return explain_logical(self.logical_plan())
+
+
+#: DSL vertex-name prefix → unified-IR operator kind (the names
+#: :mod:`repro.core.monotonicity` classifies).
+_VERTEX_KINDS = {
+    "source": "stream_scan",
+    "map": "map",
+    "filter": "filter",
+    "flatmap": "flat_map",
+    "rebalance": "rebalance",
+    "union": "union",
+    "keyby": "key_by",
+    "reduce": "group_aggregate",
+    "process": "process",
+    "window": "group_aggregate",
+    "session": "group_aggregate",
+    "windowjoin": "join",
+    "jointag": "map",
+    "sink": "sink",
+}
+
+
+def _vertex_kind(name: str) -> str:
+    """Map a generated vertex name (``map-3``, ``sink:out-7``) to its
+    IR kind; unknown prefixes pass through (conservatively classified
+    UNKNOWN by the monotonicity analysis)."""
+    prefix = name.rsplit("-", 1)[0].split(":")[0].split("-")[0]
+    return _VERTEX_KINDS.get(prefix, prefix)
+
 
 class DataStream:
     """An unkeyed stream of values."""

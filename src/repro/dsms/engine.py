@@ -57,12 +57,19 @@ def _stateful_ops(root: PhysicalOp) -> list[tuple[str, Any]]:
 
 
 class QueryHandle:
-    """One registered standing query inside the DSMS."""
+    """One registered standing query inside the DSMS.
+
+    ``track_state=False`` is used for members of a shared plan group:
+    their operator state overlaps with other members', so Scratch
+    registration and Throw (eviction) accounting happen once at the
+    group level instead of per member.
+    """
 
     def __init__(self, name: str, query: ContinuousQuery,
                  queue: InputQueue, shedder: Shedder,
                  store: Store, scratch: Scratch, throw: Throw,
-                 wm_clock: obs.WatermarkClock | None = None) -> None:
+                 wm_clock: obs.WatermarkClock | None = None,
+                 track_state: bool = True) -> None:
         self.name = name
         self.query = query
         self.queue = queue
@@ -76,11 +83,13 @@ class QueryHandle:
         self._ingest_seq = 0
         self._process_seq = 0
         store.register(name)
-        for label, op in _stateful_ops(query._root):
-            scratch.register(f"{name}/{label}", op)
-        self._sources: list[StreamSourceOp] = [
-            op for _, op in _stateful_ops(query._root)
-            if isinstance(op, StreamSourceOp)]
+        self._sources: list[StreamSourceOp] = []
+        if track_state:
+            for label, op in _stateful_ops(query._root):
+                scratch.register(f"{name}/{label}", op)
+            self._sources = [
+                op for _, op in _stateful_ops(query._root)
+                if isinstance(op, StreamSourceOp)]
         self._last_source_sizes = {id(op): 0 for op in self._sources}
 
     @property
@@ -174,22 +183,150 @@ class QueryHandle:
         return self._store.history(self.name)
 
 
+class SharedGroupHandle:
+    """The scheduling unit for a shared plan group (multi-query sharing).
+
+    Where isolated queries each own a queue and are serviced separately,
+    a shared group IS one execution unit: one bounded input queue, one
+    service path, one kernel instant that advances every member.  The
+    scheduler sees this handle like any other; servicing one tuple runs
+    the group instant and then fans results out to the member
+    :class:`QueryHandle` objects (emissions, metrics, Store writes).
+
+    Scratch and Throw accounting happen here over the group's *distinct*
+    operators, so shared state is counted once — the honest number the
+    sharing benchmark reports.
+    """
+
+    def __init__(self, group, queue: InputQueue, scratch: Scratch,
+                 throw: Throw,
+                 wm_clock: obs.WatermarkClock | None = None) -> None:
+        self.name = "<shared-group>"
+        self.group = group
+        self.queue = queue
+        self._scratch = scratch
+        self._throw = throw
+        self._wm_clock = wm_clock
+        self.members: list[QueryHandle] = []
+        self._registered_ops: set[int] = set()
+
+    def add_member(self, handle: QueryHandle) -> None:
+        self.members.append(handle)
+        for label, op in _stateful_ops(handle.query._root):
+            if id(op) not in self._registered_ops:
+                self._registered_ops.add(id(op))
+                self._scratch.register(f"shared/{label}", op)
+
+    @property
+    def pending(self) -> int:
+        return len(self.queue)
+
+    def reads_stream(self, name: str) -> bool:
+        return self.group.reads_stream(name)
+
+    def offer(self, stream_name: str, record: Mapping[str, Any] | Record,
+              t: Timestamp) -> bool:
+        """Enqueue once for the whole group (members never shed)."""
+        readers = [h for h in self.members if h.reads_stream(stream_name)]
+        for handle in readers:
+            handle.metrics.ingested += 1
+        if not self.queue.offer((stream_name, record), t):
+            for handle in readers:
+                handle.metrics.queue_dropped += 1
+            return False
+        if obs._STATE.enabled:
+            obs.get_registry().gauge(
+                "dsms.queue.depth", query=self.name).observe(len(self.queue))
+        return True
+
+    def service_one(self) -> bool:
+        queued = self.queue.poll()
+        if queued is None:
+            return False
+        stream_name, record = queued.value
+        t = queued.timestamp
+        before = self._evictions()
+        self.group.push_batch(t, {stream_name: [record]})
+        self._account_throw(before, t)
+        if obs._STATE.enabled and self._wm_clock is not None:
+            self._wm_clock.observe_processed(stream_name, t)
+        self._deliver(t, stream_name)
+        return True
+
+    def advance_to(self, t: Timestamp) -> list[Emission]:
+        before = self._evictions()
+        self.group.advance_to(t)
+        self._account_throw(before, t)
+        self._deliver(t)
+        return []
+
+    def _deliver(self, t: Timestamp, stream_name: str | None = None) -> None:
+        """Fan one group instant's results out to the member handles.
+
+        Store-write policy mirrors the isolated :class:`QueryHandle`:
+        servicing a tuple writes every member that reads the stream (in
+        isolation each would have serviced its own copy), and a pure
+        time advance writes every member with history.  Additionally a
+        member whose state changed at ``t`` via *another* member's tuple
+        is written — in isolation that change would have arrived through
+        its own queue.
+        """
+        for handle in self.members:
+            emitted = handle.query._drain_undelivered()
+            handle._emissions.extend(emitted)
+            handle.metrics.emitted += len(emitted)
+            if stream_name is None:
+                if handle.query._log:
+                    handle._store.write(handle.name, handle.query.current(),
+                                        t)
+                continue
+            if handle.reads_stream(stream_name):
+                handle.metrics.processed += 1
+                handle.metrics.scratch.observe(self._scratch.occupancy())
+                handle._store.write(handle.name, handle.query.current(), t)
+            elif handle.query._log and handle.query._log[-1][0] == t:
+                handle._store.write(handle.name, handle.query.current(), t)
+
+    def _sources(self) -> list[StreamSourceOp]:
+        return [op for op in self.group.distinct_operators()
+                if isinstance(op, StreamSourceOp)]
+
+    def _evictions(self) -> int:
+        return sum(op.evicted for op in self._sources())
+
+    def _account_throw(self, before: int, t: Timestamp) -> None:
+        for _ in range(self._evictions() - before):
+            self._throw.discard(None, t)
+
+
 class DSMSEngine:
     """The Figure 3 Data Stream Management System."""
 
     def __init__(self, scheduler: Scheduler | None = None,
                  queue_capacity: int = 1024,
                  keep_thrown_tuples: bool = False,
-                 kernel: bool = True) -> None:
+                 kernel: bool = True,
+                 sharing: bool = False) -> None:
         self._cql = CQLEngine()
         self._kernel = kernel
+        #: Multi-query plan sharing: queries registered with the default
+        #: shedder and queue capacity are compiled into one communal
+        #: :class:`repro.cql.shared.SharedGroup` (common subplans share
+        #: physical operators and window state) and serviced as one
+        #: scheduling unit.  Requires the kernel substrate.
+        self._sharing = sharing and kernel
         self.scheduler = scheduler or RoundRobinScheduler()
         self.queue_capacity = queue_capacity
         self.store = Store()
         self.scratch = Scratch()
         self.throw = Throw(keep_tuples=keep_thrown_tuples)
+        #: Schedulable units: isolated QueryHandles + at most one
+        #: SharedGroupHandle.  ``_handles`` stays the per-query list the
+        #: public API (queries, metrics_table) exposes.
+        self._units: list[QueryHandle | SharedGroupHandle] = []
         self._handles: list[QueryHandle] = []
         self._by_name: dict[str, QueryHandle] = {}
+        self._group_handle: SharedGroupHandle | None = None
         # Event-time lag accounting, published under dsms.watermark.*.
         self.watermark_clock = obs.WatermarkClock(
             obs.get_registry(), prefix="dsms.watermark")
@@ -214,6 +351,11 @@ class DSMSEngine:
         active until cancelled)."""
         if name in self._by_name:
             raise PlanError(f"query name {name!r} already registered")
+        if self._sharing and shedder is None and queue_capacity is None:
+            # Default-policy queries join the communal shared plan group;
+            # a custom shedder or queue would need per-query admission,
+            # which a shared queue cannot express, so those stay isolated.
+            return self._register_shared(name, text)
         query = self._cql.register_query(text, kernel=self._kernel)
         query.start()
         handle = QueryHandle(
@@ -222,6 +364,28 @@ class DSMSEngine:
             shedder or NoShedding(),
             self.store, self.scratch, self.throw,
             wm_clock=self.watermark_clock)
+        self._units.append(handle)
+        self._handles.append(handle)
+        self._by_name[name] = handle
+        self.store.write(name, query.current(), 0)
+        return handle
+
+    def _register_shared(self, name: str, text: str) -> QueryHandle:
+        if self._group_handle is None:
+            from repro.cql.shared import SharedGroup
+            group = SharedGroup(self.catalog)
+            self._group_handle = SharedGroupHandle(
+                group, InputQueue(self.queue_capacity), self.scratch,
+                self.throw, wm_clock=self.watermark_clock)
+            self._units.append(self._group_handle)
+        group = self._group_handle.group
+        query = self._cql.register_query(text, shared=group)
+        query.start()
+        handle = QueryHandle(
+            name, query, self._group_handle.queue, NoShedding(),
+            self.store, self.scratch, self.throw,
+            wm_clock=self.watermark_clock, track_state=False)
+        self._group_handle.add_member(handle)
         self._handles.append(handle)
         self._by_name[name] = handle
         self.store.write(name, query.current(), 0)
@@ -234,10 +398,17 @@ class DSMSEngine:
         """Explicitly terminate a standing query (the other half of the
         Figure 1 contract: active *until terminated*).  Pending queue
         contents are discarded; the Store keeps the final answer."""
-        handle = self._by_name.pop(name, None)
+        handle = self._by_name.get(name)
         if handle is None:
             raise PlanError(f"unknown query {name!r}")
+        if handle.query._shared is not None:
+            raise PlanError(
+                f"query {name!r} is a member of a shared plan group; its "
+                f"operator state is interleaved with other members' and "
+                f"cannot be torn down independently")
+        del self._by_name[name]
         self._handles.remove(handle)
+        self._units.remove(handle)
         return handle
 
     @property
@@ -261,18 +432,20 @@ class DSMSEngine:
         if obs._STATE.enabled:
             self.watermark_clock.observe_arrival(stream_name, t)
         admitted = 0
-        for handle in self._handles:
-            if handle.reads_stream(stream_name):
-                if handle.offer(stream_name, record, t):
+        for unit in self._units:
+            if unit.reads_stream(stream_name):
+                if unit.offer(stream_name, record, t):
                     admitted += 1
         return admitted
 
     def step(self) -> bool:
-        """Run one scheduling quantum: service one tuple of one query."""
-        index = self.scheduler.next_index(self._handles)
+        """Run one scheduling quantum: service one tuple of one unit (an
+        isolated query, or a whole shared group — its members advance
+        together)."""
+        index = self.scheduler.next_index(self._units)
         if index is None:
             return False
-        return self._handles[index].service_one()
+        return self._units[index].service_one()
 
     def run_until_idle(self, max_steps: int = 1_000_000) -> int:
         """Drain all queues; returns the number of quanta executed."""
@@ -290,12 +463,33 @@ class DSMSEngine:
 
     def advance_time(self, t: Timestamp) -> None:
         """Advance event time for every query (fires window expirations)."""
-        for handle in self._handles:
-            handle.advance_to(t)
+        for unit in self._units:
+            unit.advance_to(t)
 
     def metrics_table(self) -> dict[str, dict[str, float]]:
         """Per-query metrics snapshot (used by the Figure 3 bench)."""
         return {h.name: h.metrics.as_dict() for h in self._handles}
+
+    def total_state_size(self) -> int:
+        """Tuples held by every *distinct* stateful operator across all
+        registered queries — shared operators counted once, which is the
+        fair comparison the plan-sharing benchmark makes against summing
+        per-query private state."""
+        seen: set[int] = set()
+        total = 0
+        for handle in self._handles:
+            for _, op in _stateful_ops(handle.query._root):
+                if id(op) not in seen:
+                    seen.add(id(op))
+                    total += op.state_size
+        return total
+
+    @property
+    def shared_subplan_hits(self) -> int:
+        """Subplan compilations the sharing memo avoided (0 when off)."""
+        if self._group_handle is None:
+            return 0
+        return self._group_handle.group.memo.hits
 
     def publish_observability(self, registry=None) -> None:
         """Push the engine's state into the (global) metrics registry.

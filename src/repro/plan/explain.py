@@ -1,0 +1,78 @@
+"""EXPLAIN-style text renderers for logical and kernel plans.
+
+Two render targets, one entry point:
+
+* :func:`explain_logical` — the IR tree, one node per line, annotated
+  with the incremental strategy chosen for each stateful operator by
+  :mod:`repro.plan.monotone`;
+* :func:`explain_kernel` — a :class:`repro.exec.Plan` as a wiring
+  listing: every source and operator with its input channels, with
+  shared channels (more than one consumer — the multi-query fan-out
+  points) marked explicitly so sharing decisions are visible and
+  diffable in golden files.
+
+:func:`explain` dispatches on the argument type.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.plan.ir import LogicalOp
+from repro.plan.monotone import strategy_notes
+from repro.plan.signature import plan_signature
+
+
+def explain(plan: Any) -> str:
+    """Render a logical IR tree or a kernel plan as text."""
+    if isinstance(plan, LogicalOp):
+        return explain_logical(plan)
+    from repro.exec.plan import Plan as KernelPlan
+    if isinstance(plan, KernelPlan):
+        return explain_kernel(plan)
+    raise TypeError(f"cannot explain {type(plan).__name__}")
+
+
+def explain_logical(plan: LogicalOp) -> str:
+    """The IR tree with per-operator incremental-strategy annotations."""
+    strategies = {id(node): strategy
+                  for node, strategy in strategy_notes(plan)}
+    lines: list[str] = []
+    _render(plan, 0, strategies, lines)
+    lines.append(f"signature: {plan_signature(plan)}")
+    return "\n".join(lines)
+
+
+def _render(node: LogicalOp, indent: int, strategies: dict[int, Any],
+            lines: list[str]) -> None:
+    suffix = ""
+    strategy = strategies.get(id(node))
+    if strategy is not None:
+        suffix = f"  [{strategy.value}]"
+    lines.append(f"{'  ' * indent}{node.describe()}{suffix}")
+    for child in node.children:
+        _render(child, indent + 1, strategies, lines)
+
+
+def explain_kernel(plan: Any) -> str:
+    """A kernel plan as a wiring listing with shared channels marked."""
+    consumers: dict[str, int] = {}
+    for node in plan._order:
+        for channel in node.inputs:
+            consumers[channel] = consumers.get(channel, 0) + 1
+
+    def shared(channel: str) -> str:
+        count = consumers.get(channel, 0)
+        return f" (shared x{count})" if count > 1 else ""
+
+    lines = ["kernel plan:"]
+    for name in plan._sources:
+        lines.append(f"  source {name}{shared(name)}")
+    for node in plan._order:
+        op_label = type(node.op).__name__
+        inner = getattr(node.op, "phys", None)
+        if inner is not None:
+            op_label += f"[{type(inner).__name__}]"
+        inputs = ", ".join(node.inputs)
+        lines.append(f"  {node.name}: {op_label} <- {inputs}{shared(node.name)}")
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Multi-query subplan sharing (the DSMS tradition of shared plans).
+
+The memo maps canonical *detailed* signatures (see
+:mod:`repro.plan.signature`) to already-compiled physical subtrees, so
+when the DSMS registers N standing queries the common prefixes —
+especially WindowOp + scan, the expensive stateful part — compile once
+and fan out to every consumer.
+
+Two rules keep reuse sound:
+
+* **shareability** — subplans containing a relation scan are never
+  shared (a relation source's initial contents are consumed once by one
+  consumer), and neither are payload-carrying frontend nodes (BGP
+  patterns, opaque dataflow ops) whose signatures cannot prove
+  behavioural equality.
+* **once per compile** — within the compilation of a single member
+  query, a memo entry may be used at most once, and entries published
+  by that same compilation are not yet visible.  Otherwise a query like
+  ``X UNION X`` would wire one physical operator into both inputs of a
+  binary operator, collapsing two distinct input channels into one.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.plan.ir import (
+    BGPMatch,
+    LogicalOp,
+    OpaqueOp,
+    OpaqueSource,
+    RelationScan,
+    walk,
+)
+from repro.plan.signature import plan_signature
+
+
+def shareable(plan: LogicalOp) -> bool:
+    """True when ``plan``'s physical state may be shared across queries."""
+    for node in walk(plan):
+        if isinstance(node, (RelationScan, BGPMatch, OpaqueSource, OpaqueOp)):
+            return False
+    return True
+
+
+def memo_key(plan: LogicalOp) -> str | None:
+    """The memo key for a subplan, or None when it must not be shared."""
+    if not shareable(plan):
+        return None
+    return plan_signature(plan, detail=True)
+
+
+class SubplanMemo:
+    """Signature → compiled-subtree memo with compile-scoped reuse rules.
+
+    Usage per member query: ``start_compile()``, then interleaved
+    ``lookup``/``publish`` while walking the plan bottom-up, then
+    ``finish_compile()`` to make this query's subtrees visible to later
+    registrations.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, Any] = {}
+        self._visible: dict[str, Any] | None = None
+        self._used: set[str] = set()
+        self._pending: dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def start_compile(self) -> None:
+        self._visible = dict(self._entries)
+        self._used = set()
+        self._pending = {}
+
+    def lookup(self, key: str | None) -> Any | None:
+        """A shared entry for ``key``, or None (miss / not shareable /
+        already used by this compile)."""
+        if key is None or self._visible is None:
+            return None
+        if key in self._used:
+            self.misses += 1
+            return None
+        entry = self._visible.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._used.add(key)
+        self.hits += 1
+        return entry
+
+    def publish(self, key: str | None, entry: Any) -> None:
+        """Offer a freshly compiled subtree for reuse by *later* compiles."""
+        if key is None:
+            return
+        self._pending.setdefault(key, entry)
+
+    def finish_compile(self) -> None:
+        for key, entry in self._pending.items():
+            self._entries.setdefault(key, entry)
+        self._visible = None
+        self._used = set()
+        self._pending = {}
+
+    def entries(self) -> dict[str, Any]:
+        """The published entries (for tests and EXPLAIN)."""
+        return dict(self._entries)

@@ -1,0 +1,127 @@
+"""Canonical plan signatures for tests, EXPLAIN and multi-query sharing.
+
+:func:`plan_signature` renders a plan as a one-line string that is
+*canonical under commutativity*: join operands, commutative set-op
+operands (union/intersection — never difference), AND-ed conjuncts and
+the two sides of an equality are each put into a deterministic order
+before rendering.  ``A ⋈ B`` and ``B ⋈ A`` therefore produce the same
+signature instead of silently missing the shared-subplan cache.
+
+Two detail levels share the same canonicalisation:
+
+* ``detail=False`` (default) — the structural form used by tests and
+  EXPLAIN: operator names only, e.g. ``istream(window(stream_scan))``.
+* ``detail=True`` — adds every payload that affects the maintained
+  relation (scan names/aliases, window specs, predicates, projections,
+  join keys, aggregate specs), so equal signatures identify subplans
+  whose physical state can actually be shared.  The multi-query memo in
+  :mod:`repro.plan.sharing` keys on this form.
+"""
+
+from __future__ import annotations
+
+from repro.plan.exprs import Binary, BinOp, Expr, split_conjuncts
+from repro.plan.ir import (
+    Aggregate,
+    BGPMatch,
+    Filter,
+    Join,
+    LogicalOp,
+    OpaqueOp,
+    OpaqueSource,
+    Project,
+    RelationScan,
+    SetOp,
+    StreamScan,
+    WindowAggregate,
+    WindowOp,
+)
+
+
+def plan_signature(plan: LogicalOp, detail: bool = False) -> str:
+    """A one-line canonical signature of ``plan`` (see module docstring)."""
+    return _sig(plan, detail)
+
+
+def _sig(node: LogicalOp, detail: bool) -> str:
+    if isinstance(node, Join):
+        return _join_sig(node, detail)
+    child_sigs = [_sig(c, detail) for c in node.children]
+    if isinstance(node, SetOp) and node.kind in SetOp.COMMUTATIVE:
+        child_sigs.sort()
+    head = node.op_name + (_payload(node) if detail else "")
+    if child_sigs:
+        return f"{head}({', '.join(child_sigs)})"
+    return head
+
+
+def _join_sig(node: Join, detail: bool) -> str:
+    left_sig = _sig(node.left, detail)
+    right_sig = _sig(node.right, detail)
+    pairs = list(zip(node.left_keys, node.right_keys))
+    if right_sig < left_sig:
+        left_sig, right_sig = right_sig, left_sig
+        pairs = [(r, l) for l, r in pairs]
+    head = node.op_name
+    if detail:
+        bits = []
+        if pairs:
+            bits.append(", ".join(f"{l}={r}" for l, r in sorted(pairs)))
+        if node.residual is not None:
+            bits.append(f"residual={canonical_predicate(node.residual)}")
+        if bits:
+            head += f"[{'; '.join(bits)}]"
+    return f"{head}({left_sig}, {right_sig})"
+
+
+def _payload(node: LogicalOp) -> str:
+    """The bracketed detail payload for a node (empty when none)."""
+    if isinstance(node, StreamScan):
+        return f"[{node.name} AS {node.alias}]"
+    if isinstance(node, RelationScan):
+        return f"[{node.name} AS {node.alias}]"
+    if isinstance(node, WindowOp):
+        return str(node.spec)
+    if isinstance(node, Filter):
+        return f"[{canonical_predicate(node.predicate)}]"
+    if isinstance(node, Project):
+        cols = ", ".join(f"{e} AS {n}" for e, n in
+                         zip(node.exprs, node.names))
+        return f"[{cols}]"
+    if isinstance(node, (Aggregate, WindowAggregate)):
+        parts = [f"{c} AS {n}" for c, n in
+                 zip(node.group_by, node.group_names)]
+        parts += [a.describe() for a in node.aggregates]
+        if isinstance(node, WindowAggregate):
+            if node.window is not None:
+                parts.append(str(node.window))
+            parts.append(f"EMIT {node.emit.value.upper()}")
+        return f"[{', '.join(parts)}]"
+    if isinstance(node, BGPMatch):
+        patterns = getattr(node.pattern, "patterns", None)
+        body = (", ".join(str(p) for p in patterns)
+                if patterns is not None else repr(node.pattern))
+        return f"[{body} -> {', '.join(node.variables)}]"
+    if isinstance(node, (OpaqueSource, OpaqueOp)):
+        return f"[{node.tag}]"
+    return ""
+
+
+def canonical_predicate(expr: Expr | None) -> str:
+    """Render a predicate with its conjuncts in canonical order.
+
+    Conjuncts are sorted by rendered text; the two sides of a bare
+    equality are ordered textually, so ``a = b`` and ``b = a`` render
+    identically.
+    """
+    rendered = sorted(_canonical_expr(c) for c in split_conjuncts(expr))
+    return " AND ".join(rendered)
+
+
+def _canonical_expr(expr: Expr) -> str:
+    if isinstance(expr, Binary) and expr.op is BinOp.EQ:
+        a, b = str(expr.left), str(expr.right)
+        if b < a:
+            a, b = b, a
+        return f"({a} = {b})"
+    return str(expr)

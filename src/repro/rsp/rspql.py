@@ -221,15 +221,61 @@ class ContinuousRSPQuery:
         self._previous_contents: frozenset | None = None
         self.results: list[RSPResult] = []
 
+    def logical_plan(self, stream_names: list[str]):
+        """Lower this query onto the unified logical IR (:mod:`repro.plan`).
+
+        The shape mirrors RSP-QL's semantics exactly: per-stream
+        time-based windows, union of the windowed triple bags (the window
+        distributes over the merged streams), BGP matching, then the R2S
+        operator.  The IR is what EXPLAIN renders and what the canonical
+        plan signature — used to recognise queries that can share window
+        contents — is computed from.
+        """
+        from repro.core.records import Schema
+        from repro.plan.exprs import WindowSpec, WindowSpecKind
+        from repro.plan.ir import (
+            BGPMatch,
+            RelToStream,
+            SetOp,
+            StreamScan,
+            WindowOp,
+        )
+        spec = WindowSpec(kind=WindowSpecKind.RANGE,
+                          range_=self.window.width,
+                          slide=(self.window.slide
+                                 if self.window.slide != self.window.width
+                                 else None))
+        triple_schema = Schema(("subject", "predicate", "object"))
+        windowed = [WindowOp(StreamScan(name, name, triple_schema), spec)
+                    for name in stream_names]
+        plan = windowed[0]
+        for right in windowed[1:]:
+            plan = SetOp("union", plan, right)
+        plan = BGPMatch(plan, self.bgp, tuple(self.select))
+        return RelToStream(plan, self.r2s)
+
+    def explain(self, stream_names: list[str]) -> str:
+        from repro.plan.explain import explain_logical
+        return explain_logical(self.logical_plan(stream_names))
+
     def evaluate_window(self, stream: RDFStream,
                         close: Timestamp) -> RSPResult | None:
         return self.evaluate_window_union([stream], close)
 
     def evaluate_window_union(self, streams: list[RDFStream],
-                              close: Timestamp) -> RSPResult | None:
+                              close: Timestamp,
+                              cache: dict | None = None) -> RSPResult | None:
         start, end = self.window.scope_at(close)
-        triples = [triple for stream in streams
-                   for triple in stream.between(start, end)]
+        if cache is not None:
+            key = (tuple(id(s) for s in streams), start, end)
+            triples = cache.get(key)
+            if triples is None:
+                triples = [triple for stream in streams
+                           for triple in stream.between(start, end)]
+                cache[key] = triples
+        else:
+            triples = [triple for stream in streams
+                       for triple in stream.between(start, end)]
         contents = frozenset(triples)
         if self.report is ReportPolicy.NON_EMPTY and not triples:
             return None
@@ -267,6 +313,10 @@ class RSPEngine:
         # so the reported watermark can advance in place.
         self._queries: list[list] = []
         self._clock: Timestamp = 0
+        #: Window scans avoided because another query over the same
+        #: streams already extracted the identical window contents at the
+        #: same close (multi-query sharing at the S2R layer).
+        self.window_scans_shared = 0
 
     def register_stream(self, name: str) -> RDFStream:
         if name in self._streams:
@@ -292,8 +342,16 @@ class RSPEngine:
             raise RSPError("query needs at least one stream")
         for name in stream_names:
             self.stream(name)
+        query.plan = query.logical_plan(stream_names)
         self._queries.append([list(stream_names), query, 0])
         return query
+
+    def explain(self, query: ContinuousRSPQuery) -> str:
+        """EXPLAIN a registered query's unified-IR plan."""
+        for stream_names, registered, _ in self._queries:
+            if registered is query:
+                return query.explain(stream_names)
+        raise RSPError("query is not registered with this engine")
 
     def push(self, stream_name: str, triple: Triple,
              timestamp: Timestamp) -> list[RSPResult]:
@@ -310,6 +368,10 @@ class RSPEngine:
         return self._report()
 
     def _report(self) -> list[RSPResult]:
+        # Multi-query sharing at the S2R layer: queries windowing the
+        # same streams over the same scope reuse one extracted triple
+        # list per (streams, scope) instead of rescanning per query.
+        cache: dict[tuple, list] = {}
         out: list[RSPResult] = []
         for entry in self._queries:
             stream_names, query, reported_up_to = entry
@@ -317,7 +379,11 @@ class RSPEngine:
             for close in query.window.boundaries_up_to(self._clock):
                 if close <= reported_up_to:
                     continue
-                result = query.evaluate_window_union(streams, close)
+                before = len(cache)
+                result = query.evaluate_window_union(streams, close,
+                                                     cache=cache)
+                if len(cache) == before:
+                    self.window_scans_shared += 1
                 entry[2] = close
                 if result is not None:
                     out.append(result)

@@ -6,45 +6,22 @@ rather than FROM-clause decorations as in CQL, and an ``EMIT`` clause picks
 the materialisation policy: ``EMIT CHANGES`` streams every refinement
 (a changelog), ``EMIT FINAL`` emits once per window close (watermark
 semantics).
+
+The group-window and emit-mode types now live in :mod:`repro.plan.exprs`
+(they are part of the unified IR's :class:`~repro.plan.ir.WindowAggregate`
+node) and are re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
 
-from repro.core.time import Timestamp
 from repro.cql.ast import Column, Expr, SelectItem
-
-
-class EmitMode(enum.Enum):
-    """When results become visible."""
-
-    CHANGES = "changes"   # every refinement, as soon as it happens
-    FINAL = "final"       # once per window, when the watermark closes it
-
-
-class GroupWindowKind(enum.Enum):
-    """Window functions usable in GROUP BY."""
-
-    TUMBLE = "tumble"
-    HOP = "hop"
-    SESSION = "session"
-
-
-@dataclass(frozen=True)
-class GroupWindow:
-    """A parsed windowing group item: ``TUMBLE(10)`` / ``HOP(10, 5)`` /
-    ``SESSION(30)``."""
-
-    kind: GroupWindowKind
-    size: Timestamp            # tumble size, hop size, or session gap
-    slide: Timestamp | None = None  # hop only
-
-    def __str__(self) -> str:
-        if self.kind is GroupWindowKind.HOP:
-            return f"HOP({self.size}, {self.slide})"
-        return f"{self.kind.name}({self.size})"
+from repro.plan.exprs import (  # noqa: F401  (compatibility re-exports)
+    EmitMode,
+    GroupWindow,
+    GroupWindowKind,
+)
 
 
 @dataclass(frozen=True)

@@ -1,203 +1,31 @@
-"""Rule-based logical optimisation (paper Section 4.2).
+"""Compatibility shim: the rule-based optimizer moved to ``repro.plan``.
 
-Implements the static optimisations from Hirzel et al.'s catalog that apply
-at the logical-plan level:
-
-* **operator reordering** — predicate pushdown moves selective filters
-  below joins (`PushFilterThroughJoin`);
-* **redundancy elimination** — trivially-true filters and filter/filter
-  stacks are removed or fused (`RemoveTrivialFilter`, `FuseFilters`);
-* **equi-join extraction** — equality conjuncts spanning a join's two sides
-  become hash-join keys instead of post-join residual predicates
-  (`ExtractEquiJoinKeys`), the rewrite that turns the planner's naive
-  cross-product plans into incremental symmetric hash joins.
-
-Rules are applied to fixpoint by :func:`optimize`; each rule is independent
-and individually testable, and the C4 benchmark measures the effect of each
-rule on executor work.
+The rewrite rules, the fixpoint driver and the plan signature that used
+to live here are now the *unified* planning layer shared by every
+frontend: :mod:`repro.plan.rules` (rules + :func:`optimize`) and
+:mod:`repro.plan.signature` (canonical, commutativity-aware
+:func:`plan_signature`).  This module re-exports them so existing
+imports keep working; new code should import from :mod:`repro.plan`.
 """
 
-from __future__ import annotations
-
-from dataclasses import replace
-from typing import Callable, Sequence
-
-from repro.cql.algebra import (
-    Filter,
-    Join,
-    LogicalOp,
-    Project,
-    RelToStream,
-)
-from repro.cql.ast import (
-    Binary,
-    BinOp,
-    Column,
-    Expr,
-    Literal,
-    conjoin,
-    split_conjuncts,
-)
-from repro.cql.expressions import columns_resolvable, equality_columns
-
-#: A rewrite rule: returns a new plan, or None when it does not apply here.
-Rule = Callable[[LogicalOp], LogicalOp | None]
-
-
-def fuse_filters(node: LogicalOp) -> LogicalOp | None:
-    """Filter(Filter(x, p), q) → Filter(x, p AND q) — operator fusion."""
-    if isinstance(node, Filter) and isinstance(node.child, Filter):
-        inner = node.child
-        return Filter(inner.child,
-                      Binary(BinOp.AND, inner.predicate, node.predicate))
-    return None
-
-
-def remove_trivial_filter(node: LogicalOp) -> LogicalOp | None:
-    """Filter(x, TRUE) → x — redundancy elimination."""
-    if isinstance(node, Filter) and isinstance(node.predicate, Literal) \
-            and node.predicate.value is True:
-        return node.child
-    return None
-
-
-def push_filter_through_join(node: LogicalOp) -> LogicalOp | None:
-    """Distribute a filter's conjuncts over a join.
-
-    Conjuncts resolvable against one side move below the join (operator
-    reordering: selection before join); equality conjuncts spanning both
-    sides become join keys; the rest stays as the join residual.
-    """
-    if not (isinstance(node, Filter) and isinstance(node.child, Join)):
-        return None
-    join = node.child
-    left_schema = join.left.schema
-    right_schema = join.right.schema
-
-    left_conjuncts: list[Expr] = []
-    right_conjuncts: list[Expr] = []
-    left_keys = list(join.left_keys)
-    right_keys = list(join.right_keys)
-    residual = split_conjuncts(join.residual)
-    moved = False
-
-    for conjunct in split_conjuncts(node.predicate):
-        if columns_resolvable(conjunct, left_schema):
-            left_conjuncts.append(conjunct)
-            moved = True
-            continue
-        if columns_resolvable(conjunct, right_schema):
-            right_conjuncts.append(conjunct)
-            moved = True
-            continue
-        equality = equality_columns(conjunct)
-        if equality is not None:
-            placed = _try_place_equality(
-                equality, left_schema, right_schema, left_keys, right_keys)
-            if placed:
-                moved = True
-                continue
-        residual.append(conjunct)
-        moved = True  # moving into the join residual still removes a Filter
-
-    if not moved:
-        return None
-    left = join.left if not left_conjuncts else \
-        Filter(join.left, conjoin(left_conjuncts))
-    right = join.right if not right_conjuncts else \
-        Filter(join.right, conjoin(right_conjuncts))
-    return Join(left, right, tuple(left_keys), tuple(right_keys),
-                conjoin(residual))
-
-
-def _try_place_equality(equality: tuple[str, str], left_schema,
-                        right_schema, left_keys: list[str],
-                        right_keys: list[str]) -> bool:
-    a, b = equality
-    if a in left_schema and b in right_schema:
-        left_keys.append(a)
-        right_keys.append(b)
-        return True
-    if b in left_schema and a in right_schema:
-        left_keys.append(b)
-        right_keys.append(a)
-        return True
-    return False
-
-
-def extract_equijoin_keys(node: LogicalOp) -> LogicalOp | None:
-    """Promote equality conjuncts in a join's residual to hash-join keys."""
-    if not isinstance(node, Join) or node.residual is None:
-        return None
-    left_keys = list(node.left_keys)
-    right_keys = list(node.right_keys)
-    remaining: list[Expr] = []
-    changed = False
-    for conjunct in split_conjuncts(node.residual):
-        equality = equality_columns(conjunct)
-        if equality is not None and _try_place_equality(
-                equality, node.left.schema, node.right.schema,
-                left_keys, right_keys):
-            changed = True
-        else:
-            remaining.append(conjunct)
-    if not changed:
-        return None
-    return replace(node, left_keys=tuple(left_keys),
-                   right_keys=tuple(right_keys),
-                   residual=conjoin(remaining))
-
-
-#: The default rule set, in application order.
-DEFAULT_RULES: tuple[Rule, ...] = (
-    remove_trivial_filter,
-    fuse_filters,
-    push_filter_through_join,
+from repro.plan.rules import (  # noqa: F401  (compatibility re-exports)
+    DEFAULT_RULES,
+    Rule,
+    collapse_distinct,
+    compose_projects,
     extract_equijoin_keys,
+    fuse_filters,
+    optimize,
+    push_filter_through_join,
+    push_filter_through_window,
+    remove_identity_project,
+    remove_trivial_filter,
 )
+from repro.plan.signature import plan_signature  # noqa: F401
 
-
-def optimize(plan: LogicalOp,
-             rules: Sequence[Rule] = DEFAULT_RULES,
-             max_passes: int = 20) -> LogicalOp:
-    """Apply ``rules`` top-down to fixpoint.
-
-    Each pass rewrites every node where some rule applies; passes repeat
-    until no rule fires (bounded by ``max_passes`` as a safety net).
-    """
-    for _ in range(max_passes):
-        rewritten, changed = _rewrite_once(plan, rules)
-        if not changed:
-            return rewritten
-        plan = rewritten
-    return plan
-
-
-def _rewrite_once(node: LogicalOp,
-                  rules: Sequence[Rule]) -> tuple[LogicalOp, bool]:
-    changed = False
-    for rule in rules:
-        result = rule(node)
-        if result is not None:
-            node = result
-            changed = True
-    new_children = []
-    for child in node.children:
-        new_child, child_changed = _rewrite_once(child, rules)
-        new_children.append(new_child)
-        changed = changed or child_changed
-    if new_children and any(n is not o for n, o in
-                            zip(new_children, node.children)):
-        node = node.with_children(new_children)
-    return node, changed
-
-
-def plan_signature(plan: LogicalOp) -> str:
-    """A one-line structural signature (handy in tests and EXPLAIN)."""
-    if isinstance(plan, RelToStream):
-        return f"{plan.op_name}({plan_signature(plan.child)})"
-    parts = [plan.op_name]
-    if plan.children:
-        parts.append(
-            "(" + ", ".join(plan_signature(c) for c in plan.children) + ")")
-    return "".join(parts)
+__all__ = [
+    "DEFAULT_RULES", "Rule", "collapse_distinct", "compose_projects",
+    "extract_equijoin_keys", "fuse_filters", "optimize", "plan_signature",
+    "push_filter_through_join", "push_filter_through_window",
+    "remove_identity_project", "remove_trivial_filter",
+]

@@ -1,9 +1,11 @@
 """Compile streaming SQL down the Figure 4 stack.
 
-A parsed :class:`~repro.sql.ast.SQLStatement` becomes a DSL program
+A parsed :class:`~repro.sql.ast.SQLStatement` lowers onto the unified
+logical IR (:mod:`repro.sql.lower` → :mod:`repro.plan`), is optimised by
+the shared rule rewriter, and the result compiles to a DSL program
 (:mod:`repro.dsl`), which itself compiles to a job graph on the actor
-runtime — the same layering (SQL → DSL → dataflow → actors) the survey
-attributes to real streaming systems.
+runtime — the same layering (SQL → plan → DSL → dataflow → actors) the
+survey attributes to real streaming systems.
 
 Three execution shapes:
 
@@ -19,17 +21,12 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping
 
-from repro.core.errors import PlanError
 from repro.core.operators import AggregateKind
 from repro.core.records import Record, Schema
 from repro.core.time import Timestamp
-from repro.core.windows import SlidingWindow, TumblingWindow
 from repro.cql.catalog import Catalog
-from repro.cql.expressions import compile_expr, compile_predicate
-from repro.cql.planner import _AggregateCollector
 from repro.dsl.environment import StreamEnvironment
 from repro.dsl.operators import AggregateFunction
-from repro.sql.ast import EmitMode, GroupWindowKind, SQLStatement
 from repro.sql.parser import parse_sql
 
 #: Extra columns a windowed aggregation exposes to SELECT/HAVING.
@@ -114,154 +111,55 @@ class CompositeAggregate(AggregateFunction):
 
 
 class SQLEngine:
-    """The streaming-SQL front end: catalog + parser + DSL compiler."""
+    """The streaming-SQL front end: catalog + parser + planner + DSL
+    compiler.
 
-    def __init__(self, parallelism: int = 1, kernel: bool = True) -> None:
+    Queries lower into the unified logical IR (:mod:`repro.plan`), run
+    through the shared rule optimizer, and the optimised tree compiles
+    to a DSL pipeline on the dataflow runtime (Figure 4's stack).
+    """
+
+    def __init__(self, parallelism: int = 1, kernel: bool = True,
+                 optimize: bool = True) -> None:
         self.catalog = Catalog()
         self.parallelism = parallelism
         self.kernel = kernel
+        self._optimize = optimize
 
     def register_stream(self, name: str, schema: Schema) -> None:
         self.catalog.register_stream(name, schema)
 
+    def plan(self, text: str, optimize: bool | None = None):
+        """Parse and lower a query to the unified IR (optimised)."""
+        from repro.sql.lower import lower_statement
+        statement = parse_sql(text)
+        plan = lower_statement(statement, self.catalog)
+        if optimize if optimize is not None else self._optimize:
+            from repro.plan.rules import optimize as run_rules
+            plan = run_rules(plan)
+        return plan
+
+    def explain(self, text: str) -> str:
+        """EXPLAIN: the optimised IR tree with strategy annotations."""
+        from repro.plan.explain import explain_logical
+        return explain_logical(self.plan(text))
+
     def run(self, text: str,
             rows: Iterable[tuple[Mapping[str, Any], Timestamp]],
             ) -> list[Record]:
-        """Parse, compile and execute a query over recorded rows.
+        """Parse, plan, optimise and execute a query over recorded rows.
 
         Returns output records in (timestamp, repr) order.  ``EMIT FINAL``
         windowed queries fire per window close; ``EMIT CHANGES`` queries
         emit per refinement.
         """
-        statement = parse_sql(text)
-        schema = self.catalog.stream(statement.source).schema \
-            .qualify(statement.binding)
+        from repro.sql.lower import compile_to_dsl
+        plan = self.plan(text)
         env = StreamEnvironment(parallelism=self.parallelism,
                                 kernel=self.kernel)
-        records = [(Record(schema, tuple(row[f] for f in
-                                         schema.unqualified().fields),
-                           validate=False), t)
-                   for row, t in rows]
-        stream = env.from_collection(records)
-        if statement.where is not None:
-            stream = stream.filter(
-                compile_predicate(statement.where, schema))
-
-        if not statement.is_aggregation:
-            out_schema, project = self._projection(statement, schema)
-            stream.map(project).sink("out")
-            result = env.execute()
-            return [element.value for element in
-                    result.sink_outputs["out"]]
-
-        return self._run_aggregation(statement, schema, env, stream)
-
-    # -- helpers -----------------------------------------------------------------
-
-    def _projection(self, statement: SQLStatement, schema: Schema):
-        if statement.is_star:
-            return schema, lambda record: record
-        evaluators = [compile_expr(item.expr, schema)
-                      for item in statement.items]
-        names = tuple(item.output_name() for item in statement.items)
-        out_schema = Schema(names)
-
-        def project(record: Record) -> Record:
-            return Record(out_schema,
-                          tuple(e(record) for e in evaluators),
-                          validate=False)
-
-        return out_schema, project
-
-    def _run_aggregation(self, statement: SQLStatement, schema: Schema,
-                         env: StreamEnvironment, stream) -> list[Record]:
-        if statement.is_star:
-            raise PlanError("SELECT * cannot be combined with aggregation")
-        collector = _AggregateCollector()
-        rewritten = [(collector.rewrite(item.expr, alias=item.alias),
-                      item.output_name()) for item in statement.items]
-        having = (collector.rewrite(statement.having)
-                  if statement.having is not None else None)
-        specs = list(collector.specs)
-        evaluators = [None if s.arg is None else compile_expr(s.arg, schema)
-                      for s in specs]
-        composite = CompositeAggregate(specs, evaluators)
-
-        group_columns = tuple(c.name for c in statement.group_by)
-        group_indexes = [schema.index_of(c) for c in group_columns]
-        group_names = tuple(c.rpartition(".")[2] for c in group_columns)
-
-        inter_fields = group_names + tuple(s.name for s in specs)
-        window = statement.window
-        if window is not None:
-            inter_fields = inter_fields + (WINDOW_START, WINDOW_END)
-        inter_schema = Schema(inter_fields)
-
-        def key_fn(record: Record) -> tuple:
-            return tuple(record[i] for i in group_indexes)
-
-        keyed = stream.key_by(key_fn)
-
-        if window is not None:
-            if window.kind is GroupWindowKind.TUMBLE:
-                windowed = keyed.window(TumblingWindow(window.size))
-            elif window.kind is GroupWindowKind.HOP:
-                windowed = keyed.window(
-                    SlidingWindow(window.size, window.slide))
-            else:
-                windowed = keyed.session_window(window.size)
-            results = windowed.aggregate(composite)
-
-            def to_row(value) -> Record:
-                key, agg_values, win = value
-                return Record(inter_schema,
-                              tuple(key) + tuple(agg_values)
-                              + (win.start, win.end), validate=False)
-
-            out = results.map(to_row)
-        else:
-            if statement.emit is not EmitMode.CHANGES:
-                raise PlanError(
-                    "unwindowed aggregation must EMIT CHANGES")
-
-            def fold(accumulator, record: Record):
-                if accumulator is None:
-                    accumulator = composite.create_accumulator()
-                return composite.add(accumulator, record)
-
-            def running(op, element):
-                accumulator = fold(op.state.get(element.key), element.value)
-                op.state.put(element.key, accumulator)
-                row = Record(
-                    inter_schema,
-                    tuple(element.key)
-                    + tuple(composite.get_result(accumulator)),
-                    validate=False)
-                from repro.runtime.dag import Element
-                yield Element(row, element.key, element.timestamp)
-
-            out = keyed.process(running)
-
-        if having is not None:
-            out = out.filter(compile_predicate(having, inter_schema))
-        __, project = self._projection_over(
-            rewritten, inter_schema)
-        out.map(project).sink("out")
+        compile_to_dsl(plan, env, rows).sink("out")
         result = env.execute()
         return [element.value for element in result.sink_outputs["out"]]
-
-    def _projection_over(self, rewritten, inter_schema: Schema):
-        evaluators = [compile_expr(expr, inter_schema)
-                      for expr, _ in rewritten]
-        names = tuple(name for _, name in rewritten)
-        out_schema = Schema(names)
-
-        def project(record: Record) -> Record:
-            return Record(out_schema,
-                          tuple(e(record) for e in evaluators),
-                          validate=False)
-
-        return out_schema, project
 
 
 def run_sql(text: str, schema: Schema, stream_name: str,

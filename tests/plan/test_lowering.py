@@ -1,0 +1,177 @@
+"""All four frontends lower onto the unified IR (repro.plan)."""
+
+from repro.core import R2SKind, Schema
+from repro.core.monotonicity import MonotonicityClass, classify_plan
+from repro.plan.ir import (
+    Filter,
+    OpaqueOp,
+    OpaqueSource,
+    Project,
+    StreamScan,
+    WindowAggregate,
+)
+from repro.plan.signature import plan_signature
+
+
+class TestSQLLowering:
+    def engine(self):
+        from repro.sql.translate import SQLEngine
+        engine = SQLEngine()
+        engine.register_stream("Orders",
+                               Schema(["oid", "user", "amount"]))
+        return engine
+
+    def test_stateless_query_shape(self):
+        plan = self.engine().plan(
+            "SELECT oid FROM Orders WHERE amount > 10 EMIT CHANGES",
+            optimize=False)
+        assert isinstance(plan, Project)
+        assert isinstance(plan.child, Filter)
+        assert isinstance(plan.child.child, StreamScan)
+
+    def test_aggregation_lowered_to_window_aggregate(self):
+        plan = self.engine().plan(
+            "SELECT user, COUNT(*) AS n FROM Orders "
+            "GROUP BY user, TUMBLE(10) EMIT FINAL")
+        assert isinstance(plan, Project)
+        assert isinstance(plan.child, WindowAggregate)
+
+    def test_optimizer_fuses_projection_stacks(self):
+        engine = self.engine()
+        naive = engine.plan("SELECT oid FROM Orders EMIT CHANGES",
+                            optimize=False)
+        optimized = engine.plan("SELECT oid FROM Orders EMIT CHANGES",
+                                optimize=True)
+        assert optimized.schema == naive.schema
+
+    def test_explain_renders_ir(self):
+        text = self.engine().explain(
+            "SELECT oid FROM Orders WHERE amount > 10 EMIT CHANGES")
+        assert "Filter" in text
+        assert "signature:" in text
+
+    def test_execution_still_works(self):
+        engine = self.engine()
+        rows = [({"oid": 1, "user": "u", "amount": 5}, 0),
+                ({"oid": 2, "user": "u", "amount": 50}, 1)]
+        out = engine.run(
+            "SELECT oid FROM Orders WHERE amount > 10 EMIT CHANGES", rows)
+        assert [r["oid"] for r in out] == [2]
+
+
+class TestRSPLowering:
+    def query(self):
+        from repro.rsp import (
+            BasicGraphPattern,
+            ContinuousRSPQuery,
+            StreamWindow,
+            TriplePattern,
+            iri,
+            var,
+        )
+        bgp = BasicGraphPattern([
+            TriplePattern(var("s"), iri("ex:temperature"), var("t"))])
+        return ContinuousRSPQuery(bgp, StreamWindow(width=10, slide=5),
+                                  select=["s", "t"],
+                                  r2s=R2SKind.RSTREAM)
+
+    def test_logical_plan_shape(self):
+        plan = self.query().logical_plan(["obs"])
+        assert plan_signature(plan) == \
+            "rstream(bgp_match(window(stream_scan)))"
+
+    def test_union_of_streams(self):
+        plan = self.query().logical_plan(["a", "b"])
+        assert plan_signature(plan) == \
+            "rstream(bgp_match(union(window(stream_scan), " \
+            "window(stream_scan))))"
+
+    def test_engine_explain(self):
+        from repro.rsp import RSPEngine
+        engine = RSPEngine()
+        engine.register_stream("obs")
+        query = engine.register_query("obs", self.query())
+        text = engine.explain(query)
+        assert "Bgp_match" in text or "bgp_match" in text
+
+    def test_window_content_cache_shares_scans(self):
+        from repro.rsp import RSPEngine, Triple, iri, lit
+        engine = RSPEngine()
+        engine.register_stream("obs")
+        engine.register_query("obs", self.query())
+        engine.register_query("obs", self.query())
+        engine.push("obs", Triple(iri("s1"), iri("ex:temperature"),
+                                  lit(20)), 1)
+        engine.advance(30)
+        assert engine.window_scans_shared > 0
+
+
+class TestDataflowLowering:
+    def pipeline(self):
+        from repro.dataflow.pipeline import Pipeline
+        from repro.dataflow.windowfn import FixedWindows
+        p = Pipeline()
+        (p.create([("a", 3), ("b", 1)])
+          .map(lambda v: (v, 1))
+          .window_into(FixedWindows(10))
+          .group_by_key()
+          .collect("counts"))
+        return p
+
+    def test_logical_plan_kinds(self):
+        plan = self.pipeline().logical_plan()
+        assert plan_signature(plan) == \
+            "sink(group_aggregate(window(map(stream_scan))))"
+
+    def test_opaque_nodes_carry_payload(self):
+        plan = self.pipeline().logical_plan()
+        node = plan
+        while not isinstance(node, OpaqueSource):
+            assert isinstance(node, OpaqueOp)
+            (node,) = node.children
+        assert node.payload is not None
+
+    def test_classifier_sees_gbk_as_breaking(self):
+        plan = self.pipeline().logical_plan()
+        assert classify_plan(plan) is MonotonicityClass.NON_MONOTONIC
+
+    def test_map_only_pipeline_is_monotonic(self):
+        from repro.dataflow.pipeline import Pipeline
+        p = Pipeline()
+        p.create([(1, 0)]).map(lambda v: v + 1).collect("out")
+        assert classify_plan(p.logical_plan()) is \
+            MonotonicityClass.MONOTONIC
+
+    def test_explain_renders(self):
+        assert "Stream_scan" in self.pipeline().explain()
+
+
+class TestDSLLowering:
+    def test_logical_plan_kinds(self):
+        from repro.dsl.environment import StreamEnvironment
+        env = StreamEnvironment()
+        (env.from_collection([(1, 0), (2, 1)])
+            .filter(lambda v: v > 1)
+            .map(lambda v: v * 2)
+            .sink("out"))
+        assert plan_signature(env.logical_plan()) == \
+            "sink(map(filter(stream_scan)))"
+
+    def test_keyed_window_is_breaking(self):
+        from repro.core.windows import TumblingWindow
+        from repro.dsl.environment import StreamEnvironment
+        env = StreamEnvironment()
+        (env.from_collection([((1, 1), 0)])
+            .key_by(lambda kv: kv[0])
+            .window(TumblingWindow(10))
+            .count()
+            .sink("out"))
+        plan = env.logical_plan()
+        assert "group_aggregate" in plan_signature(plan)
+        assert classify_plan(plan) is MonotonicityClass.NON_MONOTONIC
+
+    def test_explain_renders(self):
+        from repro.dsl.environment import StreamEnvironment
+        env = StreamEnvironment()
+        env.from_collection([(1, 0)]).map(lambda v: v).sink("out")
+        assert "signature:" in env.explain()

@@ -1,0 +1,49 @@
+"""Monotonicity-aware strategy decisions (repro.plan.monotone)."""
+
+from repro.core import Schema
+from repro.plan.exprs import WindowSpec, WindowSpecKind
+from repro.plan.ir import Distinct, Join, StreamScan, WindowOp
+from repro.plan.monotone import (
+    IncrementalStrategy,
+    append_only_inputs,
+    incremental_strategy,
+    strategy_notes,
+)
+
+
+def scan(alias="O"):
+    return StreamScan("Obs", alias, Schema([f"{alias}.id"]))
+
+
+def window(kind, child=None):
+    return WindowOp(child or scan(), WindowSpec(kind, range_=10))
+
+
+class TestStrategy:
+    def test_unbounded_window_is_append_only(self):
+        plan = window(WindowSpecKind.UNBOUNDED)
+        assert incremental_strategy(plan) is IncrementalStrategy.APPEND_ONLY
+
+    def test_sliding_window_retracts(self):
+        plan = window(WindowSpecKind.RANGE)
+        assert incremental_strategy(plan) is IncrementalStrategy.RETRACTING
+
+    def test_join_inputs_decide_the_join_strategy(self):
+        growing = Join(window(WindowSpecKind.UNBOUNDED),
+                       window(WindowSpecKind.UNBOUNDED, scan("P")),
+                       ("O.id",), ("P.id",), None)
+        assert append_only_inputs(growing)
+        sliding = Join(window(WindowSpecKind.RANGE),
+                       window(WindowSpecKind.UNBOUNDED, scan("P")),
+                       ("O.id",), ("P.id",), None)
+        assert not append_only_inputs(sliding)
+
+    def test_strategy_notes_cover_stateful_ops(self):
+        plan = Distinct(Join(
+            window(WindowSpecKind.UNBOUNDED),
+            window(WindowSpecKind.UNBOUNDED, scan("P")),
+            ("O.id",), ("P.id",), None))
+        notes = dict((node.op_name, strategy)
+                     for node, strategy in strategy_notes(plan))
+        assert notes["distinct"] is IncrementalStrategy.APPEND_ONLY
+        assert notes["equijoin"] is IncrementalStrategy.APPEND_ONLY

@@ -1,0 +1,112 @@
+"""Tests for the unified rule rewriter (repro.plan.rules)."""
+
+import pytest
+
+from repro.core import Schema
+from repro.cql import Catalog, parse_query, plan_statement
+from repro.plan.exprs import (
+    Binary,
+    BinOp,
+    Column,
+    Literal,
+    WindowSpec,
+    WindowSpecKind,
+)
+from repro.plan.ir import Distinct, Filter, Project, StreamScan, WindowOp
+from repro.plan.rules import (
+    collapse_distinct,
+    compose_projects,
+    optimize,
+    push_filter_through_window,
+    remove_identity_project,
+)
+from repro.plan.signature import plan_signature
+
+
+@pytest.fixture
+def catalog():
+    catalog = Catalog()
+    catalog.register_stream("Obs", Schema(["id", "room", "temp"]))
+    return catalog
+
+
+def scan():
+    return StreamScan("Obs", "O",
+                      Schema(["O.id", "O.room", "O.temp"]))
+
+
+class TestWindowPushdown:
+    def test_filter_pushes_below_range_window(self):
+        spec = WindowSpec(WindowSpecKind.RANGE, range_=10)
+        plan = Filter(WindowOp(scan(), spec),
+                      Binary(BinOp.GT, Column("O.temp"), Literal(30)))
+        pushed = push_filter_through_window(plan)
+        assert isinstance(pushed, WindowOp)
+        assert isinstance(pushed.child, Filter)
+        assert pushed.spec == spec
+
+    def test_rows_window_blocks_pushdown(self):
+        spec = WindowSpec(WindowSpecKind.ROWS, rows=5)
+        plan = Filter(WindowOp(scan(), spec),
+                      Binary(BinOp.GT, Column("O.temp"), Literal(30)))
+        assert push_filter_through_window(plan) is None
+
+    def test_partitioned_window_blocks_pushdown(self):
+        spec = WindowSpec(WindowSpecKind.ROWS, rows=5,
+                          partition_by=("O.room",))
+        plan = Filter(WindowOp(scan(), spec),
+                      Binary(BinOp.GT, Column("O.temp"), Literal(30)))
+        assert push_filter_through_window(plan) is None
+
+
+class TestProjectionRules:
+    def test_compose_projects_substitutes_inner_exprs(self):
+        inner = Project(scan(),
+                        (Binary(BinOp.MUL, Column("O.temp"), Literal(2)),),
+                        ("double",))
+        outer = Project(inner,
+                        (Binary(BinOp.ADD, Column("double"), Literal(1)),),
+                        ("out",))
+        fused = compose_projects(outer)
+        assert isinstance(fused, Project)
+        assert not isinstance(fused.child, Project)
+        assert fused.names == ("out",)
+        # The inner expression was substituted into the outer one.
+        assert "temp" in str(fused.exprs[0])
+
+    def test_identity_project_removed(self):
+        base = scan()
+        identity = Project(
+            base, tuple(Column(f) for f in base.schema.fields),
+            tuple(base.schema.fields))
+        assert remove_identity_project(identity) is base
+
+    def test_renaming_project_kept(self):
+        base = scan()
+        renamed = Project(base, (Column("O.id"),), ("ident",))
+        assert remove_identity_project(renamed) is None
+
+
+class TestDistinct:
+    def test_distinct_stack_collapses(self):
+        stacked = Distinct(Distinct(scan()))
+        collapsed = collapse_distinct(stacked)
+        assert isinstance(collapsed, Distinct)
+        assert not isinstance(collapsed.child, Distinct)
+
+
+class TestFixpoint:
+    def test_filter_ends_below_window_via_cql(self, catalog):
+        plan = plan_statement(parse_query(
+            "SELECT ISTREAM id FROM Obs [Range 10] WHERE temp > 30"),
+            catalog)
+        optimized = optimize(plan)
+        signature = plan_signature(optimized)
+        assert "window(select(stream_scan))" in signature
+
+    def test_fixpoint_is_stable(self, catalog):
+        plan = plan_statement(parse_query(
+            "SELECT ISTREAM id FROM Obs [Range 10] WHERE temp > 30"),
+            catalog)
+        once = optimize(plan)
+        assert optimize(once) is once

@@ -1,0 +1,98 @@
+"""SubplanMemo semantics and the shareability rules."""
+
+from repro.core import Schema
+from repro.plan.exprs import WindowSpec, WindowSpecKind
+from repro.plan.ir import (
+    BGPMatch,
+    OpaqueOp,
+    OpaqueSource,
+    RelationScan,
+    SetOp,
+    StreamScan,
+    WindowOp,
+)
+from repro.plan.sharing import SubplanMemo, memo_key, shareable
+
+
+def windowed():
+    scan = StreamScan("Obs", "O", Schema(["O.id"]))
+    return WindowOp(scan, WindowSpec(WindowSpecKind.RANGE, range_=10))
+
+
+class TestShareability:
+    def test_stream_window_is_shareable(self):
+        assert shareable(windowed())
+        assert memo_key(windowed()) is not None
+
+    def test_relation_scan_is_not(self):
+        plan = RelationScan("Rooms", "R", Schema(["R.room"]))
+        assert not shareable(plan)
+        assert memo_key(plan) is None
+
+    def test_opaque_and_bgp_are_not(self):
+        source = OpaqueSource("stream_scan", "create#0")
+        assert not shareable(source)
+        assert not shareable(OpaqueOp("map", "f", (source,)))
+        assert not shareable(BGPMatch(windowed(), pattern=object(),
+                                      variables=("s",)))
+
+
+class TestMemo:
+    def test_hit_across_compiles(self):
+        memo = SubplanMemo()
+        key = memo_key(windowed())
+        memo.start_compile()
+        assert memo.lookup(key) is None          # first compile: miss
+        memo.publish(key, "op-1")
+        memo.finish_compile()
+        memo.start_compile()
+        assert memo.lookup(key) == "op-1"        # second compile: hit
+        memo.finish_compile()
+        assert memo.hits == 1
+        assert memo.misses == 1
+
+    def test_entry_used_at_most_once_per_compile(self):
+        # X UNION X must not wire one physical operator into both inputs.
+        memo = SubplanMemo()
+        key = memo_key(windowed())
+        memo.start_compile()
+        memo.publish(key, "op-1")
+        memo.finish_compile()
+        memo.start_compile()
+        assert memo.lookup(key) == "op-1"
+        assert memo.lookup(key) is None          # second use this compile
+        memo.finish_compile()
+
+    def test_pending_entries_invisible_to_same_compile(self):
+        memo = SubplanMemo()
+        key = memo_key(windowed())
+        memo.start_compile()
+        memo.publish(key, "op-1")
+        assert memo.lookup(key) is None
+        memo.finish_compile()
+
+    def test_none_key_never_stored(self):
+        memo = SubplanMemo()
+        memo.start_compile()
+        memo.publish(None, "op-1")
+        assert memo.lookup(None) is None
+        memo.finish_compile()
+        assert len(memo) == 0
+
+    def test_union_of_identical_windows_one_hit(self):
+        # A self-union of the same windowed scan: the second input cannot
+        # reuse the first's physical subtree within one compile, but a
+        # later query can.
+        plan = SetOp("union", windowed(), windowed())
+        memo = SubplanMemo()
+        memo.start_compile()
+        for child in plan.children:
+            key = memo_key(child)
+            if memo.lookup(key) is None:
+                memo.publish(key, object())
+        memo.finish_compile()
+        assert memo.hits == 0
+        memo.start_compile()
+        assert memo.lookup(memo_key(windowed())) is not None
+        memo.finish_compile()
+        assert memo.hits == 1

@@ -1,0 +1,86 @@
+"""Canonical (commutativity-aware) plan signatures."""
+
+from repro.core import Schema
+from repro.plan.exprs import (
+    Binary,
+    BinOp,
+    Column,
+    Literal,
+    WindowSpec,
+    WindowSpecKind,
+)
+from repro.plan.ir import Filter, Join, SetOp, StreamScan, WindowOp
+from repro.plan.signature import canonical_predicate, plan_signature
+
+
+def scan(name, alias):
+    return StreamScan(name, alias, Schema([f"{alias}.id", f"{alias}.v"]))
+
+
+def windowed(name, alias, width=10):
+    return WindowOp(scan(name, alias),
+                    WindowSpec(WindowSpecKind.RANGE, range_=width))
+
+
+class TestJoinCommutativity:
+    def test_join_operand_order_is_canonical(self):
+        a, b = windowed("A", "A"), windowed("B", "B")
+        ab = Join(a, b, ("A.id",), ("B.id",), None)
+        ba = Join(b, a, ("B.id",), ("A.id",), None)
+        assert plan_signature(ab) == plan_signature(ba)
+        assert plan_signature(ab, detail=True) == \
+            plan_signature(ba, detail=True)
+
+    def test_key_pairs_swap_with_the_operands(self):
+        a, b = windowed("A", "A"), windowed("B", "B")
+        ab = Join(a, b, ("A.id",), ("B.id",), None)
+        detail = plan_signature(ab, detail=True)
+        assert "A.id=B.id" in detail
+
+    def test_different_keys_differ(self):
+        a, b = windowed("A", "A"), windowed("B", "B")
+        on_id = Join(a, b, ("A.id",), ("B.id",), None)
+        on_v = Join(a, b, ("A.v",), ("B.v",), None)
+        assert plan_signature(on_id, detail=True) != \
+            plan_signature(on_v, detail=True)
+
+
+class TestSetOpCommutativity:
+    def test_union_is_commutative(self):
+        a, b = windowed("A", "A"), windowed("B", "B")
+        assert plan_signature(SetOp("union", a, b), detail=True) == \
+            plan_signature(SetOp("union", b, a), detail=True)
+
+    def test_difference_is_not_commutative(self):
+        a, b = windowed("A", "A"), windowed("B", "B")
+        assert plan_signature(SetOp("difference", a, b), detail=True) != \
+            plan_signature(SetOp("difference", b, a), detail=True)
+
+
+class TestPredicateCanonicalisation:
+    def test_equality_sides_ordered(self):
+        ab = Binary(BinOp.EQ, Column("a"), Column("b"))
+        ba = Binary(BinOp.EQ, Column("b"), Column("a"))
+        assert canonical_predicate(ab) == canonical_predicate(ba)
+
+    def test_conjunct_order_ignored(self):
+        p = Binary(BinOp.GT, Column("a"), Literal(1))
+        q = Binary(BinOp.LT, Column("b"), Literal(2))
+        pq = Binary(BinOp.AND, p, q)
+        qp = Binary(BinOp.AND, q, p)
+        base = windowed("A", "A")
+        assert plan_signature(Filter(base, pq), detail=True) == \
+            plan_signature(Filter(base, qp), detail=True)
+
+
+class TestDetailLevels:
+    def test_structural_signature_hides_payload(self):
+        narrow = windowed("A", "A", width=5)
+        wide = windowed("A", "A", width=50)
+        assert plan_signature(narrow) == plan_signature(wide)
+
+    def test_detailed_signature_sees_window_width(self):
+        narrow = windowed("A", "A", width=5)
+        wide = windowed("A", "A", width=50)
+        assert plan_signature(narrow, detail=True) != \
+            plan_signature(wide, detail=True)
