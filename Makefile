@@ -3,7 +3,7 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test lint bench-kernel bench-plan fuzz fuzz-quick
+.PHONY: test lint bench-kernel bench-plan bench-recovery chaos fuzz fuzz-quick
 
 test: lint
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +26,16 @@ bench-kernel:
 # private plans.  Writes BENCH_plan_sharing.json.
 bench-plan:
 	$(PYTHON) -m pytest benchmarks/bench_plan_sharing.py -x -q
+
+# Recovery latency and replay volume vs checkpoint interval, one
+# injected crash per interval.  Writes BENCH_recovery.json.
+bench-recovery:
+	$(PYTHON) -m pytest benchmarks/bench_recovery.py -x -q
+
+# Standing fault-injection campaign: kernel crash matrix over random
+# queries plus seeded broker drop/dup/reorder chaos.
+chaos:
+	$(PYTHON) -m repro.chaos --cases 200 --broker-seeds 100
 
 # Bounded, seeded fuzz — the same budget the tier-1 suite runs.
 fuzz-quick:

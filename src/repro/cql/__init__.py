@@ -7,7 +7,7 @@ planner, and two execution paths — the reference denotational evaluator
 delta-based executor (:class:`~repro.cql.executor.ContinuousQuery`).
 """
 
-from repro.cql.algebra import (
+from repro.plan.ir import (
     Aggregate,
     AggregateExpr,
     Distinct,

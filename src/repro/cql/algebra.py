@@ -4,10 +4,18 @@ The operator hierarchy formerly defined here is now the unified IR that
 every frontend (CQL, streaming SQL, RSP-QL, dataflow) lowers into.  This
 module re-exports it so existing imports — and isinstance checks, since
 these are the *same* classes — keep working.  New code should import
-from :mod:`repro.plan` directly.
+from :mod:`repro.plan` directly; importing this shim emits a
+:class:`DeprecationWarning`.
 """
 
-from repro.plan.ir import (  # noqa: F401  (compatibility re-exports)
+import warnings
+
+warnings.warn(
+    "repro.cql.algebra is deprecated; import the logical IR from "
+    "repro.plan (repro.plan.ir) instead",
+    DeprecationWarning, stacklevel=2)
+
+from repro.plan.ir import (  # noqa: E402, F401  (compatibility re-exports)
     Aggregate,
     AggregateExpr,
     Distinct,

@@ -27,7 +27,7 @@ from typing import Any, Iterable, Mapping
 from repro.core.records import Record, Schema
 from repro.core.relation import TimeVaryingRelation
 from repro.core.stream import Stream
-from repro.cql.algebra import LogicalOp
+from repro.plan.ir import LogicalOp
 from repro.cql.catalog import Catalog, RelationDef, StreamDef
 from repro.cql.executor import ContinuousQuery, Emission
 from repro.cql.parser import parse_query
@@ -62,7 +62,7 @@ class CQLEngine:
         statement = parse_query(text)
         plan = plan_statement(statement, self.catalog)
         if optimize if optimize is not None else self._optimize:
-            from repro.sql.optimizer import optimize as run_rules
+            from repro.plan.rules import optimize as run_rules
             plan = run_rules(plan)
         return plan
 

@@ -19,6 +19,7 @@ equal the reference R2S streams.
 
 from __future__ import annotations
 
+import copy
 import heapq
 import time
 from collections import Counter, defaultdict, deque
@@ -35,7 +36,7 @@ from repro.core.records import Record, Schema
 from repro.core.relation import Bag, TimeVaryingRelation
 from repro.core.stream import Stream
 from repro.core.time import MIN_TIMESTAMP, Timestamp
-from repro.cql.algebra import (
+from repro.plan.ir import (
     Aggregate,
     Distinct,
     Filter,
@@ -96,6 +97,16 @@ class Agenda:
     def __len__(self) -> int:
         return len(self._heap)
 
+    def snapshot(self) -> dict[str, Any]:
+        """Capture the scheduled instants (for checkpointing)."""
+        return {"heap": list(self._heap),
+                "scheduled": set(self._scheduled)}
+
+    def restore(self, payload: Mapping[str, Any]) -> None:
+        self._heap = list(payload["heap"])
+        heapq.heapify(self._heap)
+        self._scheduled = set(payload["scheduled"])
+
 
 class PhysicalOp:
     """Base physical operator: children + per-instant delta processing.
@@ -108,6 +119,12 @@ class PhysicalOp:
     their zero row at the right instant.
     """
 
+    #: Instance attributes that constitute this operator's mutable state.
+    #: Subclasses extend this; snapshot/restore deep-copy exactly these, so
+    #: compiled artefacts (predicates, schemas, the agenda reference) stay
+    #: shared between the live tree and its checkpoints.
+    _STATE_ATTRS: tuple[str, ...] = ()
+
     def __init__(self, children: Sequence["PhysicalOp"]) -> None:
         self.children = list(children)
         #: Total deltas this operator has emitted (a work measure).
@@ -117,6 +134,27 @@ class PhysicalOp:
         #: Cumulative seconds spent in ``process`` (only accumulated while
         #: observability is enabled; see :mod:`repro.obs`).
         self.eval_seconds = 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """A self-contained copy of this operator's mutable state."""
+        payload: dict[str, Any] = {
+            attr: copy.deepcopy(getattr(self, attr))
+            for attr in self._STATE_ATTRS}
+        payload["emitted"] = self.emitted
+        payload["received"] = self.received
+        return payload
+
+    def restore(self, payload: Mapping[str, Any]) -> None:
+        """Reset this operator's state to a snapshot, in place.
+
+        The payload is deep-copied again so one checkpoint can be restored
+        from any number of times (retried recoveries must not share state
+        with the snapshot they roll back to).
+        """
+        for attr in self._STATE_ATTRS:
+            setattr(self, attr, copy.deepcopy(payload[attr]))
+        self.emitted = payload["emitted"]
+        self.received = payload["received"]
 
     def process(self, t: Timestamp,
                 child_deltas: list[list[Delta]]) -> list[Delta]:
@@ -177,6 +215,9 @@ class StreamSourceOp(PhysicalOp):
     the un-rewritten plan (the reference evaluates the pushed filter
     above the window).
     """
+
+    _STATE_ATTRS = ("_staged", "_expiries", "_fifo", "_per_key",
+                    "_pending", "_visible", "_arrived", "evicted")
 
     def __init__(self, scan: StreamScan, spec, agenda: Agenda,
                  prefilter: Callable[[Record], bool] | None = None) -> None:
@@ -293,6 +334,8 @@ class StreamSourceOp(PhysicalOp):
 class RelationSourceOp(PhysicalOp):
     """A base relation: emits its initial contents once, then staged updates."""
 
+    _STATE_ATTRS = ("_initial", "_staged")
+
     def __init__(self, scan: RelationScan, initial: Bag) -> None:
         super().__init__([])
         self.scan = scan
@@ -364,6 +407,8 @@ class JoinOp(PhysicalOp):
     equi-join columns; an empty key degenerates to an incremental cross
     join.  A residual predicate filters joined records.
     """
+
+    _STATE_ATTRS = ("_left_state", "_right_state")
 
     def __init__(self, left: PhysicalOp, right: PhysicalOp,
                  left_key: Callable[[Record], tuple],
@@ -437,6 +482,8 @@ class AppendOnlyJoinOp(JoinOp):
     counters.  This is the incremental SPJ rewrite of Section 3.2 applied
     at plan time, where — and only where — it is legal.
     """
+
+    _STATE_ATTRS = JoinOp._STATE_ATTRS + ("_left_index", "_right_index")
 
     def __init__(self, left: PhysicalOp, right: PhysicalOp,
                  left_key: Callable[[Record], tuple],
@@ -519,6 +566,8 @@ class AggregateOp(PhysicalOp):
     the global group, which once touched keeps reporting (COUNT = 0), the
     SQL behaviour the reference evaluator implements.
     """
+
+    _STATE_ATTRS = ("_groups", "_current_rows", "_child_active")
 
     def __init__(self, plan: Aggregate, in_schema: Schema) -> None:
         super().__init__([])  # children attached by compiler
@@ -627,6 +676,8 @@ class AggregateOp(PhysicalOp):
 class DistinctOp(PhysicalOp):
     """Incremental duplicate elimination: emits 0→1 and 1→0 transitions."""
 
+    _STATE_ATTRS = ("_counts",)
+
     def __init__(self, child: PhysicalOp) -> None:
         super().__init__([child])
         self._counts: Counter = Counter()
@@ -660,6 +711,8 @@ class AppendOnlyDistinctOp(DistinctOp):
     counter: first occurrence emits ``+1``, everything after is dropped.
     """
 
+    _STATE_ATTRS = ("_seen",)
+
     def __init__(self, child: PhysicalOp) -> None:
         PhysicalOp.__init__(self, [child])
         self._seen: set[Record] = set()
@@ -688,6 +741,8 @@ class SetOpOp(PhysicalOp):
     Difference and intersection maintain both sides' multiplicities and
     re-derive each affected record's output multiplicity.
     """
+
+    _STATE_ATTRS = ("_left", "_right", "_out")
 
     def __init__(self, kind: str, left: PhysicalOp, right: PhysicalOp,
                  out_schema: Schema) -> None:
@@ -1040,6 +1095,63 @@ class ContinuousQuery:
         processing (shared groups only)."""
         out, self._undelivered = self._undelivered, []
         return out
+
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A consistent checkpoint of the whole query: every operator's
+        state, the agenda, and the driver's maintained relation/log.
+
+        Taken between instants (never mid-batch), the snapshot plus the
+        input suffix replayed from the same point reproduces the fault-free
+        run exactly — the property the kernel-crashed difftest leg checks.
+        Shared-group members cannot snapshot independently: their operator
+        state interleaves with other members'.
+        """
+        if self._shared is not None:
+            raise StateError(
+                "shared-group queries cannot be snapshotted independently")
+        return {
+            "operators": [op.snapshot() for _, op in self.operators()],
+            "agenda": self._agenda.snapshot(),
+            "state": self._state.copy(),
+            "log": list(self._log),
+            "emissions": list(self._emissions),
+            "undelivered": list(self._undelivered),
+            "last_instant": self._last_instant,
+            "deltas_processed": self._deltas_processed,
+        }
+
+    def restore(self, payload: Mapping[str, Any]) -> None:
+        """Roll the query back to a snapshot, in place.
+
+        The compiled tree (predicates, schemas, kernel plan wiring) is
+        reused; only mutable state is overwritten.  Any partially
+        processed instant left over from a crash — staged arrivals,
+        buffered kernel batches — is discarded wholesale.
+        """
+        if self._shared is not None:
+            raise StateError(
+                "shared-group queries cannot be restored independently")
+        ops = self.operators()
+        states = payload["operators"]
+        if len(ops) != len(states):
+            raise StateError(
+                f"snapshot shape mismatch: {len(states)} operator states "
+                f"for {len(ops)} operators")
+        for (_, op), state in zip(ops, states):
+            op.restore(state)
+        self._agenda.restore(payload["agenda"])
+        self._state = payload["state"].copy()
+        self._log = list(payload["log"])
+        self._emissions = list(payload["emissions"])
+        self._undelivered = list(payload["undelivered"])
+        self._last_instant = payload["last_instant"]
+        self._deltas_processed = payload["deltas_processed"]
+        if self._kernel is not None:
+            # A crash can strand half-delivered batches inside the kernel
+            # adapters; they belong to the rolled-back instant.
+            self._kernel.reset_transients()
 
     # -- processing ----------------------------------------------------------
 

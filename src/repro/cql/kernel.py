@@ -121,6 +121,7 @@ class QueryKernel:
         self.plan = Plan()
         self._collector = _RootCollector()
         self._ticks: list[str] = []
+        self._multi_adapters: list[_OpAdapter] = []
         counter = itertools.count()
 
         def build(op: PhysicalOp) -> str:
@@ -131,8 +132,11 @@ class QueryKernel:
                 self.plan.add_operator(name, _SourceAdapter(op), [tick])
             else:
                 inputs = [build(child) for child in op.children]
-                adapter = (_UnaryAdapter(op) if len(inputs) == 1
-                           else _OpAdapter(op, len(inputs)))
+                if len(inputs) == 1:
+                    adapter = _UnaryAdapter(op)
+                else:
+                    adapter = _OpAdapter(op, len(inputs))
+                    self._multi_adapters.append(adapter)
                 self.plan.add_operator(name, adapter, inputs)
             return name
 
@@ -150,6 +154,18 @@ class QueryKernel:
             self.plan.push(tick, t)
         batch = self._collector.take()
         return batch.deltas, batch.active
+
+    def reset_transients(self) -> None:
+        """Discard in-flight instant batches stranded by a crash.
+
+        A fault raised mid-``run_instant`` can leave multi-input adapters
+        holding one side's batch and the root collector holding a partial
+        result; both belong to the instant recovery rolls back, so the
+        next tick must start clean.
+        """
+        for adapter in self._multi_adapters:
+            adapter._pending = [None] * adapter.arity
+        self._collector._batch = None
 
 
 class MultiQueryKernel:

@@ -2,11 +2,11 @@
 
 The planner is deliberately naive — it produces the straightforward plan
 (cross joins in FROM order, one Filter holding the whole WHERE clause on
-top) and leaves rewriting to :mod:`repro.sql.optimizer`, mirroring how the
+top) and leaves rewriting to :mod:`repro.plan.rules`, mirroring how the
 paper separates query *models* (Section 3.1) from query *optimisation*
 (Sections 3.2 / 4.2).  The exception is aggregate extraction, which is a
 semantic necessity rather than an optimisation: aggregate calls in SELECT /
-HAVING are pulled into an :class:`~repro.cql.algebra.Aggregate` node and
+HAVING are pulled into an :class:`~repro.plan.ir.Aggregate` node and
 replaced by column references.
 """
 
@@ -24,7 +24,7 @@ from repro.core.windows import (
     SteppedRangeWindow,
     UnboundedWindow,
 )
-from repro.cql.algebra import (
+from repro.plan.ir import (
     Aggregate,
     AggregateExpr,
     Distinct,

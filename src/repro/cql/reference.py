@@ -1,6 +1,6 @@
 """Reference (denotational) evaluation of logical plans.
 
-Interprets a :mod:`repro.cql.algebra` plan directly with the core operators
+Interprets a :mod:`repro.plan.ir` plan directly with the core operators
 of :mod:`repro.core.operators` over *recorded* input streams — the
 executable form of CQL's abstract semantics (paper Section 3.1): the result
 at every instant τ is exactly what the one-shot relational query would
@@ -22,7 +22,7 @@ from repro.core.operators import AggregateKind, relation_to_stream
 from repro.core.records import Record
 from repro.core.relation import Bag, TimeVaryingRelation
 from repro.core.stream import Stream
-from repro.cql.algebra import (
+from repro.plan.ir import (
     Aggregate,
     Distinct,
     Filter,

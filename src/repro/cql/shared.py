@@ -26,7 +26,7 @@ from typing import Any, Mapping, Sequence
 from repro.core.errors import PlanError, StateError, TimeError
 from repro.core.records import Record
 from repro.core.time import MIN_TIMESTAMP, Timestamp
-from repro.cql.algebra import LogicalOp
+from repro.plan.ir import LogicalOp
 from repro.cql.catalog import Catalog
 from repro.cql.executor import (
     Agenda,

@@ -58,8 +58,9 @@ class Divergence:
     """One disagreement between evaluators (or an evaluator crash)."""
 
     kind: str    # which leg diverged: optimizer | executor | executor-naive
-                 # | kernel | kernel-naive | dsms | dsms-shared
-                 # | core-sparse | core-assign | session | error
+                 # | kernel | kernel-naive | kernel-crashed | dsms
+                 # | dsms-shared | core-sparse | core-assign | session
+                 # | error
     detail: str
 
     def __str__(self) -> str:
@@ -142,6 +143,15 @@ def run_case(case: Case) -> Divergence | None:
                 "executor", _snapshot_list(query.as_relation()),
                 "reference", _snapshot_list(truth)))
 
+    # Leg 6: crash-consistent recovery.  The kernel plan re-runs once per
+    # operator position; each run blows a fuse inside that operator
+    # mid-stream (state mutated, output lost), rolls back to the newest
+    # barrier-by-instant checkpoint, replays, and must still agree with
+    # the reference instant by instant.
+    divergence = _kernel_crashed_leg(case, streams, truth, is_r2s)
+    if divergence is not None:
+        return divergence
+
     # DSMS leg: the engine servicing one tuple per scheduling quantum.
     divergence = _dsms_leg(case, streams, plan_opt, engine)
     if divergence is not None:
@@ -152,6 +162,67 @@ def run_case(case: Case) -> Divergence | None:
     # members must still match the reference instant by instant, and
     # must agree with each other emission for emission.
     return _dsms_shared_leg(case, streams, plan_opt, engine)
+
+
+def _kernel_crashed_leg(case: Case, streams, truth,
+                        is_r2s: bool) -> Divergence | None:
+    """Kill each kernel operator once mid-stream; recovery must erase it.
+
+    One recovery run per operator position: a :class:`CrashFuse` is armed
+    at half the case's instants, the crash fires after the operator has
+    mutated its state but before its output lands (torn state), and
+    :class:`RecoveryManager` rolls the query back to the newest
+    checkpoint and replays.  Exactly-once means the final emissions and
+    change-log are indistinguishable from the fault-free legs.
+    """
+    from repro.chaos import CrashFuse, install_crash
+    from repro.chaos.recovery import RecoveryManager, run_query_with_recovery
+
+    probe = build_engine()
+    try:
+        probe_query = probe.register_query(case.query, optimize=True,
+                                           kernel=True)
+    except ReproError as exc:
+        return Divergence("kernel-crashed", f"registration failed: {exc!r}")
+    operator_count = len(probe_query.operators())
+    relevant = {name: stream for name, stream in streams.items()
+                if name in probe_query._stream_sources}
+    instants = {element.timestamp
+                for stream in relevant.values() for element in stream}
+    fuse_at = max(1, (len(instants) + 1) // 2)
+
+    for position in range(operator_count):
+        exec_engine = build_engine()
+        query = exec_engine.register_query(case.query, optimize=True,
+                                           kernel=True)
+        fuse = CrashFuse(at=fuse_at)
+        label = install_crash(query, position, fuse)
+        manager = RecoveryManager(query, interval=2,
+                                  sleep=lambda _delay: None,
+                                  backoff_base=0.0, measure_bytes=False,
+                                  label="kernel-crashed")
+        try:
+            run_query_with_recovery(query, relevant, manager)
+        except ReproError as exc:
+            return Divergence("kernel-crashed", (
+                f"crash in {label} (operator {position}) not recovered: "
+                f"{exc!r}"))
+        # A fuse scheduled past the stream's end never fires; the run is
+        # then just a fault-free kernel run and the comparison still holds.
+        where = f"crashed {label} (operator {position}, fired {fuse.fired})"
+        if is_r2s:
+            produced = query.emitted_stream()
+            same = (produced.timestamps() == truth.timestamps()
+                    and produced.values() == truth.values())
+            if not same:
+                return Divergence("kernel-crashed", f"{where}: " + _diff_detail(
+                    "recovered", _stream_list(produced),
+                    "reference", _stream_list(truth)))
+        elif not (query.as_relation() == truth):
+            return Divergence("kernel-crashed", f"{where}: " + _diff_detail(
+                "recovered", _snapshot_list(query.as_relation()),
+                "reference", _snapshot_list(truth)))
+    return None
 
 
 def _dsms_leg(case: Case, streams, plan_opt, engine) -> Divergence | None:

@@ -48,6 +48,28 @@ class Store:
         """The stored answer right now."""
         return self._current[name].copy()
 
+    def snapshot(self) -> dict[str, Any]:
+        """Copy every stored relation's change-log (for checkpointing)."""
+        relations: dict[str, Any] = {}
+        for name, relation in self._relations.items():
+            relations[name] = {
+                "times": list(relation._times),
+                "states": [bag.copy() for bag in relation._states],
+                "current": self._current[name].copy(),
+            }
+        return {"relations": relations, "writes": self.writes}
+
+    def restore(self, payload: dict[str, Any]) -> None:
+        """Roll the Store back to a snapshot, in place."""
+        for name, entry in payload["relations"].items():
+            if name not in self._relations:
+                self.register(name)
+            relation = self._relations[name]
+            relation._times = list(entry["times"])
+            relation._states = [bag.copy() for bag in entry["states"]]
+            self._current[name] = entry["current"].copy()
+        self.writes = payload["writes"]
+
     def history(self, name: str) -> TimeVaryingRelation:
         """The full change-log of the stored answer."""
         return self._relations[name]

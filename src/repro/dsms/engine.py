@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Any, Iterable, Mapping
 
 import repro.obs as obs
-from repro.core.errors import PlanError
+from repro.core.errors import PlanError, StateError
 from repro.core.errors import TimeError as CoreTimeError
 from repro.core.records import Record, Schema
 from repro.core.relation import Bag, TimeVaryingRelation
@@ -306,7 +306,9 @@ class DSMSEngine:
                  queue_capacity: int = 1024,
                  keep_thrown_tuples: bool = False,
                  kernel: bool = True,
-                 sharing: bool = False) -> None:
+                 sharing: bool = False,
+                 recovery_interval: int | None = None,
+                 max_restarts: int = 3) -> None:
         self._cql = CQLEngine()
         self._kernel = kernel
         #: Multi-query plan sharing: queries registered with the default
@@ -330,6 +332,25 @@ class DSMSEngine:
         # Event-time lag accounting, published under dsms.watermark.*.
         self.watermark_clock = obs.WatermarkClock(
             obs.get_registry(), prefix="dsms.watermark")
+        #: Crash recovery (``recovery_interval`` arrivals per checkpoint):
+        #: the engine keeps an arrival log and engine-wide snapshots; a
+        #: recoverable failure raised while servicing rolls every query
+        #: and the Store back to the newest checkpoint, clears the queues,
+        #: and re-offers the logged suffix — restore-and-replay at DSMS
+        #: scope.  Incompatible with plan sharing: a shared group's
+        #: interleaved operator state has no per-query snapshot.
+        self.recovery: "RecoveryManager | None" = None
+        self._arrival_log: list[tuple] = []
+        if recovery_interval is not None:
+            if self._sharing:
+                raise PlanError(
+                    "crash recovery does not support plan sharing: shared "
+                    "operator state cannot be snapshotted per query")
+            from repro.chaos.recovery import RecoveryManager
+            self.recovery = RecoveryManager(
+                self, interval=recovery_interval,
+                max_retries=max_restarts, backoff_base=0.0,
+                label="dsms")
 
     @property
     def catalog(self) -> Catalog:
@@ -368,6 +389,12 @@ class DSMSEngine:
         self._handles.append(handle)
         self._by_name[name] = handle
         self.store.write(name, query.current(), 0)
+        if self.recovery is not None:
+            # Re-baseline so the new query is covered by the recovery
+            # point.  Registration is expected at quiescence (queues
+            # drained); queued arrivals are in the log and re-offered on
+            # rollback anyway.
+            self.recovery.checkpoint(len(self._arrival_log))
         return handle
 
     def _register_shared(self, name: str, text: str) -> QueryHandle:
@@ -429,6 +456,14 @@ class DSMSEngine:
             # asynchronously at service time, after the tuple was queued.
             raise CoreTimeError(
                 f"timestamp {t} before the epoch {MIN_TIMESTAMP}")
+        if self.recovery is not None:
+            self.recovery.start()  # baseline before the first arrival
+            self._arrival_log.append(("ingest", stream_name, record, t))
+        return self._route(stream_name, record, t)
+
+    def _route(self, stream_name: str, record: Mapping[str, Any] | Record,
+               t: Timestamp) -> int:
+        """Offer one (validated) arrival to every reading unit."""
         if obs._STATE.enabled:
             self.watermark_clock.observe_arrival(stream_name, t)
         admitted = 0
@@ -448,23 +483,112 @@ class DSMSEngine:
         return self._units[index].service_one()
 
     def run_until_idle(self, max_steps: int = 1_000_000) -> int:
-        """Drain all queues; returns the number of quanta executed."""
-        steps = 0
+        """Drain all queues; returns the number of quanta executed.
+
+        With recovery enabled, a recoverable failure raised while
+        servicing triggers restore-and-replay (with the manager's backoff
+        and retry bound), and reaching quiescence commits the arrival-log
+        position — checkpoints are taken at these quiescent points, when
+        logged arrivals equal processed arrivals.
+        """
         if not obs._STATE.enabled:
-            while steps < max_steps and self.step():
-                steps += 1
-            return steps
+            return self._drain(max_steps)
         with obs.get_tracer().span("dsms.run_until_idle") as span:
-            while steps < max_steps and self.step():
-                steps += 1
+            steps = self._drain(max_steps)
             span.add(steps=steps)
             self.publish_observability()
         return steps
 
+    def _drain(self, max_steps: int) -> int:
+        steps = 0
+        if self.recovery is None:
+            while steps < max_steps and self.step():
+                steps += 1
+            return steps
+        failures = 0
+        while steps < max_steps:
+            try:
+                if not self.step():
+                    break
+            except self.recovery.recoverable:
+                failures += 1
+                if failures > self.recovery.max_retries:
+                    raise
+                self.recovery.backoff(failures)
+                self._recover_and_replay()
+                continue
+            steps += 1
+        self.recovery.committed(len(self._arrival_log))
+        return steps
+
     def advance_time(self, t: Timestamp) -> None:
         """Advance event time for every query (fires window expirations)."""
+        if self.recovery is not None:
+            self.recovery.start()
+            self._arrival_log.append(("advance", t))
         for unit in self._units:
             unit.advance_to(t)
+
+    # -- crash recovery --------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """An engine-wide checkpoint: every query's state plus the Store.
+
+        Queue contents are deliberately excluded — checkpoints are taken
+        at quiescent points (empty queues), and anything queued at crash
+        time is re-offered from the arrival log during replay.  Metrics
+        are telemetry, not state: they keep counting across rollbacks, so
+        recovery overhead (replayed work) stays visible.
+        """
+        handles: dict[str, Any] = {}
+        for handle in self._handles:
+            handles[handle.name] = {
+                "query": handle.query.snapshot(),
+                "emissions": list(handle._emissions),
+                "ingest_seq": handle._ingest_seq,
+                "process_seq": handle._process_seq,
+            }
+        return {"handles": handles, "store": self.store.snapshot()}
+
+    def restore(self, payload: Mapping[str, Any]) -> None:
+        """Roll every query and the Store back to a checkpoint."""
+        for handle in self._handles:
+            entry = payload["handles"].get(handle.name)
+            if entry is None:
+                raise StateError(
+                    f"query {handle.name!r} was registered after the "
+                    f"checkpoint being restored")
+            handle.query.restore(entry["query"])
+            handle._emissions = list(entry["emissions"])
+            handle._ingest_seq = entry["ingest_seq"]
+            handle._process_seq = entry["process_seq"]
+        self.store.restore(payload["store"])
+
+    def _recover_and_replay(self) -> None:
+        """Restore the newest checkpoint and re-offer the logged suffix.
+
+        The crashed quantum's tuple was already polled off its queue and
+        lost with the failure; clearing the queues and replaying the
+        arrival log from the checkpoint offset regenerates it along with
+        everything else in flight.  ``advance`` entries drain first, so
+        the replayed timeline keeps the original drain-then-advance
+        order.
+        """
+        checkpoint = self.recovery.recover()
+        for unit in self._units:
+            unit.queue.clear()
+        replayed = 0
+        for entry in self._arrival_log[checkpoint.offset:]:
+            if entry[0] == "advance":
+                while self.step():
+                    pass
+                for unit in self._units:
+                    unit.advance_to(entry[1])
+            else:
+                _, stream_name, record, t = entry
+                self._route(stream_name, record, t)
+                replayed += 1
+        self.recovery.record_replayed(replayed)
 
     def metrics_table(self) -> dict[str, dict[str, float]]:
         """Per-query metrics snapshot (used by the Figure 3 bench)."""

@@ -53,6 +53,13 @@ class InputQueue:
     def peek(self) -> QueuedTuple | None:
         return self._queue[0] if self._queue else None
 
+    def clear(self) -> int:
+        """Discard everything queued (recovery rollback: the arrival log
+        re-offers these); returns how many tuples were dropped."""
+        n = len(self._queue)
+        self._queue.clear()
+        return n
+
     def __len__(self) -> int:
         return len(self._queue)
 

@@ -297,6 +297,20 @@ class Plan:
         for node in self._order:
             if node.name in state:
                 node.op.restore(state[node.name])
+        # Idle bookkeeping is execution-time state, not operator state: a
+        # restored plan starts a fresh delivery sequence, so stale
+        # ``last_seq`` values (captured when the crashed run was N pushes
+        # in) would either instantly re-idle a live source or, if the
+        # source was idle at the crash, keep it excluded from downstream
+        # min-combines forever.  Reset the clock and re-activate
+        # everything; the trackers' combined watermarks are monotone, so
+        # re-activation never regresses event time.
+        self._seq = 0
+        for name, src in self._sources.items():
+            src.last_seq = 0
+            if name in self._idle:
+                self._reactivate(name)
+        self._idle.clear()
 
     # -- internals -------------------------------------------------------------
 

@@ -225,7 +225,18 @@ class ConsumerGroup:
 
     def poll(self, member_id: str,
              max_records: int | None = None) -> list[BrokerRecord]:
-        """Fetch new records from the member's partitions, round-robin."""
+        """Fetch new records from the member's partitions, round-robin.
+
+        Positions advance from the **offsets of the records actually
+        received**, not the requested count: under a faulty transport
+        (see :class:`repro.chaos.ChaosBroker`) a fetch may come back
+        short, duplicated, or reordered, and ``position + len(records)``
+        would silently skip or re-deliver log entries.  Only the
+        contiguous offset prefix is consumed — duplicates are dropped,
+        out-of-order records are resequenced, and anything after a gap is
+        left for the next poll to re-fetch (the TCP-style cumulative-ack
+        discipline), so consumers see each offset exactly once, in order.
+        """
         out: list[BrokerRecord] = []
         for topic_name, partition in self.assignment(member_id):
             key = (topic_name, partition)
@@ -234,10 +245,16 @@ class ConsumerGroup:
                          else max_records - len(out))
             if remaining is not None and remaining <= 0:
                 break
-            records = self.broker.fetch(topic_name, partition, position,
+            fetched = self.broker.fetch(topic_name, partition, position,
                                         remaining)
-            out.extend(records)
-            self._positions[key] = position + len(records)
+            expected = position
+            for record in sorted(fetched, key=lambda r: r.offset):
+                if record.offset == expected:
+                    out.append(record)
+                    expected += 1
+                elif record.offset > expected:
+                    break  # gap: dropped in transit, re-fetch next poll
+            self._positions[key] = expected
         return out
 
     def commit(self, member_id: str) -> None:

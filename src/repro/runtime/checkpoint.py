@@ -21,10 +21,19 @@ from repro.core.errors import StateError
 
 @dataclass
 class CheckpointSnapshot:
-    """All state reported for one checkpoint id."""
+    """All state reported for one checkpoint id.
+
+    Expectations are tracked **per role**: a participant that is both a
+    source and a stateful operator must report its offset *and* its state
+    before the checkpoint counts as complete.  (Unioning the reported keys
+    against one flat expected set let a dual-role participant's offset
+    report mask its missing state report, so restore silently dropped the
+    state — the torn-snapshot bug.)
+    """
 
     checkpoint_id: int
-    expected: set[tuple[str, int]]
+    expected_operators: set[tuple[str, int]]
+    expected_sources: set[tuple[str, int]]
     operator_state: dict[tuple[str, int], Any] = field(default_factory=dict)
     source_offsets: dict[tuple[str, int], int] = field(default_factory=dict)
     #: Wall-clock bracket: first report → completing report (observability).
@@ -32,9 +41,14 @@ class CheckpointSnapshot:
     completed_at: float | None = None
 
     @property
+    def expected(self) -> set[tuple[str, int]]:
+        """All participants, either role (kept for display/diagnostics)."""
+        return self.expected_operators | self.expected_sources
+
+    @property
     def complete(self) -> bool:
-        reported = set(self.operator_state) | set(self.source_offsets)
-        return reported >= self.expected
+        return (set(self.operator_state) >= self.expected_operators
+                and set(self.source_offsets) >= self.expected_sources)
 
     @property
     def duration(self) -> float | None:
@@ -52,32 +66,68 @@ class CheckpointCoordinator:
     monotonically and are globally shared (all sources inject barrier n at
     their own n·interval position — consistent cuts are guaranteed by the
     alignment downstream, not by source synchrony).
+
+    ``sources`` and ``operators`` are the per-role participant sets; a
+    subtask appearing in both must deliver both kinds of report for a
+    checkpoint to complete.
     """
 
     def __init__(self, interval: int | None,
-                 participants: set[tuple[str, int]]) -> None:
+                 sources: set[tuple[str, int]] | None = None,
+                 operators: set[tuple[str, int]] | None = None) -> None:
         if interval is not None and interval <= 0:
             raise StateError(f"checkpoint interval must be positive, "
                              f"got {interval}")
         self.interval = interval
-        self.participants = participants
+        self.sources = set(sources or ())
+        self.operators = set(operators or ())
         self._snapshots: dict[int, CheckpointSnapshot] = {}
+        #: Ids at or below this are retired: a restore rolled the job back
+        #: to this checkpoint, so recounting sources re-derive them.
+        self._floor = 0
         #: Completed-checkpoint wall times: (checkpoint id, seconds).
         self.durations: list[tuple[int, float]] = []
 
+    @property
+    def participants(self) -> set[tuple[str, int]]:
+        return self.sources | self.operators
+
     def barrier_due(self, records_emitted: int) -> int | None:
         """Checkpoint id to inject after ``records_emitted`` records, or
-        None.  (id = how many intervals have elapsed.)"""
+        None.  (id = how many intervals have elapsed.)  Ids at or below
+        the restore floor were completed before the rollback that replays
+        these records; re-injecting them would re-open snapshots that are
+        already recovery points."""
         if self.interval is None or records_emitted == 0:
             return None
         if records_emitted % self.interval == 0:
-            return records_emitted // self.interval
+            checkpoint_id = records_emitted // self.interval
+            if checkpoint_id <= self._floor:
+                return None
+            return checkpoint_id
         return None
+
+    def reset_for_restore(self, restored_id: int | None) -> None:
+        """Prepare for a restart from checkpoint ``restored_id``.
+
+        Snapshots newer than the restored checkpoint are partial work from
+        the crashed attempt — its in-flight barriers died with it, so they
+        can never complete and would otherwise accumulate as garbage (or
+        worse, complete *incorrectly* when replaying sources recount into
+        them).  Numbering resumes above ``restored_id``.  ``None`` means a
+        restart from scratch: everything is discarded.
+        """
+        restored = restored_id if restored_id is not None else 0
+        self._floor = restored
+        for checkpoint_id in list(self._snapshots):
+            if checkpoint_id > restored or \
+                    not self._snapshots[checkpoint_id].complete:
+                del self._snapshots[checkpoint_id]
 
     def _snapshot_for(self, checkpoint_id: int) -> CheckpointSnapshot:
         if checkpoint_id not in self._snapshots:
             self._snapshots[checkpoint_id] = CheckpointSnapshot(
-                checkpoint_id, set(self.participants))
+                checkpoint_id, set(self.operators), set(self.sources))
         return self._snapshots[checkpoint_id]
 
     def report_operator(self, checkpoint_id: int, vertex: str,

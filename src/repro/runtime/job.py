@@ -320,15 +320,17 @@ class JobRunner:
         self.checkpoint_interval = checkpoint_interval
         self.max_restarts = max_restarts
         self.kernel = kernel
-        participants: set[tuple[str, int]] = set()
+        source_participants: set[tuple[str, int]] = set()
+        operator_participants: set[tuple[str, int]] = set()
         for name, source in self.graph.sources.items():
-            participants.update((name, i)
-                                for i in range(source.parallelism))
+            source_participants.update((name, i)
+                                       for i in range(source.parallelism))
         for name, vertex in self.graph.vertices.items():
-            participants.update((name, i)
-                                for i in range(vertex.parallelism))
+            operator_participants.update((name, i)
+                                         for i in range(vertex.parallelism))
         self.coordinator = CheckpointCoordinator(
-            checkpoint_interval, participants)
+            checkpoint_interval, sources=source_participants,
+            operators=operator_participants)
         # (vertex, subtask) -> epoch id -> committed elements.  Epochs are
         # overwritten idempotently on re-commit after recovery, which is
         # what deduplicates replayed output (exactly-once).
@@ -435,6 +437,13 @@ class JobRunner:
                     if attempts > self.max_restarts:
                         raise
                     restore_from = self.coordinator.latest_complete()
+                    # Replaying sources recount from the restored offset,
+                    # so barrier ids up to the restored checkpoint will be
+                    # derived again; retire them (and the crashed
+                    # attempt's partial snapshots) before redeploying.
+                    self.coordinator.reset_for_restore(
+                        restore_from.checkpoint_id
+                        if restore_from is not None else None)
                     self._collect_committed()
             root.add(messages=result.messages_processed,
                      recoveries=result.recoveries)

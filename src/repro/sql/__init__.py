@@ -4,7 +4,7 @@ The dialect uses windows as GROUP BY constructs (``TUMBLE``/``HOP``/
 ``SESSION``) with an ``EMIT`` clause, in the "one SQL to rule them all"
 direction; queries compile down the Figure 4 stack onto the DSL and actor
 runtime.  The package also hosts the optimizers shared with the CQL front
-end: the rule-based rewriter (:mod:`repro.sql.optimizer`) and the
+end: the rule-based rewriter (:mod:`repro.plan.rules`) and the
 cost-based volcano join enumerator (:mod:`repro.sql.volcano`).
 """
 
@@ -14,15 +14,15 @@ from repro.sql.ast import (
     GroupWindowKind,
     SQLStatement,
 )
-from repro.sql.optimizer import (
+from repro.plan.rules import (
     DEFAULT_RULES,
     extract_equijoin_keys,
     fuse_filters,
     optimize,
-    plan_signature,
     push_filter_through_join,
     remove_trivial_filter,
 )
+from repro.plan.signature import plan_signature
 from repro.sql.parser import parse_sql
 from repro.sql.translate import (
     WINDOW_END,

@@ -5,10 +5,18 @@ to live here are now the *unified* planning layer shared by every
 frontend: :mod:`repro.plan.rules` (rules + :func:`optimize`) and
 :mod:`repro.plan.signature` (canonical, commutativity-aware
 :func:`plan_signature`).  This module re-exports them so existing
-imports keep working; new code should import from :mod:`repro.plan`.
+imports keep working; new code should import from :mod:`repro.plan`;
+importing this shim emits a :class:`DeprecationWarning`.
 """
 
-from repro.plan.rules import (  # noqa: F401  (compatibility re-exports)
+import warnings
+
+warnings.warn(
+    "repro.sql.optimizer is deprecated; import the rewrite rules from "
+    "repro.plan (repro.plan.rules / repro.plan.signature) instead",
+    DeprecationWarning, stacklevel=2)
+
+from repro.plan.rules import (  # noqa: E402, F401  (compatibility re-exports)
     DEFAULT_RULES,
     Rule,
     collapse_distinct,
@@ -21,7 +29,7 @@ from repro.plan.rules import (  # noqa: F401  (compatibility re-exports)
     remove_identity_project,
     remove_trivial_filter,
 )
-from repro.plan.signature import plan_signature  # noqa: F401
+from repro.plan.signature import plan_signature  # noqa: E402, F401
 
 __all__ = [
     "DEFAULT_RULES", "Rule", "collapse_distinct", "compose_projects",

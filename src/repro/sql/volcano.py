@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.core.errors import PlanError
-from repro.cql.algebra import (
+from repro.plan.ir import (
     Filter,
     Join,
     LogicalOp,
@@ -33,7 +33,7 @@ from repro.cql.algebra import (
 )
 from repro.cql.ast import Binary, BinOp, Column, Expr, conjoin
 from repro.cql.expressions import columns_resolvable
-from repro.sql.optimizer import extract_equijoin_keys
+from repro.plan.rules import extract_equijoin_keys
 
 
 @dataclass

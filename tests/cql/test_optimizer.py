@@ -11,14 +11,14 @@ from repro.cql import (
     parse_query,
     plan_statement,
 )
-from repro.sql.optimizer import (
+from repro.plan.rules import (
     extract_equijoin_keys,
     fuse_filters,
     optimize,
-    plan_signature,
     push_filter_through_join,
     remove_trivial_filter,
 )
+from repro.plan.signature import plan_signature
 
 
 @pytest.fixture

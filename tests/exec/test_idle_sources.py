@@ -81,6 +81,40 @@ class TestManualEscapeHatch:
         assert sink.marks == [7]
 
 
+class TestRestoreResetsIdleState:
+    """Regression: ``last_seq`` and the idle set survived ``restore``,
+    so a rolled-back plan either instantly re-idled live sources or kept
+    a crash-time-idle source out of the min-combine forever."""
+
+    def test_restore_reactivates_idle_sources(self):
+        plan, sink = stalled_plan(idle_timeout=2)
+        plan.open()
+        plan.advance_watermark("live", 10)
+        for value in range(4):
+            plan.push("live", value)
+        assert sink.marks == [10]            # quiet expelled
+        plan.restore(plan.snapshot())        # in-place rollback
+        plan.advance_watermark("live", 20)
+        assert sink.marks == [10]            # quiet holds again
+        plan.advance_watermark("quiet", 30)
+        assert sink.marks == [10, 20]
+
+    def test_restore_resets_the_idle_clock(self):
+        plan, sink = stalled_plan(idle_timeout=3)
+        plan.open()
+        plan.advance_watermark("live", 10)
+        plan.push("live", 0)
+        plan.push("live", 1)                 # two of three strikes
+        plan.restore(plan.snapshot())
+        plan.push("live", 2)
+        # A stale crash-time clock would have expelled "quiet" here.
+        assert sink.marks == []
+        plan.push("live", 3)
+        plan.push("live", 4)
+        plan.push("live", 5)                 # a full fresh timeout elapses
+        assert sink.marks == [10]
+
+
 class TestWatermarkTracker:
     def test_advance_and_min_combine(self):
         tracker = WatermarkTracker(["a", "b"])

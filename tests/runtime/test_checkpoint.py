@@ -1,0 +1,100 @@
+"""Regression tests for the checkpoint coordinator.
+
+Two bugs fixed here:
+
+* **Dual-role completeness** — a participant that is both a source and a
+  stateful operator used to mark a checkpoint complete with only its
+  offset report, so restore silently dropped its state.  Expectations
+  are now tracked per role.
+* **Barrier-id reuse after restore** — a restarted job's replaying
+  sources re-derived old barrier ids and re-opened snapshots that were
+  already recovery points.  The coordinator now retires ids at or below
+  the restored checkpoint and discards partial snapshots from the
+  crashed attempt.
+"""
+
+import pytest
+
+from repro.core import StateError
+from repro.runtime.checkpoint import CheckpointCoordinator, \
+    CheckpointSnapshot
+
+
+SRC = ("src", 0)
+OP = ("op", 0)
+
+
+class TestDualRoleCompleteness:
+    def coordinator(self):
+        # "src" plays both roles: it must report its offset AND its state.
+        return CheckpointCoordinator(2, sources={SRC},
+                                     operators={SRC, OP})
+
+    def test_offset_report_alone_does_not_complete(self):
+        coordinator = self.coordinator()
+        coordinator.report_source(1, "src", 0, 4)
+        coordinator.report_operator(1, "op", 0, {"n": 1})
+        # Regression: the union of reported keys used to cover the flat
+        # expected set here, completing the checkpoint without src's state.
+        assert coordinator.latest_complete() is None
+
+    def test_both_roles_reported_completes_with_state_kept(self):
+        coordinator = self.coordinator()
+        coordinator.report_source(1, "src", 0, 4)
+        coordinator.report_operator(1, "op", 0, {"n": 1})
+        coordinator.report_operator(1, "src", 0, {"buffered": [7]})
+        latest = coordinator.latest_complete()
+        assert latest is not None and latest.checkpoint_id == 1
+        assert latest.operator_state[SRC] == {"buffered": [7]}
+        assert latest.source_offsets[SRC] == 4
+        assert latest.duration is not None
+
+    def test_snapshot_expected_union_is_preserved_for_display(self):
+        snapshot = CheckpointSnapshot(1, expected_operators={SRC, OP},
+                                      expected_sources={SRC})
+        assert snapshot.expected == {SRC, OP}
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(StateError):
+            CheckpointCoordinator(0)
+
+
+class TestRestoreFloor:
+    def coordinator(self):
+        coordinator = CheckpointCoordinator(2, sources={SRC},
+                                            operators={OP})
+        for checkpoint_id in (1, 2):
+            coordinator.report_source(checkpoint_id, "src", 0,
+                                      checkpoint_id * 2)
+            coordinator.report_operator(checkpoint_id, "op", 0,
+                                        {"upto": checkpoint_id})
+        # Checkpoint 3 is the crashed attempt's partial work: the barrier
+        # reached the source but died before the operator aligned.
+        coordinator.report_source(3, "src", 0, 6)
+        return coordinator
+
+    def test_partial_and_newer_snapshots_are_discarded(self):
+        coordinator = self.coordinator()
+        coordinator.reset_for_restore(2)
+        assert coordinator.completed_ids() == [1, 2]
+        # Replaying sources recount record 6: barrier 3 is re-derived
+        # fresh, not merged into the dead partial snapshot.
+        coordinator.report_source(3, "src", 0, 6)
+        coordinator.report_operator(3, "op", 0, {"upto": 3})
+        assert coordinator.latest_complete().checkpoint_id == 3
+
+    def test_retired_barrier_ids_are_not_reinjected(self):
+        coordinator = self.coordinator()
+        coordinator.reset_for_restore(2)
+        # Replay re-passes the record counts that produced barriers 1-2.
+        assert coordinator.barrier_due(2) is None
+        assert coordinator.barrier_due(4) is None
+        # Regression: these used to come due again and re-open completed
+        # snapshots with replay-time reports.
+        assert coordinator.barrier_due(6) == 3
+
+    def test_restart_from_scratch_discards_everything(self):
+        coordinator = self.coordinator()
+        coordinator.reset_for_restore(None)
+        assert coordinator.completed_ids() == []
+        assert coordinator.barrier_due(2) == 1   # numbering starts over
