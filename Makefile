@@ -3,7 +3,8 @@ PYTHONPATH := src
 
 export PYTHONPATH
 
-.PHONY: test lint bench-kernel bench-plan bench-recovery chaos fuzz fuzz-quick
+.PHONY: test lint bench bench-kernel bench-plan bench-recovery \
+	bench-profile chaos fuzz fuzz-quick
 
 test: lint
 	$(PYTHON) -m pytest -x -q
@@ -31,6 +32,15 @@ bench-plan:
 # injected crash per interval.  Writes BENCH_recovery.json.
 bench-recovery:
 	$(PYTHON) -m pytest benchmarks/bench_recovery.py -x -q
+
+# Profiling overhead: obs off vs metrics-only vs full profiling on the
+# standing-query workloads, plus per-operator attribution sanity.
+# Writes BENCH_profiling.json.
+bench-profile:
+	$(PYTHON) -m pytest benchmarks/bench_profiling.py -x -q
+
+# Every headline benchmark, each writing its BENCH_*.json.
+bench: bench-kernel bench-plan bench-recovery bench-profile
 
 # Standing fault-injection campaign: kernel crash matrix over random
 # queries plus seeded broker drop/dup/reorder chaos.

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 import repro.obs as obs
+from repro.obs import profile as _profile
 from repro.core.errors import StateError
 from repro.chaos.injection import InjectedCrash
 
@@ -134,6 +135,11 @@ class RecoveryManager:
                 "checkpoint.bytes", target=self.label).inc(size)
             obs.get_registry().counter(
                 "checkpoint.taken", target=self.label).inc()
+        if _profile._ENABLED:
+            _profile._RECORDER.record(
+                "checkpoint", target=self.label,
+                checkpoint=checkpoint.checkpoint_id, offset=offset,
+                bytes=size)
         return checkpoint
 
     def latest(self) -> Checkpoint | None:
@@ -152,6 +158,11 @@ class RecoveryManager:
         if obs._STATE.enabled:
             obs.get_registry().counter(
                 "recovery.attempts", target=self.label).inc()
+        if _profile._ENABLED:
+            _profile._RECORDER.record(
+                "recovery.attempt", target=self.label,
+                checkpoint=checkpoint.checkpoint_id,
+                offset=checkpoint.offset)
         started = time.perf_counter()
         with tracer.span("recovery.restore", target=self.label,
                          checkpoint=checkpoint.checkpoint_id,

@@ -241,6 +241,11 @@ class StreamSourceOp(PhysicalOp):
         self._arrived = False
         #: Total tuples ever evicted from this window (Throw accounting).
         self.evicted = 0
+        #: Raw arrivals staged here, counted *before* the prefilter, so
+        #: explain_analyze can report the source's live selectivity.
+        #: Deliberately not in _STATE_ATTRS: like received/emitted it is
+        #: lifetime accounting, not recoverable window state.
+        self.arrivals = 0
 
     def process_instant(self, t: Timestamp) -> tuple[list[Delta], bool]:
         arrived = self._arrived
@@ -253,6 +258,7 @@ class StreamSourceOp(PhysicalOp):
     def stage(self, record: Record, t: Timestamp) -> None:
         """Queue a (schema-qualified) arrival for the next process call."""
         self._arrived = True
+        self.arrivals += 1
         if self._prefilter is not None and not self._prefilter(record):
             return
         self._staged.append(record)
@@ -820,11 +826,15 @@ def _executor_append_only(node: LogicalOp) -> bool:
 def compile_plan(plan: LogicalOp, catalog: Catalog, agenda: Agenda,
                  memo=None,
                  ) -> tuple[PhysicalOp, dict[str, list[StreamSourceOp]],
-                            dict[str, list[RelationSourceOp]]]:
+                            dict[str, list[RelationSourceOp]],
+                            dict[int, PhysicalOp]]:
     """Compile a logical plan into a physical tree.
 
-    Returns the root physical operator plus the stream/relation source maps
-    (name → source operators) the driver feeds.
+    Returns the root physical operator, the stream/relation source maps
+    (name → source operators) the driver feeds, and a ``id(logical node)
+    → physical op`` map that lets EXPLAIN ANALYZE annotate the logical IR
+    with live execution statistics (window-consumed filter/scan nodes map
+    to their window source; memo-shared subtrees map to the shared op).
 
     ``memo`` is an optional :class:`repro.plan.sharing.SubplanMemo`: when
     given, subtrees whose canonical signature matches an already-compiled
@@ -835,6 +845,7 @@ def compile_plan(plan: LogicalOp, catalog: Catalog, agenda: Agenda,
     """
     stream_sources: dict[str, list[StreamSourceOp]] = defaultdict(list)
     relation_sources: dict[str, list[RelationSourceOp]] = defaultdict(list)
+    node_map: dict[int, PhysicalOp] = {}
     if memo is not None:
         from repro.plan.sharing import memo_key
     else:
@@ -850,11 +861,24 @@ def compile_plan(plan: LogicalOp, catalog: Catalog, agenda: Agenda,
                 shared_op, shared_streams = hit
                 for name, sources in shared_streams.items():
                     stream_sources[name].extend(sources)
+                _record(node, shared_op)
                 return shared_op
         op = _build_fresh(node)
         if memo is not None:
             memo.publish(key, (op, _subtree_streams(op)))
+        _record(node, op)
         return op
+
+    def _record(node: LogicalOp, op: PhysicalOp) -> None:
+        node_map[id(node)] = op
+        if isinstance(node, WindowOp):
+            # Pushed-below-window filters and the scan compiled *into*
+            # the source op; point their logical nodes at it too.
+            inner = node.child
+            while isinstance(inner, Filter):
+                node_map[id(inner)] = op
+                inner = inner.child
+            node_map[id(inner)] = op
 
     def _build_fresh(node: LogicalOp) -> PhysicalOp:
         if isinstance(node, WindowOp):
@@ -938,7 +962,7 @@ def compile_plan(plan: LogicalOp, catalog: Catalog, agenda: Agenda,
 
     root_logical = plan.child if isinstance(plan, RelToStream) else plan
     root = build(root_logical)
-    return root, dict(stream_sources), dict(relation_sources)
+    return root, dict(stream_sources), dict(relation_sources), node_map
 
 
 # ---------------------------------------------------------------------------
@@ -975,7 +999,8 @@ class ContinuousQuery:
         #: (possibly overlapping) physical tree in one exec.Plan.
         self._shared = shared
         self._agenda = shared.agenda if shared is not None else Agenda()
-        self._root, self._stream_sources, self._relation_sources = \
+        (self._root, self._stream_sources, self._relation_sources,
+         self._phys_by_logical) = \
             compile_plan(plan, catalog, self._agenda, memo=memo)
         self._kernel = None
         if kernel and shared is None:

@@ -19,9 +19,11 @@ Usage::
 
 from __future__ import annotations
 
+from time import perf_counter as _perf
 from typing import Any, Iterable, Mapping
 
 import repro.obs as obs
+from repro.obs import profile as _profile
 from repro.core.errors import PlanError, StateError
 from repro.core.errors import TimeError as CoreTimeError
 from repro.core.records import Record, Schema
@@ -79,6 +81,10 @@ class QueryHandle:
         self._throw = throw
         self._wm_clock = wm_clock
         self.metrics = QueryMetrics()
+        #: Wall time spent servicing this query's tuples (accumulated
+        #: only while obs is enabled; the per-operator split lives in the
+        #: query's executor accounting).
+        self.busy_seconds = 0.0
         self._emissions: list[Emission] = []
         self._ingest_seq = 0
         self._process_seq = 0
@@ -125,9 +131,11 @@ class QueryHandle:
         if queued is None:
             return False
         if obs._STATE.enabled:
+            started = _perf()
             with obs.get_tracer().span("dsms.service",
                                        query=self.name) as span:
                 self._service(queued, span)
+            self.busy_seconds += _perf() - started
         else:
             self._service(queued, None)
         return True
@@ -207,6 +215,7 @@ class SharedGroupHandle:
         self._scratch = scratch
         self._throw = throw
         self._wm_clock = wm_clock
+        self.busy_seconds = 0.0
         self.members: list[QueryHandle] = []
         self._registered_ops: set[int] = set()
 
@@ -243,13 +252,16 @@ class SharedGroupHandle:
         queued = self.queue.poll()
         if queued is None:
             return False
+        started = _perf() if obs._STATE.enabled else None
         stream_name, record = queued.value
         t = queued.timestamp
         before = self._evictions()
         self.group.push_batch(t, {stream_name: [record]})
         self._account_throw(before, t)
-        if obs._STATE.enabled and self._wm_clock is not None:
-            self._wm_clock.observe_processed(stream_name, t)
+        if started is not None:
+            if self._wm_clock is not None:
+                self._wm_clock.observe_processed(stream_name, t)
+            self.busy_seconds += _perf() - started
         self._deliver(t, stream_name)
         return True
 
@@ -332,6 +344,10 @@ class DSMSEngine:
         # Event-time lag accounting, published under dsms.watermark.*.
         self.watermark_clock = obs.WatermarkClock(
             obs.get_registry(), prefix="dsms.watermark")
+        #: Per-source stall detection (fed on arrival while obs is on):
+        #: a registered stream whose arrivals fall far behind the global
+        #: arrival tick is flagged — the crash-recovered-source signal.
+        self.stall_detector = _profile.StallDetector()
         #: Crash recovery (``recovery_interval`` arrivals per checkpoint):
         #: the engine keeps an arrival log and engine-wide snapshots; a
         #: recoverable failure raised while servicing rolls every query
@@ -360,6 +376,7 @@ class DSMSEngine:
 
     def register_stream(self, name: str, schema: Schema) -> None:
         self._cql.register_stream(name, schema)
+        self.stall_detector.register(name)
 
     def register_relation(self, name: str, schema: Schema,
                           rows: Iterable[Mapping[str, Any]] = ()) -> None:
@@ -466,6 +483,7 @@ class DSMSEngine:
         """Offer one (validated) arrival to every reading unit."""
         if obs._STATE.enabled:
             self.watermark_clock.observe_arrival(stream_name, t)
+            self.stall_detector.note_arrival(stream_name)
         admitted = 0
         for unit in self._units:
             if unit.reads_stream(stream_name):
@@ -630,7 +648,30 @@ class DSMSEngine:
                 published.inc(counter.value - published.value)
             registry.gauge("dsms.query.queue_length", **labels).set(
                 len(handle.queue))
+            registry.gauge("dsms.query.busy_seconds", **labels).set(
+                handle.busy_seconds)
             handle.query.publish_metrics(registry, **labels)
+        # Backpressure: queue peak/occupancy/pressure per scheduling unit
+        # (isolated queries and the shared group alike).
+        for unit in self._units:
+            labels = {"query": unit.name}
+            queue = unit.queue
+            registry.gauge("dsms.queue.peak_depth", **labels).set(queue.peak)
+            registry.gauge("dsms.queue.occupancy", **labels).set(
+                queue.occupancy)
+            pressure = registry.counter("dsms.queue.pressure_events",
+                                        **labels)
+            pressure.inc(queue.pressure_events - pressure.value)
+        if self._group_handle is not None:
+            registry.gauge(
+                "dsms.query.busy_seconds", query=self._group_handle.name,
+            ).set(self._group_handle.busy_seconds)
+        # Per-source stall detection: gap to the global arrival tick.
+        stalled = self.stall_detector.stalled()
+        for stream, gap in self.stall_detector.gaps().items():
+            registry.gauge("dsms.source.stall_gap", stream=stream).set(gap)
+            registry.gauge("dsms.source.stalled", stream=stream).set(
+                1.0 if stream in stalled else 0.0)
         registry.gauge("dsms.scratch.occupancy").set(
             self.scratch.occupancy())
         registry.gauge("dsms.scratch.peak").set(self.scratch.peak)

@@ -14,6 +14,7 @@ from typing import Any, NamedTuple
 
 from repro.core.errors import StateError
 from repro.core.time import Timestamp
+from repro.obs import profile as _profile
 
 
 class QueuedTuple(NamedTuple):
@@ -24,7 +25,16 @@ class QueuedTuple(NamedTuple):
 
 
 class InputQueue:
-    """A bounded FIFO between a stream and a query's operators."""
+    """A bounded FIFO between a stream and a query's operators.
+
+    Beyond drop accounting the queue keeps always-on backpressure
+    telemetry (a handful of integer compares per offer): ``peak`` is the
+    depth high-water mark, and ``pressure_events`` counts upward crossings
+    of the pressure threshold (80% occupancy by default) — the signal the
+    adaptivity loop watches for sustained overload.  The crossing is
+    edge-triggered: one sustained episode above the mark counts once,
+    however many tuples arrive during it.
+    """
 
     def __init__(self, capacity: int = 1024) -> None:
         if capacity <= 0:
@@ -34,20 +44,36 @@ class InputQueue:
         self._queue: deque[QueuedTuple] = deque()
         self.enqueued = 0
         self.dropped = 0
+        self.peak = 0
+        self.pressure_events = 0
+        self._pressure_mark = max(1, int(capacity * _profile.PRESSURE_THRESHOLD))
+        self._pressured = False
 
     def offer(self, value: Any, timestamp: Timestamp) -> bool:
         """Try to enqueue; returns False (and counts a drop) when full."""
-        if len(self._queue) >= self.capacity:
+        depth = len(self._queue)
+        if depth >= self.capacity:
             self.dropped += 1
             return False
         self._queue.append(QueuedTuple(value, timestamp))
         self.enqueued += 1
+        depth += 1
+        if depth > self.peak:
+            self.peak = depth
+        if depth >= self._pressure_mark and not self._pressured:
+            self._pressured = True
+            self.pressure_events += 1
+            if _profile._ENABLED:
+                _profile._RECORDER.record(
+                    "queue.pressure", depth=depth, capacity=self.capacity)
         return True
 
     def poll(self) -> QueuedTuple | None:
         """Dequeue the oldest tuple, or None when empty."""
         if not self._queue:
             return None
+        if self._pressured and len(self._queue) <= self._pressure_mark:
+            self._pressured = False
         return self._queue.popleft()
 
     def peek(self) -> QueuedTuple | None:
@@ -67,6 +93,11 @@ class InputQueue:
     def occupancy(self) -> float:
         """Fill fraction in [0, 1]."""
         return len(self._queue) / self.capacity
+
+    @property
+    def pressured(self) -> bool:
+        """Whether the queue currently sits above the pressure mark."""
+        return self._pressured
 
     def __repr__(self) -> str:
         return (f"InputQueue(len={len(self._queue)}/{self.capacity}, "

@@ -20,7 +20,12 @@ each reimplemented:
   callers a manual escape hatch.  One fix, every layer.
 * **observability** — ``exec.operator.records_in`` / ``records_out``
   counters per operator, recorded at the plan boundary instead of inside
-  each engine.
+  each engine.  When :mod:`repro.obs.profile` is enabled *before*
+  ``open()``, the plan additionally grows per-operator profiling
+  collectors (in/out, sampled self-time, watermark lag) — the decision is
+  taken once at open time, so the disabled hot path keeps its exact
+  pre-profiling shape: no collector allocation, no timing calls, just one
+  ``is None`` check per plan-wide push.
 
 ``fuse`` collapses chains of fusible operators into
 :class:`~repro.exec.operator.FusedOperator` nodes before ``open``.
@@ -28,6 +33,7 @@ each reimplemented:
 
 from __future__ import annotations
 
+from time import perf_counter as _perf
 from typing import Any, Callable
 
 import repro.obs as obs
@@ -36,13 +42,14 @@ from repro.exec.fusion import fuse_fixpoint
 from repro.exec.operator import Emitter, Operator, OperatorContext
 from repro.exec.state import DictStateBackend, StateBackend
 from repro.exec.watermarks import WatermarkTracker
+from repro.obs import profile as _profile
 
 
 class _Source:
     """A named input channel of the plan."""
 
     __slots__ = ("name", "idle_timeout", "initial_watermark", "targets",
-                 "last_seq", "deliveries")
+                 "last_seq", "deliveries", "watermark")
 
     def __init__(self, name: str, idle_timeout: int | None,
                  initial_watermark: Timestamp) -> None:
@@ -53,13 +60,16 @@ class _Source:
         self.last_seq = 0
         #: bound per-target entry points, precomputed at open()
         self.deliveries: list[tuple[Callable[..., None], int]] = []
+        #: last advanced watermark (read pull-based for lag estimates)
+        self.watermark = initial_watermark
 
 
 class _Node:
     """An operator plus its plan wiring (inputs, targets, tracker, obs)."""
 
     __slots__ = ("name", "op", "inputs", "targets", "tracker", "plan",
-                 "fires_watermark", "_registry", "_in_counter", "_out_counter")
+                 "fires_watermark", "profile", "profiler", "count",
+                 "_registry", "_in_counter", "_out_counter")
 
     def __init__(self, name: str, op: Operator, inputs: list[str]) -> None:
         self.name = name
@@ -69,6 +79,11 @@ class _Node:
         self.tracker: WatermarkTracker | None = None
         self.plan: "Plan | None" = None
         self.fires_watermark = True
+        self.profile = None
+        #: flat copies of plan state for the profiled entry point — one
+        #: attribute load each instead of two chained ones per element
+        self.profiler = None
+        self.count = False
         self._registry = None
         self._in_counter = None
         self._out_counter = None
@@ -90,6 +105,35 @@ class _Node:
         if self.plan._count:
             self._counters()[0].inc()
         self.op.process_element(value, input_index)
+
+    def preceive(self, value: Any, input_index: int) -> None:
+        """The profiled entry point (only ever wired by ``open()`` when
+        profiling was enabled, so the plain hot path never pays for it).
+
+        Self-time accounting: the call is timed inclusively, downstream
+        work that ran synchronously inside it (via the emitter reaching
+        other ``preceive`` frames) accumulates in the stack frame pushed
+        here, and the difference is this operator's own busy time — which
+        is why busy shares across a plan sum to ~100%.
+        """
+        prof = self.profile
+        prof.records_in += 1
+        if self.count:
+            self._counters()[0].inc()
+        profiler = self.profiler
+        if profiler.timing:
+            stack = profiler.stack
+            stack.append(0.0)
+            started = _perf()
+            self.op.process_element(value, input_index)
+            elapsed = _perf() - started
+            child_time = stack.pop()
+            prof.busy_seconds += elapsed - child_time
+            prof.timed_in += 1
+            if stack:
+                stack[-1] += elapsed
+        else:
+            self.op.process_element(value, input_index)
 
 
 class _NodeEmitter(Emitter):
@@ -123,6 +167,28 @@ class _FastEmitter(Emitter):
             deliver(value, input_index)
 
 
+class _ProfilingEmitter(Emitter):
+    """Counts emissions into the node's profile, then delivers downstream
+    through the profiled entry points.  Subsumes ``_NodeEmitter`` when the
+    plan also counts into the registry."""
+
+    __slots__ = ("_node", "_profile", "_count", "_deliveries")
+
+    def __init__(self, node: _Node) -> None:
+        self._node = node
+        self._profile = node.profile
+        self._count = node.count
+        self._deliveries = [(target.preceive, input_index)
+                            for target, input_index in node.targets]
+
+    def emit(self, value: Any) -> None:
+        self._profile.records_out += 1
+        if self._count:
+            self._node._counters()[1].inc()
+        for deliver, input_index in self._deliveries:
+            deliver(value, input_index)
+
+
 class Plan:
     """A wired set of kernel operators plus sources, ready to push into."""
 
@@ -135,6 +201,7 @@ class Plan:
         self._idle: set[str] = set()
         self._count = True
         self._track_idle = False
+        self._profiler: "_profile.PlanProfiler | None" = None
         self.labels: dict[str, str] = {}
 
     # -- construction ----------------------------------------------------------
@@ -223,9 +290,21 @@ class Plan:
                 list(node.inputs),
                 initials={ch: initials[ch] for ch in node.inputs})
             initials[node.name] = node.tracker.combined
+        # Profiling is decided once, here: plans opened while profiling is
+        # off never allocate a collector or take a timing call.
+        if _profile._ENABLED:
+            self._profiler = _profile.PlanProfiler(self)
+            for node in self._order:
+                node.profile = self._profiler.register(node.name, node.op)
+                node.profiler = self._profiler
+                node.count = count_elements
         for node in self._order:
-            emitter = (_NodeEmitter(node) if count_elements
-                       else _FastEmitter(node))
+            if self._profiler is not None:
+                emitter: Emitter = _ProfilingEmitter(node)
+            elif count_elements:
+                emitter = _NodeEmitter(node)
+            else:
+                emitter = _FastEmitter(node)
             node.op.open(OperatorContext(
                 name=node.name, emitter=emitter,
                 state_factory=state_factory,
@@ -245,10 +324,14 @@ class Plan:
                 overrides = bool(node.op._wm_members)
             node.fires_watermark = overrides
         for src in self._sources.values():
-            src.deliveries = [
-                (node.receive if count_elements else node.op.process_element,
-                 input_index)
-                for node, input_index in src.targets]
+            if self._profiler is not None:
+                entry = lambda node: node.preceive  # noqa: E731
+            elif count_elements:
+                entry = lambda node: node.receive  # noqa: E731
+            else:
+                entry = lambda node: node.op.process_element  # noqa: E731
+            src.deliveries = [(entry(node), input_index)
+                              for node, input_index in src.targets]
 
     def push(self, source: str, value: Any) -> None:
         """Inject one element at ``source``; it flows to completion."""
@@ -261,6 +344,14 @@ class Plan:
             self._expire_idle_sources()
         elif self._idle and source in self._idle:
             self._reactivate(source)
+        profiler = self._profiler
+        if profiler is not None:
+            profiler.tick += 1
+            profiler.timing = profiler.tick % profiler.sample_every == 0
+            if profiler.tick % profiler.flight_every == 0:
+                _profile._RECORDER.record(
+                    "element.push", plan=profiler.label, source=source,
+                    tick=profiler.tick)
         for deliver, input_index in src.deliveries:
             deliver(value, input_index)
 
@@ -269,10 +360,18 @@ class Plan:
         input watermark moved (two-phase: track, then fire in plan order).
         """
         src = self._sources[source]
+        src.watermark = watermark
         if self._track_idle:
             src.last_seq = self._seq
         if self._idle and source in self._idle:
             self._reactivate(source)
+        profiler = self._profiler
+        if profiler is not None:
+            profiler.tick += 1
+            profiler.timing = profiler.tick % profiler.sample_every == 0
+            _profile._RECORDER.record(
+                "watermark.advance", plan=profiler.label, source=source,
+                watermark=watermark)
         updates: dict[str, Timestamp] = {source: watermark}
         self._propagate(updates)
 
@@ -330,8 +429,28 @@ class Plan:
                 updates[node.name] = advanced
                 if node.fires_watermark:
                     fired.append((node, advanced))
-        for node, watermark in fired:
-            node.op.process_watermark(watermark)
+        profiler = self._profiler
+        if profiler is not None and profiler.timing:
+            for node, watermark in fired:
+                self._timed_fire(node, watermark, profiler)
+        else:
+            for node, watermark in fired:
+                node.op.process_watermark(watermark)
+
+    def _timed_fire(self, node: _Node, watermark: Timestamp,
+                    profiler: "_profile.PlanProfiler") -> None:
+        # Watermark firings (pane emission, window eviction) are often the
+        # real cost of a windowed plan; attribute them with the same
+        # self-time stack discipline as element flows.
+        stack = profiler.stack
+        stack.append(0.0)
+        started = _perf()
+        node.op.process_watermark(watermark)
+        elapsed = _perf() - started
+        child_time = stack.pop()
+        node.profile.busy_seconds += elapsed - child_time
+        if stack:
+            stack[-1] += elapsed
 
     def _propagate_idle(self, idle_channels: set[str]) -> None:
         fired: list[tuple[_Node, Timestamp]] = []

@@ -39,6 +39,31 @@ class StateBackend:
         for key, value in state:
             self.put(key, value)
 
+    # -- introspection (pull-based; never on the element hot path) ------------
+
+    def estimated_entries(self) -> int:
+        """How many keyed entries the backend currently holds."""
+        return sum(1 for _ in self.items())
+
+    def estimated_bytes(self, sample: int = 32) -> int:
+        """A cheap serialized-size estimate.
+
+        Measures the repr length of up to ``sample`` entries and scales to
+        the entry count — good enough for EXPLAIN ANALYZE's "where is the
+        memory" question without serializing whole windows.
+        """
+        entries = self.estimated_entries()
+        if entries == 0:
+            return 0
+        sampled = []
+        for item in self.items():
+            sampled.append(len(repr(item)))
+            if len(sampled) >= sample:
+                break
+        if not sampled:
+            return 0
+        return int(sum(sampled) / len(sampled) * entries)
+
 
 class DictStateBackend(StateBackend):
     """Heap state backend (Flink's 'hashmap' backend)."""
@@ -57,6 +82,9 @@ class DictStateBackend(StateBackend):
 
     def items(self) -> Iterable[tuple[Any, Any]]:
         return list(self._data.items())
+
+    def estimated_entries(self) -> int:
+        return len(self._data)
 
 
 class LSMStateBackend(StateBackend):

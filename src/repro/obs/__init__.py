@@ -40,6 +40,18 @@ from repro.obs.metrics import Counter, Gauge, Histogram, Metric
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import NoopSpan, NoopTracer, Span, Tracer
 from repro.obs.watermarks import WatermarkClock
+from repro.obs import profile as _profile
+from repro.obs.profile import (
+    FlightRecorder,
+    StallDetector,
+    analyze,
+    dump_on_crash,
+    explain_analyze,
+    get_flight_recorder,
+    profile_snapshot,
+    render_top,
+    write_snapshot,
+)
 
 _NOOP_TRACER = NoopTracer()
 
@@ -77,8 +89,13 @@ def is_enabled() -> bool:
     return _STATE.enabled
 
 
-def enable() -> None:
+def enable(profile: bool = False, sample_every: int | None = None) -> None:
     """Turn on tracing and the timing instrumentation layers gate on.
+
+    ``profile=True`` additionally switches on the per-operator profiling
+    layer (:mod:`repro.obs.profile`): kernel plans opened *after* this
+    call grow collectors, the flight recorder starts receiving events,
+    and ``sample_every`` tunes the 1-in-N timing sample rate.
 
     Re-enabling after :func:`disable` keeps the already-recorded traces —
     only :func:`reset` discards them.
@@ -87,15 +104,24 @@ def enable() -> None:
         _STATE.enabled = True
         if not isinstance(_STATE.tracer, Tracer):
             _STATE.tracer = Tracer()
+    if profile:
+        _profile.enable(sample_every)
 
 
 def disable() -> None:
-    """Stop tracing/timing; recorded traces stay readable until reset.
+    """Stop tracing/timing/profiling; recorded data stays readable until
+    reset.
 
     Instrumentation sites gate span creation on :func:`is_enabled`, so the
     recording tracer can stay in place purely as a read handle.
     """
     _STATE.enabled = False
+    _profile.disable()
+
+
+def is_profiling() -> bool:
+    """Whether the per-operator profiling layer is on."""
+    return _profile.is_enabled()
 
 
 def reset() -> None:
@@ -104,12 +130,16 @@ def reset() -> None:
     _STATE.tracer = _NOOP_TRACER
     _STATE.clock = WatermarkClock(_STATE.registry)
     _STATE.enabled = False
+    _profile.reset()
 
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "Metric", "MetricsRegistry",
     "Span", "Tracer", "NoopSpan", "NoopTracer", "WatermarkClock",
+    "FlightRecorder", "StallDetector",
     "get_registry", "get_tracer", "get_watermark_clock",
-    "is_enabled", "enable", "disable", "reset",
+    "is_enabled", "enable", "disable", "reset", "is_profiling",
+    "explain_analyze", "analyze", "render_top", "get_flight_recorder",
+    "profile_snapshot", "write_snapshot", "dump_on_crash",
     "to_jsonl", "to_prometheus", "write_jsonl", "console_table", "summary",
 ]

@@ -15,11 +15,17 @@ from __future__ import annotations
 
 import json
 import pathlib
+import re
 from typing import Any
 
 from repro.obs.metrics import Counter, Gauge, Histogram
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import NoopTracer, Tracer
+
+# Prometheus exposition format: metric names match
+# [a-zA-Z_:][a-zA-Z0-9_:]*, label names [a-zA-Z_][a-zA-Z0-9_]*.
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD = re.compile(r"[^a-zA-Z0-9_]")
 
 
 def to_jsonl(registry: MetricsRegistry,
@@ -45,7 +51,38 @@ def write_jsonl(path: str | pathlib.Path, registry: MetricsRegistry,
 
 
 def _prom_name(name: str, suffix: str = "") -> str:
-    return name.replace(".", "_").replace("-", "_") + suffix
+    """Fold a dotted metric name into a legal Prometheus identifier.
+
+    Dots/dashes become underscores, every other illegal character is
+    replaced by ``_``, and a leading digit gets an underscore prefix —
+    arbitrary registry names must never produce an unparseable exposition.
+    """
+    folded = _NAME_BAD.sub("_", name.replace(".", "_").replace("-", "_"))
+    if not folded:
+        folded = "_"
+    if folded[0].isdigit():
+        folded = "_" + folded
+    return folded + suffix
+
+
+def _prom_label_name(name: str) -> str:
+    sanitized = _LABEL_BAD.sub("_", name) or "_"
+    if sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_label_value(value: Any) -> str:
+    """Escape a label value per the exposition format.
+
+    Backslash first (it is the escape character), then newline and double
+    quote — the three characters that would otherwise break the line- and
+    quote-structured format.
+    """
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace("\n", "\\n")
+            .replace('"', '\\"'))
 
 
 def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None,
@@ -53,7 +90,9 @@ def _prom_labels(labels: dict[str, str], extra: dict[str, str] | None = None,
     merged = {**labels, **(extra or {})}
     if not merged:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    inner = ",".join(
+        f'{_prom_label_name(k)}="{_prom_label_value(v)}"'
+        for k, v in sorted(merged.items()))
     return "{" + inner + "}"
 
 
@@ -107,9 +146,13 @@ def console_table(registry: MetricsRegistry, title: str = "observability",
             value = str(metric.value)
         elif isinstance(metric, Histogram):
             p = metric.percentiles()
+
+            def fmt(q: float | None) -> str:
+                return "-" if q is None else f"{q:.3f}"
+
             value = (f"n={metric.count} mean={metric.mean:.3f} "
-                     f"p50={p['p50']:.3f} p95={p['p95']:.3f} "
-                     f"p99={p['p99']:.3f}")
+                     f"p50={fmt(p['p50'])} p95={fmt(p['p95'])} "
+                     f"p99={fmt(p['p99'])}")
         else:
             value = (f"{metric.value:.3f}"
                      if isinstance(metric.value, float)

@@ -19,14 +19,18 @@ import random
 from typing import Any, Mapping, Sequence
 
 
-def _sorted_quantile(values: Sequence[float], q: float) -> float:
+def _sorted_quantile(values: Sequence[float], q: float) -> float | None:
     """Linear-interpolated quantile of a pre-sorted sequence.
 
     Matches ``statistics.quantiles(..., n=100, method='inclusive')`` at the
     percentile points, which is what the accuracy tests pin against.
+    An empty sample has no quantiles: the answer is ``None``, never a
+    made-up 0.0 (which looks like a real latency) and never an IndexError
+    (which crash-recovered sources used to hit before producing records).
+    A single sample *is* every quantile of itself.
     """
     if not values:
-        return 0.0
+        return None
     if len(values) == 1:
         return values[0]
     position = q * (len(values) - 1)
@@ -187,14 +191,14 @@ class Histogram(Metric):
     def max(self) -> float:
         return self._max if self._max is not None else 0.0
 
-    def quantile(self, q: float) -> float:
-        """The q-quantile (0 <= q <= 1) of the sampled distribution."""
+    def quantile(self, q: float) -> float | None:
+        """The q-quantile (0 <= q <= 1), or None for an empty histogram."""
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         return _sorted_quantile(sorted(self._reservoir), q)
 
-    def percentiles(self) -> dict[str, float]:
-        """The standard latency trio: p50 / p95 / p99."""
+    def percentiles(self) -> dict[str, float | None]:
+        """The standard latency trio: p50 / p95 / p99 (None when empty)."""
         ordered = sorted(self._reservoir)
         return {f"p{int(q * 100)}": _sorted_quantile(ordered, q)
                 for q in self.PERCENTILES}

@@ -62,10 +62,18 @@ class WatermarkClock:
         """The stream's event-time high-water mark, or None if unseen."""
         return self._watermarks.get(stream)
 
-    def lag(self, stream: str) -> float:
-        """The most recently observed processing lag for ``stream``."""
+    def lag(self, stream: str, default: float | None = None) -> float | None:
+        """The most recently observed processing lag for ``stream``.
+
+        A stream that has produced no records yet has no lag: the answer
+        is the ``default`` sentinel (None), not a misleading 0.0 and not
+        a KeyError — crash-recovered sources are routinely asked about
+        before their first post-restore record arrives.
+        """
         gauge = self._registry.get(f"{self._prefix}.lag", stream=stream)
-        return gauge.value if gauge is not None else 0.0
+        if gauge is None or gauge.count == 0:
+            return default
+        return gauge.value
 
     def streams(self) -> list[str]:
         return sorted(self._watermarks)

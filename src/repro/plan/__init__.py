@@ -16,7 +16,12 @@ Module map:
 * :mod:`repro.plan.explain` — text renderers for logical & kernel plans
 """
 
-from repro.plan.explain import explain, explain_kernel, explain_logical
+from repro.plan.explain import (
+    explain,
+    explain_analyzed,
+    explain_kernel,
+    explain_logical,
+)
 from repro.plan.exprs import (
     Binary,
     BinOp,
@@ -93,8 +98,9 @@ __all__ = [
     "Unary", "WindowAggregate", "WindowOp", "WindowSpec", "WindowSpecKind",
     "append_only_inputs", "canonical_predicate", "collapse_distinct",
     "columns_resolvable", "compose_projects", "conjoin",
-    "contains_aggregate", "equality_columns", "explain", "explain_kernel",
-    "explain_logical", "extract_equijoin_keys", "fuse_filters",
+    "contains_aggregate", "equality_columns", "explain", "explain_analyzed",
+    "explain_kernel", "explain_logical", "extract_equijoin_keys",
+    "fuse_filters",
     "incremental_strategy", "memo_key", "optimize", "plan_signature",
     "push_filter_through_join", "push_filter_through_window",
     "remove_identity_project", "remove_trivial_filter", "scans_of",

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 import repro.obs as obs
+from repro.obs import profile as _profile
 from repro.core.errors import StateError
 from repro.core.time import MAX_TIMESTAMP, Timestamp
 from repro.exec import Emitter, OperatorContext, WatermarkTracker
@@ -163,6 +164,11 @@ class SourceSubtask(Actor):
 class OperatorSubtask(Actor):
     """One parallel instance of an operator vertex."""
 
+    #: Mailbox depth at which the channel-edge pressure signal trips
+    #: (mailboxes are unbounded, so this is a fixed depth, not a
+    #: fraction of capacity like the DSMS input queues).
+    PRESSURE_DEPTH = 64
+
     def __init__(self, vertex: str, subtask: int, operator: StreamOperator,
                  channels: list[Channel], emitter: _Emitter,
                  coordinator: CheckpointCoordinator,
@@ -177,6 +183,7 @@ class OperatorSubtask(Actor):
         self._tracker = WatermarkTracker(channels)
         self._ended: set[Channel] = set()
         self._channels = list(channels)
+        self._pressured = False
         # Barrier alignment state.
         self._aligning: int | None = None
         self._aligned: set[Channel] = set()
@@ -213,8 +220,23 @@ class OperatorSubtask(Actor):
             mailbox = self.context.system._mailboxes.get(
                 f"{self.vertex}#{self.subtask}")
             if mailbox is not None:
+                depth = len(mailbox)
                 registry.gauge("runtime.vertex.queue_depth",
-                               vertex=self.vertex).observe(len(mailbox))
+                               vertex=self.vertex).observe(depth)
+                # Edge-triggered pressure signal on the channel edge (the
+                # gauge's running max is already the depth high-water
+                # mark; this counts sustained-overload episodes).
+                if depth >= self.PRESSURE_DEPTH:
+                    if not self._pressured:
+                        self._pressured = True
+                        registry.counter("runtime.vertex.pressure_events",
+                                         vertex=self.vertex).inc()
+                        if _profile._ENABLED:
+                            _profile._RECORDER.record(
+                                "channel.pressure", vertex=self.vertex,
+                                subtask=self.subtask, depth=depth)
+                else:
+                    self._pressured = False
         if self._kernel:
             self.operator.process_element(message.element)
         else:
@@ -251,6 +273,10 @@ class OperatorSubtask(Actor):
         open_channels = set(self._channels) - self._ended
         if self._aligned >= open_channels:
             checkpoint_id = self._aligning
+            if _profile._ENABLED:
+                _profile._RECORDER.record(
+                    "checkpoint.barrier", vertex=self.vertex,
+                    subtask=self.subtask, checkpoint=checkpoint_id)
             self.operator.on_barrier(checkpoint_id)
             self._coordinator.report_operator(
                 checkpoint_id, self.vertex, self.subtask,
@@ -437,6 +463,13 @@ class JobRunner:
                     if attempts > self.max_restarts:
                         raise
                     restore_from = self.coordinator.latest_complete()
+                    if _profile._ENABLED:
+                        _profile._RECORDER.record(
+                            "recovery.attempt", layer="runtime",
+                            job=self.graph.name, attempt=attempts,
+                            checkpoint=(restore_from.checkpoint_id
+                                        if restore_from is not None
+                                        else None))
                     # Replaying sources recount from the restored offset,
                     # so barrier ids up to the restored checkpoint will be
                     # derived again; retire them (and the crashed

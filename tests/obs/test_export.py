@@ -76,6 +76,47 @@ class TestPrometheus:
     def test_empty_registry(self):
         assert to_prometheus(MetricsRegistry()) == ""
 
+    def test_metric_name_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("1weird name!.rows").inc(2)
+        text = to_prometheus(registry)
+        assert "_1weird_name__rows_total 2" in text
+        # Every emitted metric identifier is legal exposition syntax.
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            assert __import__("re").fullmatch(
+                r"[a-zA-Z_:][a-zA-Z0-9_:]*", name), name
+
+    def test_label_values_escaped_round_trip(self):
+        nasty = 'SELECT "x\\y"\nFROM s'
+        registry = MetricsRegistry()
+        registry.counter("dsms.query.ingested", query=nasty,
+                         **{"weird label": "v"}).inc(5)
+        text = to_prometheus(registry)
+        line = next(l for l in text.splitlines() if not l.startswith("#"))
+        # The physical line must not contain a raw newline (it is one
+        # line) and must parse back to the original label value.
+        labels = _parse_prom_labels(line)
+        assert labels["query"] == nasty
+        assert labels["weird_label"] == "v"
+        assert line.endswith(" 5")
+
+
+def _parse_prom_labels(line):
+    """A tiny exposition-format label parser for round-trip pinning."""
+    import re
+    inner = line[line.index("{") + 1:line.rindex("}")]
+    labels = {}
+    for match in re.finditer(r'(\w+)="((?:[^"\\]|\\.)*)"', inner):
+        value = (match.group(2)
+                 .replace("\\n", "\n")
+                 .replace('\\"', '"')
+                 .replace("\\\\", "\\"))
+        labels[match.group(1)] = value
+    return labels
+
 
 class TestConsoleTable:
     def test_all_metrics_listed(self):

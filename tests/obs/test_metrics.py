@@ -128,11 +128,28 @@ class TestHistogram:
         assert histogram.cumulative_buckets() == [
             (1.0, 1), (10.0, 3), (100.0, 4)]
 
-    def test_empty_histogram(self):
+    def test_empty_histogram_quantiles_are_none(self):
+        # An empty reservoir has no quantiles: None, not a fake 0.0 and
+        # not an IndexError (crash-recovered sources query their latency
+        # histograms before the first record lands).
         histogram = Histogram("h")
-        assert histogram.quantile(0.5) == 0.0
-        assert histogram.percentiles() == {"p50": 0.0, "p95": 0.0,
-                                           "p99": 0.0}
+        assert histogram.quantile(0.5) is None
+        assert histogram.percentiles() == {"p50": None, "p95": None,
+                                           "p99": None}
+
+    def test_single_sample_is_every_quantile(self):
+        histogram = Histogram("h")
+        histogram.observe(7.5)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert histogram.quantile(q) == 7.5
+        assert histogram.percentiles() == {"p50": 7.5, "p95": 7.5,
+                                           "p99": 7.5}
+
+    def test_empty_histogram_as_dict_is_json_ready(self):
+        import json
+        data = Histogram("h").as_dict()
+        assert data["p50"] is None
+        json.dumps(data)
 
     def test_quantile_bounds(self):
         with pytest.raises(ValueError):

@@ -26,9 +26,24 @@ class TestWatermark:
         assert clock.streams() == ["a", "b"]
 
     def test_unseen_stream(self):
+        # A stream that has produced nothing yet (the crash-recovered
+        # source case) has no watermark and *no* lag — a None sentinel,
+        # never a KeyError and never a fake 0.0.
         _, clock = make_clock()
         assert clock.watermark("nope") is None
-        assert clock.lag("nope") == 0.0
+        assert clock.lag("nope") is None
+        assert clock.lag("nope", default=0.0) == 0.0
+
+    def test_recovered_source_lag_defined_before_first_record(self):
+        _, clock = make_clock()
+        clock.observe_arrival("live", 10)
+        clock.observe_processed("live", 10)
+        # A second source registered after recovery but still silent.
+        assert clock.lag("recovered") is None
+        assert clock.as_dict() == {"live": {"watermark": 10, "lag": 0}}
+        clock.observe_arrival("recovered", 3)
+        clock.observe_processed("recovered", 1)
+        assert clock.lag("recovered") == 2
 
     def test_event_time_gauge_published(self):
         registry, clock = make_clock()
