@@ -4,7 +4,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test lint bench bench-kernel bench-plan bench-recovery \
-	bench-profile chaos fuzz fuzz-quick
+	bench-profile bench-parallel chaos fuzz fuzz-quick
 
 test: lint
 	$(PYTHON) -m pytest -x -q
@@ -39,8 +39,14 @@ bench-recovery:
 bench-profile:
 	$(PYTHON) -m pytest benchmarks/bench_profiling.py -x -q
 
+# Partitioned parallel execution: keyed aggregation fissioned across
+# 1/2/4 worker processes, parity-gated, critical-path scaling claim.
+# Writes BENCH_parallelism.json.
+bench-parallel:
+	$(PYTHON) -m pytest benchmarks/bench_parallelism.py -x -q
+
 # Every headline benchmark, each writing its BENCH_*.json.
-bench: bench-kernel bench-plan bench-recovery bench-profile
+bench: bench-kernel bench-plan bench-recovery bench-profile bench-parallel
 
 # Standing fault-injection campaign: kernel crash matrix over random
 # queries plus seeded broker drop/dup/reorder chaos.

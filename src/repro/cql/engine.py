@@ -24,10 +24,12 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping
 
+from repro.core.errors import PlanError
 from repro.core.records import Record, Schema
 from repro.core.relation import TimeVaryingRelation
 from repro.core.stream import Stream
 from repro.plan.ir import LogicalOp
+from repro.plan.parallel import decide_parallelism
 from repro.cql.catalog import Catalog, RelationDef, StreamDef
 from repro.cql.executor import ContinuousQuery, Emission
 from repro.cql.parser import parse_query
@@ -77,16 +79,33 @@ class CQLEngine:
     def register_query(self, text: str,
                        optimize: bool | None = None,
                        kernel: bool = True,
-                       shared=None) -> ContinuousQuery:
+                       shared=None,
+                       parallelism: int | None = None):
         """Register a continuous query: compiled once, runs until cancelled
         (the paper's Figure 1 contract).  ``kernel=False`` keeps the
         legacy pull recursion (benchmark comparisons).  Passing a
         :class:`repro.cql.shared.SharedGroup` as ``shared`` compiles the
         query *into the group*, reusing physical subplans other members
-        already built (multi-query optimisation)."""
+        already built (multi-query optimisation).
+
+        ``parallelism=N`` asks for key-partitioned execution: when the
+        planner proves the plan partitionable the query runs as N
+        replicas behind a :class:`~repro.cql.parallel.PartitionedQuery`;
+        otherwise the request is clamped back to a serial query (the
+        planner's call, not an error — see
+        :func:`repro.plan.parallel.decide_parallelism`)."""
         plan = self.plan(text, optimize)
         if shared is not None:
+            if parallelism is not None and parallelism > 1:
+                raise PlanError(
+                    "shared-group queries interleave operator state across "
+                    "members and cannot be partitioned")
             query = shared.register(plan)
+        elif parallelism is not None and parallelism > 1 \
+                and decide_parallelism(plan, requested=parallelism) > 1:
+            from repro.cql.parallel import PartitionedQuery
+            query = PartitionedQuery(plan, self.catalog,
+                                     parallelism=parallelism, kernel=kernel)
         else:
             query = ContinuousQuery(plan, self.catalog, kernel=kernel)
         self._queries.append(query)

@@ -1283,6 +1283,13 @@ class ContinuousQuery:
         """Total deltas that flowed through the root (a work measure)."""
         return self._deltas_processed
 
+    def physical_roots(self) -> list["PhysicalOp"]:
+        """The physical tree roots — one for a private query.  The same
+        accessor exists on :class:`~repro.cql.parallel.PartitionedQuery`
+        (one root per replica), so state accounting and introspection
+        treat serial and fissioned queries uniformly."""
+        return [self._root]
+
     def operators(self) -> list[tuple[str, PhysicalOp]]:
         """Every physical operator, depth-first, with a stable label."""
         out: list[tuple[str, PhysicalOp]] = []

@@ -43,7 +43,7 @@ from repro.dataflow.triggers import (
     Trigger,
 )
 from repro.dataflow.windowfn import GlobalWindows, WindowFn
-from repro.exec import Operator, Plan
+from repro.exec import Operator, Plan, fission
 
 
 @dataclass
@@ -238,14 +238,26 @@ class Pipeline:
 
     # -- execution ----------------------------------------------------------------
 
-    def run(self, kernel: bool = True) -> PipelineResult:
+    def run(self, kernel: bool = True,
+            parallelism: int = 1) -> PipelineResult:
         """Execute the pipeline.
 
         By default the DAG is lowered onto the shared execution kernel
         (:mod:`repro.exec`); ``kernel=False`` keeps the legacy direct
         runner for benchmark comparisons.  Both produce identical output.
+
+        ``parallelism=N`` fissions every GroupByKey into N key-routed
+        replicas behind an Exchange (GBK is keyed by construction, so
+        partitioning is always sound here).  Panes are identical to the
+        serial run; within one watermark firing their order across keys
+        may differ, since each replica drains its own keys.
         """
-        runner = _KernelRunner(self) if kernel else _DirectRunner(self)
+        if parallelism > 1 and not kernel:
+            raise PlanError(
+                "the legacy direct runner is single-threaded; "
+                "parallelism needs the kernel (kernel=True)")
+        runner = (_KernelRunner(self, parallelism=parallelism)
+                  if kernel else _DirectRunner(self))
         return runner.run()
 
 
@@ -541,6 +553,17 @@ class _GBKOp(Operator):
         self.engine.finalize()
 
 
+def _gbk_key(wv: WindowedValue) -> Any:
+    """Partition key for a fissioned GroupByKey: the pair's key."""
+    try:
+        key, _ = wv.value
+    except (TypeError, ValueError):
+        raise PlanError(
+            "GroupByKey input must be (key, value) pairs; got "
+            f"{wv.value!r}") from None
+    return key
+
+
 class _SinkOp(Operator):
     """Records outputs under a label; passes elements through."""
 
@@ -565,8 +588,9 @@ class _KernelRunner:
     propagation and per-operator counters all come from the kernel.
     """
 
-    def __init__(self, pipeline: Pipeline) -> None:
+    def __init__(self, pipeline: Pipeline, parallelism: int = 1) -> None:
         self.pipeline = pipeline
+        self.parallelism = parallelism
         self.result = PipelineResult()
         self._arrival_index = 0
         self.plan = Plan()
@@ -582,14 +606,17 @@ class _KernelRunner:
             parent_name = names[id(node.parent)]
             if node.kind == "pardo":
                 op: Operator = _ParDoOp(node.spec["fn"])
+            elif node.kind == "gbk":
+                if parallelism > 1:
+                    # Fission: GBK state is per (key, window), so key
+                    # routing keeps every pane whole on one replica.
+                    names[id(node)] = fission(
+                        self.plan, parent_name, name, parallelism,
+                        _gbk_key, lambda i, node=node: self._make_gbk(node))
+                    continue
+                op = self._make_gbk(node)
             elif node.kind == "window":
                 op = _WindowOp(node.windowing.window_fn)
-            elif node.kind == "gbk":
-                gbk = _GBKOp()
-                gbk.engine = _GBKEngine(
-                    node, self.result, lambda: self._arrival_index,
-                    lambda wv, watermark, op=gbk: op.emit(wv))
-                op = gbk
             elif node.kind == "sink":
                 op = _SinkOp(node.spec["label"], self.result)
             else:
@@ -599,6 +626,15 @@ class _KernelRunner:
             id(source): names[id(source)]
             for source in pipeline._sources}
         self.plan.fuse()
+
+    def _make_gbk(self, node: PCollection) -> "_GBKOp":
+        """A fresh GBK operator with its own pane engine (replicas own
+        disjoint keys and must not share pane state)."""
+        gbk = _GBKOp()
+        gbk.engine = _GBKEngine(
+            node, self.result, lambda: self._arrival_index,
+            lambda wv, watermark, op=gbk: op.emit(wv))
+        return gbk
 
     def run(self) -> PipelineResult:
         tracer = obs.get_tracer() if obs.is_enabled() else obs.NoopTracer()

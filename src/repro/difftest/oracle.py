@@ -58,9 +58,9 @@ class Divergence:
     """One disagreement between evaluators (or an evaluator crash)."""
 
     kind: str    # which leg diverged: optimizer | executor | executor-naive
-                 # | kernel | kernel-naive | kernel-crashed | dsms
-                 # | dsms-shared | core-sparse | core-assign | session
-                 # | error
+                 # | kernel | kernel-naive | kernel-parallel
+                 # | kernel-crashed | dsms | dsms-shared | core-sparse
+                 # | core-assign | session | error
     detail: str
 
     def __str__(self) -> str:
@@ -143,7 +143,16 @@ def run_case(case: Case) -> Divergence | None:
                 "executor", _snapshot_list(query.as_relation()),
                 "reference", _snapshot_list(truth)))
 
-    # Leg 6: crash-consistent recovery.  The kernel plan re-runs once per
+    # Leg 6: key-partitioned execution.  When the planner proves the
+    # plan partitionable, the same query runs as three key-routed
+    # replicas; the merged change-log (or merged emitted stream) must
+    # match the reference instant by instant.  Unpartitionable plans
+    # skip — the planner's refusal is itself under test in tests/plan.
+    divergence = _kernel_parallel_leg(case, streams, truth, is_r2s)
+    if divergence is not None:
+        return divergence
+
+    # Leg 7: crash-consistent recovery.  The kernel plan re-runs once per
     # operator position; each run blows a fuse inside that operator
     # mid-stream (state mutated, output lost), rolls back to the newest
     # barrier-by-instant checkpoint, replays, and must still agree with
@@ -162,6 +171,48 @@ def run_case(case: Case) -> Divergence | None:
     # members must still match the reference instant by instant, and
     # must agree with each other emission for emission.
     return _dsms_shared_leg(case, streams, plan_opt, engine)
+
+
+def _kernel_parallel_leg(case: Case, streams, truth,
+                         is_r2s: bool) -> Divergence | None:
+    """Run the query fissioned into 3 key-partitioned replicas.
+
+    Exercises the whole §4.2 stack under fuzzing: the planner's
+    partition-scheme proof, hash routing of every arrival, per-replica
+    event-time frontiers (empty batches keep window expirations
+    synchronised), and the disjoint-union merge at the sink.
+    """
+    from repro.cql.parallel import PartitionedQuery
+    from repro.plan.parallel import partition_scheme
+
+    exec_engine = build_engine()
+    try:
+        plan = exec_engine.plan(case.query, optimize=True)
+    except ReproError as exc:
+        return Divergence("kernel-parallel", f"planning failed: {exc!r}")
+    if partition_scheme(plan) is None:
+        return None
+    try:
+        query = PartitionedQuery(plan, exec_engine.catalog, parallelism=3)
+        query.run_recorded(
+            {name: stream for name, stream in streams.items()
+             if name in query._stream_sources})
+    except ReproError as exc:
+        return Divergence("kernel-parallel",
+                          f"partitioned run crashed: {exc!r}")
+    if is_r2s:
+        produced = query.emitted_stream()
+        same = (produced.timestamps() == truth.timestamps()
+                and produced.values() == truth.values())
+        if not same:
+            return Divergence("kernel-parallel", _diff_detail(
+                "partitioned", _stream_list(produced),
+                "reference", _stream_list(truth)))
+    elif not (query.as_relation() == truth):
+        return Divergence("kernel-parallel", _diff_detail(
+            "partitioned", _snapshot_list(query.as_relation()),
+            "reference", _snapshot_list(truth)))
+    return None
 
 
 def _kernel_crashed_leg(case: Case, streams, truth,

@@ -91,10 +91,16 @@ class QueryHandle:
         store.register(name)
         self._sources: list[StreamSourceOp] = []
         if track_state:
-            for label, op in _stateful_ops(query._root):
-                scratch.register(f"{name}/{label}", op)
+            # A PartitionedQuery has one physical root per replica; a
+            # serial query exactly one.  Scratch accounting covers all of
+            # them — fissioned state is still this query's state.
+            roots = query.physical_roots()
+            for index, root in enumerate(roots):
+                suffix = f"!{index}" if len(roots) > 1 else ""
+                for label, op in _stateful_ops(root):
+                    scratch.register(f"{name}/{label}{suffix}", op)
             self._sources = [
-                op for _, op in _stateful_ops(query._root)
+                op for root in roots for _, op in _stateful_ops(root)
                 if isinstance(op, StreamSourceOp)]
         self._last_source_sizes = {id(op): 0 for op in self._sources}
 
@@ -384,17 +390,27 @@ class DSMSEngine:
 
     def register_query(self, name: str, text: str,
                        shedder: Shedder | None = None,
-                       queue_capacity: int | None = None) -> QueryHandle:
+                       queue_capacity: int | None = None,
+                       parallelism: int | None = None) -> QueryHandle:
         """Register a standing query under ``name`` (Figure 1: issued once,
-        active until cancelled)."""
+        active until cancelled).
+
+        ``parallelism=N`` asks for key-partitioned execution; the planner
+        clamps unpartitionable plans back to a serial query (see
+        :meth:`repro.cql.engine.CQLEngine.register_query`)."""
         if name in self._by_name:
             raise PlanError(f"query name {name!r} already registered")
-        if self._sharing and shedder is None and queue_capacity is None:
+        wants_fission = parallelism is not None and parallelism > 1
+        if self._sharing and shedder is None and queue_capacity is None \
+                and not wants_fission:
             # Default-policy queries join the communal shared plan group;
             # a custom shedder or queue would need per-query admission,
             # which a shared queue cannot express, so those stay isolated.
+            # Fissioned queries also stay isolated: sharing interleaves
+            # operator state that partitioning must keep disjoint.
             return self._register_shared(name, text)
-        query = self._cql.register_query(text, kernel=self._kernel)
+        query = self._cql.register_query(text, kernel=self._kernel,
+                                         parallelism=parallelism)
         query.start()
         handle = QueryHandle(
             name, query,
@@ -620,10 +636,11 @@ class DSMSEngine:
         seen: set[int] = set()
         total = 0
         for handle in self._handles:
-            for _, op in _stateful_ops(handle.query._root):
-                if id(op) not in seen:
-                    seen.add(id(op))
-                    total += op.state_size
+            for root in handle.query.physical_roots():
+                for _, op in _stateful_ops(root):
+                    if id(op) not in seen:
+                        seen.add(id(op))
+                        total += op.state_size
         return total
 
     @property

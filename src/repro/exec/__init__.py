@@ -6,6 +6,7 @@ runner and the actor-style job runtime all lower to kernel
 :class:`Operator` plans.  See DESIGN.md § "Execution kernel".
 """
 
+from repro.exec.exchange import Exchange, Merge, PartitionGate, fission
 from repro.exec.fusion import fuse_fixpoint
 from repro.exec.operator import (
     CollectingEmitter,
@@ -23,13 +24,17 @@ __all__ = [
     "CollectingEmitter",
     "DictStateBackend",
     "Emitter",
+    "Exchange",
     "FusedOperator",
     "LSMStateBackend",
+    "Merge",
     "Operator",
     "OperatorContext",
+    "PartitionGate",
     "Plan",
     "StageEmitter",
     "StateBackend",
     "WatermarkTracker",
+    "fission",
     "fuse_fixpoint",
 ]

@@ -66,6 +66,11 @@ from repro.plan.ir import (
     scans_of,
     walk,
 )
+from repro.plan.parallel import (
+    PartitionScheme,
+    decide_parallelism,
+    partition_scheme,
+)
 from repro.plan.monotone import (
     IncrementalStrategy,
     append_only_inputs,
@@ -93,15 +98,18 @@ __all__ = [
     "DEFAULT_RULES", "Distinct", "EmitMode", "Expr", "Filter", "FuncCall",
     "GroupWindow", "GroupWindowKind", "IncrementalStrategy", "Join",
     "Literal", "LogicalOp", "NOW_SPEC", "OpaqueOp", "OpaqueSource",
-    "Project", "RelToStream", "RelationScan", "Rule", "SetOp", "Star",
+    "PartitionScheme", "Project", "RelToStream", "RelationScan", "Rule",
+    "SetOp", "Star",
     "StreamScan", "SubplanMemo", "TIME_BASED_KINDS", "UNBOUNDED_SPEC",
     "Unary", "WindowAggregate", "WindowOp", "WindowSpec", "WindowSpecKind",
     "append_only_inputs", "canonical_predicate", "collapse_distinct",
     "columns_resolvable", "compose_projects", "conjoin",
-    "contains_aggregate", "equality_columns", "explain", "explain_analyzed",
+    "contains_aggregate", "decide_parallelism", "equality_columns",
+    "explain", "explain_analyzed",
     "explain_kernel", "explain_logical", "extract_equijoin_keys",
     "fuse_filters",
-    "incremental_strategy", "memo_key", "optimize", "plan_signature",
+    "incremental_strategy", "memo_key", "optimize", "partition_scheme",
+    "plan_signature",
     "push_filter_through_join", "push_filter_through_window",
     "remove_identity_project", "remove_trivial_filter", "scans_of",
     "shareable", "split_conjuncts", "strategy_notes", "substitute_columns",

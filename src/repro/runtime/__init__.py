@@ -71,6 +71,14 @@ from repro.runtime.partitioning import (
     Partitioner,
     RebalancePartitioner,
 )
+from repro.runtime.pool import (
+    PartitionedRunResult,
+    WorkerPool,
+    fission_job,
+    partition_batches,
+    run_job_partitioned,
+    run_partitioned_recorded,
+)
 
 __all__ = [
     # broker
@@ -96,4 +104,7 @@ __all__ = [
     # placement & fission
     "Network", "ComputeNode", "Placement", "place",
     "FissionAdvice", "advise_fission", "bottlenecks",
+    # worker pool
+    "WorkerPool", "PartitionedRunResult", "partition_batches",
+    "run_partitioned_recorded", "fission_job", "run_job_partitioned",
 ]

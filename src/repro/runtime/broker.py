@@ -21,12 +21,21 @@ from repro.core.time import Timestamp
 
 def default_hash(key: Hashable) -> int:
     """A stable, deterministic key hash (Python's ``hash`` is salted for
-    str; experiments need run-to-run stability)."""
+    str; experiments need run-to-run stability).
+
+    Integer keys are mixed through FNV-1a like every other type: a raw
+    ``key % partitions`` inherits whatever stride pattern the key space
+    has (keys 0, 4, 8, … across 4 partitions all land on partition 0),
+    which is exactly the skew a hash partitioner exists to destroy.
+    """
     if key is None:
         return 0
     if isinstance(key, int):
-        return key
-    text = key if isinstance(key, str) else repr(key)
+        text = str(key)
+    elif isinstance(key, str):
+        text = key
+    else:
+        text = repr(key)
     value = 2166136261
     for ch in text.encode("utf-8"):  # FNV-1a
         value = ((value ^ ch) * 16777619) & 0xFFFFFFFF

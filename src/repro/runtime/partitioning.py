@@ -72,14 +72,21 @@ class BroadcastPartitioner(Partitioner):
 
 
 class RebalancePartitioner(Partitioner):
-    """Round-robin across downstream subtasks."""
+    """Round-robin across downstream subtasks.
+
+    One instance may serve edges of different widths (the runner reuses
+    partitioner objects per edge factory), so the round-robin position is
+    kept *per downstream width*: alternating calls with different widths
+    each continue their own cycle instead of restarting at subtask 0 on
+    every width change — the restart starved every subtask but 0.
+    """
 
     def __init__(self) -> None:
-        self._cycle: "itertools.cycle[int] | None" = None
-        self._downstream = 0
+        self._cycles: dict[int, "itertools.cycle[int]"] = {}
 
     def route(self, value: Any, key: Any, downstream: int) -> Sequence[int]:
-        if self._cycle is None or downstream != self._downstream:
-            self._cycle = itertools.cycle(range(downstream))
-            self._downstream = downstream
-        return (next(self._cycle),)
+        cycle = self._cycles.get(downstream)
+        if cycle is None:
+            cycle = self._cycles[downstream] = itertools.cycle(
+                range(downstream))
+        return (next(cycle),)

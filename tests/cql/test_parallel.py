@@ -1,0 +1,167 @@
+"""Tests for fissioned CQL execution (repro.cql.parallel)."""
+
+import pytest
+
+from repro.core import PlanError, Schema, StateError
+from repro.cql import ContinuousQuery, CQLEngine, PartitionedQuery
+
+
+GROUPED = ("SELECT room, COUNT(*) AS n FROM Obs [Range 5] "
+           "GROUP BY room")
+GROUPED_ISTREAM = ("SELECT ISTREAM room, MAX(temp) AS m FROM Obs [Range 5] "
+                   "GROUP BY room")
+JOINED = ("SELECT O.room, R.floor FROM Obs O [Range 5], Rooms R "
+          "WHERE O.room = R.room")
+
+
+@pytest.fixture
+def engine():
+    engine = CQLEngine()
+    engine.register_stream("Obs", Schema(["id", "room", "temp"]))
+    engine.register_stream("Metered", Schema(["meter", "watts"]))
+    engine.register_relation(
+        "Rooms", Schema(["room", "floor"]),
+        [{"room": "kitchen", "floor": 1}, {"room": "lab", "floor": 2}])
+    return engine
+
+
+def pair(engine, text, parallelism=3):
+    """The same query compiled serial and fissioned."""
+    plan = engine.plan(text)
+    serial = ContinuousQuery(plan, engine.catalog)
+    parallel = PartitionedQuery(plan, engine.catalog,
+                                parallelism=parallelism)
+    return serial, parallel
+
+
+def feed_both(serial, parallel, batches):
+    for t, arrivals in batches:
+        serial.push_batch(t, arrivals)
+        parallel.push_batch(t, arrivals)
+
+
+OBS_BATCHES = [
+    (0, {"Obs": [{"id": 1, "room": "kitchen", "temp": 20},
+                 {"id": 2, "room": "lab", "temp": 31}]}),
+    (1, {"Obs": [{"id": 3, "room": "kitchen", "temp": 22}]}),
+    (3, {"Obs": [{"id": 4, "room": "hall", "temp": 19},
+                 {"id": 5, "room": "lab", "temp": 33}]}),
+    (7, {"Obs": [{"id": 6, "room": "kitchen", "temp": 25}]}),
+]
+
+
+class TestParity:
+    def test_grouped_aggregate_state_matches(self, engine):
+        serial, parallel = pair(engine, GROUPED)
+        feed_both(serial, parallel, OBS_BATCHES)
+        assert parallel.current() == serial.current()
+        assert parallel.as_relation() == serial.as_relation()
+
+    def test_istream_emissions_match(self, engine):
+        serial, parallel = pair(engine, GROUPED_ISTREAM)
+        feed_both(serial, parallel, OBS_BATCHES)
+        serial.finish()
+        parallel.finish()
+        assert [(e.value, e.timestamp) for e in parallel.emitted_stream()] \
+            == [(e.value, e.timestamp) for e in serial.emitted_stream()]
+
+    def test_window_expirations_fire_instant_by_instant(self, engine):
+        # Advancing far past the window must retract expired rows on
+        # every replica at the same instants the serial query does.
+        serial, parallel = pair(engine, GROUPED)
+        feed_both(serial, parallel, OBS_BATCHES)
+        serial.advance_to(30)
+        parallel.advance_to(30)
+        assert parallel.as_relation() == serial.as_relation()
+        assert len(parallel.current()) == 0
+
+    def test_strided_int_keys_spread_and_match(self, engine):
+        # Keys 0, 4, 8, … with parallelism 4: the pre-fix hash would send
+        # every key to replica 0.
+        text = ("SELECT meter, COUNT(*) AS n FROM Metered [Range 100] "
+                "GROUP BY meter")
+        serial, parallel = pair(engine, text, parallelism=4)
+        batches = [(t, {"Metered": [{"meter": 4 * i, "watts": 10}
+                                    for i in range(12)]})
+                   for t in range(3)]
+        feed_both(serial, parallel, batches)
+        assert parallel.current() == serial.current()
+        loads = [len(replica.current()) for replica in parallel.replicas()]
+        assert all(load > 0 for load in loads), f"starved replica: {loads}"
+
+    def test_relation_updates_broadcast(self, engine):
+        serial, parallel = pair(engine, JOINED)
+        serial.start()
+        parallel.start()
+        feed_both(serial, parallel, OBS_BATCHES[:2])
+        serial.update_relation("Rooms", {"room": "hall", "floor": 3}, 1, 2)
+        parallel.update_relation("Rooms", {"room": "hall", "floor": 3}, 1, 2)
+        feed_both(serial, parallel, OBS_BATCHES[2:])
+        assert parallel.current() == serial.current()
+        assert parallel.as_relation() == serial.as_relation()
+
+
+class TestRouting:
+    def test_unread_stream_rejected(self, engine):
+        _, parallel = pair(engine, GROUPED)
+        with pytest.raises(PlanError):
+            parallel.push_batch(0, {"Metered": [{"meter": 1, "watts": 2}]})
+
+    def test_unpartitionable_plan_rejected(self, engine):
+        plan = engine.plan("SELECT COUNT(*) AS n FROM Obs [Range 5]")
+        with pytest.raises(PlanError):
+            PartitionedQuery(plan, engine.catalog, parallelism=2)
+
+    def test_replicas_hold_disjoint_groups(self, engine):
+        _, parallel = pair(engine, GROUPED)
+        for t, arrivals in OBS_BATCHES:
+            parallel.push_batch(t, arrivals)
+        seen = {}
+        for index, replica in enumerate(parallel.replicas()):
+            for record in replica.current():
+                room = record["room"]
+                assert seen.setdefault(room, index) == index
+        assert len(parallel.physical_roots()) == 3
+
+
+class TestCheckpointing:
+    def test_snapshot_restore_resumes_identically(self, engine):
+        serial, parallel = pair(engine, GROUPED)
+        feed_both(serial, parallel, OBS_BATCHES[:2])
+        checkpoint = parallel.snapshot()
+        _, recovered = pair(engine, GROUPED)
+        recovered.restore(checkpoint)
+        feed_both(serial, parallel, OBS_BATCHES[2:])
+        for t, arrivals in OBS_BATCHES[2:]:
+            recovered.push_batch(t, arrivals)
+        assert recovered.current() == parallel.current() == serial.current()
+
+    def test_restore_rejects_different_parallelism(self, engine):
+        _, parallel = pair(engine, GROUPED, parallelism=2)
+        _, wider = pair(engine, GROUPED, parallelism=3)
+        with pytest.raises(StateError):
+            wider.restore(parallel.snapshot())
+
+
+class TestEngineIntegration:
+    def test_register_query_with_parallelism(self, engine):
+        query = engine.register_query(GROUPED, parallelism=3)
+        assert isinstance(query, PartitionedQuery)
+        assert query.parallelism == 3
+
+    def test_unpartitionable_request_clamps_to_serial(self, engine):
+        query = engine.register_query(
+            "SELECT COUNT(*) AS n FROM Obs [Range 5]", parallelism=4)
+        assert isinstance(query, ContinuousQuery)
+
+    def test_shared_group_rejects_parallelism(self, engine):
+        group = engine.shared_group()
+        with pytest.raises(PlanError):
+            engine.register_query(GROUPED, shared=group, parallelism=2)
+
+    def test_engine_fan_out_reaches_partitioned_queries(self, engine):
+        query = engine.register_query(GROUPED_ISTREAM, parallelism=2)
+        emissions = engine.push(
+            "Obs", {"id": 1, "room": "kitchen", "temp": 20}, 0)
+        assert list(emissions) == [0]
+        assert len(query.emissions()) == 1

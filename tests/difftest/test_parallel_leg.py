@@ -1,0 +1,58 @@
+"""Deterministic regressions for the kernel-parallel oracle leg."""
+
+from repro.difftest.generators import Case, build_engine, build_streams
+from repro.difftest.oracle import _kernel_parallel_leg, run_case
+from repro.plan.parallel import partition_scheme
+from repro.cql import reference_evaluate
+
+
+GROUPED = ("SELECT room, COUNT(*) AS n FROM Obs [Range 4] "
+           "GROUP BY room")
+STRIDED = ("SELECT id, COUNT(*) AS n FROM Obs [Range 6] "
+           "GROUP BY id")
+
+
+def engaged(query: str) -> bool:
+    """True when the parallel leg will actually run (not skip)."""
+    return partition_scheme(build_engine().plan(query)) is not None
+
+
+def test_grouped_case_is_clean():
+    assert engaged(GROUPED)
+    case = Case(query=GROUPED, streams={"Obs": [
+        ({"id": i, "room": "ab"[i % 2], "temp": i}, i // 2)
+        for i in range(12)]})
+    assert run_case(case) is None
+
+
+def test_strided_int_keys_are_clean():
+    # Keys 0, 4, 8, 12, 16: the pre-fix int-passthrough hash put every
+    # one of them on replica 0 of any power-of-two fission.
+    assert engaged(STRIDED)
+    case = Case(query=STRIDED, streams={"Obs": [
+        ({"id": 4 * (i % 5), "room": "a", "temp": i}, i)
+        for i in range(15)]})
+    assert run_case(case) is None
+
+
+def test_r2s_case_is_clean():
+    query = ("SELECT ISTREAM room, MAX(temp) AS m FROM Obs [Range 3] "
+             "GROUP BY room")
+    assert engaged(query)
+    case = Case(query=query, streams={"Obs": [
+        ({"id": i, "room": "ab"[i % 2], "temp": i % 7}, i)
+        for i in range(10)]})
+    assert run_case(case) is None
+
+
+def test_unpartitionable_query_skips_leg():
+    query = "SELECT COUNT(*) AS n FROM Obs [Range 4]"
+    assert not engaged(query)
+    case = Case(query=query, streams={"Obs": [
+        ({"id": i, "room": "a", "temp": i}, i) for i in range(6)]})
+    streams = build_streams(case)
+    engine = build_engine()
+    truth = reference_evaluate(engine.plan(query, optimize=False),
+                               engine.catalog, streams)
+    assert _kernel_parallel_leg(case, streams, truth,
+                                is_r2s=False) is None

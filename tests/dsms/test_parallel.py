@@ -1,0 +1,100 @@
+"""Tests for key-partitioned queries running inside the DSMS engine."""
+
+import pytest
+
+from repro.core import Schema
+from repro.cql import ContinuousQuery, PartitionedQuery
+from repro.dsms import DSMSEngine
+
+
+OBS = Schema(["id", "room", "temp"])
+
+GROUPED = ("SELECT room, COUNT(*) AS n FROM Obs [Range 100] "
+           "GROUP BY room")
+
+ROWS = [
+    ({"id": 1, "room": "a", "temp": 20}, 0),
+    ({"id": 2, "room": "b", "temp": 31}, 1),
+    ({"id": 3, "room": "a", "temp": 22}, 2),
+    ({"id": 4, "room": "c", "temp": 19}, 3),
+    ({"id": 5, "room": "b", "temp": 33}, 5),
+]
+
+
+@pytest.fixture
+def dsms():
+    engine = DSMSEngine()
+    engine.register_stream("Obs", OBS)
+    return engine
+
+
+def ingest_all(dsms, rows=ROWS):
+    for row, t in rows:
+        dsms.ingest("Obs", row, t)
+    dsms.run_until_idle()
+
+
+class TestPartitionedHandles:
+    def test_partitioned_query_serves_like_serial(self, dsms):
+        parallel = dsms.register_query("par", GROUPED, parallelism=3)
+        serial = dsms.register_query("ser", GROUPED)
+        assert isinstance(parallel.query, PartitionedQuery)
+        assert isinstance(serial.query, ContinuousQuery)
+        ingest_all(dsms)
+        assert parallel.store_state() == serial.store_state()
+        assert parallel.metrics.processed == serial.metrics.processed == 5
+
+    def test_unpartitionable_request_clamps_to_serial(self, dsms):
+        handle = dsms.register_query(
+            "global", "SELECT COUNT(*) AS n FROM Obs [Range 100]",
+            parallelism=4)
+        assert isinstance(handle.query, ContinuousQuery)
+        ingest_all(dsms)
+        assert [r["n"] for r in handle.store_state()] == [5]
+
+    def test_window_expiration_through_advance_time(self, dsms):
+        parallel = dsms.register_query("par", GROUPED, parallelism=2)
+        serial = dsms.register_query("ser", GROUPED)
+        ingest_all(dsms)
+        dsms.advance_time(300)
+        assert parallel.store_state() == serial.store_state()
+        assert len(parallel.store_state()) == 0
+
+    def test_scratch_accounts_every_replica(self, dsms):
+        dsms.register_query("par", GROUPED, parallelism=3)
+        ingest_all(dsms)
+        # All five tuples are buffered in the replicas' window state and
+        # the Scratch sees them across the fissioned registrations.
+        assert dsms.scratch.occupancy() >= 5
+        assert dsms.total_state_size() >= 5
+
+    def test_cancel_partitioned_query(self, dsms):
+        dsms.register_query("par", GROUPED, parallelism=2)
+        handle = dsms.cancel_query("par")
+        assert isinstance(handle.query, PartitionedQuery)
+        assert dsms.queries == []
+
+    def test_sharing_mode_keeps_fissioned_queries_isolated(self):
+        dsms = DSMSEngine(sharing=True)
+        dsms.register_stream("Obs", OBS)
+        parallel = dsms.register_query("par", GROUPED, parallelism=2)
+        member = dsms.register_query("member", GROUPED)
+        assert isinstance(parallel.query, PartitionedQuery)
+        assert member.query._shared is not None
+        ingest_all(dsms)
+        assert parallel.store_state() == member.store_state()
+
+
+class TestPartitionedRecovery:
+    def test_engine_snapshot_restore_covers_replicas(self, dsms):
+        handle = dsms.register_query("par", GROUPED, parallelism=3)
+        ingest_all(dsms, ROWS[:3])
+        checkpoint = dsms.snapshot()
+        ingest_all(dsms, ROWS[3:])
+        after = handle.store_state()
+        dsms.restore(checkpoint)
+        assert handle.store_state() != after
+        for row, t in ROWS[3:]:
+            dsms.ingest("Obs", row, t)
+        dsms.run_until_idle()
+        assert handle.store_state() == after

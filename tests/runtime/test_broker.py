@@ -153,5 +153,18 @@ class TestDefaultHash:
     def test_none_is_zero(self):
         assert default_hash(None) == 0
 
-    def test_int_passthrough(self):
-        assert default_hash(42) == 42
+    def test_int_keys_are_mixed(self):
+        # Raw passthrough (the old behaviour) made `key % partitions`
+        # inherit the key space's stride: keys 0, 4, 8, … across 4
+        # partitions all hit partition 0.  Ints hash like every other
+        # type now.
+        assert default_hash(42) == default_hash(42)
+        spread = {default_hash(k) % 4 for k in range(0, 64, 4)}
+        assert spread == {0, 1, 2, 3}
+
+    def test_strided_int_keys_spread_across_partitions(self):
+        counts = [0, 0, 0, 0]
+        for key in range(0, 400, 4):
+            counts[default_hash(key) % 4] += 1
+        # Near-uniform: every partition sees a meaningful share.
+        assert all(count >= 10 for count in counts)
