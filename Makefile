@@ -4,7 +4,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test lint bench bench-kernel bench-plan bench-recovery \
-	bench-profile bench-parallel chaos fuzz fuzz-quick
+	bench-profile bench-parallel bench-batch chaos fuzz fuzz-quick
 
 test: lint
 	$(PYTHON) -m pytest -x -q
@@ -45,8 +45,15 @@ bench-profile:
 bench-parallel:
 	$(PYTHON) -m pytest benchmarks/bench_parallelism.py -x -q
 
+# Vectorized micro-batch execution: columnar RecordBatch vs per-element
+# on the fused chain (parity-gated, >=5x claim) plus the DSMS end to
+# end.  Writes BENCH_batch.json.
+bench-batch:
+	$(PYTHON) -m pytest benchmarks/bench_batch.py -x -q
+
 # Every headline benchmark, each writing its BENCH_*.json.
-bench: bench-kernel bench-plan bench-recovery bench-profile bench-parallel
+bench: bench-kernel bench-plan bench-recovery bench-profile \
+	bench-parallel bench-batch
 
 # Standing fault-injection campaign: kernel crash matrix over random
 # queries plus seeded broker drop/dup/reorder chaos.

@@ -1,0 +1,174 @@
+"""B1 — vectorized micro-batch execution: columnar batches vs elements.
+
+The headline leg pushes the same rows through a fused
+filter→project→aggregate kernel chain twice — once per element, once as
+:class:`RecordBatch` micro-batches — and demands a >=5x tuples/s speedup
+after an exact-parity gate (identical group table either way).  A second
+leg measures the DSMS end to end (queue drain-to-batch, one instant
+evaluation and one Store write per batch) for the record; a batch-size
+sweep shows where the columnar win saturates.  Results land in
+``BENCH_batch.json``.
+"""
+
+import gc
+
+import pytest
+
+from repro.bench import (
+    ExperimentTable,
+    bench_result,
+    room_observations,
+    timed,
+    write_bench_json,
+)
+from repro.core import Schema
+from repro.dsms import DSMSEngine
+from repro.exec import (
+    Plan,
+    RecordBatch,
+    VectorFilter,
+    VectorProject,
+    keyed_count,
+)
+
+N_ROWS = 50_000
+BATCH_SIZE = 1024
+#: the vectorization criterion: batched >= SPEEDUP_FLOOR * per-element.
+SPEEDUP_FLOOR = 5.0
+#: timing repetitions; best run of each path is compared.
+REPEATS = 5
+
+ROWS = [{"k": f"room{i % 7}", "v": i % 40, "t": i} for i in range(N_ROWS)]
+BATCHES = [RecordBatch.from_records(ROWS[i:i + BATCH_SIZE])
+           for i in range(0, N_ROWS, BATCH_SIZE)]
+
+# Coarsened timestamps: ~20 tuples share each instant, so the queue's
+# drain-to-batch actually forms multi-tuple batches (with all-distinct
+# timestamps a batch can never cross an instant and batching is a noop).
+DSMS_ROWS = [(row, t // 200) for row, t in room_observations(4_000)]
+DSMS_QUERY = "SELECT room, temp FROM Obs [Range 50] WHERE temp > 25"
+
+
+def chain_plan():
+    """The fused hot path: filter -> project -> keyed count."""
+    plan = Plan()
+    plan.add_source("s")
+    agg = keyed_count("k")
+    plan.add_operator("filter", VectorFilter(
+        lambda r: r["v"] > 10, column="v", compare=lambda v: v > 10), ["s"])
+    plan.add_operator("project", VectorProject(["k"]), ["filter"])
+    plan.add_operator("agg", agg, ["project"])
+    fusions = plan.fuse()
+    assert fusions > 0, "chain must fuse — that is the leg being measured"
+    return plan, agg
+
+
+def run_elements():
+    plan, agg = chain_plan()
+    plan.open()
+    push = plan.push
+    for row in ROWS:
+        push("s", row)
+    return agg.groups()
+
+
+def run_batches(batches=BATCHES):
+    plan, agg = chain_plan()
+    plan.open()
+    push_batch = plan.push_batch
+    for batch in batches:
+        push_batch("s", batch)
+    return agg.groups()
+
+
+def run_dsms(batch_size):
+    dsms = DSMSEngine(queue_capacity=len(DSMS_ROWS) + 1,
+                      batch_size=batch_size)
+    dsms.register_stream("Obs", Schema(["id", "room", "temp"]))
+    handle = dsms.register_query("q", DSMS_QUERY)
+    for row, t in DSMS_ROWS:
+        dsms.ingest("Obs", row, t)
+    dsms.run_until_idle()
+    return sorted(tuple(r.values) for r in handle.store_state())
+
+
+def best_of(fn):
+    best = float("inf")
+    for _ in range(REPEATS):
+        gc.collect()
+        best = min(best, timed(fn)[1])
+    return best
+
+
+def measure():
+    table = ExperimentTable(
+        f"Vectorized micro-batches: fused filter->project->aggregate "
+        f"({N_ROWS} rows, batch={BATCH_SIZE})",
+        ["leg", "element_s", "batch_s", "speedup", "identical"])
+    identical = run_elements() == run_batches()
+    element_s, batch_s = float("inf"), float("inf")
+    for _ in range(REPEATS):
+        gc.collect()
+        element_s = min(element_s, timed(run_elements)[1])
+        batch_s = min(batch_s, timed(run_batches)[1])
+    table.add_row("fused-chain", element_s, batch_s,
+                  element_s / batch_s, identical)
+    dsms_identical = run_dsms(1) == run_dsms(64)
+    dsms_element = best_of(lambda: run_dsms(1))
+    dsms_batch = best_of(lambda: run_dsms(64))
+    table.add_row("dsms-end-to-end", dsms_element, dsms_batch,
+                  dsms_element / dsms_batch, dsms_identical)
+    return table
+
+
+def sweep():
+    """tuples/s of the fused chain as the batch size grows."""
+    points = []
+    for size in (8, 64, 512, 4096):
+        batches = [RecordBatch.from_records(ROWS[i:i + size])
+                   for i in range(0, N_ROWS, size)]
+        seconds = best_of(lambda: run_batches(batches))
+        points.append({"batch_size": size,
+                       "tuples_per_s": N_ROWS / seconds})
+    return points
+
+
+@pytest.mark.batch
+def test_batched_chain_is_exact():
+    # Parity gates the speedup claim: a fast wrong answer is worthless.
+    groups = run_elements()
+    assert groups == run_batches()
+    assert groups and sum(groups.values()) == \
+        sum(1 for row in ROWS if row["v"] > 10)
+
+
+@pytest.mark.batch
+def test_dsms_batched_store_is_exact():
+    assert run_dsms(1) == run_dsms(64)
+
+
+@pytest.mark.batch
+def test_bench_batch_writes_json():
+    table = measure()
+    table.show()
+    assert all(table.column("identical"))
+    speedup = table.column("speedup")[0]
+    points = sweep()
+    payload = bench_result(
+        "batch", table,
+        rows=N_ROWS, batch_size=BATCH_SIZE, floor=SPEEDUP_FLOOR,
+        sweep=points,
+        tuples_per_s_element=N_ROWS / table.column("element_s")[0],
+        tuples_per_s_batch=N_ROWS / table.column("batch_s")[0])
+    write_bench_json(payload)
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fused chain: batched only {speedup:.1f}x per-element, "
+        f"needs >= {SPEEDUP_FLOOR:.0f}x")
+
+
+@pytest.mark.batch
+@pytest.mark.benchmark(group="batch")
+@pytest.mark.parametrize("mode", ["element", "batch"])
+def test_bench_batch_chain(benchmark, mode):
+    runner = run_elements if mode == "element" else run_batches
+    assert benchmark(runner)

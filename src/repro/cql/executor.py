@@ -1057,8 +1057,7 @@ class ContinuousQuery:
                 f"arrivals must be pushed in timestamp order: {timestamp} "
                 f"after {self._last_instant}")
         emitted: list[Emission] = []
-        for instant in self._agenda.due(timestamp - 1):
-            emitted.extend(self._process_instant(instant))
+        emitted.extend(self._process_instants(self._agenda.due(timestamp - 1)))
         for name, rows in arrivals.items():
             sources = self._stream_sources.get(name)
             if not sources:
@@ -1091,8 +1090,7 @@ class ContinuousQuery:
         for source in sources:
             source.stage_update(record, mult)
         emitted: list[Emission] = []
-        for instant in self._agenda.due(timestamp - 1):
-            emitted.extend(self._process_instant(instant))
+        emitted.extend(self._process_instants(self._agenda.due(timestamp - 1)))
         emitted.extend(self._process_instant(timestamp))
         return emitted
 
@@ -1100,20 +1098,14 @@ class ContinuousQuery:
         """Advance event time without new data (fires due expirations)."""
         if self._shared is not None:
             return self._shared.advance_to(timestamp, member=self)
-        emitted: list[Emission] = []
-        for instant in self._agenda.due(timestamp):
-            emitted.extend(self._process_instant(instant))
-        return emitted
+        return self._process_instants(self._agenda.due(timestamp))
 
     def finish(self) -> list[Emission]:
         """Drain all scheduled future work (window closes after end of
         input) and return the final emissions."""
         if self._shared is not None:
             return self._shared.finish(member=self)
-        emitted: list[Emission] = []
-        for instant in self._agenda.drain():
-            emitted.extend(self._process_instant(instant))
-        return emitted
+        return self._process_instants(self._agenda.drain())
 
     def _drain_undelivered(self) -> list[Emission]:
         """Collect emissions buffered while other group members drove
@@ -1185,6 +1177,28 @@ class ContinuousQuery:
         if self._kernel is not None:
             return self._kernel.run_instant(t)
         return self._root.process_instant(t)
+
+    def _process_instants(self, ts: list[Timestamp]) -> list[Emission]:
+        """Process several due instants, batching the kernel tick drive.
+
+        An agenda drain covering k instants becomes one
+        :meth:`QueryKernel.run_instants` sweep — one ``push_batch`` per
+        tick source instead of k plan-wide pushes — followed by the same
+        per-instant state/emission fold.  Falls back to the per-instant
+        loop for the legacy recursion and whenever observability is on
+        (the per-instant evaluation histogram must stay exact).
+        """
+        if not ts:
+            return []
+        if self._kernel is None or len(ts) == 1 or _obs_state.enabled:
+            emitted: list[Emission] = []
+            for t in ts:
+                emitted.extend(self._process_instant(t))
+            return emitted
+        emitted = []
+        for t, (deltas, _active) in zip(ts, self._kernel.run_instants(ts)):
+            emitted.extend(self._apply_instant(t, deltas))
+        return emitted
 
     def _process_instant(self, t: Timestamp) -> list[Emission]:
         if _obs_state.enabled:

@@ -22,6 +22,7 @@ graphs.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from typing import NamedTuple
 
 from repro.core.time import Timestamp
@@ -74,44 +75,61 @@ class _UnaryAdapter(Operator):
 
 
 class _OpAdapter(Operator):
-    """Wraps a multi-input PhysicalOp; applies once all inputs reported."""
+    """Wraps a multi-input PhysicalOp; applies once all inputs reported.
+
+    Each input buffers a FIFO of instant batches rather than a single
+    slot: batched tick driving (:meth:`QueryKernel.run_instants`) pushes
+    *all* instants through one source before ticking the next, so one
+    side may run several instants ahead of its siblings.  Ticks arrive in
+    the same instant order on every source, so the queue heads always
+    share a timestamp.
+    """
 
     fusible = True
 
     def __init__(self, phys: PhysicalOp, arity: int) -> None:
         self.phys = phys
         self.arity = arity
-        self._pending: list[_InstantBatch | None] = [None] * arity
+        self._pending: list[deque[_InstantBatch]] = \
+            [deque() for _ in range(arity)]
 
     def process_element(self, batch: _InstantBatch,
                         input_index: int = 0) -> None:
-        self._pending[input_index] = batch
-        if any(b is None for b in self._pending):
+        self._pending[input_index].append(batch)
+        if any(not q for q in self._pending):
             return
-        pending, self._pending = self._pending, [None] * self.arity
+        heads = [q.popleft() for q in self._pending]
         deltas, active = self.phys.apply(
-            batch.t, [b.deltas for b in pending],
-            any(b.active for b in pending))
-        self.emit(_InstantBatch(batch.t, deltas, active))
+            heads[0].t, [b.deltas for b in heads],
+            any(b.active for b in heads))
+        self.emit(_InstantBatch(heads[0].t, deltas, active))
 
 
 class _RootCollector(Operator):
-    """Catches the root operator's batch for the driver to take."""
+    """Catches the root operator's batches for the driver to take."""
 
     fusible = True
 
     def __init__(self) -> None:
-        self._batch: _InstantBatch | None = None
+        self._batches: list[_InstantBatch] = []
 
     def process_element(self, batch: _InstantBatch,
                         input_index: int = 0) -> None:
-        self._batch = batch
+        self._batches.append(batch)
 
     def take(self) -> _InstantBatch:
-        batch, self._batch = self._batch, None
-        if batch is None:
+        batches = self.take_all()
+        if len(batches) != 1:
+            raise RuntimeError(
+                f"kernel instant produced {len(batches)} root batches, "
+                f"expected 1")
+        return batches[0]
+
+    def take_all(self) -> list[_InstantBatch]:
+        batches, self._batches = self._batches, []
+        if not batches:
             raise RuntimeError("kernel instant produced no root batch")
-        return batch
+        return batches
 
 
 class QueryKernel:
@@ -155,6 +173,31 @@ class QueryKernel:
         batch = self._collector.take()
         return batch.deltas, batch.active
 
+    def run_instants(self, ts: list[Timestamp]) \
+            -> list[tuple[list[Delta], bool]]:
+        """Evaluate several due instants with one batched tick per source.
+
+        The vectorized agenda drain: instead of one plan-wide push per
+        (source, instant), each source receives its tick list as ONE
+        ``push_batch`` — plan entry overhead is paid once per source per
+        drain instead of once per instant.  The multi-input adapters'
+        per-input FIFOs pair batches by position, so instants still
+        evaluate in order and the per-instant results are exactly
+        ``[run_instant(t) for t in ts]``.
+        """
+        if not ts:
+            return []
+        if len(ts) == 1:
+            return [self.run_instant(ts[0])]
+        for tick in self._ticks:
+            self.plan.push_batch(tick, ts)
+        batches = self._collector.take_all()
+        if len(batches) != len(ts):
+            raise RuntimeError(
+                f"batched tick drive produced {len(batches)} root batches "
+                f"for {len(ts)} instants")
+        return [(batch.deltas, batch.active) for batch in batches]
+
     def reset_transients(self) -> None:
         """Discard in-flight instant batches stranded by a crash.
 
@@ -164,8 +207,8 @@ class QueryKernel:
         next tick must start clean.
         """
         for adapter in self._multi_adapters:
-            adapter._pending = [None] * adapter.arity
-        self._collector._batch = None
+            adapter._pending = [deque() for _ in range(adapter.arity)]
+        self._collector._batches = []
 
 
 class MultiQueryKernel:

@@ -59,8 +59,8 @@ class Divergence:
 
     kind: str    # which leg diverged: optimizer | executor | executor-naive
                  # | kernel | kernel-naive | kernel-parallel
-                 # | kernel-crashed | dsms | dsms-shared | core-sparse
-                 # | core-assign | session | error
+                 # | kernel-crashed | dsms | kernel-batched | dsms-shared
+                 # | core-sparse | core-assign | session | error
     detail: str
 
     def __str__(self) -> str:
@@ -163,6 +163,12 @@ def run_case(case: Case) -> Divergence | None:
 
     # DSMS leg: the engine servicing one tuple per scheduling quantum.
     divergence = _dsms_leg(case, streams, plan_opt, engine)
+    if divergence is not None:
+        return divergence
+
+    # Batched leg: the same engine draining micro-batches per quantum.
+    # Batched vs per-element execution must agree instant by instant.
+    divergence = _kernel_batched_leg(case, streams, plan_opt, engine)
     if divergence is not None:
         return divergence
 
@@ -311,6 +317,56 @@ def _dsms_leg(case: Case, streams, plan_opt, engine) -> Divergence | None:
     if not (got == ref_state):
         return Divergence("dsms", _diff_detail(
             "dsms", _snapshot_list(got),
+            "reference", _snapshot_list(ref_state)))
+    return None
+
+
+def _kernel_batched_leg(case: Case, streams, plan_opt,
+                        engine) -> Divergence | None:
+    """The tenth leg: vectorized micro-batch execution under fuzzing.
+
+    The whole arrival log is ingested up front and drained with
+    ``batch_size=8`` quanta, so same-instant tuples actually coalesce
+    into one ``push_batch`` → one batched kernel instant.  The batch
+    size is an *explicit* per-query override — the planner's
+    emission-safety clamp is deliberately bypassed so aggregate, join
+    and windowed plans run batched too — which makes the state log the
+    comparison surface: snapshot-reducibility demands the maintained
+    relation per instant equals the reference relation of the R2S child
+    plan, exactly as the per-element DSMS leg is judged.
+    """
+    dsms = DSMSEngine(queue_capacity=1_000_000)
+    dsms.register_stream("Obs", OBS_SCHEMA)
+    dsms.register_stream("Alerts", ALERTS_SCHEMA)
+    from repro.difftest.generators import ROOMS_ROWS, ROOMS_SCHEMA
+    dsms.register_relation("Rooms", ROOMS_SCHEMA, ROOMS_ROWS)
+    try:
+        handle = dsms.register_query("q", case.query, shedder=NoShedding(),
+                                     batch_size=8)
+    except ReproError as exc:
+        return Divergence("kernel-batched", f"registration failed: {exc!r}")
+    arrivals: list[tuple[int, str, Any]] = []
+    for name, stream in streams.items():
+        if not handle.reads_stream(name):
+            continue
+        for element in stream:
+            arrivals.append((element.timestamp, name, element.value))
+    arrivals.sort(key=lambda item: item[0])  # stable: preserves gen order
+    try:
+        for t, name, record in arrivals:
+            dsms.ingest(name, record, t)
+        dsms.run_until_idle()
+        handle.query.finish()
+    except ReproError as exc:
+        return Divergence("kernel-batched", f"servicing crashed: {exc!r}")
+
+    state_plan = (plan_opt.child if plan_opt.op_name in _R2S_OPS
+                  else plan_opt)
+    ref_state = reference_evaluate(state_plan, engine.catalog, streams)
+    got = handle.query.as_relation()
+    if not (got == ref_state):
+        return Divergence("kernel-batched", _diff_detail(
+            "batched", _snapshot_list(got),
             "reference", _snapshot_list(ref_state)))
     return None
 

@@ -71,11 +71,19 @@ class QueryHandle:
                  queue: InputQueue, shedder: Shedder,
                  store: Store, scratch: Scratch, throw: Throw,
                  wm_clock: obs.WatermarkClock | None = None,
-                 track_state: bool = True) -> None:
+                 track_state: bool = True, batch_size: int = 1,
+                 max_batch_wait: int = 0) -> None:
         self.name = name
         self.query = query
         self.queue = queue
         self.shedder = shedder
+        #: Micro-batch size: a service quantum drains up to this many
+        #: same-timestamp tuples into one ``push_batch`` (1 = per-tuple).
+        self.batch_size = max(1, batch_size)
+        #: How many service rounds a sub-full batch may be deferred
+        #: waiting for the queue to fill (0 = never wait).
+        self.max_batch_wait = max(0, max_batch_wait)
+        self._deferrals = 0
         self._store = store
         self._scratch = scratch
         self._throw = throw
@@ -132,41 +140,73 @@ class QueryHandle:
         return True
 
     def service_one(self) -> bool:
-        """Dequeue and fully process one tuple.  Returns False when idle."""
-        queued = self.queue.poll()
-        if queued is None:
-            return False
+        """Service one scheduling quantum.  Returns False when idle.
+
+        With ``batch_size=1`` (the default) a quantum is one tuple.  A
+        batched handle drains up to ``batch_size`` same-timestamp tuples
+        into ONE atomic ``push_batch`` — one instant evaluation, one
+        Store write — and may defer a sub-full batch for up to
+        ``max_batch_wait`` quanta, betting that the queue fills before
+        latency matters.
+        """
+        if self.batch_size > 1:
+            if not self.queue:
+                self._deferrals = 0
+                return False
+            if len(self.queue) < self.batch_size \
+                    and self._deferrals < self.max_batch_wait:
+                # A waiting quantum: cheap, but it trades latency for
+                # batch occupancy — the knob the docs warn about.
+                self._deferrals += 1
+                return True
+            self._deferrals = 0
+            batch = self.queue.poll_batch(self.batch_size)
+        else:
+            queued = self.queue.poll()
+            if queued is None:
+                return False
+            batch = [queued]
         if obs._STATE.enabled:
             started = _perf()
             with obs.get_tracer().span("dsms.service",
                                        query=self.name) as span:
-                self._service(queued, span)
+                self._service(batch, span)
             self.busy_seconds += _perf() - started
         else:
-            self._service(queued, None)
+            self._service(batch, None)
         return True
 
-    def _service(self, queued, span) -> None:
-        stream_name, record, seq = queued.value
+    def _service(self, batch, span) -> None:
+        t = batch[0].timestamp
+        arrivals: dict[str, list] = {}
+        seqs: list[int] = []
+        streams_seen: set[str] = set()
+        for queued in batch:
+            stream_name, record, seq = queued.value
+            arrivals.setdefault(stream_name, []).append(record)
+            streams_seen.add(stream_name)
+            seqs.append(seq)
         before = self._evictions()
-        emitted = self.query.push(stream_name, record, queued.timestamp)
-        self._account_throw(before, queued.timestamp)
+        emitted = self.query.push_batch(t, arrivals)
+        self._account_throw(before, t)
         self._emissions.extend(emitted)
-        self.metrics.processed += 1
+        self.metrics.processed += len(batch)
         self.metrics.emitted += len(emitted)
-        self.metrics.queue_wait.observe(self._process_seq - seq)
-        self._process_seq += 1
+        for seq in seqs:
+            self.metrics.queue_wait.observe(self._process_seq - seq)
+            self._process_seq += 1
         self.metrics.scratch.observe(self._scratch.occupancy())
         if span is not None:
-            span.add(records=1, emitted=len(emitted))
-            obs.get_registry().histogram(
-                "dsms.queue.wait", query=self.name).observe(
-                    self._process_seq - 1 - seq)
+            span.add(records=len(batch), emitted=len(emitted))
+            wait_hist = obs.get_registry().histogram(
+                "dsms.queue.wait", query=self.name)
+            for offset, seq in enumerate(seqs, start=1):
+                wait_hist.observe(self._process_seq - len(seqs)
+                                  + offset - 1 - seq)
             if self._wm_clock is not None:
-                self._wm_clock.observe_processed(
-                    stream_name, queued.timestamp)
-        self._store.write(self.name, self.query.current(),
-                          queued.timestamp)
+                for stream_name in streams_seen:
+                    self._wm_clock.observe_processed(stream_name, t)
+        self._store.write(self.name, self.query.current(), t)
 
     def advance_to(self, t: Timestamp) -> list[Emission]:
         """Advance event time (window expirations) with no new data."""
@@ -326,9 +366,22 @@ class DSMSEngine:
                  kernel: bool = True,
                  sharing: bool = False,
                  recovery_interval: int | None = None,
-                 max_restarts: int = 3) -> None:
+                 max_restarts: int = 3,
+                 batch_size: int = 1,
+                 max_batch_wait: int = 0) -> None:
         self._cql = CQLEngine()
         self._kernel = kernel
+        #: Engine-default micro-batch size: a service quantum drains up
+        #: to this many same-timestamp tuples into one atomic instant
+        #: evaluation.  Per query the planner's batching pass clamps the
+        #: default back to 1 when the query's *emissions* would change
+        #: (see :func:`repro.plan.batching.decide_batch_size`); an
+        #: explicit ``register_query(batch_size=...)`` overrides the
+        #: clamp (state-exact opt-in).
+        self.batch_size = max(1, batch_size)
+        #: Service quanta a sub-full batch may wait for the queue to
+        #: fill before being flushed anyway (latency/occupancy knob).
+        self.max_batch_wait = max(0, max_batch_wait)
         #: Multi-query plan sharing: queries registered with the default
         #: shedder and queue capacity are compiled into one communal
         #: :class:`repro.cql.shared.SharedGroup` (common subplans share
@@ -391,15 +444,27 @@ class DSMSEngine:
     def register_query(self, name: str, text: str,
                        shedder: Shedder | None = None,
                        queue_capacity: int | None = None,
-                       parallelism: int | None = None) -> QueryHandle:
+                       parallelism: int | None = None,
+                       batch_size: int | None = None) -> QueryHandle:
         """Register a standing query under ``name`` (Figure 1: issued once,
         active until cancelled).
 
         ``parallelism=N`` asks for key-partitioned execution; the planner
         clamps unpartitionable plans back to a serial query (see
-        :meth:`repro.cql.engine.CQLEngine.register_query`)."""
+        :meth:`repro.cql.engine.CQLEngine.register_query`).
+
+        ``batch_size=None`` (default) inherits the engine's batch size,
+        clamped back to 1 by the planner's emission-safety pass when
+        batching would change this query's output stream.  An explicit
+        integer is taken as-is: the caller opts into state-exact (but not
+        emission-exact) batching — the maintained Store answer is
+        identical, intermediate per-arrival emissions may net away."""
         if name in self._by_name:
             raise PlanError(f"query name {name!r} already registered")
+        if batch_size is None:
+            from repro.plan.batching import decide_batch_size
+            batch_size = decide_batch_size(self._cql.plan(text),
+                                           self.batch_size)
         wants_fission = parallelism is not None and parallelism > 1
         if self._sharing and shedder is None and queue_capacity is None \
                 and not wants_fission:
@@ -417,7 +482,8 @@ class DSMSEngine:
             InputQueue(queue_capacity or self.queue_capacity),
             shedder or NoShedding(),
             self.store, self.scratch, self.throw,
-            wm_clock=self.watermark_clock)
+            wm_clock=self.watermark_clock,
+            batch_size=batch_size, max_batch_wait=self.max_batch_wait)
         self._units.append(handle)
         self._handles.append(handle)
         self._by_name[name] = handle

@@ -76,6 +76,25 @@ class InputQueue:
             self._pressured = False
         return self._queue.popleft()
 
+    def poll_batch(self, limit: int) -> list[QueuedTuple]:
+        """Dequeue up to ``limit`` tuples sharing the head timestamp.
+
+        The micro-batch drain: a batch never mixes instants (the executor
+        evaluates one instant per batch), so the run stops at the first
+        tuple carrying a different timestamp — or at ``limit``, whichever
+        comes first.  Returns ``[]`` when empty.
+        """
+        queue = self._queue
+        if not queue or limit <= 0:
+            return []
+        head_t = queue[0].timestamp
+        out = [queue.popleft()]
+        while queue and len(out) < limit and queue[0].timestamp == head_t:
+            out.append(queue.popleft())
+        if self._pressured and len(queue) <= self._pressure_mark:
+            self._pressured = False
+        return out
+
     def peek(self) -> QueuedTuple | None:
         return self._queue[0] if self._queue else None
 

@@ -3,9 +3,14 @@
 One physical substrate under all four API layers (Figure 4 of the
 survey): CQL's delta executor, the DSMS engine, the dataflow direct
 runner and the actor-style job runtime all lower to kernel
-:class:`Operator` plans.  See DESIGN.md § "Execution kernel".
+:class:`Operator` plans.  The protocol is dual-mode — per-element and
+columnar micro-batch (:class:`RecordBatch`, :meth:`Plan.push_batch`) —
+with vectorized kernels for the hot operators in
+:mod:`repro.exec.vector`.  See DESIGN.md § "Execution kernel" and
+§ "Vectorized execution".
 """
 
+from repro.exec.batch import HAS_NUMPY, RecordBatch
 from repro.exec.exchange import Exchange, Merge, PartitionGate, fission
 from repro.exec.fusion import fuse_fixpoint
 from repro.exec.operator import (
@@ -15,9 +20,20 @@ from repro.exec.operator import (
     FusedOperator,
     Operator,
     OperatorContext,
+    batch_capable,
 )
 from repro.exec.plan import Plan
 from repro.exec.state import DictStateBackend, LSMStateBackend, StateBackend
+from repro.exec.vector import (
+    VectorFilter,
+    VectorKeyedAggregate,
+    VectorMap,
+    VectorProject,
+    VectorRangeWindow,
+    keyed_count,
+    keyed_fold,
+    keyed_sum,
+)
 from repro.exec.watermarks import WatermarkTracker
 
 __all__ = [
@@ -26,15 +42,26 @@ __all__ = [
     "Emitter",
     "Exchange",
     "FusedOperator",
+    "HAS_NUMPY",
     "LSMStateBackend",
     "Merge",
     "Operator",
     "OperatorContext",
     "PartitionGate",
     "Plan",
+    "RecordBatch",
     "StageEmitter",
     "StateBackend",
+    "VectorFilter",
+    "VectorKeyedAggregate",
+    "VectorMap",
+    "VectorProject",
+    "VectorRangeWindow",
     "WatermarkTracker",
+    "batch_capable",
     "fission",
     "fuse_fixpoint",
+    "keyed_count",
+    "keyed_fold",
+    "keyed_sum",
 ]

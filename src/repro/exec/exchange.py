@@ -69,6 +69,31 @@ class Exchange(Operator):
                 value, self.key_fn(value), self.parallelism):
             emit((index, value))
 
+    def process_batch(self, batch: Any, input_index: int = 0) -> None:
+        """Route a whole batch: one stamped sub-batch per partition.
+
+        Without this, a batched push through a fissioned plan silently
+        degraded to per-element emission (the default loop) — every
+        element became its own downstream delivery.  Bucketing by
+        partition keeps batches whole: each replica's gate receives one
+        homogeneous stamped batch per input batch (within-partition
+        order preserved; stamped tuples keep non-batch-capable
+        downstreams working via the default loop).
+        """
+        route = self.partitioner.route
+        key_fn = self.key_fn
+        parallelism = self.parallelism
+        buckets: dict[int, list[tuple[int, Any]]] = {}
+        for value in batch:
+            for index in route(value, key_fn(value), parallelism):
+                bucket = buckets.get(index)
+                if bucket is None:
+                    bucket = buckets[index] = []
+                bucket.append((index, value))
+        emit_batch = self.ctx.emitter.emit_batch
+        for index in sorted(buckets):
+            emit_batch(buckets[index])
+
 
 class PartitionGate(Operator):
     """Admits partition ``index``'s elements into one fission replica."""
@@ -82,6 +107,18 @@ class PartitionGate(Operator):
                         input_index: int = 0) -> None:
         if stamped[0] == self.index:
             self.ctx.emitter.emit(stamped[1])
+
+    def process_batch(self, batch: Any, input_index: int = 0) -> None:
+        """Slice-and-forward: unwrap this partition's share as one batch.
+
+        ``Exchange`` sends homogeneous per-partition batches, so this is
+        usually all-or-nothing; the comprehension also handles mixed
+        batches from hand-built plans.
+        """
+        own = self.index
+        admitted = [value for stamp, value in batch if stamp == own]
+        if admitted:
+            self.ctx.emitter.emit_batch(admitted)
 
 
 class Merge(Operator):
@@ -98,6 +135,9 @@ class Merge(Operator):
 
     def process_element(self, value: Any, input_index: int = 0) -> None:
         self.ctx.emitter.emit(value)
+
+    def process_batch(self, batch: Any, input_index: int = 0) -> None:
+        self.ctx.emitter.emit_batch(batch)
 
 
 def fission(plan, upstream: str, name: str, parallelism: int,

@@ -28,6 +28,25 @@ class StateBackend:
     def items(self) -> Iterable[tuple[Any, Any]]:
         raise NotImplementedError
 
+    # -- batched mutation (vectorized operators) ------------------------------
+
+    def put_many(self, items: Iterable[tuple[Any, Any]]) -> None:
+        """Store many (key, value) pairs in one call.
+
+        The default loops ``put``; backends with a cheaper bulk path
+        (dict.update) override it.  Semantically identical to the loop —
+        later pairs win on duplicate keys.
+        """
+        put = self.put
+        for key, value in items:
+            put(key, value)
+
+    def get_many(self, keys: Iterable[Any],
+                 default: Any = None) -> list[Any]:
+        """Look up many keys; one result per key, in order."""
+        get = self.get
+        return [get(key, default) for key in keys]
+
     # -- checkpointing --------------------------------------------------------
 
     def snapshot(self) -> Any:
@@ -79,6 +98,9 @@ class DictStateBackend(StateBackend):
 
     def delete(self, key: Any) -> None:
         self._data.pop(key, None)
+
+    def put_many(self, items: Iterable[tuple[Any, Any]]) -> None:
+        self._data.update(items)
 
     def items(self) -> Iterable[tuple[Any, Any]]:
         return list(self._data.items())

@@ -1,0 +1,302 @@
+"""Vectorized kernel operators: true columnar batch kernels.
+
+The dual-mode protocol makes every operator batch-*correct* (the default
+``process_batch`` loops ``process_element``); the operators here make
+the hot ones batch-*fast*.  Each keeps an exact per-element path — the
+same operator works in both modes, and the difftest parity suite drives
+both — while ``process_batch`` runs one tight loop (or one numpy
+expression) per batch:
+
+* :class:`VectorFilter` — predicate over a column (mask + compress)
+* :class:`VectorProject` — projection onto bare columns (column sharing)
+* :class:`VectorMap` — stateless map, one comprehension per batch
+* :class:`VectorKeyedAggregate` — keyed accumulation with columnar fold
+  kernels (:func:`keyed_count` uses ``collections.Counter`` — a C-level
+  group-by — and :func:`keyed_sum`/:func:`keyed_fold` one zip loop)
+* :class:`VectorRangeWindow` — RANGE-window insert (two list extends)
+  and expiry (one bisect + one slice del per watermark)
+
+All are ``fusible``: a fused filter→project→aggregate chain moves one
+batch end to end with zero per-element dispatch between members.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections import Counter
+from typing import Any, Callable, Iterable
+
+from repro.core.time import Timestamp
+from repro.exec.batch import HAS_NUMPY, RecordBatch
+from repro.exec.operator import Operator
+
+if HAS_NUMPY:  # pragma: no branch
+    import numpy as _np
+
+__all__ = [
+    "VectorFilter", "VectorKeyedAggregate", "VectorMap", "VectorProject",
+    "VectorRangeWindow", "keyed_count", "keyed_fold", "keyed_sum",
+]
+
+
+class VectorFilter(Operator):
+    """Filter with a columnar mask kernel.
+
+    ``predicate`` is the exact row semantics (``predicate(row) -> bool``);
+    ``column``/``compare`` optionally describe the same predicate
+    columnar-ly: ``compare`` is applied to the named column's values (a
+    whole ndarray when numpy is available, else one tight list loop) to
+    produce the selection mask.
+    """
+
+    fusible = True
+
+    def __init__(self, predicate: Callable[[Any], bool],
+                 column: str | None = None,
+                 compare: Callable[[Any], Any] | None = None) -> None:
+        self.predicate = predicate
+        self.column = column
+        self.compare = compare
+
+    def process_element(self, value: Any, input_index: int = 0) -> None:
+        if self.predicate(value):
+            self.ctx.emitter.emit(value)
+
+    def process_batch(self, batch: Any, input_index: int = 0) -> None:
+        column = self.column
+        if isinstance(batch, RecordBatch) and column is not None \
+                and self.compare is not None:
+            if HAS_NUMPY:
+                mask = self.compare(_np.asarray(batch.columns[column]))
+                if mask.all():
+                    self.ctx.emitter.emit_batch(batch)
+                    return
+                selected = batch.filter(mask.tolist())
+            else:
+                compare = self.compare
+                selected = batch.filter(
+                    [compare(v) for v in batch.columns[column]])
+            if len(selected):
+                self.ctx.emitter.emit_batch(selected)
+            return
+        predicate = self.predicate
+        selected = [value for value in batch if predicate(value)]
+        if selected:
+            self.ctx.emitter.emit_batch(selected)
+
+
+class VectorProject(Operator):
+    """Projection onto bare columns.
+
+    On a :class:`RecordBatch` this is ``select`` — the output batch
+    *shares* the retained column lists, so the columnar kernel copies
+    nothing at all.
+    """
+
+    fusible = True
+
+    def __init__(self, fields: Iterable[str]) -> None:
+        self.fields = tuple(fields)
+
+    def process_element(self, value: Any, input_index: int = 0) -> None:
+        self.ctx.emitter.emit({name: value[name] for name in self.fields})
+
+    def process_batch(self, batch: Any, input_index: int = 0) -> None:
+        if isinstance(batch, RecordBatch):
+            self.ctx.emitter.emit_batch(batch.select(self.fields))
+            return
+        fields = self.fields
+        self.ctx.emitter.emit_batch(
+            [{name: value[name] for name in fields} for value in batch])
+
+
+class VectorMap(Operator):
+    """Stateless map; the batch kernel is one comprehension per batch.
+
+    ``batch_fn`` optionally replaces it with a whole-batch transform
+    (e.g. a numpy expression over ``RecordBatch`` columns); it must equal
+    ``[fn(v) for v in batch]`` in row semantics.
+    """
+
+    fusible = True
+
+    def __init__(self, fn: Callable[[Any], Any],
+                 batch_fn: Callable[[Any], Any] | None = None) -> None:
+        self.fn = fn
+        self.batch_fn = batch_fn
+
+    def process_element(self, value: Any, input_index: int = 0) -> None:
+        self.ctx.emitter.emit(self.fn(value))
+
+    def process_batch(self, batch: Any, input_index: int = 0) -> None:
+        if self.batch_fn is not None and isinstance(batch, RecordBatch):
+            self.ctx.emitter.emit_batch(self.batch_fn(batch))
+            return
+        fn = self.fn
+        self.ctx.emitter.emit_batch([fn(value) for value in batch])
+
+
+def keyed_count(key: str) -> "VectorKeyedAggregate":
+    """COUNT(*) GROUP BY ``key``; the columnar fold is one ``Counter``
+    over the key column — a C-level group-by per batch."""
+
+    def fold_batch(groups: dict, batch: RecordBatch) -> None:
+        get = groups.get
+        for k, n in Counter(batch.columns[key]).items():
+            groups[k] = get(k, 0) + n
+
+    return VectorKeyedAggregate(
+        key=lambda row: row[key], zero=0,
+        fold=lambda acc, _row: acc + 1,
+        key_column=key, fold_batch=fold_batch)
+
+
+def keyed_sum(key: str, value: str) -> "VectorKeyedAggregate":
+    """SUM(``value``) GROUP BY ``key``; one zip loop per batch."""
+
+    def fold_batch(groups: dict, batch: RecordBatch) -> None:
+        get = groups.get
+        for k, v in zip(batch.columns[key], batch.columns[value]):
+            groups[k] = get(k, 0) + v
+
+    return VectorKeyedAggregate(
+        key=lambda row: row[key], zero=0,
+        fold=lambda acc, row: acc + row[value],
+        key_column=key, fold_batch=fold_batch)
+
+
+def keyed_fold(key: str, zero: Any,
+               fold: Callable[[Any, Any], Any]) -> "VectorKeyedAggregate":
+    """Generic keyed fold over whole rows (batch kernel: one zip loop
+    over the key column + row iteration)."""
+    return VectorKeyedAggregate(key=lambda row: row[key], zero=zero,
+                                fold=fold, key_column=key)
+
+
+class VectorKeyedAggregate(Operator):
+    """Keyed aggregate *accumulation* with a columnar fold kernel.
+
+    State is a plain ``{key: accumulator}`` dict.  The per-element path
+    folds one row; the batch path either runs ``fold_batch`` (a
+    whole-batch kernel mutating the groups dict, e.g. Counter-based
+    counting) or one zip loop pairing the key column with the rows.
+    Results — ``(key, accumulator)`` pairs, key-sorted — are emitted as
+    one batch at ``close``; ``groups()`` reads them live.
+
+    Accumulation is order-insensitive for commutative folds, which is
+    what makes the operator batch-safe; retracting inputs are not
+    accepted (the planner's batching pass falls back to per-element
+    operators for those — see :mod:`repro.plan.batching`).
+    """
+
+    fusible = True
+
+    def __init__(self, key: Callable[[Any], Any], zero: Any,
+                 fold: Callable[[Any, Any], Any],
+                 key_column: str | None = None,
+                 fold_batch: Callable[[dict, RecordBatch], None]
+                 | None = None) -> None:
+        self.key = key
+        self.zero = zero
+        self.fold = fold
+        self.key_column = key_column
+        self.fold_batch = fold_batch
+        self._groups: dict[Any, Any] = {}
+
+    def process_element(self, value: Any, input_index: int = 0) -> None:
+        k = self.key(value)
+        self._groups[k] = self.fold(self._groups.get(k, self.zero), value)
+
+    def process_batch(self, batch: Any, input_index: int = 0) -> None:
+        groups = self._groups
+        if isinstance(batch, RecordBatch) and self.key_column is not None:
+            if self.fold_batch is not None:
+                self.fold_batch(groups, batch)
+                return
+            get = groups.get
+            fold, zero = self.fold, self.zero
+            for k, row in zip(batch.columns[self.key_column], batch):
+                groups[k] = fold(get(k, zero), row)
+            return
+        key, fold, zero = self.key, self.fold, self.zero
+        get = groups.get
+        for value in batch:
+            k = key(value)
+            groups[k] = fold(get(k, zero), value)
+
+    def groups(self) -> dict[Any, Any]:
+        return dict(self._groups)
+
+    def close(self) -> None:
+        if self._groups:
+            self.ctx.emitter.emit_batch(
+                sorted(self._groups.items(), key=lambda kv: repr(kv[0])))
+
+    def snapshot(self) -> Any:
+        return dict(self._groups)
+
+    def restore(self, state: Any) -> None:
+        self._groups = dict(state)
+
+
+class VectorRangeWindow(Operator):
+    """RANGE-window contents with vectorized insert and expiry.
+
+    Keeps the rows whose timestamps lie in ``(watermark - size,
+    watermark]``-style suffix: inserts append (two list ``extend`` calls
+    per batch — the time column is lifted columnar-ly from a
+    :class:`RecordBatch`), expiry on each watermark advance is one
+    binary search plus one slice deletion instead of a per-element
+    deque loop.  Requires non-decreasing element times (append-only,
+    time-ordered input — the condition the planner's batching pass
+    proves before routing batches here).  Elements pass through
+    downstream unchanged (the insert stream); ``contents()`` reads the
+    live window.
+    """
+
+    fusible = True
+
+    def __init__(self, size: int, time_fn: Callable[[Any], Timestamp]
+                 | None = None, time_column: str = "t") -> None:
+        if size <= 0:
+            raise ValueError(f"window size must be positive, got {size}")
+        self.size = size
+        self.time_fn = time_fn or (lambda row: row[time_column])
+        self.time_column = time_column
+        self._times: list[Timestamp] = []
+        self._rows: list[Any] = []
+
+    def process_element(self, value: Any, input_index: int = 0) -> None:
+        self._times.append(self.time_fn(value))
+        self._rows.append(value)
+        self.ctx.emitter.emit(value)
+
+    def process_batch(self, batch: Any, input_index: int = 0) -> None:
+        if isinstance(batch, RecordBatch) \
+                and self.time_column in batch.columns:
+            self._times.extend(batch.columns[self.time_column])
+        else:
+            time_fn = self.time_fn
+            self._times.extend(time_fn(value) for value in batch)
+        self._rows.extend(batch)
+        self.ctx.emitter.emit_batch(batch)
+
+    def process_watermark(self, watermark: Timestamp,
+                          input_index: int = 0) -> None:
+        # Expire everything at or below watermark - size: ``_times`` is
+        # non-decreasing, so the cut point is one bisect away.
+        cut = bisect_right(self._times, watermark - self.size)
+        if cut:
+            del self._times[:cut]
+            del self._rows[:cut]
+
+    def contents(self) -> list[Any]:
+        return list(self._rows)
+
+    def snapshot(self) -> Any:
+        return (list(self._times), list(self._rows))
+
+    def restore(self, state: Any) -> None:
+        times, rows = state
+        self._times = list(times)
+        self._rows = list(rows)

@@ -12,6 +12,8 @@ Module map:
 * :mod:`repro.plan.rules` — the rewrite-rule catalog and ``optimize``
 * :mod:`repro.plan.signature` — canonical commutativity-aware signatures
 * :mod:`repro.plan.monotone` — monotonicity-aware strategy selection
+* :mod:`repro.plan.parallel` — fission/partitionability analysis
+* :mod:`repro.plan.batching` — micro-batch emission-safety analysis
 * :mod:`repro.plan.sharing` — the multi-query subplan memo
 * :mod:`repro.plan.explain` — text renderers for logical & kernel plans
 """
@@ -66,6 +68,11 @@ from repro.plan.ir import (
     scans_of,
     walk,
 )
+from repro.plan.batching import (
+    BatchReport,
+    batch_safety,
+    decide_batch_size,
+)
 from repro.plan.parallel import (
     PartitionScheme,
     decide_parallelism,
@@ -94,7 +101,8 @@ from repro.plan.sharing import SubplanMemo, memo_key, shareable
 from repro.plan.signature import canonical_predicate, plan_signature
 
 __all__ = [
-    "Aggregate", "AggregateExpr", "BGPMatch", "Binary", "BinOp", "Column",
+    "Aggregate", "AggregateExpr", "BGPMatch", "BatchReport", "Binary",
+    "BinOp", "Column",
     "DEFAULT_RULES", "Distinct", "EmitMode", "Expr", "Filter", "FuncCall",
     "GroupWindow", "GroupWindowKind", "IncrementalStrategy", "Join",
     "Literal", "LogicalOp", "NOW_SPEC", "OpaqueOp", "OpaqueSource",
@@ -102,9 +110,11 @@ __all__ = [
     "SetOp", "Star",
     "StreamScan", "SubplanMemo", "TIME_BASED_KINDS", "UNBOUNDED_SPEC",
     "Unary", "WindowAggregate", "WindowOp", "WindowSpec", "WindowSpecKind",
-    "append_only_inputs", "canonical_predicate", "collapse_distinct",
+    "append_only_inputs", "batch_safety", "canonical_predicate",
+    "collapse_distinct",
     "columns_resolvable", "compose_projects", "conjoin",
-    "contains_aggregate", "decide_parallelism", "equality_columns",
+    "contains_aggregate", "decide_batch_size", "decide_parallelism",
+    "equality_columns",
     "explain", "explain_analyzed",
     "explain_kernel", "explain_logical", "extract_equijoin_keys",
     "fuse_filters",

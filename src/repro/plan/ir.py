@@ -19,7 +19,7 @@ Nodes expose ``op_name``/``children`` so the monotonicity classifier in
 column positions at plan time.
 
 History: the core of this hierarchy moved here from
-``repro.cql.algebra``, which remains a compatibility shim.
+``repro.cql.algebra``; the compatibility shim is gone.
 """
 
 from __future__ import annotations

@@ -25,7 +25,7 @@ those would change results, so the rule never fires on them.
 
 Rules are applied to fixpoint by :func:`optimize`; each rule is
 independent and individually testable.  (This module moved here from
-``repro.sql.optimizer``, which remains a compatibility shim.)
+``repro.sql.optimizer``; the compatibility shim is gone.)
 """
 
 from __future__ import annotations

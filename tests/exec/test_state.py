@@ -53,6 +53,44 @@ class TestBackendSurface:
         assert sorted(fresh.items(), key=repr) == \
             sorted(backend.items(), key=repr)
 
+    def test_put_many_get_many_round_trip(self, factory):
+        backend = factory()
+        pairs = [(f"k{i}", i * i) for i in range(40)]
+        backend.put_many(pairs)
+        assert backend.get_many([k for k, _ in pairs]) == \
+            [v for _, v in pairs]
+        assert backend.get_many(["missing"], default=-1) == [-1]
+        assert sorted(backend.items()) == sorted(pairs)
+
+    def test_put_many_later_pairs_win(self, factory):
+        backend = factory()
+        backend.put_many([("k", 1), ("k", 2), ("j", 3), ("k", 4)])
+        assert backend.get("k") == 4
+        assert backend.get("j") == 3
+
+    def test_put_many_equals_put_loop(self, factory):
+        bulk, loop = factory(), factory()
+        pairs = [(f"k{i % 7}", i) for i in range(30)]
+        bulk.put_many(pairs)
+        for key, value in pairs:
+            loop.put(key, value)
+        assert sorted(bulk.items()) == sorted(loop.items())
+
+    def test_estimates_exact_after_batched_mutation(self, factory):
+        backend = factory()
+        backend.put_many((f"k{i}", "v" * 8) for i in range(300))
+        backend.put_many([("k0", "w"), ("k1", "w")])  # overwrites, not adds
+        assert backend.estimated_entries() == 300
+        for key in ("k5", "k6", "k7"):
+            backend.delete(key)
+        assert backend.estimated_entries() == 297
+        # The byte estimate must see the batched entries: sampling scales
+        # the mean entry repr by the exact entry count.
+        assert backend.estimated_bytes() > 0
+        empty = factory()
+        assert empty.estimated_entries() == 0
+        assert empty.estimated_bytes() == 0
+
 
 class CountPerKey(Operator):
     """Minimal stateful kernel operator using the context's backend."""
