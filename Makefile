@@ -4,7 +4,8 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test lint bench bench-kernel bench-plan bench-recovery \
-	bench-profile bench-parallel bench-batch chaos fuzz fuzz-quick
+	bench-profile bench-parallel bench-batch bench-views chaos fuzz \
+	fuzz-quick
 
 test: lint
 	$(PYTHON) -m pytest -x -q
@@ -51,9 +52,15 @@ bench-parallel:
 bench-batch:
 	$(PYTHON) -m pytest benchmarks/bench_batch.py -x -q
 
+# Dynamic tables: two-level view DAG under skewed updates, incremental
+# refresh vs recompute-from-base (parity-gated, >=5x claim) with the
+# lag-vs-target_lag gate.  Writes BENCH_dynamic_tables.json.
+bench-views:
+	$(PYTHON) -m pytest benchmarks/bench_dynamic_tables.py -x -q
+
 # Every headline benchmark, each writing its BENCH_*.json.
 bench: bench-kernel bench-plan bench-recovery bench-profile \
-	bench-parallel bench-batch
+	bench-parallel bench-batch bench-views
 
 # Standing fault-injection campaign: kernel crash matrix over random
 # queries plus seeded broker drop/dup/reorder chaos.

@@ -37,6 +37,8 @@ KEYWORDS = frozenset({
     "TUMBLE", "HOP", "SESSION", "EMIT", "CHANGES", "AFTER", "WATERMARK",
     # DDL-ish (catalog statements)
     "CREATE", "STREAM", "TABLE", "VIEW", "MATERIALIZED",
+    # dynamic tables
+    "DYNAMIC", "TARGET_LAG", "DOWNSTREAM",
     # time units
     "MS", "MILLISECOND", "MILLISECONDS", "SEC", "SECOND", "SECONDS",
     "MIN", "MINUTE", "MINUTES", "HOUR", "HOURS",

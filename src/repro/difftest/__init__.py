@@ -25,21 +25,26 @@ from repro.difftest.generators import (
     ROOMS_SCHEMA,
     Case,
     CoreWindowCase,
+    ViewCase,
     build_engine,
     build_streams,
+    build_view_plans,
     gen_case,
     gen_core_window_case,
+    gen_view_case,
 )
 from repro.difftest.oracle import (
     Divergence,
     check_negative_timestamp_rejection,
     run_case,
     run_core_window_case,
+    run_view_case,
 )
 from repro.difftest.runner import FuzzReport, fuzz
 from repro.difftest.shrinker import (
     emit_core_repro,
     emit_repro,
+    emit_view_repro,
     shrink_case,
     shrink_core_case,
 )
@@ -53,15 +58,20 @@ __all__ = [
     "Case",
     "CoreWindowCase",
     "Divergence",
+    "ViewCase",
     "FuzzReport",
     "MUTANTS",
     "apply_mutant",
     "build_engine",
     "build_streams",
     "check_negative_timestamp_rejection",
+    "build_view_plans",
     "emit_core_repro",
     "emit_repro",
+    "emit_view_repro",
     "fuzz",
+    "gen_view_case",
+    "run_view_case",
     "shrink_core_case",
     "gen_case",
     "gen_core_window_case",

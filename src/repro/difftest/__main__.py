@@ -26,6 +26,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="CQL cases to run (default 500)")
     parser.add_argument("--core-cases", type=int, default=200,
                         help="core window cases to run (default 200)")
+    parser.add_argument("--view-cases", type=int, default=100,
+                        help="dynamic-table cases to run (default 100)")
     parser.add_argument("--seed", type=int, default=0,
                         help="campaign seed (default 0)")
     parser.add_argument("--unseeded", action="store_true",
@@ -44,6 +46,7 @@ def main(argv: list[str] | None = None) -> int:
         seed=None if args.unseeded else args.seed,
         cases=args.cases,
         core_cases=args.core_cases,
+        view_cases=args.view_cases,
         shrink=not args.no_shrink,
         max_failures=args.max_failures,
         repro_dir=args.repro_dir,
@@ -57,6 +60,9 @@ def main(argv: list[str] | None = None) -> int:
     for case, divergence in report.core_failures:
         print(f"  core divergence: {divergence}")
         print(f"    window: {case.window!r} rows: {case.rows}")
+    for case, divergence in report.view_failures:
+        print(f"  view divergence: {divergence}")
+        print(f"    views: {case.views} events: {case.events}")
     for problem in report.consistency_problems:
         print(f"  consistency: {problem}")
     for path in report.repro_paths:

@@ -241,3 +241,259 @@ def gen_core_window_case(rng: random.Random,
         rng.randint(0, 8),
         rng.choice(["bursty", "zero-heavy", "sparse", "mixed"]))
     return CoreWindowCase(window=gen_core_window(rng), rows=rows, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Dynamic-table cases (kernel-views leg)
+# ---------------------------------------------------------------------------
+
+#: Base tables for view cases.  All columns hold small ints (or NULL), so
+#: any generated predicate, join key or aggregate argument is type-safe.
+FACT_SCHEMA = Schema(["k", "g", "v"])
+DIM_SCHEMA = Schema(["g", "w"])
+VIEW_BASES: dict[str, Schema] = {"fact": FACT_SCHEMA, "dim": DIM_SCHEMA}
+
+_VIEW_SHAPES = ("filter", "project", "aggregate", "distinct", "join",
+                "setop")
+_VIEW_AGGS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+_SETOP_KINDS = ("union", "difference", "intersection")
+
+
+@dataclass
+class ViewCase:
+    """One dynamic-table differential case.
+
+    ``views`` are plain-data specs (see :func:`build_view_ir`) forming a
+    multi-level DAG over the two fixed base tables; ``events`` is a script
+    of ``apply`` / ``tick`` / ``refresh`` / ``suspend`` / ``resume`` /
+    ``crash`` steps.  Everything is JSON-able so a failing case embeds
+    literally in a repro file.
+    """
+
+    views: list[dict[str, Any]]
+    initial: dict[str, list[dict[str, Any]]]
+    events: list[list[Any]]
+    seed: int | None = None
+
+
+def build_view_ir(spec: dict[str, Any], schemas: dict[str, Schema]):
+    """Reconstruct the logical plan a view spec describes.
+
+    Deterministic: the oracle and the service both call this, in DAG
+    order, so both sides agree on every view's definition.  The root is
+    always a Project renaming outputs to ``c0..cn`` — downstream views
+    then scan a flat, unambiguous schema.
+    """
+    from repro.core.operators import AggregateKind
+    from repro.plan.exprs import Binary, BinOp, Column, Literal
+    from repro.plan.ir import (
+        Aggregate,
+        AggregateExpr,
+        Distinct,
+        Filter,
+        Join,
+        Project,
+        SetOp,
+    )
+    from repro.views import make_scan
+
+    shape = spec["shape"]
+    params = spec["params"]
+    sources = spec["sources"]
+
+    def scan(name: str, alias: str):
+        return make_scan(name, alias, schemas[name])
+
+    if shape == "filter":
+        core = Filter(scan(sources[0], "s"),
+                      Binary(BinOp.GT, Column(f"s.{params['col']}"),
+                             Literal(params["cutoff"])))
+    elif shape == "project":
+        exprs = [Column(f"s.{c}") for c in params["cols"]]
+        names = [f"p{i}" for i in range(len(exprs))]
+        if params.get("bump") is not None:
+            exprs.append(Binary(BinOp.ADD, Column(f"s.{params['bump']}"),
+                                Literal(1)))
+            names.append(f"p{len(exprs) - 1}")
+        core = Project(scan(sources[0], "s"), tuple(exprs), tuple(names))
+    elif shape == "aggregate":
+        group = params["group"]
+        aggregates = tuple(
+            AggregateExpr(AggregateKind[kind],
+                          None if col is None else Column(f"s.{col}"),
+                          f"a{i}")
+            for i, (kind, col) in enumerate(params["aggs"]))
+        core = Aggregate(scan(sources[0], "s"),
+                         () if group is None else (f"s.{group}",),
+                         () if group is None else ("g0",),
+                         aggregates)
+    elif shape == "distinct":
+        exprs = tuple(Column(f"s.{c}") for c in params["cols"])
+        names = tuple(f"d{i}" for i in range(len(exprs)))
+        core = Distinct(Project(scan(sources[0], "s"), exprs, names))
+    elif shape == "join":
+        core = Join(scan(sources[0], "l"), scan(sources[1], "r"),
+                    left_keys=(f"l.{params['left_key']}",),
+                    right_keys=(f"r.{params['right_key']}",))
+    elif shape == "setop":
+        arity = len(params["left_cols"])
+        names = tuple(f"x{i}" for i in range(arity))
+        left = Project(scan(sources[0], "l"),
+                       tuple(Column(f"l.{c}") for c in params["left_cols"]),
+                       names)
+        right = Project(scan(sources[1], "r"),
+                        tuple(Column(f"r.{c}")
+                              for c in params["right_cols"]),
+                        names)
+        core = SetOp(params["kind"], left, right)
+    else:
+        raise ValueError(f"unknown view shape {shape!r}")
+
+    fields = core.schema.fields
+    return Project(core, tuple(Column(f) for f in fields),
+                   tuple(f"c{i}" for i in range(len(fields))))
+
+
+def build_view_plans(case: ViewCase) -> dict[str, Any]:
+    """All view plans of a case, in definition order, plus their schemas."""
+    schemas = dict(VIEW_BASES)
+    plans: dict[str, Any] = {}
+    for spec in case.views:
+        plan = build_view_ir(spec, schemas)
+        plans[spec["name"]] = plan
+        schemas[spec["name"]] = plan.schema
+    return plans
+
+
+def _gen_view_spec(rng: random.Random, name: str, pool: list[str],
+                   must_use: str | None,
+                   schemas: dict[str, Schema]) -> dict[str, Any]:
+    shape = rng.choice(_VIEW_SHAPES)
+    first = must_use if must_use is not None else rng.choice(pool)
+    cols = list(schemas[first].fields)
+    params: dict[str, Any]
+    sources = [first]
+    if shape == "filter":
+        params = {"col": rng.choice(cols), "cutoff": rng.randint(-1, 3)}
+    elif shape == "project":
+        keep = rng.sample(cols, rng.randint(1, len(cols)))
+        params = {"cols": keep,
+                  "bump": rng.choice(cols) if rng.random() < 0.5 else None}
+    elif shape == "aggregate":
+        group = rng.choice(cols) if rng.random() < 0.7 else None
+        aggs = []
+        for _ in range(rng.randint(1, 2)):
+            kind = rng.choice(_VIEW_AGGS)
+            col = (None if kind == "COUNT" and rng.random() < 0.5
+                   else rng.choice(cols))
+            aggs.append([kind, col])
+        params = {"group": group, "aggs": aggs}
+    elif shape == "distinct":
+        params = {"cols": rng.sample(cols, rng.randint(1, len(cols)))}
+    elif shape == "join":
+        second = rng.choice(pool)
+        sources.append(second)
+        params = {"left_key": rng.choice(cols),
+                  "right_key": rng.choice(list(schemas[second].fields))}
+    else:  # setop
+        second = rng.choice(pool)
+        sources.append(second)
+        other = list(schemas[second].fields)
+        arity = rng.randint(1, min(2, len(cols), len(other)))
+        params = {"kind": rng.choice(_SETOP_KINDS),
+                  "left_cols": rng.sample(cols, arity),
+                  "right_cols": rng.sample(other, arity)}
+    lag = rng.choice([0, 1, 2, "downstream"])
+    return {"name": name, "lag": lag, "shape": shape,
+            "sources": sources, "params": params}
+
+
+def _fact_row(rng: random.Random) -> dict[str, Any]:
+    return {"k": rng.randint(0, 4), "g": rng.randint(0, 2),
+            "v": rng.choice([None, 0, 1, 2, 3])}
+
+
+def _dim_row(rng: random.Random) -> dict[str, Any]:
+    return {"g": rng.choice([None, 0, 1, 2]), "w": rng.randint(0, 3)}
+
+
+_VIEW_ROWFN = {"fact": _fact_row, "dim": _dim_row}
+
+
+def gen_view_case(rng: random.Random,
+                  seed: int | None = None) -> ViewCase:
+    """A seeded multi-level view DAG plus a refresh/mutation script.
+
+    Level 2 always consumes a level-1 view and level 3 a level-2 view,
+    so every case exercises a genuinely cascading (3-deep) refresh.
+    """
+    schemas = dict(VIEW_BASES)
+    views: list[dict[str, Any]] = []
+    pool = list(VIEW_BASES)
+    counter = 0
+    levels: list[list[str]] = []
+    for level in range(3):
+        level_names = []
+        for _ in range(1 if level == 2 else rng.randint(1, 2)):
+            counter += 1
+            name = f"v{counter}"
+            must_use = rng.choice(levels[level - 1]) if level else None
+            spec = _gen_view_spec(rng, name, pool, must_use, schemas)
+            schemas[name] = build_view_ir(spec, schemas).schema
+            views.append(spec)
+            pool.append(name)
+            level_names.append(name)
+        levels.append(level_names)
+
+    initial = {name: [_VIEW_ROWFN[name](rng)
+                      for _ in range(rng.randint(0, 4))]
+               for name in VIEW_BASES}
+
+    contents = {name: [dict(row) for row in initial[name]]
+                for name in VIEW_BASES}
+    view_names = [spec["name"] for spec in views]
+    suspended: set[str] = set()
+    events: list[list[Any]] = []
+    steps = rng.randint(8, 14)
+    crash_at = rng.randrange(steps) if rng.random() < 0.35 else None
+    for step in range(steps):
+        if step == crash_at:
+            events.append(["crash", rng.choice(view_names),
+                           rng.randrange(8)])
+            continue
+        roll = rng.random()
+        if roll < 0.55:
+            table = rng.choice(list(VIEW_BASES))
+            inserts = [_VIEW_ROWFN[table](rng)
+                       for _ in range(rng.randint(0, 3))]
+            deletes = []
+            rows = contents[table]
+            if rows and rng.random() < 0.5:
+                picked = rng.sample(range(len(rows)),
+                                    rng.randint(1, min(2, len(rows))))
+                deletes = [rows[i] for i in picked]
+                contents[table] = [row for i, row in enumerate(rows)
+                                   if i not in picked]
+            if not inserts and not deletes:
+                inserts = [_VIEW_ROWFN[table](rng)]
+            contents[table].extend(dict(row) for row in inserts)
+            events.append(["apply", table, inserts, deletes])
+        elif roll < 0.80:
+            events.append(["tick"])
+        elif roll < 0.90:
+            events.append(["refresh", rng.choice(view_names)])
+        else:
+            if suspended and rng.random() < 0.6:
+                name = rng.choice(sorted(suspended))
+                suspended.discard(name)
+                events.append(["resume", name])
+            else:
+                name = rng.choice(view_names)
+                suspended.add(name)
+                events.append(["suspend", name])
+    # Leave no view suspended at the end: the final tick must be able to
+    # bring the whole DAG to the clock.
+    for name in sorted(suspended):
+        events.append(["resume", name])
+    events.append(["tick"])
+    return ViewCase(views=views, initial=initial, events=events, seed=seed)

@@ -60,7 +60,8 @@ class Divergence:
     kind: str    # which leg diverged: optimizer | executor | executor-naive
                  # | kernel | kernel-naive | kernel-parallel
                  # | kernel-crashed | dsms | kernel-batched | dsms-shared
-                 # | core-sparse | core-assign | session | error
+                 # | kernel-views | core-sparse | core-assign | session
+                 # | error
     detail: str
 
     def __str__(self) -> str:
@@ -533,3 +534,252 @@ def check_negative_timestamp_rejection() -> list[str]:
     except TimeError:
         pass
     return problems
+
+
+# ---------------------------------------------------------------------------
+# Dynamic-table leg (kernel-views)
+# ---------------------------------------------------------------------------
+
+
+def run_view_case(case) -> Divergence | None:
+    """The eleventh leg: every dynamic table vs recompute-from-base.
+
+    The case's view DAG is installed in a :class:`DynamicTableService`
+    and its event script replayed.  After **every** event, each view's
+    materialisation must equal a full recompute of its (unabsorbed,
+    unoptimised) definition over the base tables *as of the view's own
+    version* — the oracle keeps its own per-version base history, so the
+    reference never reads service state.  Suspension must block exactly
+    the refreshes the DAG says it blocks; a ``crash`` event tears one
+    operator mid-refresh and recovery must converge to the same
+    contents; at the end, every retained snapshot version must replay.
+    """
+    from repro.chaos import CrashFuse
+    from repro.chaos.injection import InjectedCrash
+    from repro.core.errors import StateError
+    from repro.core.records import Record
+    from repro.views import DynamicTableService, recompute
+
+    from repro.difftest.generators import (
+        VIEW_BASES,
+        ViewCase,
+        build_view_plans,
+    )
+    assert isinstance(case, ViewCase)
+
+    plans = build_view_plans(case)
+    sources = {spec["name"]: tuple(sorted(set(spec["sources"])))
+               for spec in case.views}
+    upstreams = dict(sources)
+
+    service = DynamicTableService()
+    for table, schema in VIEW_BASES.items():
+        service.create_table(table, schema)
+
+    # Oracle-side base history: (version, Bag) after every commit,
+    # maintained from the raw event rows — independent of service state.
+    base_bags = {name: Bag() for name in VIEW_BASES}
+    base_history: dict[str, list[tuple[int, Bag]]] = \
+        {name: [] for name in VIEW_BASES}
+
+    def commit(table: str, inserts, deletes) -> int:
+        version = service.apply(table, inserts, deletes,
+                                at=service.clock + 1)
+        record_commit(table, inserts, deletes, version)
+        return version
+
+    def record_commit(table: str, inserts, deletes, version: int) -> None:
+        schema = VIEW_BASES[table]
+        for row in inserts:
+            base_bags[table].add(Record.from_mapping(schema, row))
+        for row in deletes:
+            base_bags[table].discard(Record.from_mapping(schema, row))
+        base_history[table].append((version, base_bags[table].copy()))
+
+    def reference(name: str, version: int, cache: dict) -> Bag:
+        key = (name, version)
+        if key not in cache:
+            if name in VIEW_BASES:
+                chosen = Bag()
+                for recorded, bag in base_history[name]:
+                    if recorded <= version:
+                        chosen = bag
+                    else:
+                        break
+                cache[key] = chosen
+            else:
+                cache[key] = recompute(plans[name], {
+                    src: reference(src, version, cache)
+                    for src in sources[name]})
+        return cache[key]
+
+    def bag_key(bag: Bag):
+        return sorted(bag.items(), key=repr)
+
+    def check(where: str) -> Divergence | None:
+        cache: dict = {}
+        for spec in case.views:
+            name = spec["name"]
+            view = service.view(name)
+            got = service.read(name)
+            want = reference(name, view.version, cache)
+            if bag_key(got) != bag_key(want):
+                return Divergence("kernel-views", (
+                    f"{where}: view {name} (version {view.version}, clock "
+                    f"{service.clock}): maintained={bag_key(got)} vs "
+                    f"recompute-from-base={bag_key(want)}"))
+        return None
+
+    try:
+        if any(case.initial.values()):
+            commit_rows = {t: rows for t, rows in case.initial.items()}
+            version = service.clock + 1
+            for table, rows in commit_rows.items():
+                service.apply(table, rows, at=version)
+                record_commit(table, rows, (), version)
+        for spec in case.views:
+            service.create_from_plan(spec["name"],
+                                     plans[spec["name"]],
+                                     target_lag=spec["lag"])
+    except ReproError as exc:
+        return Divergence("kernel-views", f"installation failed: {exc!r}")
+
+    divergence = check("after install")
+    if divergence is not None:
+        return divergence
+
+    view_sources = {name: tuple(s for s in srcs if s not in VIEW_BASES)
+                    for name, srcs in sources.items()}
+
+    def advance_blocked(name: str, target: int) -> bool:
+        # Mirrors _refresh_to: a suspended view only blocks when the
+        # refresh actually needs to advance through it.
+        view = service.view(name)
+        if view.version >= target:
+            return False
+        for src in view_sources[name]:
+            if service.view(src).suspended or advance_blocked(src, target):
+                return True
+        return False
+
+    def refresh_blocked(name: str) -> bool:
+        return (service.view(name).suspended
+                or advance_blocked(name, service.clock))
+
+    for index, event in enumerate(case.events):
+        kind = event[0]
+        where = f"event {index} {event!r}"
+        try:
+            if kind == "apply":
+                _, table, inserts, deletes = event
+                commit(table, inserts, deletes)
+            elif kind == "tick":
+                service.tick()
+            elif kind == "refresh":
+                name = event[1]
+                expected = refresh_blocked(name)
+                try:
+                    service.refresh(name)
+                except StateError:
+                    if not expected:
+                        return Divergence("kernel-views", (
+                            f"{where}: refresh refused but no suspended "
+                            f"ancestor needed to advance"))
+                else:
+                    if expected:
+                        return Divergence("kernel-views", (
+                            f"{where}: refresh succeeded through a "
+                            f"suspended view"))
+            elif kind == "suspend":
+                service.suspend(event[1])
+            elif kind == "resume":
+                service.resume(event[1])
+            elif kind == "crash":
+                divergence = _view_crash_event(
+                    event, where, service, record_commit,
+                    refresh_blocked, advance_blocked,
+                    CrashFuse, InjectedCrash, StateError)
+                if divergence is not None:
+                    return divergence
+            else:
+                return Divergence("kernel-views",
+                                  f"{where}: unknown event kind")
+        except ReproError as exc:
+            return Divergence("kernel-views", f"{where}: crashed: {exc!r}")
+        divergence = check(where)
+        if divergence is not None:
+            return divergence
+
+    # Snapshot-isolated reads: every retained version must replay against
+    # recompute-from-base at that version.
+    cache: dict = {}
+    for spec in case.views:
+        name = spec["name"]
+        for version, _contents in service.view(name).history:
+            got = service.read(name, version=version)
+            want = reference(name, version, cache)
+            if bag_key(got) != bag_key(want):
+                return Divergence("kernel-views", (
+                    f"snapshot read: view {name} at version {version}: "
+                    f"retained={bag_key(got)} vs "
+                    f"recompute-from-base={bag_key(want)}"))
+    return None
+
+
+_CRASH_ROW = {"k": 4, "g": 1, "v": 2}
+
+
+def _view_crash_event(event, where, service, record_commit,
+                      refresh_blocked, advance_blocked,
+                      CrashFuse, InjectedCrash,
+                      StateError) -> Divergence | None:
+    """Tear one operator mid-refresh; recovery must erase the damage."""
+    _, name, op_index = event
+    if service.view(name).suspended or advance_blocked(name,
+                                                       service.clock + 1):
+        # The commit below would make the refresh need a suspended
+        # ancestor; skip the crash machinery and just pin the error path.
+        version = service.clock + 1
+        service.apply("fact", [_CRASH_ROW], at=version)
+        record_commit("fact", [_CRASH_ROW], (), version)
+        try:
+            service.refresh(name)
+        except StateError:
+            return None
+        return Divergence("kernel-views", (
+            f"{where}: refresh succeeded through a suspended view"))
+
+    snap = service.snapshot()
+    handle = service.view(name).handle
+    names = handle.operator_names()
+    target_op = handle.operator(names[op_index % len(names)])
+    fuse = CrashFuse(at=1)
+    original = target_op.process_batch
+
+    def wrapped(*args, **kwargs):
+        result = original(*args, **kwargs)
+        if fuse.record(1):
+            raise InjectedCrash(
+                f"difftest fuse in view {name!r} operator "
+                f"{names[op_index % len(names)]!r}")
+        return result
+
+    target_op.process_batch = wrapped
+    version = service.clock + 1
+    crashed = False
+    try:
+        service.apply("fact", [_CRASH_ROW], at=version)
+        try:
+            service.refresh(name)
+        except InjectedCrash:
+            crashed = True
+    finally:
+        del target_op.process_batch
+    if crashed:
+        service.restore(snap)
+        service.apply("fact", [_CRASH_ROW], at=version)
+        service.refresh(name)
+    # Whether the fuse fired or not, exactly one commit stands in the end;
+    # mirror it into the oracle's base history once the dust settles.
+    record_commit("fact", [_CRASH_ROW], (), version)
+    return None

@@ -19,14 +19,17 @@ from repro.bench.harness import bench_result, write_bench_json
 from repro.difftest.generators import (
     Case,
     CoreWindowCase,
+    ViewCase,
     gen_case,
     gen_core_window_case,
+    gen_view_case,
 )
 from repro.difftest.oracle import (
     Divergence,
     check_negative_timestamp_rejection,
     run_case,
     run_core_window_case,
+    run_view_case,
 )
 from repro.difftest import shrinker
 
@@ -38,8 +41,11 @@ class FuzzReport:
     seed: int | None
     cases: int
     core_cases: int
+    view_cases: int = 0
     failures: list[tuple[Case, Divergence]] = field(default_factory=list)
     core_failures: list[tuple[CoreWindowCase, Divergence]] = \
+        field(default_factory=list)
+    view_failures: list[tuple[ViewCase, Divergence]] = \
         field(default_factory=list)
     consistency_problems: list[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
@@ -48,18 +54,21 @@ class FuzzReport:
     @property
     def clean(self) -> bool:
         return (not self.failures and not self.core_failures
+                and not self.view_failures
                 and not self.consistency_problems)
 
     def summary(self) -> str:
         status = "clean" if self.clean else (
             f"{len(self.failures)} CQL + {len(self.core_failures)} core "
-            f"divergences, {len(self.consistency_problems)} consistency "
-            f"problems")
+            f"+ {len(self.view_failures)} view divergences, "
+            f"{len(self.consistency_problems)} consistency problems")
         return (f"difftest: {self.cases} CQL cases, {self.core_cases} core "
-                f"cases in {self.elapsed_seconds:.1f}s — {status}")
+                f"cases, {self.view_cases} view cases in "
+                f"{self.elapsed_seconds:.1f}s — {status}")
 
 
 def fuzz(seed: int | None = 0, cases: int = 500, core_cases: int = 200,
+         view_cases: int = 100,
          shrink: bool = True, max_failures: int = 5,
          repro_dir: str | pathlib.Path | None = None,
          bench_dir: str | pathlib.Path | None = None,
@@ -71,7 +80,8 @@ def fuzz(seed: int | None = 0, cases: int = 500, core_cases: int = 200,
     Stops early after ``max_failures`` divergences.
     """
     rng = random.Random(seed)
-    report = FuzzReport(seed=seed, cases=cases, core_cases=core_cases)
+    report = FuzzReport(seed=seed, cases=cases, core_cases=core_cases,
+                        view_cases=view_cases)
     started = time.perf_counter()
 
     report.consistency_problems = check_negative_timestamp_rejection()
@@ -106,6 +116,22 @@ def fuzz(seed: int | None = 0, cases: int = 500, core_cases: int = 200,
             report.repro_paths.append(
                 shrinker.emit_core_repro(case, divergence, path))
 
+    for index in range(view_cases):
+        if len(report.view_failures) >= max_failures:
+            break
+        case = gen_view_case(rng, seed=index)
+        divergence = run_view_case(case)
+        if divergence is None:
+            continue
+        # View cases are not shrunk: the event script's meaning depends on
+        # DAG order, so slicing it produces mostly-invalid cases.  The
+        # repro embeds the full case instead.
+        report.view_failures.append((case, divergence))
+        if repro_dir is not None:
+            path = pathlib.Path(repro_dir) / f"test_repro_views_{index}.py"
+            report.repro_paths.append(
+                shrinker.emit_view_repro(case, divergence, path))
+
     report.elapsed_seconds = time.perf_counter() - started
 
     if bench_dir is not None:
@@ -114,14 +140,16 @@ def fuzz(seed: int | None = 0, cases: int = 500, core_cases: int = 200,
 
 
 def _bench_payload(report: FuzzReport, name: str) -> dict[str, Any]:
-    total = report.cases + report.core_cases
+    total = report.cases + report.core_cases + report.view_cases
     rate = total / report.elapsed_seconds if report.elapsed_seconds else 0.0
     return bench_result(
         name,
         seed=report.seed,
         cql_cases=report.cases,
         core_cases=report.core_cases,
-        failures=len(report.failures) + len(report.core_failures),
+        view_cases=report.view_cases,
+        failures=(len(report.failures) + len(report.core_failures)
+                  + len(report.view_failures)),
         consistency_problems=list(report.consistency_problems),
         elapsed_seconds=round(report.elapsed_seconds, 3),
         cases_per_second=round(rate, 1),

@@ -258,3 +258,41 @@ def emit_core_repro(case: CoreWindowCase, divergence: Divergence,
         rows=case.rows,
     ), encoding="utf-8")
     return path
+
+
+_VIEW_REPRO_TEMPLATE = '''"""Auto-generated dynamic-table counterexample.
+
+View cases are emitted whole (the event script's meaning depends on DAG
+order, so ddmin slicing would mostly produce invalid cases); run with
+``PYTHONPATH=src python -m pytest {filename} -q``.
+
+Original divergence: {divergence}
+"""
+
+from repro.difftest.generators import ViewCase
+from repro.difftest.oracle import run_view_case
+
+
+def test_view_counterexample():
+    case = ViewCase(
+        views={views!r},
+        initial={initial!r},
+        events={events!r},
+    )
+    divergence = run_view_case(case)
+    assert divergence is None, f"view maintenance diverges: {{divergence}}"
+'''
+
+
+def emit_view_repro(case, divergence: Divergence,
+                    path: str | pathlib.Path) -> pathlib.Path:
+    """Write a standalone pytest file reproducing a dynamic-table case."""
+    path = pathlib.Path(path)
+    path.write_text(_VIEW_REPRO_TEMPLATE.format(
+        filename=path.name,
+        divergence=str(divergence),
+        views=case.views,
+        initial=case.initial,
+        events=case.events,
+    ), encoding="utf-8")
+    return path

@@ -42,6 +42,7 @@ from repro.dsms.metrics import QueryMetrics
 from repro.dsms.queues import InputQueue
 from repro.dsms.scheduler import RoundRobinScheduler, Scheduler
 from repro.dsms.shedding import NoShedding, Shedder
+from repro.views.service import DynamicTableService
 
 
 def _stateful_ops(root: PhysicalOp) -> list[tuple[str, Any]]:
@@ -416,6 +417,14 @@ class DSMSEngine:
         #: interleaved operator state has no per-query snapshot.
         self.recovery: "RecoveryManager | None" = None
         self._arrival_log: list[tuple] = []
+        #: Dynamic tables hosted alongside standing queries (§5.1's
+        #: streaming-database pillar): the refresh scheduler runs inside
+        #: the engine's time hooks — ``advance_time`` ticks the view
+        #: clock and ``run_until_idle`` settles overdue views.
+        self.views = DynamicTableService()
+        #: Streams materialised into views base tables: every ingested
+        #: tuple of these streams also commits as a CDC insert.
+        self._view_fed: set[str] = set()
         if recovery_interval is not None:
             if self._sharing:
                 raise PlanError(
@@ -517,6 +526,33 @@ class DSMSEngine:
         self.store.write(name, query.current(), 0)
         return handle
 
+    def create_dynamic_table(self, text: str):
+        """Install a ``CREATE DYNAMIC TABLE`` next to the standing queries.
+
+        The view's FROM source may name a registered *stream*: the engine
+        then materialises the stream into a views base table (every
+        ingested tuple commits as a CDC insert at its event time) and the
+        view refreshes through the engine's time hooks.  Sources already
+        known to the view service (base tables created via
+        ``engine.views.create_table`` or other dynamic tables) are used
+        as-is.  Returns the installed
+        :class:`~repro.views.service.DynamicTable`.
+        """
+        from repro.sql.ast import CreateDynamicTable
+        from repro.sql.parser import parse_statement
+
+        statement = parse_statement(text)
+        if not isinstance(statement, CreateDynamicTable):
+            raise PlanError("create_dynamic_table() takes CREATE DYNAMIC "
+                            "TABLE statements")
+        source = statement.select.source
+        if not self.views.catalog.is_relation(source) \
+                and self.catalog.is_stream(source):
+            self.views.create_table(source,
+                                    self.catalog.stream(source).schema)
+            self._view_fed.add(source)
+        return self.views.execute(text)
+
     def query(self, name: str) -> QueryHandle:
         return self._by_name[name]
 
@@ -563,6 +599,11 @@ class DSMSEngine:
     def _route(self, stream_name: str, record: Mapping[str, Any] | Record,
                t: Timestamp) -> int:
         """Offer one (validated) arrival to every reading unit."""
+        if stream_name in self._view_fed:
+            # Views run on the engine's clock, which only moves forward:
+            # a late arrival commits at the current version.
+            self.views.apply(stream_name, inserts=[record],
+                             at=max(t, self.views.clock))
         if obs._STATE.enabled:
             self.watermark_clock.observe_arrival(stream_name, t)
             self.stall_detector.note_arrival(stream_name)
@@ -592,9 +633,9 @@ class DSMSEngine:
         logged arrivals equal processed arrivals.
         """
         if not obs._STATE.enabled:
-            return self._drain(max_steps)
+            return self._drain_settled(max_steps)
         with obs.get_tracer().span("dsms.run_until_idle") as span:
-            steps = self._drain(max_steps)
+            steps = self._drain_settled(max_steps)
             span.add(steps=steps)
             self.publish_observability()
         return steps
@@ -621,6 +662,12 @@ class DSMSEngine:
         self.recovery.committed(len(self._arrival_log))
         return steps
 
+    def _drain_settled(self, max_steps: int) -> int:
+        """Drain the queues, then settle overdue dynamic tables."""
+        steps = self._drain(max_steps)
+        self._tick_views()
+        return steps
+
     def advance_time(self, t: Timestamp) -> None:
         """Advance event time for every query (fires window expirations)."""
         if self.recovery is not None:
@@ -628,6 +675,14 @@ class DSMSEngine:
             self._arrival_log.append(("advance", t))
         for unit in self._units:
             unit.advance_to(t)
+        self._tick_views(t)
+
+    def _tick_views(self, t: Timestamp | None = None) -> None:
+        """Run the view refresh scheduler (no-op without dynamic tables)."""
+        if self.views.view_names():
+            target = self.views.clock if t is None \
+                else max(t, self.views.clock)
+            self.views.tick(target)
 
     # -- crash recovery --------------------------------------------------------
 
@@ -648,7 +703,8 @@ class DSMSEngine:
                 "ingest_seq": handle._ingest_seq,
                 "process_seq": handle._process_seq,
             }
-        return {"handles": handles, "store": self.store.snapshot()}
+        return {"handles": handles, "store": self.store.snapshot(),
+                "views": self.views.snapshot()}
 
     def restore(self, payload: Mapping[str, Any]) -> None:
         """Roll every query and the Store back to a checkpoint."""
@@ -663,6 +719,8 @@ class DSMSEngine:
             handle._ingest_seq = entry["ingest_seq"]
             handle._process_seq = entry["process_seq"]
         self.store.restore(payload["store"])
+        if "views" in payload:
+            self.views.restore(payload["views"])
 
     def _recover_and_replay(self) -> None:
         """Restore the newest checkpoint and re-offer the logged suffix.
@@ -684,6 +742,7 @@ class DSMSEngine:
                     pass
                 for unit in self._units:
                     unit.advance_to(entry[1])
+                self._tick_views(entry[1])
             else:
                 _, stream_name, record, t = entry
                 self._route(stream_name, record, t)

@@ -97,12 +97,18 @@ from repro.plan.rules import (
     remove_identity_project,
     remove_trivial_filter,
 )
-from repro.plan.sharing import SubplanMemo, memo_key, shareable
+from repro.plan.sharing import (
+    SubplanMemo,
+    absorb_views,
+    memo_key,
+    shareable,
+    view_memo_key,
+)
 from repro.plan.signature import canonical_predicate, plan_signature
 
 __all__ = [
     "Aggregate", "AggregateExpr", "BGPMatch", "BatchReport", "Binary",
-    "BinOp", "Column",
+    "BinOp", "Column", "absorb_views", "view_memo_key",
     "DEFAULT_RULES", "Distinct", "EmitMode", "Expr", "Filter", "FuncCall",
     "GroupWindow", "GroupWindowKind", "IncrementalStrategy", "Join",
     "Literal", "LogicalOp", "NOW_SPEC", "OpaqueOp", "OpaqueSource",

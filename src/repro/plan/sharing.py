@@ -50,6 +50,44 @@ def memo_key(plan: LogicalOp) -> str | None:
     return plan_signature(plan, detail=True)
 
 
+def view_memo_key(plan: LogicalOp) -> str | None:
+    """The memo key for *by-name* sharing of dynamic-table plans.
+
+    Unlike :func:`memo_key`, relation scans are allowed: a dynamic
+    table's sources are versioned tables read through changelogs, so two
+    views over the same relation share by construction — the hazard the
+    physical-sharing rule guards against (a one-shot relation source
+    consumed twice) does not exist here.  Payload-carrying nodes stay
+    excluded; their signatures cannot prove behavioural equality.
+    """
+    for node in walk(plan):
+        if isinstance(node, (BGPMatch, OpaqueSource, OpaqueOp)):
+            return None
+    return plan_signature(plan, detail=True)
+
+
+def absorb_views(plan: LogicalOp, memo: "SubplanMemo") -> LogicalOp:
+    """Rewrite subtrees that match an installed view into scans of it.
+
+    ``memo`` entries map :func:`view_memo_key` signatures to
+    ``(view_name, output_schema)`` pairs published by earlier view
+    installations.  Matching is top-down and greedy — the largest shared
+    subtree wins — and replacement is by *name* (a fresh
+    :class:`RelationScan` per occurrence), so the same view may absorb
+    several subtrees of one plan.  The caller drives the memo's
+    ``start_compile``/``publish``/``finish_compile`` envelope.
+    """
+    entry = memo.peek(view_memo_key(plan))
+    if entry is not None:
+        name, schema = entry
+        return RelationScan(name, name, schema)
+    children = plan.children
+    if not children:
+        return plan
+    return plan.with_children(
+        [absorb_views(child, memo) for child in children])
+
+
 class SubplanMemo:
     """Signature → compiled-subtree memo with compile-scoped reuse rules.
 
@@ -88,6 +126,20 @@ class SubplanMemo:
             self.misses += 1
             return None
         self._used.add(key)
+        self.hits += 1
+        return entry
+
+    def peek(self, key: str | None) -> Any | None:
+        """Like :meth:`lookup`, but without consuming the once-per-compile
+        budget — for by-name sharing (dynamic tables), where the reused
+        artifact is a named materialisation rather than a physical
+        operator instance, so one compile may reference it repeatedly."""
+        if key is None or self._visible is None:
+            return None
+        entry = self._visible.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
         self.hits += 1
         return entry
 

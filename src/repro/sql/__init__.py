@@ -9,6 +9,7 @@ cost-based volcano join enumerator (:mod:`repro.sql.volcano`).
 """
 
 from repro.sql.ast import (
+    CreateDynamicTable,
     EmitMode,
     GroupWindow,
     GroupWindowKind,
@@ -23,7 +24,7 @@ from repro.plan.rules import (
     remove_trivial_filter,
 )
 from repro.plan.signature import plan_signature
-from repro.sql.parser import parse_sql
+from repro.sql.parser import parse_sql, parse_statement
 from repro.sql.translate import (
     WINDOW_END,
     WINDOW_START,
@@ -41,7 +42,8 @@ from repro.sql.volcano import (
 
 __all__ = [
     # dialect
-    "parse_sql", "SQLStatement", "EmitMode", "GroupWindow",
+    "parse_sql", "parse_statement", "CreateDynamicTable",
+    "SQLStatement", "EmitMode", "GroupWindow",
     "GroupWindowKind", "SQLEngine", "run_sql", "CompositeAggregate",
     "WINDOW_START", "WINDOW_END",
     # rule-based optimizer

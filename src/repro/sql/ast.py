@@ -50,3 +50,17 @@ class SQLStatement:
     @property
     def binding(self) -> str:
         return self.alias or self.source
+
+
+@dataclass(frozen=True)
+class CreateDynamicTable:
+    """``CREATE DYNAMIC TABLE name [TARGET_LAG ...] AS select``.
+
+    ``target_lag`` is an integer tick count, the string ``"downstream"``
+    (derive the lag from consumers), or ``None`` when the clause is
+    omitted (refresh every tick, lag 0).
+    """
+
+    name: str
+    target_lag: int | str | None
+    select: SQLStatement

@@ -28,6 +28,7 @@ from repro.plan.ir import (
     Filter,
     LogicalOp,
     Project,
+    RelationScan,
     StreamScan,
     WindowAggregate,
 )
@@ -36,11 +37,21 @@ from repro.sql.ast import SQLStatement
 
 def lower_statement(statement: SQLStatement,
                     catalog: Catalog) -> LogicalOp:
-    """Translate a parsed SQL statement into the unified logical IR."""
-    schema = catalog.stream(statement.source).schema \
-        .qualify(statement.binding)
-    plan: LogicalOp = StreamScan(statement.source, statement.binding,
-                                 schema)
+    """Translate a parsed SQL statement into the unified logical IR.
+
+    A FROM source registered as a relation (a base table or an installed
+    dynamic table) lowers to a :class:`RelationScan`, so views scan
+    tables and other views through the same IR every frontend shares.
+    """
+    if catalog.is_relation(statement.source):
+        schema = catalog.schema_of(statement.source) \
+            .qualify(statement.binding)
+        plan: LogicalOp = RelationScan(statement.source, statement.binding,
+                                       schema)
+    else:
+        schema = catalog.stream(statement.source).schema \
+            .qualify(statement.binding)
+        plan = StreamScan(statement.source, statement.binding, schema)
     if statement.where is not None:
         plan = Filter(plan, statement.where)
 

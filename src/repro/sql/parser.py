@@ -2,6 +2,10 @@
 
 Grammar (sharing the lexer and expression grammar with CQL)::
 
+    statement := create | query
+    create := CREATE DYNAMIC TABLE ident
+              [TARGET_LAG ["="] (duration | DOWNSTREAM)]
+              AS query
     query  := SELECT select_list FROM ident [ident]
               [WHERE expr]
               [GROUP BY group_item ("," group_item)*]
@@ -29,6 +33,7 @@ from repro.cql.parser import (
     _parse_select_list,
 )
 from repro.sql.ast import (
+    CreateDynamicTable,
     EmitMode,
     GroupWindow,
     GroupWindowKind,
@@ -39,6 +44,50 @@ from repro.sql.ast import (
 def parse_sql(text: str) -> SQLStatement:
     """Parse a streaming SQL query string."""
     cursor = TokenCursor(tokenize(text))
+    statement = _parse_select(cursor)
+    if not cursor.at_end():
+        token = cursor.peek()
+        raise ParseError(
+            f"unexpected trailing input {token.text!r}", token.position)
+    return statement
+
+
+def parse_statement(text: str) -> SQLStatement | CreateDynamicTable:
+    """Parse a statement: a query, or ``CREATE DYNAMIC TABLE``."""
+    cursor = TokenCursor(tokenize(text))
+    if not cursor.match_keyword("CREATE"):
+        statement = _parse_select(cursor)
+        if not cursor.at_end():
+            token = cursor.peek()
+            raise ParseError(
+                f"unexpected trailing input {token.text!r}", token.position)
+        return statement
+    cursor.expect_keyword("DYNAMIC")
+    cursor.expect_keyword("TABLE")
+    name = cursor.expect_ident().text
+    target_lag: int | str | None = None
+    if cursor.match_keyword("TARGET_LAG"):
+        cursor.match_symbol("=")
+        if cursor.match_keyword("DOWNSTREAM"):
+            target_lag = "downstream"
+        elif cursor.peek().text == "0":
+            # TARGET_LAG = 0 ("refresh every tick") is legal even though
+            # a zero window duration is not.
+            cursor.advance()
+            target_lag = 0
+        else:
+            target_lag = _parse_duration(cursor)
+    cursor.expect_keyword("AS")
+    select = _parse_select(cursor)
+    if not cursor.at_end():
+        token = cursor.peek()
+        raise ParseError(
+            f"unexpected trailing input {token.text!r}", token.position)
+    return CreateDynamicTable(name=name, target_lag=target_lag,
+                              select=select)
+
+
+def _parse_select(cursor: TokenCursor) -> SQLStatement:
     cursor.expect_keyword("SELECT")
     items = _parse_select_list(cursor)
     cursor.expect_keyword("FROM")
@@ -86,11 +135,6 @@ def parse_sql(text: str) -> SQLStatement:
             emit = EmitMode.FINAL
     if emit is None:
         emit = EmitMode.FINAL if window is not None else EmitMode.CHANGES
-
-    if not cursor.at_end():
-        token = cursor.peek()
-        raise ParseError(
-            f"unexpected trailing input {token.text!r}", token.position)
 
     if emit is EmitMode.FINAL and window is None:
         raise ParseError(

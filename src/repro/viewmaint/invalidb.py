@@ -104,6 +104,25 @@ class LiveQuery:
         self.events.extend(events)
         return events
 
+    # -- checkpointing ------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-data image of the query's result bookkeeping.
+
+        The predicate/order callables are code, not state — a restored
+        query keeps the ones it was registered with.
+        """
+        return {
+            "result": [(key, dict(doc)) for key, doc in self._result],
+            "events": list(self.events),
+            "matches_evaluated": self.matches_evaluated,
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        self._result = [(key, dict(doc)) for key, doc in state["result"]]
+        self.events = list(state["events"])
+        self.matches_evaluated = state["matches_evaluated"]
+
 
 class RealTimeDatabase:
     """A pull-based keyed store with a push-based query layer on top."""
@@ -172,3 +191,30 @@ class RealTimeDatabase:
             if events:
                 out[name] = events
         return out
+
+    # -- checkpointing -----------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Capture store + per-query result state (RecoveryManager protocol).
+
+        Live-query *predicates* are code and stay attached to the
+        registered :class:`LiveQuery` objects; the snapshot carries only
+        their data (results, event logs, match counters), so a restore
+        targets the same registered query set.
+        """
+        return {
+            "store": {key: dict(doc) for key, doc in self._store.items()},
+            "queries": {name: live.snapshot()
+                        for name, live in self._queries.items()},
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        missing = [name for name in state["queries"]
+                   if name not in self._queries]
+        if missing:
+            raise StateError(
+                f"snapshot references unregistered live queries {missing}")
+        self._store = {key: dict(doc)
+                       for key, doc in state["store"].items()}
+        for name, query_state in state["queries"].items():
+            self._queries[name].restore(query_state)

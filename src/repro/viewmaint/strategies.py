@@ -18,47 +18,77 @@ aggregate views over an insert/delete stream:
 Every strategy maintains the same grouped aggregate (count / sum / avg /
 min per group) and exposes ``update_work`` / ``query_work`` counters in
 *touched rows*, which the C6 benchmark sweeps across insert:query mixes.
+
+Since the dynamic-tables refactor the strategies are kernel citizens:
+each one is a :class:`repro.exec.operator.Operator` whose grouped state
+lives behind a pluggable :class:`repro.exec.state.StateBackend` (heap
+dict by default, re-homed onto the plan's backend at ``open()``), and
+every strategy implements ``snapshot()`` / ``restore()`` so the chaos
+:class:`~repro.chaos.recovery.RecoveryManager` can checkpoint and roll
+back a view exactly like any other kernel operator.  Pushed elements use
+the CDC tuple protocol ``("insert" | "delete", row)``.
 """
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
 from typing import Any, Callable, Hashable, Mapping
 
 from repro.core.errors import StateError
+from repro.exec.operator import Operator, OperatorContext
+from repro.exec.state import DictStateBackend, StateBackend
 
 #: A group's accumulator: (row count, value sum, value multiset for MIN).
 GroupKey = Hashable
 
 
 class _Accumulator:
-    """Count/sum/min/max accumulator with deletion support."""
+    """Count/sum/min/max accumulator with (weighted) deletion support."""
 
     __slots__ = ("count", "total", "values")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0
-        self.values: Counter = Counter()
+        self.values: dict[Any, int] = {}
 
-    def add(self, value: Any) -> None:
-        self.count += 1
-        self.total += value
-        self.values[value] += 1
+    def add(self, value: Any, count: int = 1) -> None:
+        self.count += count
+        self.total += value * count
+        self.values[value] = self.values.get(value, 0) + count
 
-    def remove(self, value: Any) -> None:
-        if self.values[value] <= 0:
+    def remove(self, value: Any, count: int = 1) -> None:
+        if self.values.get(value, 0) < count:
             raise StateError(f"deleting value {value!r} not in group")
-        self.count -= 1
-        self.total -= value
-        self.values[value] -= 1
+        self.count -= count
+        self.total -= value * count
+        self.values[value] -= count
         if not self.values[value]:
             del self.values[value]
 
     def merge(self, other: "_Accumulator") -> None:
         self.count += other.count
         self.total += other.total
-        self.values.update(other.values)
+        for value, count in other.values.items():
+            self.values[value] = self.values.get(value, 0) + count
+
+    def copy(self) -> "_Accumulator":
+        clone = _Accumulator()
+        clone.count = self.count
+        clone.total = self.total
+        clone.values = dict(self.values)
+        return clone
+
+    def to_state(self) -> tuple[int, Any, dict[Any, int]]:
+        """A plain-data image for checkpointing."""
+        return (self.count, self.total, dict(self.values))
+
+    @classmethod
+    def from_state(cls, state: tuple[int, Any, dict[Any, int]]
+                   ) -> "_Accumulator":
+        acc = cls()
+        acc.count, acc.total, values = state
+        acc.values = dict(values)
+        return acc
 
     def snapshot(self) -> dict[str, Any]:
         return {
@@ -70,8 +100,23 @@ class _Accumulator:
         }
 
 
-class ViewStrategy:
-    """Common interface: a grouped aggregate view over one base table."""
+def _row_key(row: Mapping[str, Any]) -> tuple:
+    return tuple(sorted(row.items()))
+
+
+class ViewStrategy(Operator):
+    """Common interface: a grouped aggregate view over one base table.
+
+    Also a kernel operator: pushed elements are ``(op, row)`` CDC pairs
+    (``op`` is ``"insert"`` or ``"delete"``); the strategy is a
+    materialisation endpoint, so nothing is emitted downstream.
+    """
+
+    fusible = False
+
+    #: attribute names holding :class:`StateBackend` instances; ``open``
+    #: re-homes each onto the plan's configured backend.
+    _STATE_BACKENDS: tuple[str, ...] = ()
 
     def __init__(self, group_fn: Callable[[Mapping[str, Any]], GroupKey],
                  value_fn: Callable[[Mapping[str, Any]], Any]) -> None:
@@ -94,47 +139,101 @@ class ViewStrategy:
     def total_work(self) -> int:
         return self.update_work + self.query_work
 
+    # -- kernel protocol ------------------------------------------------------
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        for attr in self._STATE_BACKENDS:
+            old: StateBackend = getattr(self, attr)
+            fresh = ctx.new_state()
+            fresh.put_many(old.items())
+            setattr(self, attr, fresh)
+
+    def process_element(self, value: Any, input_index: int = 0) -> None:
+        op, row = value
+        if op == "insert":
+            self.insert(row)
+        elif op == "delete":
+            self.delete(row)
+        else:
+            raise StateError(f"unknown view CDC op {op!r}")
+
+    # -- checkpointing --------------------------------------------------------
+
+    def _counters_state(self) -> dict[str, int]:
+        return {"update_work": self.update_work,
+                "query_work": self.query_work}
+
+    def _restore_counters(self, state: Mapping[str, int]) -> None:
+        self.update_work = state["update_work"]
+        self.query_work = state["query_work"]
+
 
 class RecomputeView(ViewStrategy):
     """No materialisation: keep the base rows, recompute per query."""
 
+    _STATE_BACKENDS = ("_rows",)
+
     def __init__(self, group_fn, value_fn) -> None:
         super().__init__(group_fn, value_fn)
-        self._rows: Counter = Counter()
+        #: row key → multiplicity
+        self._rows: StateBackend = DictStateBackend()
 
     def insert(self, row) -> None:
-        self._rows[tuple(sorted(row.items()))] += 1
+        key = _row_key(row)
+        self._rows.put(key, self._rows.get(key, 0) + 1)
         self.update_work += 1
 
     def delete(self, row) -> None:
-        key = tuple(sorted(row.items()))
-        if not self._rows[key]:
+        key = _row_key(row)
+        have = self._rows.get(key, 0)
+        if not have:
             raise StateError(f"deleting absent row {row!r}")
-        self._rows[key] -= 1
-        if not self._rows[key]:
-            del self._rows[key]
+        if have == 1:
+            self._rows.delete(key)
+        else:
+            self._rows.put(key, have - 1)
         self.update_work += 1
 
     def query(self) -> dict[GroupKey, dict[str, Any]]:
-        groups: dict[GroupKey, _Accumulator] = defaultdict(_Accumulator)
+        groups: dict[GroupKey, _Accumulator] = {}
         for row_items, multiplicity in self._rows.items():
             row = dict(row_items)
-            for _ in range(multiplicity):
-                groups[self._group_fn(row)].add(self._value_fn(row))
-                self.query_work += 1
+            group = self._group_fn(row)
+            acc = groups.get(group)
+            if acc is None:
+                acc = groups[group] = _Accumulator()
+            acc.add(self._value_fn(row), multiplicity)
+            self.query_work += multiplicity
         return {k: acc.snapshot() for k, acc in groups.items()}
+
+    def snapshot(self) -> Any:
+        return {"rows": list(self._rows.items()),
+                **self._counters_state()}
+
+    def restore(self, state: Any) -> None:
+        self._rows = DictStateBackend()
+        self._rows.put_many(state["rows"])
+        self._restore_counters(state)
 
 
 class EagerView(ViewStrategy):
     """Immediate incremental maintenance (PipelineDB-style)."""
 
+    _STATE_BACKENDS = ("_groups",)
+
     def __init__(self, group_fn, value_fn) -> None:
         super().__init__(group_fn, value_fn)
-        self._groups: dict[GroupKey, _Accumulator] = defaultdict(
-            _Accumulator)
+        #: group key → :class:`_Accumulator`
+        self._groups: StateBackend = DictStateBackend()
 
     def insert(self, row) -> None:
-        self._groups[self._group_fn(row)].add(self._value_fn(row))
+        group = self._group_fn(row)
+        acc = self._groups.get(group)
+        if acc is None:
+            acc = _Accumulator()
+            self._groups.put(group, acc)
+        acc.add(self._value_fn(row))
         self.update_work += 1
 
     def delete(self, row) -> None:
@@ -144,22 +243,35 @@ class EagerView(ViewStrategy):
             raise StateError(f"deleting from absent group {group!r}")
         accumulator.remove(self._value_fn(row))
         if not accumulator.count:
-            del self._groups[group]
+            self._groups.delete(group)
         self.update_work += 1
 
     def query(self) -> dict[GroupKey, dict[str, Any]]:
-        self.query_work += len(self._groups)
-        return {k: acc.snapshot() for k, acc in self._groups.items()}
+        out = {k: acc.snapshot() for k, acc in self._groups.items()}
+        self.query_work += len(out)
+        return out
+
+    def snapshot(self) -> Any:
+        return {"groups": [(k, acc.to_state())
+                           for k, acc in self._groups.items()],
+                **self._counters_state()}
+
+    def restore(self, state: Any) -> None:
+        self._groups = DictStateBackend()
+        self._groups.put_many((k, _Accumulator.from_state(s))
+                              for k, s in state["groups"])
+        self._restore_counters(state)
 
 
 class LazyView(ViewStrategy):
     """Deferred maintenance: updates buffer, queries catch up then read."""
 
+    _STATE_BACKENDS = ("_groups",)
+
     def __init__(self, group_fn, value_fn) -> None:
         super().__init__(group_fn, value_fn)
-        self._groups: dict[GroupKey, _Accumulator] = defaultdict(
-            _Accumulator)
-        self._pending: list[tuple[str, Mapping[str, Any]]] = []
+        self._groups: StateBackend = DictStateBackend()
+        self._pending: list[tuple[str, dict[str, Any]]] = []
 
     def insert(self, row) -> None:
         self._pending.append(("insert", dict(row)))
@@ -167,27 +279,49 @@ class LazyView(ViewStrategy):
 
     def delete(self, row) -> None:
         self._pending.append(("delete", dict(row)))
+        self.update_work += 0  # append is (amortised) free, like insert
 
     def _catch_up(self) -> None:
         for op, row in self._pending:
             group = self._group_fn(row)
+            acc = self._groups.get(group)
             if op == "insert":
-                self._groups[group].add(self._value_fn(row))
+                if acc is None:
+                    acc = _Accumulator()
+                    self._groups.put(group, acc)
+                acc.add(self._value_fn(row))
             else:
-                self._groups[group].remove(self._value_fn(row))
-                if not self._groups[group].count:
-                    del self._groups[group]
+                if acc is None:
+                    raise StateError(
+                        f"deleting from absent group {group!r}")
+                acc.remove(self._value_fn(row))
+                if not acc.count:
+                    self._groups.delete(group)
             self.query_work += 1
         self._pending.clear()
 
     def query(self) -> dict[GroupKey, dict[str, Any]]:
         self._catch_up()
-        self.query_work += len(self._groups)
-        return {k: acc.snapshot() for k, acc in self._groups.items()}
+        out = {k: acc.snapshot() for k, acc in self._groups.items()}
+        self.query_work += len(out)
+        return out
 
     @property
     def pending_count(self) -> int:
         return len(self._pending)
+
+    def snapshot(self) -> Any:
+        return {"groups": [(k, acc.to_state())
+                           for k, acc in self._groups.items()],
+                "pending": [(op, dict(row)) for op, row in self._pending],
+                **self._counters_state()}
+
+    def restore(self, state: Any) -> None:
+        self._groups = DictStateBackend()
+        self._groups.put_many((k, _Accumulator.from_state(s))
+                              for k, s in state["groups"])
+        self._pending = [(op, dict(row)) for op, row in state["pending"]]
+        self._restore_counters(state)
 
 
 class SplitView(ViewStrategy):
@@ -197,9 +331,13 @@ class SplitView(ViewStrategy):
     merge the materialised snapshot with an on-the-fly aggregation of the
     delta.  When the delta exceeds ``merge_threshold`` rows it is folded
     into the snapshot (amortised maintenance), keeping query cost bounded.
-    Deletes must touch the snapshot directly (the strategy's documented
-    asymmetry — continuous views target insert-heavy streams).
+    Deletes try the delta partition first — indexed by row, so removal is
+    O(1) rather than a list scan — then fall back to the snapshot (the
+    strategy's documented asymmetry: continuous views target insert-heavy
+    streams).
     """
+
+    _STATE_BACKENDS = ("_snapshot",)
 
     def __init__(self, group_fn, value_fn,
                  merge_threshold: int = 64) -> None:
@@ -207,22 +345,36 @@ class SplitView(ViewStrategy):
         if merge_threshold <= 0:
             raise StateError("merge threshold must be positive")
         self.merge_threshold = merge_threshold
-        self._snapshot: dict[GroupKey, _Accumulator] = defaultdict(
-            _Accumulator)
-        self._delta: list[Mapping[str, Any]] = []
+        self._snapshot: StateBackend = DictStateBackend()
+        #: row key → [row dict, multiplicity]; insertion-ordered so merges
+        #: fold rows in arrival order, exactly like the old append log.
+        self._delta: dict[tuple, list] = {}
+        self._delta_rows = 0
         self.merges = 0
 
     def insert(self, row) -> None:
-        self._delta.append(dict(row))
+        key = _row_key(row)
+        entry = self._delta.get(key)
+        if entry is None:
+            self._delta[key] = [dict(row), 1]
+        else:
+            entry[1] += 1
+        self._delta_rows += 1
         self.update_work += 0  # append-only
-        if len(self._delta) >= self.merge_threshold:
+        if self._delta_rows >= self.merge_threshold:
             self._merge()
 
     def delete(self, row) -> None:
-        # Try the delta partition first, then the snapshot.
-        row = dict(row)
-        if row in self._delta:
-            self._delta.remove(row)
+        # Try the delta partition first (O(1) via the row index), then the
+        # snapshot.
+        key = _row_key(row)
+        entry = self._delta.get(key)
+        if entry is not None:
+            if entry[1] == 1:
+                del self._delta[key]
+            else:
+                entry[1] -= 1
+            self._delta_rows -= 1
             self.update_work += 1
             return
         group = self._group_fn(row)
@@ -231,32 +383,56 @@ class SplitView(ViewStrategy):
             raise StateError(f"deleting from absent group {group!r}")
         accumulator.remove(self._value_fn(row))
         if not accumulator.count:
-            del self._snapshot[group]
+            self._snapshot.delete(group)
         self.update_work += 1
 
     def _merge(self) -> None:
-        for row in self._delta:
-            self._snapshot[self._group_fn(row)].add(self._value_fn(row))
-            self.update_work += 1
+        for row, multiplicity in self._delta.values():
+            group = self._group_fn(row)
+            acc = self._snapshot.get(group)
+            if acc is None:
+                acc = _Accumulator()
+                self._snapshot.put(group, acc)
+            acc.add(self._value_fn(row), multiplicity)
+            self.update_work += multiplicity
         self._delta.clear()
+        self._delta_rows = 0
         self.merges += 1
 
     def query(self) -> dict[GroupKey, dict[str, Any]]:
         overlay: dict[GroupKey, _Accumulator] = {}
         for group, accumulator in self._snapshot.items():
-            clone = _Accumulator()
-            clone.merge(accumulator)
-            overlay[group] = clone
+            overlay[group] = accumulator.copy()
             self.query_work += 1
-        for row in self._delta:
+        for row, multiplicity in self._delta.values():
             group = self._group_fn(row)
             if group not in overlay:
                 overlay[group] = _Accumulator()
-            overlay[group].add(self._value_fn(row))
-            self.query_work += 1
+            overlay[group].add(self._value_fn(row), multiplicity)
+            self.query_work += multiplicity
         return {k: acc.snapshot() for k, acc in overlay.items()
                 if acc.count}
 
     @property
     def delta_size(self) -> int:
-        return len(self._delta)
+        return self._delta_rows
+
+    def snapshot(self) -> Any:
+        return {"snapshot": [(k, acc.to_state())
+                             for k, acc in self._snapshot.items()],
+                "delta": [(dict(row), count)
+                          for row, count in self._delta.values()],
+                "merges": self.merges,
+                **self._counters_state()}
+
+    def restore(self, state: Any) -> None:
+        self._snapshot = DictStateBackend()
+        self._snapshot.put_many((k, _Accumulator.from_state(s))
+                                for k, s in state["snapshot"])
+        self._delta = {}
+        self._delta_rows = 0
+        for row, count in state["delta"]:
+            self._delta[_row_key(row)] = [dict(row), count]
+            self._delta_rows += count
+        self.merges = state["merges"]
+        self._restore_counters(state)

@@ -1,0 +1,105 @@
+"""Dependency-DAG helpers for cascading dynamic tables.
+
+Pure functions over the view dependency graph — ``upstreams`` maps each
+view name to the names it scans (base tables and/or other views; base
+tables appear as upstream names but never as keys).  The service keeps
+the graph; these helpers answer the scheduling questions: refresh order,
+DAG depth (obs), effective target lag under ``downstream`` propagation,
+and which views sit below a suspended ancestor.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.errors import PlanError
+
+#: target_lag sentinel: derive this view's lag from its consumers.
+DOWNSTREAM = "downstream"
+
+
+def topo_order(upstreams: Mapping[str, Sequence[str]]) -> list[str]:
+    """View names in dependency order (upstream views first).
+
+    Raises :class:`PlanError` on a cycle — a view DAG must be acyclic.
+    """
+    order: list[str] = []
+    state: dict[str, int] = {}  # 1 = on stack, 2 = done
+
+    def visit(name: str, stack: tuple[str, ...]) -> None:
+        mark = state.get(name)
+        if mark == 2:
+            return
+        if mark == 1:
+            cycle = " -> ".join(stack[stack.index(name):] + (name,))
+            raise PlanError(f"view dependency cycle: {cycle}")
+        state[name] = 1
+        for upstream in upstreams.get(name, ()):
+            if upstream in upstreams:
+                visit(upstream, stack + (name,))
+        state[name] = 2
+        order.append(name)
+
+    for name in upstreams:
+        visit(name, ())
+    return order
+
+
+def depth_map(upstreams: Mapping[str, Sequence[str]]) -> dict[str, int]:
+    """DAG depth per view: base tables are depth 0, a view is
+    1 + max(depth of its sources)."""
+    depths: dict[str, int] = {}
+    for name in topo_order(upstreams):
+        depths[name] = 1 + max(
+            (depths.get(up, 0) for up in upstreams[name]), default=0)
+    return depths
+
+
+def consumers_of(upstreams: Mapping[str, Sequence[str]],
+                 ) -> dict[str, list[str]]:
+    """Invert the graph: source name → views that scan it."""
+    out: dict[str, list[str]] = {}
+    for name, sources in upstreams.items():
+        for source in sources:
+            out.setdefault(source, []).append(name)
+    return out
+
+
+def effective_lags(upstreams: Mapping[str, Sequence[str]],
+                   lags: Mapping[str, int | str],
+                   ) -> dict[str, int | None]:
+    """Resolve ``downstream`` lags against consumer demands.
+
+    A ``downstream`` view inherits the tightest effective lag among the
+    views that consume it — it must be at least as fresh as anything
+    built on it demands.  A ``downstream`` view nobody consumes resolves
+    to ``None``: no freshness obligation, refresh on demand only.
+    """
+    consumers = consumers_of(upstreams)
+    resolved: dict[str, int | None] = {}
+    # Reverse dependency order: consumers resolve before their sources.
+    for name in reversed(topo_order(upstreams)):
+        lag = lags[name]
+        if lag != DOWNSTREAM:
+            resolved[name] = lag
+            continue
+        demands = [resolved[consumer] for consumer in consumers.get(name, ())
+                   if resolved.get(consumer) is not None]
+        resolved[name] = min(demands) if demands else None
+    return resolved
+
+
+def below_suspended(upstreams: Mapping[str, Sequence[str]],
+                    suspended: set[str]) -> set[str]:
+    """Views with a suspended (transitive) ancestor view.
+
+    Refreshing them would read a stale frozen source, so the scheduler
+    holds them where they are until the ancestor resumes.
+    """
+    blocked: set[str] = set()
+    for name in topo_order(upstreams):
+        for upstream in upstreams[name]:
+            if upstream in suspended or upstream in blocked:
+                blocked.add(name)
+                break
+    return blocked

@@ -1,0 +1,107 @@
+"""CDC deltas and version-stamped changelogs for dynamic tables.
+
+A :class:`Delta` is one z-set entry — a record with a signed weight
+(+n inserts, −n deletes), the carrier of incremental view maintenance
+(Elghandour et al.'s delta-driven refresh).  A :class:`Changelog` is the
+append-only log of a table's committed deltas, stamped with the refresh
+version (an integer instant) at which they took effect; downstream views
+pull exactly the slice ``(their version, target version]`` to catch up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.errors import StateError
+from repro.core.records import Record
+from repro.core.relation import Bag
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One signed change: ``weight`` copies of ``row`` added (or removed)."""
+
+    row: Record
+    weight: int
+
+    def __post_init__(self) -> None:
+        if self.weight == 0:
+            raise StateError("a delta must have non-zero weight")
+
+
+def net(deltas: Iterable[Delta]) -> list[Delta]:
+    """Collapse deltas row-wise: weights sum, zero-weight rows vanish.
+
+    Keeps changelogs tight — an affected-keys refresh emits a retract +
+    insert per touched group, and when the pair cancels (the group's
+    aggregate landed back on the same value) nothing is logged.
+    """
+    weights: dict[Record, int] = {}
+    for delta in deltas:
+        weights[delta.row] = weights.get(delta.row, 0) + delta.weight
+    return [Delta(row, weight) for row, weight in weights.items() if weight]
+
+
+def apply_deltas(bag: Bag, deltas: Iterable[Delta]) -> None:
+    """Apply deltas to a materialised bag in place.
+
+    Raises :class:`StateError` when a retract exceeds the bag's
+    multiplicity — that is a torn changelog, never a valid refresh.
+    """
+    for delta in deltas:
+        if delta.weight > 0:
+            bag.add(delta.row, delta.weight)
+        else:
+            removed = bag.discard(delta.row, -delta.weight)
+            if removed != -delta.weight:
+                raise StateError(
+                    f"retracting {-delta.weight} × {delta.row!r} but only "
+                    f"{removed} present")
+
+
+class Changelog:
+    """An append-only, version-stamped log of committed deltas."""
+
+    def __init__(self) -> None:
+        self._versions: list[int] = []
+        self._batches: list[tuple[Delta, ...]] = []
+
+    def append(self, version: int, deltas: Iterable[Delta]) -> None:
+        """Commit ``deltas`` at ``version`` (versions never decrease)."""
+        batch = tuple(deltas)
+        if not batch:
+            return
+        if self._versions and version < self._versions[-1]:
+            raise StateError(
+                f"changelog versions must not decrease: {version} after "
+                f"{self._versions[-1]}")
+        self._versions.append(version)
+        self._batches.append(batch)
+
+    def between(self, after: int, upto: int) -> list[Delta]:
+        """All deltas committed at versions in ``(after, upto]``."""
+        out: list[Delta] = []
+        for version, batch in zip(self._versions, self._batches):
+            if after < version <= upto:
+                out.extend(batch)
+        return out
+
+    def latest_version(self) -> int | None:
+        return self._versions[-1] if self._versions else None
+
+    def entries(self) -> Iterator[tuple[int, tuple[Delta, ...]]]:
+        return iter(zip(self._versions, self._batches))
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    # -- checkpointing --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return {"versions": list(self._versions),
+                "batches": list(self._batches)}
+
+    def restore(self, state: dict) -> None:
+        self._versions = list(state["versions"])
+        self._batches = list(state["batches"])

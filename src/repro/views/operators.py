@@ -1,0 +1,373 @@
+"""Kernel operators for incremental view maintenance over CDC deltas.
+
+Each operator consumes and emits :class:`~repro.views.delta.Delta`
+z-set entries (signed, weighted rows) and implements the standard delta
+rules of incremental view maintenance:
+
+* filter / project — stateless, weight-preserving (and fusible, so a
+  ``σ → π`` prefix collapses into one kernel node);
+* aggregate — the *affected-keys* strategy (Elghandour et al.): a batch
+  of deltas is grouped by key first, and only the touched groups are
+  re-emitted as a retract + insert pair.  Group state reuses the
+  viewmaint :class:`~repro.viewmaint.strategies._Accumulator` behind a
+  kernel :class:`~repro.exec.state.StateBackend`;
+* distinct — per-row multiplicity with emission only on 0↔positive
+  support transitions;
+* set ops — per-row (left, right) multiplicity pairs: union adds,
+  difference is the monus, intersection the minimum — one operator, all
+  three kinds, fully incremental under deletes;
+* join — per-side key-indexed multiplicity maps; a delta on one side
+  joins the other side's *current* index, which yields exactly
+  Δ(A⋈B) = ΔA⋈B + (A+ΔA)⋈ΔB when the sides process sequentially.
+
+Every operator implements ``snapshot()``/``restore()`` (chaos recovery)
+and ``initial_output()`` — the deltas its output contains over *empty*
+input.  Only the global aggregate is non-trivial there: SQL says an
+ungrouped aggregate over an empty relation is the single empty-aggregate
+row (COUNT = 0), so view plans are *primed* sink-first at open time (see
+:mod:`repro.views.compile`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.errors import PlanError, StateError
+from repro.core.operators import AggregateKind
+from repro.core.records import Record, Schema
+from repro.exec.operator import Operator, OperatorContext
+from repro.exec.state import StateBackend
+from repro.viewmaint.strategies import _Accumulator
+from repro.views.delta import Delta
+
+
+def spec_output(kind: AggregateKind, acc: _Accumulator) -> Any:
+    """One aggregate column's value from its accumulator.
+
+    NULL semantics match the core reference evaluator: COUNT counts the
+    non-null values fed to the accumulator; SUM/AVG/MIN/MAX over zero
+    non-null values are NULL.
+    """
+    if kind is AggregateKind.COUNT:
+        return acc.count
+    if not acc.count:
+        return None
+    if kind is AggregateKind.SUM:
+        return acc.total
+    if kind is AggregateKind.AVG:
+        return acc.total / acc.count
+    if kind is AggregateKind.MIN:
+        return min(acc.values)
+    if kind is AggregateKind.MAX:
+        return max(acc.values)
+    raise PlanError(f"unknown aggregate kind {kind}")
+
+
+class DeltaOperator(Operator):
+    """Base: a kernel operator over :class:`Delta` elements."""
+
+    def initial_output(self) -> list[Delta]:
+        """This operator's output over empty input (priming deltas)."""
+        return []
+
+
+class DeltaFilterOp(DeltaOperator):
+    """σ over deltas: forward when the predicate holds for the row."""
+
+    fusible = True
+
+    def __init__(self, predicate: Callable[[Record], bool]) -> None:
+        self._predicate = predicate
+
+    def process_element(self, value: Any, input_index: int = 0) -> None:
+        if self._predicate(value.row):
+            self.emit(value)
+
+
+class DeltaProjectOp(DeltaOperator):
+    """π over deltas: rewrite the row, keep the weight."""
+
+    fusible = True
+
+    def __init__(self, evaluators: list[Callable[[Record], Any]],
+                 out_schema: Schema) -> None:
+        self._evaluators = evaluators
+        self._schema = out_schema
+
+    def process_element(self, value: Any, input_index: int = 0) -> None:
+        row = value.row
+        projected = Record(self._schema,
+                           tuple(e(row) for e in self._evaluators),
+                           validate=False)
+        self.emit(Delta(projected, value.weight))
+
+
+class DeltaAggregateOp(DeltaOperator):
+    """Grouped aggregation with affected-keys incremental refresh.
+
+    State per group: base-row count plus one viewmaint accumulator per
+    aggregate spec.  A batch touches only the groups its deltas mention;
+    each touched group emits (old row retract, new row insert), skipping
+    the pair entirely when the aggregate landed on the same value.
+
+    A group disappears when its base-row count reaches zero — except the
+    global ``()`` group of an ungrouped aggregate, whose output is then
+    the SQL empty-aggregate row (COUNT = 0, other aggregates NULL).
+    """
+
+    def __init__(self, group_indexes: list[int],
+                 evaluators: list[Callable[[Record], Any] | None],
+                 kinds: list[AggregateKind], out_schema: Schema) -> None:
+        self._group_indexes = group_indexes
+        self._evaluators = evaluators  # None = COUNT(*)
+        self._kinds = kinds
+        self._schema = out_schema
+        self._state: StateBackend | None = None
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self._state = ctx.new_state()
+
+    def initial_output(self) -> list[Delta]:
+        if self._group_indexes:
+            return []
+        return [Delta(self._output_row((), 0, self._fresh_accs()), 1)]
+
+    def _fresh_accs(self) -> list[_Accumulator]:
+        return [_Accumulator() for _ in self._kinds]
+
+    def _output_row(self, key: tuple, rows: int,
+                    accs: list[_Accumulator]) -> Record:
+        values = list(key)
+        for kind, acc in zip(self._kinds, accs):
+            values.append(spec_output(kind, acc))
+        return Record(self._schema, values, validate=False)
+
+    def _current_row(self, key: tuple) -> Record | None:
+        entry = self._state.get(key)
+        if entry is not None:
+            rows, accs = entry
+            return self._output_row(key, rows, accs)
+        if not self._group_indexes:
+            # The global group always has an output row (SQL's empty
+            # aggregate), even before any input arrived.
+            return self._output_row((), 0, self._fresh_accs())
+        return None
+
+    def process_element(self, value: Any, input_index: int = 0) -> None:
+        self.process_batch([value], input_index)
+
+    def process_batch(self, batch: Any, input_index: int = 0) -> None:
+        # Affected-keys scoping: bucket the batch by group key; only the
+        # touched groups are folded and re-emitted.
+        affected: dict[tuple, list[Delta]] = {}
+        for delta in batch:
+            row = delta.row
+            key = tuple(row[i] for i in self._group_indexes)
+            affected.setdefault(key, []).append(delta)
+        out: list[Delta] = []
+        for key, deltas in affected.items():
+            old_row = self._current_row(key)
+            entry = self._state.get(key)
+            if entry is None:
+                entry = (0, self._fresh_accs())
+            rows, accs = entry
+            for delta in deltas:
+                weight = delta.weight
+                rows += weight
+                for acc, evaluator in zip(accs, self._evaluators):
+                    value = (1 if evaluator is None
+                             else evaluator(delta.row))
+                    if value is None:
+                        continue
+                    if weight > 0:
+                        acc.add(value, weight)
+                    else:
+                        acc.remove(value, -weight)
+            if rows < 0:
+                raise StateError(
+                    f"aggregate group {key!r} driven below zero rows")
+            if rows:
+                self._state.put(key, (rows, accs))
+                new_row = self._output_row(key, rows, accs)
+            else:
+                self._state.delete(key)
+                new_row = (self._output_row((), 0, self._fresh_accs())
+                           if not self._group_indexes else None)
+            if old_row == new_row:
+                continue
+            if old_row is not None:
+                out.append(Delta(old_row, -1))
+            if new_row is not None:
+                out.append(Delta(new_row, 1))
+        if out:
+            self.emit_batch(out)
+
+    def snapshot(self) -> Any:
+        return [(key, rows, [acc.to_state() for acc in accs])
+                for key, (rows, accs) in self._state.items()]
+
+    def restore(self, state: Any) -> None:
+        self._state = self.ctx.new_state()
+        self._state.put_many(
+            (key, (rows, [_Accumulator.from_state(s) for s in accs]))
+            for key, rows, accs in state)
+
+
+class DeltaDistinctOp(DeltaOperator):
+    """δ over deltas: emit only on 0 ↔ positive support transitions."""
+
+    def __init__(self) -> None:
+        self._state: StateBackend | None = None
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self._state = ctx.new_state()
+
+    def process_element(self, value: Any, input_index: int = 0) -> None:
+        row = value.row
+        old = self._state.get(row, 0)
+        new = old + value.weight
+        if new < 0:
+            raise StateError(f"distinct support of {row!r} below zero")
+        if new:
+            self._state.put(row, new)
+        else:
+            self._state.delete(row)
+        if old == 0 and new > 0:
+            self.emit(Delta(row, 1))
+        elif old > 0 and new == 0:
+            self.emit(Delta(row, -1))
+
+    def snapshot(self) -> Any:
+        return list(self._state.items())
+
+    def restore(self, state: Any) -> None:
+        self._state = self.ctx.new_state()
+        self._state.put_many(state)
+
+
+class DeltaSetOp(DeltaOperator):
+    """Bag union / difference / intersection over two delta inputs.
+
+    State per row: its (left, right) multiplicities.  The output
+    multiplicity is a pure function of that pair — sum, monus, or min —
+    so any input delta emits exactly the signed change of that function.
+    Right-side rows are relabelled to the left schema (positional
+    correspondence, as in SQL set operations).
+    """
+
+    _FUNCS = {
+        "union": lambda l, r: l + r,
+        "difference": lambda l, r: max(0, l - r),
+        "intersection": lambda l, r: min(l, r),
+    }
+
+    def __init__(self, kind: str, left_schema: Schema) -> None:
+        if kind not in self._FUNCS:
+            raise PlanError(f"bad set-op kind {kind!r}")
+        self.kind = kind
+        self._fn = self._FUNCS[kind]
+        self._schema = left_schema
+        self._state: StateBackend | None = None
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self._state = ctx.new_state()
+
+    def process_element(self, value: Any, input_index: int = 0) -> None:
+        row = (value.row if input_index == 0
+               else value.row.with_schema(self._schema))
+        left, right = self._state.get(row, (0, 0))
+        old_out = self._fn(left, right)
+        if input_index == 0:
+            left += value.weight
+        else:
+            right += value.weight
+        if left < 0 or right < 0:
+            raise StateError(f"set-op multiplicity of {row!r} below zero")
+        if left or right:
+            self._state.put(row, (left, right))
+        else:
+            self._state.delete(row)
+        change = self._fn(left, right) - old_out
+        if change:
+            self.emit(Delta(row, change))
+
+    def snapshot(self) -> Any:
+        return list(self._state.items())
+
+    def restore(self, state: Any) -> None:
+        self._state = self.ctx.new_state()
+        self._state.put_many(state)
+
+
+class DeltaJoinOp(DeltaOperator):
+    """Incremental equi/cross join over two delta inputs.
+
+    Each side keeps a key → {row: multiplicity} index.  A delta joins
+    the *other* side's current index (emitting weight × multiplicity per
+    match), then lands in its own index — processing the two sides
+    sequentially yields exactly the delta of the join.  Equi-joins skip
+    NULL keys, matching the core reference semantics.
+    """
+
+    def __init__(self, left_key_indexes: list[int],
+                 right_key_indexes: list[int],
+                 residual: Callable[[Record], bool] | None = None) -> None:
+        if len(left_key_indexes) != len(right_key_indexes):
+            raise PlanError("join key arity mismatch")
+        self._key_indexes = (left_key_indexes, right_key_indexes)
+        self._equi = bool(left_key_indexes)
+        self._residual = residual
+        self._indexes: tuple[StateBackend, StateBackend] | None = None
+
+    def open(self, ctx: OperatorContext) -> None:
+        super().open(ctx)
+        self._indexes = (ctx.new_state(), ctx.new_state())
+
+    def process_element(self, value: Any, input_index: int = 0) -> None:
+        row = value.row
+        key = tuple(row[i] for i in self._key_indexes[input_index])
+        if self._equi and any(k is None for k in key):
+            # NULL never equals NULL: the row can't join, but it still
+            # lands in no index (it could never be matched either).
+            return
+        own = self._indexes[input_index]
+        other = self._indexes[1 - input_index]
+        matches = other.get(key)
+        if matches:
+            out = []
+            for other_row, multiplicity in matches.items():
+                joined = (row.concat(other_row) if input_index == 0
+                          else other_row.concat(row))
+                if self._residual is not None and \
+                        not self._residual(joined):
+                    continue
+                out.append(Delta(joined, value.weight * multiplicity))
+            if out:
+                self.emit_batch(out)
+        entry = own.get(key)
+        if entry is None:
+            entry = {}
+        count = entry.get(row, 0) + value.weight
+        if count < 0:
+            raise StateError(f"join index multiplicity of {row!r} below "
+                             f"zero")
+        if count:
+            entry[row] = count
+        else:
+            entry.pop(row, None)
+        if entry:
+            own.put(key, entry)
+        else:
+            own.delete(key)
+
+    def snapshot(self) -> Any:
+        return [[(key, dict(rows)) for key, rows in side.items()]
+                for side in self._indexes]
+
+    def restore(self, state: Any) -> None:
+        self._indexes = (self.ctx.new_state(), self.ctx.new_state())
+        for side, entries in zip(self._indexes, state):
+            side.put_many((key, dict(rows)) for key, rows in entries)

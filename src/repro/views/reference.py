@@ -1,0 +1,135 @@
+"""Reference evaluator: full recompute of a view plan from base contents.
+
+The denotational counterpart of the incremental kernel path — evaluate
+the logical plan bottom-up over complete :class:`~repro.core.relation.Bag`
+contents, no deltas, no state.  The difftest ``kernel-views`` leg and the
+dynamic-tables bench both pin the incremental refresh against this
+function; the two paths deliberately share ``spec_output`` and the
+viewmaint accumulator so any divergence is a *maintenance* bug, not a
+semantics disagreement.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.errors import PlanError
+from repro.core.records import Record
+from repro.core.relation import Bag
+from repro.cql.expressions import compile_expr, compile_predicate
+from repro.plan.ir import (
+    Aggregate,
+    Distinct,
+    Filter,
+    Join,
+    LogicalOp,
+    Project,
+    RelationScan,
+    SetOp,
+    WindowAggregate,
+)
+from repro.viewmaint.strategies import _Accumulator
+from repro.views.operators import spec_output
+
+
+def recompute(plan: LogicalOp, contents: Mapping[str, Bag]) -> Bag:
+    """Evaluate ``plan`` over full base contents (a bag per source name)."""
+    if isinstance(plan, RelationScan):
+        if plan.name not in contents:
+            raise PlanError(f"no contents for scanned table {plan.name!r}")
+        out = Bag()
+        for row, count in contents[plan.name].items():
+            out.add(row.with_schema(plan.relation_schema), count)
+        return out
+    if isinstance(plan, Filter):
+        child = recompute(plan.child, contents)
+        predicate = compile_predicate(plan.predicate, plan.child.schema)
+        return child.filter(predicate)
+    if isinstance(plan, Project):
+        child = recompute(plan.child, contents)
+        evaluators = [compile_expr(expr, plan.child.schema)
+                      for expr in plan.exprs]
+        schema = plan.schema
+        return child.map(lambda row: Record(
+            schema, tuple(e(row) for e in evaluators), validate=False))
+    if isinstance(plan, (Aggregate, WindowAggregate)):
+        if isinstance(plan, WindowAggregate) and plan.window is not None:
+            raise PlanError("group windows have no recompute semantics "
+                            "over a static relation")
+        return _recompute_aggregate(plan, contents)
+    if isinstance(plan, Distinct):
+        return recompute(plan.child, contents).distinct()
+    if isinstance(plan, SetOp):
+        left = recompute(plan.left, contents)
+        right_raw = recompute(plan.right, contents)
+        right = Bag()
+        schema = plan.left.schema
+        for row, count in right_raw.items():
+            right.add(row.with_schema(schema), count)
+        if plan.kind == "union":
+            return left.union(right)
+        if plan.kind == "difference":
+            return left.difference(right)
+        return left.intersection(right)
+    if isinstance(plan, Join):
+        return _recompute_join(plan, contents)
+    raise PlanError(f"{plan.op_name} cannot appear in a dynamic-table plan")
+
+
+def _recompute_aggregate(plan: Aggregate | WindowAggregate,
+                         contents: Mapping[str, Bag]) -> Bag:
+    child = recompute(plan.child, contents)
+    child_schema = plan.child.schema
+    group_indexes = [child_schema.index_of(name) for name in plan.group_by]
+    evaluators = [None if agg.arg is None
+                  else compile_expr(agg.arg, child_schema)
+                  for agg in plan.aggregates]
+    groups: dict[tuple, list[_Accumulator]] = {}
+    for row, count in child.items():
+        key = tuple(row[i] for i in group_indexes)
+        accs = groups.get(key)
+        if accs is None:
+            accs = [_Accumulator() for _ in plan.aggregates]
+            groups[key] = accs
+        for acc, evaluator in zip(accs, evaluators):
+            value = 1 if evaluator is None else evaluator(row)
+            if value is not None:
+                acc.add(value, count)
+    if not groups and not plan.group_by:
+        # SQL: an ungrouped aggregate of an empty relation is one row.
+        groups[()] = [_Accumulator() for _ in plan.aggregates]
+    out = Bag()
+    schema = plan.schema
+    for key, accs in groups.items():
+        values = list(key)
+        for agg, acc in zip(plan.aggregates, accs):
+            values.append(spec_output(agg.kind, acc))
+        out.add(Record(schema, values, validate=False))
+    return out
+
+
+def _recompute_join(plan: Join, contents: Mapping[str, Bag]) -> Bag:
+    left = recompute(plan.left, contents)
+    right = recompute(plan.right, contents)
+    left_schema = plan.left.schema
+    right_schema = plan.right.schema
+    left_indexes = [left_schema.index_of(k) for k in plan.left_keys]
+    right_indexes = [right_schema.index_of(k) for k in plan.right_keys]
+    residual = (compile_predicate(plan.residual, plan.schema)
+                if plan.residual is not None else None)
+    out = Bag()
+    for left_row, left_count in left.items():
+        left_key = tuple(left_row[i] for i in left_indexes)
+        if left_indexes and any(k is None for k in left_key):
+            continue
+        for right_row, right_count in right.items():
+            right_key = tuple(right_row[i] for i in right_indexes)
+            if right_indexes and any(k is None for k in right_key):
+                continue
+            if left_key != right_key:
+                continue
+            joined = left_row.concat(right_row)
+            if residual is not None and not residual(joined):
+                continue
+            out.add(joined, left_count * right_count)
+    return out

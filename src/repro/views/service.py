@@ -1,0 +1,409 @@
+"""The dynamic-table service: a cascading materialized-view DAG.
+
+Snowflake-style dynamic tables (paper §5.1's streaming-database pillar):
+each view is a standing relational query *materialised* into a table
+other queries can scan.  The service owns
+
+* **base tables** — insert/delete via :meth:`DynamicTableService.apply`,
+  every commit stamped with a monotone version and logged as CDC deltas;
+* **views** — defined in streaming SQL (``CREATE DYNAMIC TABLE``),
+  through the unified planner (so the :class:`~repro.plan.SubplanMemo`
+  rewrites a new view's subtrees onto already-installed views), compiled
+  to kernel delta plans (:mod:`repro.views.compile`);
+* **the refresh scheduler** — topologically-ordered incremental refresh:
+  a view catches up by pulling exactly the changelog slice
+  ``(its version, target version]`` from each source and pushing it
+  through its plan (Elghandour et al.'s delta-driven refresh with
+  affected-keys scoping inside the aggregate operator);
+* **target lag** — ``target_lag=n`` means "never more than n ticks
+  stale"; ``target_lag="downstream"`` derives the obligation from
+  consumers; suspend/resume freezes a view (and holds everything built
+  on it);
+* **snapshot-isolated reads** — every refresh files the new
+  materialisation under its version in a bounded history, so
+  ``read(name, version=v)`` sees the exact contents as of version v.
+
+The whole service implements ``snapshot()``/``restore()`` (the chaos
+``RecoveryManager`` protocol), covering kernel operator state inside
+every view plan — a mid-refresh crash rolls back to the last checkpoint
+and the re-run refresh converges to the same contents.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+import repro.obs as obs
+from repro.core.errors import PlanError, StateError
+from repro.core.records import Record, Schema
+from repro.core.relation import Bag
+from repro.cql.catalog import Catalog
+from repro.plan.ir import LogicalOp, RelationScan, walk
+from repro.plan.rules import optimize
+from repro.plan.sharing import SubplanMemo, absorb_views, view_memo_key
+from repro.views.compile import ViewPlanHandle, compile_view_plan
+from repro.views.dag import (
+    DOWNSTREAM,
+    below_suspended,
+    depth_map,
+    effective_lags,
+    topo_order,
+)
+from repro.views.delta import Changelog, Delta, apply_deltas, net
+
+#: Materialisation versions retained per view for snapshot-isolated reads.
+HISTORY_LIMIT = 8
+
+
+class BaseTable:
+    """A versioned base table: current contents plus its CDC changelog."""
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        self.name = name
+        self.schema = schema
+        self.contents = Bag()
+        self.changelog = Changelog()
+        self.version = -1
+
+    def coerce(self, row: Mapping[str, Any] | Record) -> Record:
+        if isinstance(row, Record):
+            return row.with_schema(self.schema)
+        return Record.from_mapping(self.schema, row)
+
+
+class DynamicTable:
+    """One installed view: plan, kernel handle, refresh bookkeeping."""
+
+    def __init__(self, name: str, plan: LogicalOp, handle: ViewPlanHandle,
+                 target_lag: int | str | None) -> None:
+        self.name = name
+        self.plan = plan
+        self.handle = handle
+        self.target_lag = target_lag
+        self.schema = handle.out_schema
+        self.sources = sorted(set(handle.sources()))
+        self.materialized = Bag()
+        self.changelog = Changelog()
+        self.version = -1
+        self.suspended = False
+        self.refreshes = 0
+        #: bounded (version, contents) history for snapshot reads
+        self.history: list[tuple[int, Bag]] = []
+
+    def record_version(self, version: int) -> None:
+        self.history.append((version, self.materialized.copy()))
+        if len(self.history) > HISTORY_LIMIT:
+            del self.history[0]
+
+    def at_version(self, version: int) -> Bag:
+        chosen: Bag | None = None
+        for recorded, contents in self.history:
+            if recorded <= version:
+                chosen = contents
+            else:
+                break
+        if chosen is None:
+            raise StateError(
+                f"view {self.name!r} has no retained materialisation at "
+                f"version {version} (history starts at "
+                f"{self.history[0][0] if self.history else 'never'})")
+        return chosen.copy()
+
+
+class DynamicTableService:
+    """Base tables + dynamic tables + the cascading refresh scheduler."""
+
+    def __init__(self) -> None:
+        self.clock = 0
+        self.catalog = Catalog()  # schema registry for SQL lowering
+        self.memo = SubplanMemo()
+        self._tables: dict[str, BaseTable] = {}
+        self._views: dict[str, DynamicTable] = {}
+        self._upstreams: dict[str, tuple[str, ...]] = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def create_table(self, name: str,
+                     schema: Schema | Sequence[str]) -> BaseTable:
+        """Register a base table (insert/delete via :meth:`apply`)."""
+        if not isinstance(schema, Schema):
+            schema = Schema(tuple(schema))
+        self.catalog.register_relation(name, schema)  # rejects duplicates
+        table = BaseTable(name, schema)
+        self._tables[name] = table
+        return table
+
+    def execute(self, text: str) -> DynamicTable:
+        """Run a ``CREATE DYNAMIC TABLE ... [TARGET_LAG ...] AS SELECT``."""
+        from repro.sql.ast import CreateDynamicTable
+        from repro.sql.lower import lower_statement
+        from repro.sql.parser import parse_statement
+
+        statement = parse_statement(text)
+        if not isinstance(statement, CreateDynamicTable):
+            raise PlanError(
+                "execute() takes CREATE DYNAMIC TABLE statements; use "
+                "apply()/read() for data access")
+        logical = lower_statement(statement.select, self.catalog)
+        target_lag = (statement.target_lag
+                      if statement.target_lag is not None else 0)
+        return self.create_from_plan(statement.name, logical,
+                                     target_lag=target_lag)
+
+    def create_from_plan(self, name: str, plan: LogicalOp,
+                         target_lag: int | str | None = 0) -> DynamicTable:
+        """Install a view from a logical plan (any frontend's lowering)."""
+        if target_lag is not None and target_lag != DOWNSTREAM and (
+                not isinstance(target_lag, int) or target_lag < 0):
+            raise PlanError(f"bad target_lag {target_lag!r}: integer >= 0, "
+                            f"{DOWNSTREAM!r} or None")
+        optimized = optimize(plan)
+        # Route the definition through the sharing memo: any subtree that
+        # matches an installed view's plan becomes a scan of that view,
+        # so cascades share materialised work instead of recomputing it.
+        self.memo.start_compile()
+        absorbed = absorb_views(optimized, self.memo)
+        for node in walk(absorbed):
+            if isinstance(node, RelationScan) and \
+                    node.name not in self._tables and \
+                    node.name not in self._views:
+                raise PlanError(f"view {name!r} scans unknown table "
+                                f"{node.name!r}")
+        handle = compile_view_plan(absorbed)
+        self.catalog.register_relation(name, handle.out_schema)
+        self.memo.publish(view_memo_key(optimized),
+                          (name, handle.out_schema))
+        self.memo.publish(view_memo_key(absorbed),
+                          (name, handle.out_schema))
+        self.memo.finish_compile()
+
+        view = DynamicTable(name, absorbed, handle, target_lag)
+        initial = net(handle.open(view=name))
+        apply_deltas(view.materialized, initial)
+        if initial:
+            # The primed output (e.g. a global aggregate's empty-input
+            # row) must reach future downstream views through the
+            # changelog too — their first catch-up pulls (-1, clock], so
+            # stamp it at version 0 and it replays exactly once.
+            view.changelog.append(0, initial)
+        self._views[name] = view
+        self._upstreams[name] = tuple(view.sources)
+        depths = depth_map(self._upstreams)
+        obs.get_registry().gauge("views.dag.depth", view=name).set(
+            depths[name])
+        # Catch up to the present: the freshly-primed plan replays every
+        # committed delta, which doubles as the initial full computation.
+        self.refresh(name)
+        return view
+
+    # -- base-table writes ------------------------------------------------------
+
+    def apply(self, name: str,
+              inserts: Iterable[Mapping[str, Any] | Record] = (),
+              deletes: Iterable[Mapping[str, Any] | Record] = (),
+              at: int | None = None) -> int:
+        """Commit a batch of inserts/deletes; returns the commit version.
+
+        The commit version is ``at`` when given (must not precede the
+        clock) or the current clock; the service clock advances to it.
+        """
+        table = self._tables.get(name)
+        if table is None:
+            raise StateError(f"unknown base table {name!r}"
+                             + (" (views are refreshed, not written)"
+                                if name in self._views else ""))
+        version = self.clock if at is None else at
+        if version < self.clock:
+            raise StateError(f"commit at version {version} precedes the "
+                             f"service clock {self.clock}")
+        deltas = [Delta(table.coerce(row), 1) for row in inserts]
+        deltas += [Delta(table.coerce(row), -1) for row in deletes]
+        netted = net(deltas)
+        for delta in netted:
+            if delta.weight < 0 and \
+                    table.contents.count(delta.row) < -delta.weight:
+                raise StateError(
+                    f"deleting {-delta.weight} × {delta.row!r} from "
+                    f"{name!r} but only "
+                    f"{table.contents.count(delta.row)} present")
+        apply_deltas(table.contents, netted)
+        table.changelog.append(version, netted)
+        table.version = version
+        self.clock = version
+        return version
+
+    # -- refresh ----------------------------------------------------------------
+
+    def refresh(self, name: str, to: int | None = None) -> int:
+        """Bring ``name`` (and, recursively, its upstream views) up to
+        version ``to`` (default: the service clock).  Returns the rows
+        changed in the view's materialisation."""
+        view = self._require_view(name)
+        if view.suspended:
+            raise StateError(f"view {name!r} is suspended")
+        target = self.clock if to is None else to
+        return self._refresh_to(view, target)
+
+    def _refresh_to(self, view: DynamicTable, target: int) -> int:
+        if view.version >= target:
+            return 0
+        for source in view.sources:
+            upstream = self._views.get(source)
+            if upstream is None:
+                continue
+            if upstream.suspended:
+                raise StateError(
+                    f"view {view.name!r} reads suspended view "
+                    f"{upstream.name!r}; resume it first")
+            self._refresh_to(upstream, target)
+        incoming: dict[str, list[Delta]] = {}
+        for source in view.sources:
+            log = (self._tables[source].changelog
+                   if source in self._tables
+                   else self._views[source].changelog)
+            slice_ = log.between(view.version, target)
+            if slice_:
+                incoming[source] = slice_
+        lag = target - view.version
+        changed = 0
+        if incoming:
+            out = net(view.handle.push_deltas(incoming))
+            apply_deltas(view.materialized, out)
+            view.changelog.append(target, out)
+            changed = sum(abs(delta.weight) for delta in out)
+        view.version = target
+        view.refreshes += 1
+        view.record_version(target)
+        registry = obs.get_registry()
+        registry.gauge("views.refresh.lag", view=view.name).set(lag)
+        registry.counter("views.refresh.rows", view=view.name).inc(changed)
+        return changed
+
+    def tick(self, to: int | None = None) -> list[str]:
+        """Advance the clock and refresh every view whose target lag is
+        (or would fall) overdue; returns the views refreshed, in
+        dependency order.  Suspended views — and views anywhere below a
+        suspended ancestor — hold their current version."""
+        self.clock = self.clock + 1 if to is None else to
+        lags = self.effective_lags()
+        blocked = below_suspended(
+            self._upstreams,
+            {name for name, view in self._views.items() if view.suspended})
+        refreshed = []
+        for name in topo_order(self._upstreams):
+            view = self._views[name]
+            if view.suspended or name in blocked:
+                continue
+            lag = lags[name]
+            if lag is None:
+                continue  # no freshness obligation: on-demand only
+            if self.clock - view.version >= lag:
+                self._refresh_to(view, self.clock)
+                refreshed.append(name)
+        return refreshed
+
+    def effective_lags(self) -> dict[str, int | None]:
+        """Per-view lag obligations after ``downstream`` propagation."""
+        return effective_lags(
+            self._upstreams,
+            {name: view.target_lag for name, view in self._views.items()})
+
+    # -- suspend / resume -------------------------------------------------------
+
+    def suspend(self, name: str) -> None:
+        self._require_view(name).suspended = True
+
+    def resume(self, name: str) -> None:
+        self._require_view(name).suspended = False
+
+    # -- reads ------------------------------------------------------------------
+
+    def read(self, name: str, version: int | None = None) -> Bag:
+        """The contents of a table or view.
+
+        For a view, ``version`` selects a snapshot-isolated read at a
+        past refresh version (within the retained history); the default
+        is the latest materialisation — *as of the view's own version*,
+        which may lag the clock by up to its target lag.
+        """
+        if name in self._tables:
+            if version is not None:
+                raise StateError("base tables expose current contents "
+                                 "only; views retain version history")
+            return self._tables[name].contents.copy()
+        view = self._require_view(name)
+        if version is None:
+            return view.materialized.copy()
+        return view.at_version(version)
+
+    def view(self, name: str) -> DynamicTable:
+        return self._require_view(name)
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def view_names(self) -> list[str]:
+        return sorted(self._views)
+
+    def upstreams(self) -> dict[str, tuple[str, ...]]:
+        return dict(self._upstreams)
+
+    def _require_view(self, name: str) -> DynamicTable:
+        view = self._views.get(name)
+        if view is None:
+            raise StateError(f"unknown view {name!r}")
+        return view
+
+    # -- checkpointing (chaos RecoveryManager protocol) -------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Whole-service image: clock, tables, views *and* the kernel
+        operator state inside every view plan, so recovery covers a
+        mid-refresh crash."""
+        return {
+            "clock": self.clock,
+            "tables": {
+                name: {
+                    "contents": list(table.contents.items()),
+                    "changelog": table.changelog.snapshot(),
+                    "version": table.version,
+                } for name, table in self._tables.items()},
+            "views": {
+                name: {
+                    "materialized": list(view.materialized.items()),
+                    "changelog": view.changelog.snapshot(),
+                    "version": view.version,
+                    "suspended": view.suspended,
+                    "refreshes": view.refreshes,
+                    "history": [(v, list(bag.items()))
+                                for v, bag in view.history],
+                    "plan": view.handle.snapshot(),
+                } for name, view in self._views.items()},
+        }
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        """Restore a snapshot into the *same* registered definitions —
+        plans are code, the snapshot carries only their state."""
+        missing = [name for name in state["tables"]
+                   if name not in self._tables]
+        missing += [name for name in state["views"]
+                    if name not in self._views]
+        if missing:
+            raise StateError(f"snapshot references unregistered tables or "
+                             f"views {sorted(missing)}")
+        self.clock = state["clock"]
+        for name, image in state["tables"].items():
+            table = self._tables[name]
+            table.contents = Bag.from_counts(dict(image["contents"]))
+            table.changelog.restore(image["changelog"])
+            table.version = image["version"]
+        for name, image in state["views"].items():
+            view = self._views[name]
+            view.materialized = Bag.from_counts(dict(image["materialized"]))
+            view.changelog.restore(image["changelog"])
+            view.version = image["version"]
+            view.suspended = image["suspended"]
+            view.refreshes = image["refreshes"]
+            view.history = [(v, Bag.from_counts(dict(items)))
+                            for v, items in image["history"]]
+            view.handle.restore(image["plan"])

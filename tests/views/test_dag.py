@@ -1,0 +1,88 @@
+"""Pure DAG-scheduling helpers: order, depth, lag propagation, blocking."""
+
+import pytest
+
+from repro.core import PlanError
+from repro.views import (
+    DOWNSTREAM,
+    below_suspended,
+    consumers_of,
+    depth_map,
+    effective_lags,
+    topo_order,
+)
+
+pytestmark = pytest.mark.views
+
+# base -> a -> b -> c, with d also reading a and base directly.
+DAG = {
+    "a": ("base",),
+    "b": ("a",),
+    "c": ("b",),
+    "d": ("a", "base"),
+}
+
+
+class TestTopoOrder:
+    def test_upstream_views_come_first(self):
+        order = topo_order(DAG)
+        assert order.index("a") < order.index("b") < order.index("c")
+        assert order.index("a") < order.index("d")
+        assert set(order) == set(DAG)
+
+    def test_cycle_is_rejected_with_path(self):
+        with pytest.raises(PlanError, match="cycle"):
+            topo_order({"x": ("y",), "y": ("x",)})
+
+    def test_self_cycle(self):
+        with pytest.raises(PlanError):
+            topo_order({"x": ("x",)})
+
+
+class TestDepthAndConsumers:
+    def test_depths(self):
+        assert depth_map(DAG) == {"a": 1, "b": 2, "c": 3, "d": 2}
+
+    def test_consumers_inverts_the_graph(self):
+        consumers = consumers_of(DAG)
+        assert sorted(consumers["a"]) == ["b", "d"]
+        assert sorted(consumers["base"]) == ["a", "d"]
+        assert "c" not in consumers
+
+
+class TestEffectiveLags:
+    def test_fixed_lags_pass_through(self):
+        lags = effective_lags(DAG, {"a": 1, "b": 2, "c": 3, "d": 0})
+        assert lags == {"a": 1, "b": 2, "c": 3, "d": 0}
+
+    def test_downstream_takes_tightest_consumer(self):
+        lags = effective_lags(DAG, {"a": DOWNSTREAM, "b": 4, "c": 1,
+                                    "d": 2})
+        # a's consumers are b (4) and d (2): obligation is min = 2.
+        assert lags["a"] == 2
+
+    def test_downstream_chains_propagate(self):
+        lags = effective_lags(DAG, {"a": DOWNSTREAM, "b": DOWNSTREAM,
+                                    "c": 5, "d": 7})
+        assert lags["b"] == 5
+        assert lags["a"] == 5  # min(b=5, d=7)
+
+    def test_downstream_without_consumers_is_on_demand(self):
+        lags = effective_lags({"only": ("base",)}, {"only": DOWNSTREAM})
+        assert lags == {"only": None}
+
+    def test_downstream_consumer_of_downstream_orphan(self):
+        lags = effective_lags({"a": ("base",), "b": ("a",)},
+                              {"a": DOWNSTREAM, "b": DOWNSTREAM})
+        assert lags == {"a": None, "b": None}
+
+
+class TestBelowSuspended:
+    def test_descendants_are_blocked_transitively(self):
+        assert below_suspended(DAG, {"a"}) == {"b", "c", "d"}
+
+    def test_only_the_affected_subtree(self):
+        assert below_suspended(DAG, {"b"}) == {"c"}
+
+    def test_nothing_suspended(self):
+        assert below_suspended(DAG, set()) == set()

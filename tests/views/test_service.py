@@ -1,0 +1,296 @@
+"""DynamicTableService: refresh scheduling, target lag, versioned reads."""
+
+import pytest
+
+from repro.core import PlanError, StateError
+from repro.core.records import Schema
+from repro.views import DynamicTableService, HISTORY_LIMIT
+
+pytestmark = pytest.mark.views
+
+
+def make_service():
+    service = DynamicTableService()
+    service.create_table("orders", Schema(["region", "amount"]))
+    return service
+
+
+def totals(service, name="totals"):
+    return {row["region"]: row["total"]
+            for row, _ in service.read(name).items()}
+
+
+class TestBasics:
+    def test_create_refresh_read(self):
+        service = make_service()
+        service.execute(
+            "CREATE DYNAMIC TABLE totals TARGET_LAG = 1 AS "
+            "SELECT region, SUM(amount) AS total FROM orders "
+            "GROUP BY region EMIT CHANGES")
+        service.apply("orders", inserts=[
+            {"region": "eu", "amount": 5}, {"region": "eu", "amount": 7},
+            {"region": "us", "amount": 1}], at=1)
+        service.refresh("totals")
+        assert totals(service) == {"eu": 12, "us": 1}
+
+    def test_deletes_retract(self):
+        service = make_service()
+        service.execute(
+            "CREATE DYNAMIC TABLE totals AS SELECT region, "
+            "SUM(amount) AS total FROM orders GROUP BY region EMIT CHANGES")
+        service.apply("orders", inserts=[{"region": "eu", "amount": 5}],
+                      at=1)
+        service.apply("orders", deletes=[{"region": "eu", "amount": 5}],
+                      at=2)
+        service.refresh("totals")
+        assert totals(service) == {}
+
+    def test_initial_contents_computed_at_install(self):
+        service = make_service()
+        service.apply("orders", inserts=[{"region": "eu", "amount": 3}])
+        service.execute(
+            "CREATE DYNAMIC TABLE totals AS SELECT region, "
+            "SUM(amount) AS total FROM orders GROUP BY region EMIT CHANGES")
+        assert totals(service) == {"eu": 3}
+
+    def test_cascaded_view_scans_installed_view(self):
+        service = make_service()
+        service.execute(
+            "CREATE DYNAMIC TABLE totals AS SELECT region, "
+            "SUM(amount) AS total FROM orders GROUP BY region EMIT CHANGES")
+        big = service.execute(
+            "CREATE DYNAMIC TABLE big AS SELECT region FROM totals "
+            "WHERE total > 10 EMIT CHANGES")
+        # The sharing memo rewrote `big` onto the installed view.
+        assert big.sources == ["totals"]
+        service.apply("orders", inserts=[{"region": "eu", "amount": 11}],
+                      at=1)
+        service.refresh("big")
+        assert [row["region"] for row, _ in service.read("big").items()] \
+            == ["eu"]
+
+    def test_refresh_cascades_upstream_first(self):
+        service = make_service()
+        service.execute(
+            "CREATE DYNAMIC TABLE totals AS SELECT region, "
+            "SUM(amount) AS total FROM orders GROUP BY region EMIT CHANGES")
+        service.execute(
+            "CREATE DYNAMIC TABLE big AS SELECT region FROM totals "
+            "WHERE total > 0 EMIT CHANGES")
+        service.apply("orders", inserts=[{"region": "eu", "amount": 1}],
+                      at=1)
+        service.refresh("big")  # must pull totals to version 1 on the way
+        assert service.view("totals").version == 1
+        assert service.view("big").version == 1
+
+
+class TestTick:
+    def test_tick_honours_target_lag(self):
+        service = make_service()
+        service.execute(
+            "CREATE DYNAMIC TABLE slow TARGET_LAG = 3 AS SELECT region, "
+            "SUM(amount) AS total FROM orders GROUP BY region EMIT CHANGES")
+        service.apply("orders", inserts=[{"region": "eu", "amount": 1}],
+                      at=1)
+        assert service.tick() == []        # clock 2: staleness 2 < 3
+        assert service.tick() == ["slow"]  # clock 3: staleness hits 3
+        assert totals(service, "slow") == {"eu": 1}
+
+    def test_zero_lag_refreshes_every_tick(self):
+        service = make_service()
+        service.execute(
+            "CREATE DYNAMIC TABLE fresh TARGET_LAG = 0 AS SELECT region, "
+            "SUM(amount) AS total FROM orders GROUP BY region EMIT CHANGES")
+        service.apply("orders", inserts=[{"region": "eu", "amount": 2}],
+                      at=1)
+        assert service.tick() == ["fresh"]
+        assert totals(service, "fresh") == {"eu": 2}
+
+    def test_downstream_lag_derives_from_consumers(self):
+        service = make_service()
+        service.execute(
+            "CREATE DYNAMIC TABLE mid TARGET_LAG = DOWNSTREAM AS "
+            "SELECT region, SUM(amount) AS total FROM orders "
+            "GROUP BY region EMIT CHANGES")
+        assert service.effective_lags() == {"mid": None}
+        service.execute(
+            "CREATE DYNAMIC TABLE top TARGET_LAG = 2 AS "
+            "SELECT region FROM mid WHERE total > 0 EMIT CHANGES")
+        assert service.effective_lags() == {"mid": 2, "top": 2}
+
+    def test_downstream_without_consumers_never_scheduled(self):
+        service = make_service()
+        service.execute(
+            "CREATE DYNAMIC TABLE orphan TARGET_LAG = DOWNSTREAM AS "
+            "SELECT region, SUM(amount) AS total FROM orders "
+            "GROUP BY region EMIT CHANGES")
+        service.apply("orders", inserts=[{"region": "eu", "amount": 1}],
+                      at=1)
+        assert service.tick() == []
+        assert service.view("orphan").version == 0  # still at install
+
+    def test_measured_lag_never_exceeds_target_in_steady_state(self):
+        service = make_service()
+        service.execute(
+            "CREATE DYNAMIC TABLE v TARGET_LAG = 2 AS SELECT region, "
+            "SUM(amount) AS total FROM orders GROUP BY region EMIT CHANGES")
+        for step in range(10):
+            service.apply("orders",
+                          inserts=[{"region": "eu", "amount": step}],
+                          at=service.clock + 1)
+            service.tick()
+            measured = service.clock - service.view("v").version
+            assert measured <= 2
+
+
+class TestSuspendResume:
+    def service(self):
+        service = make_service()
+        service.execute(
+            "CREATE DYNAMIC TABLE mid TARGET_LAG = 0 AS SELECT region, "
+            "SUM(amount) AS total FROM orders GROUP BY region EMIT CHANGES")
+        service.execute(
+            "CREATE DYNAMIC TABLE top TARGET_LAG = 0 AS "
+            "SELECT region FROM mid WHERE total > 0 EMIT CHANGES")
+        return service
+
+    def test_suspended_view_holds_version(self):
+        service = self.service()
+        service.suspend("mid")
+        service.apply("orders", inserts=[{"region": "eu", "amount": 1}],
+                      at=1)
+        assert service.tick() == []  # top is blocked below mid
+        assert service.view("mid").version == 0
+        assert service.view("top").version == 0
+
+    def test_refresh_through_suspended_ancestor_raises(self):
+        service = self.service()
+        service.suspend("mid")
+        service.apply("orders", inserts=[{"region": "eu", "amount": 1}],
+                      at=1)
+        with pytest.raises(StateError):
+            service.refresh("top")
+
+    def test_resume_catches_up(self):
+        service = self.service()
+        service.suspend("mid")
+        service.apply("orders", inserts=[{"region": "eu", "amount": 1}],
+                      at=1)
+        service.tick()
+        service.resume("mid")
+        refreshed = service.tick()
+        assert refreshed == ["mid", "top"]
+        assert [row["region"] for row, _ in service.read("top").items()] \
+            == ["eu"]
+
+
+class TestVersionedReads:
+    def test_read_at_version(self):
+        service = make_service()
+        service.execute(
+            "CREATE DYNAMIC TABLE totals AS SELECT region, "
+            "SUM(amount) AS total FROM orders GROUP BY region EMIT CHANGES")
+        service.apply("orders", inserts=[{"region": "eu", "amount": 1}],
+                      at=1)
+        service.refresh("totals")
+        service.apply("orders", inserts=[{"region": "eu", "amount": 2}],
+                      at=2)
+        service.refresh("totals")
+        old = {row["region"]: row["total"]
+               for row, _ in service.read("totals", version=1).items()}
+        assert old == {"eu": 1}
+        assert totals(service) == {"eu": 3}
+
+    def test_history_is_bounded(self):
+        service = make_service()
+        service.execute(
+            "CREATE DYNAMIC TABLE totals AS SELECT region, "
+            "SUM(amount) AS total FROM orders GROUP BY region EMIT CHANGES")
+        for step in range(HISTORY_LIMIT + 4):
+            service.apply("orders",
+                          inserts=[{"region": "eu", "amount": 1}],
+                          at=service.clock + 1)
+            service.refresh("totals")
+        history = service.view("totals").history
+        assert len(history) == HISTORY_LIMIT
+        with pytest.raises(StateError):
+            service.read("totals", version=0)  # pruned out of the window
+
+    def test_base_tables_have_no_history(self):
+        service = make_service()
+        with pytest.raises(StateError):
+            service.read("orders", version=0)
+
+
+class TestErrors:
+    def test_unknown_table(self):
+        with pytest.raises(StateError):
+            make_service().apply("nope", inserts=[{}])
+
+    def test_views_are_not_writable(self):
+        service = make_service()
+        service.execute(
+            "CREATE DYNAMIC TABLE t AS SELECT region, SUM(amount) AS total "
+            "FROM orders GROUP BY region EMIT CHANGES")
+        with pytest.raises(StateError):
+            service.apply("t", inserts=[{"region": "eu", "total": 1}])
+
+    def test_over_delete_rejected(self):
+        service = make_service()
+        with pytest.raises(StateError):
+            service.apply("orders",
+                          deletes=[{"region": "eu", "amount": 1}])
+
+    def test_commit_before_clock_rejected(self):
+        service = make_service()
+        service.apply("orders", inserts=[{"region": "eu", "amount": 1}],
+                      at=5)
+        with pytest.raises(StateError):
+            service.apply("orders", inserts=[{"region": "eu", "amount": 1}],
+                          at=3)
+
+    def test_bad_target_lag(self):
+        service = make_service()
+        with pytest.raises(PlanError):
+            service.create_from_plan(
+                "v", _any_plan(service), target_lag=-1)
+
+    def test_view_over_unknown_relation(self):
+        service = make_service()
+        with pytest.raises(PlanError):
+            service.execute(
+                "CREATE DYNAMIC TABLE v AS SELECT x FROM ghost "
+                "EMIT CHANGES")
+
+    def test_duplicate_view_name_rejected(self):
+        service = make_service()
+        text = ("CREATE DYNAMIC TABLE v AS SELECT region, SUM(amount) AS "
+                "total FROM orders GROUP BY region EMIT CHANGES")
+        service.execute(text)
+        with pytest.raises(PlanError):
+            service.execute(text)
+
+
+def _any_plan(service):
+    from repro.views import make_scan
+    return make_scan("orders", "o", service.catalog.schema_of("orders"))
+
+
+class TestObsMetrics:
+    def test_refresh_metrics_recorded(self):
+        import repro.obs as obs
+        obs.enable()
+        try:
+            service = make_service()
+            service.execute(
+                "CREATE DYNAMIC TABLE totals AS SELECT region, "
+                "SUM(amount) AS total FROM orders GROUP BY region "
+                "EMIT CHANGES")
+            service.apply("orders",
+                          inserts=[{"region": "eu", "amount": 1}], at=1)
+            service.refresh("totals")
+            names = {m["name"] for m in obs.get_registry().snapshot()}
+            assert {"views.refresh.lag", "views.refresh.rows",
+                    "views.dag.depth"} <= names
+        finally:
+            obs.disable()
