@@ -4,8 +4,8 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: test lint bench bench-kernel bench-plan bench-recovery \
-	bench-profile bench-parallel bench-batch bench-views chaos fuzz \
-	fuzz-quick
+	bench-profile bench-parallel bench-batch bench-views bench-rescale \
+	chaos fuzz fuzz-quick
 
 test: lint
 	$(PYTHON) -m pytest -x -q
@@ -58,9 +58,16 @@ bench-batch:
 bench-views:
 	$(PYTHON) -m pytest benchmarks/bench_dynamic_tables.py -x -q
 
+# Live rescale 1→4→2 mid-stream: migration stall per step plus the
+# zero-divergence gate (emissions and state vs the never-rescaled run,
+# and the difftest rescale leg over 200 seeded cases).  Writes
+# BENCH_rescale.json.
+bench-rescale:
+	$(PYTHON) -m pytest benchmarks/bench_rescale.py -x -q
+
 # Every headline benchmark, each writing its BENCH_*.json.
 bench: bench-kernel bench-plan bench-recovery bench-profile \
-	bench-parallel bench-batch bench-views
+	bench-parallel bench-batch bench-views bench-rescale
 
 # Standing fault-injection campaign: kernel crash matrix over random
 # queries plus seeded broker drop/dup/reorder chaos.

@@ -145,6 +145,18 @@ class RecoveryManager:
     def latest(self) -> Checkpoint | None:
         return self.checkpoints[-1] if self.checkpoints else None
 
+    def rebase(self, offset: int = 0) -> Checkpoint:
+        """Discard retained checkpoints and take a fresh baseline.
+
+        Required after a *structural* change to the target — a live
+        rescale replaces a query's replica set, so old snapshots encode a
+        shape that no longer exists; restoring one would resurrect the
+        old width (or just fail on the replica-count mismatch).  The
+        recovery point can only move forward past such a change.
+        """
+        self.checkpoints.clear()
+        return self.checkpoint(offset)
+
     # -- recovery ------------------------------------------------------------
 
     def recover(self) -> Checkpoint:

@@ -33,10 +33,12 @@ replica where :class:`ContinuousQuery` exposes one total.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import defaultdict
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.errors import PlanError, StateError
+from repro.core.operators import R2SKind
 from repro.core.records import Record
 from repro.core.relation import Bag, TimeVaryingRelation
 from repro.core.stream import Stream
@@ -82,6 +84,42 @@ class PartitionedQuery:
         self._stream_sources = self._replicas[0]._stream_sources
         self._relation_sources = self._replicas[0]._relation_sources
 
+    @classmethod
+    def adopt(cls, query: ContinuousQuery,
+              scheme: PartitionScheme | None = None) -> "PartitionedQuery":
+        """Wrap an already-running serial query as a width-1 fission.
+
+        The existing query becomes replica 0 *as is* — state, agenda,
+        log, emissions all kept — so a serial query can be promoted and
+        then live-rescaled (``repro.runtime.rescale``) without replay.
+        """
+        if query._shared is not None:
+            raise StateError(
+                "shared-group queries cannot be adopted for fission: their "
+                "operator state interleaves with other members'")
+        if scheme is None:
+            scheme = partition_scheme(query.plan)
+        if scheme is None:
+            raise PlanError(
+                "plan is not key-partitionable; it cannot be promoted to "
+                "a fissioned query")
+        out = cls.__new__(cls)
+        out.plan = query.plan
+        out.catalog = query.catalog
+        out.parallelism = 1
+        out.scheme = scheme
+        out.output_schema = query.output_schema
+        out._replicas = [query]
+        out.r2s = query.r2s
+        out._stream_sources = query._stream_sources
+        out._relation_sources = query._relation_sources
+        return out
+
+    def rescale(self, parallelism: int):
+        """Live-migrate to a new width; see :func:`repro.runtime.rescale`."""
+        from repro.runtime.rescale import rescale  # lazy: import cycle
+        return rescale(self, parallelism)
+
     # -- routing -------------------------------------------------------------
 
     def _route(self, stream_name: str,
@@ -99,8 +137,49 @@ class PartitionedQuery:
 
     # -- feeding -------------------------------------------------------------
 
+    def _feed(self, invoke: Callable[[ContinuousQuery, int],
+                                     list[Emission]]) -> list[Emission]:
+        """Drive every replica through one feeding call and merge.
+
+        For ISTREAM/DSTREAM (delta semantics) the merge is a plain
+        concatenation: each replica emits exactly its own key-partition's
+        deltas.  RSTREAM is *not* delta-shaped — the serial query re-emits
+        its **entire** state at every instant where the global state
+        changes, while a replica only re-emits at instants where *its own
+        partition* changed.  So after feeding, any replica that stayed
+        quiet at an instant some other replica logged must re-emit its
+        current state at that instant, or merged output loses rows
+        whenever keys land on different replicas.  (The width-3 difftest
+        leg masked this for a long time: ``default_hash(1) % 3 ==
+        default_hash(2) % 3``, so the generator's two hot keys co-located.)
+        """
+        if self.r2s is not R2SKind.RSTREAM or self.parallelism == 1:
+            return self._merge([invoke(replica, index)
+                                for index, replica in
+                                enumerate(self._replicas)])
+        marks = [len(replica._log) for replica in self._replicas]
+        produced = [invoke(replica, index)
+                    for index, replica in enumerate(self._replicas)]
+        active: set[Timestamp] = set()
+        for replica, mark in zip(self._replicas, marks):
+            active.update(t for t, _ in replica._log[mark:])
+        for replica, mark, out in zip(self._replicas, marks, produced):
+            logged = {t for t, _ in replica._log[mark:]}
+            times = [t for t, _ in replica._log]
+            for t in sorted(active - logged):
+                position = bisect_right(times, t)
+                if position == 0:
+                    continue  # no state yet at this instant
+                _, state = replica._log[position - 1]
+                synthesized = [Emission(record, t)
+                               for record, mult in state.items()
+                               for _ in range(mult)]
+                replica._emissions.extend(synthesized)
+                out.extend(synthesized)
+        return self._merge(produced)
+
     def start(self, at: Timestamp = 0) -> list[Emission]:
-        return self._merge([r.start(at) for r in self._replicas])
+        return self._feed(lambda replica, index: replica.start(at))
 
     def push(self, stream_name: str, row: Mapping[str, Any] | Record,
              timestamp: Timestamp) -> list[Emission]:
@@ -123,22 +202,21 @@ class PartitionedQuery:
                 raise PlanError(f"query does not read stream {name!r}")
             for index, routed in self._route(name, rows).items():
                 per_replica[index][name] = routed
-        return self._merge([replica.push_batch(timestamp, batch)
-                            for replica, batch
-                            in zip(self._replicas, per_replica)])
+        return self._feed(lambda replica, index: replica.push_batch(
+            timestamp, per_replica[index]))
 
     def update_relation(self, name: str, row: Mapping[str, Any] | Record,
                         mult: int, timestamp: Timestamp) -> list[Emission]:
         """Relations are replicated: updates broadcast to every replica."""
-        return self._merge([r.update_relation(name, row, mult, timestamp)
-                            for r in self._replicas])
+        return self._feed(lambda replica, index: replica.update_relation(
+            name, row, mult, timestamp))
 
     def advance_to(self, timestamp: Timestamp) -> list[Emission]:
-        return self._merge([r.advance_to(timestamp)
-                            for r in self._replicas])
+        return self._feed(
+            lambda replica, index: replica.advance_to(timestamp))
 
     def finish(self) -> list[Emission]:
-        return self._merge([r.finish() for r in self._replicas])
+        return self._feed(lambda replica, index: replica.finish())
 
     def run_recorded(self, streams: Mapping[str, Stream[Record]],
                      finish: bool = True) -> list[Emission]:

@@ -28,6 +28,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="core window cases to run (default 200)")
     parser.add_argument("--view-cases", type=int, default=100,
                         help="dynamic-table cases to run (default 100)")
+    parser.add_argument("--rescale-cases", type=int, default=0,
+                        help="extra cases through only the live-rescale "
+                             "leg (every regular case runs it too; "
+                             "default 0)")
     parser.add_argument("--seed", type=int, default=0,
                         help="campaign seed (default 0)")
     parser.add_argument("--unseeded", action="store_true",
@@ -47,6 +51,7 @@ def main(argv: list[str] | None = None) -> int:
         cases=args.cases,
         core_cases=args.core_cases,
         view_cases=args.view_cases,
+        rescale_cases=args.rescale_cases,
         shrink=not args.no_shrink,
         max_failures=args.max_failures,
         repro_dir=args.repro_dir,
@@ -63,6 +68,10 @@ def main(argv: list[str] | None = None) -> int:
     for case, divergence in report.view_failures:
         print(f"  view divergence: {divergence}")
         print(f"    views: {case.views} events: {case.events}")
+    for case, divergence in report.rescale_failures:
+        print(f"  rescale divergence: {divergence}")
+        print(f"    query: {case.query}")
+        print(f"    streams: {case.streams}")
     for problem in report.consistency_problems:
         print(f"  consistency: {problem}")
     for path in report.repro_paths:

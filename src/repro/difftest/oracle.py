@@ -59,7 +59,8 @@ class Divergence:
 
     kind: str    # which leg diverged: optimizer | executor | executor-naive
                  # | kernel | kernel-naive | kernel-parallel
-                 # | kernel-crashed | dsms | kernel-batched | dsms-shared
+                 # | kernel-rescaled | kernel-crashed | dsms
+                 # | kernel-batched | dsms-shared
                  # | kernel-views | core-sparse | core-assign | session
                  # | error
     detail: str
@@ -153,7 +154,15 @@ def run_case(case: Case) -> Divergence | None:
     if divergence is not None:
         return divergence
 
-    # Leg 7: crash-consistent recovery.  The kernel plan re-runs once per
+    # Leg 7: live rescale.  The same query starts serial, is live-migrated
+    # 1→4→2 at one-third and two-thirds of its instants (checkpoint,
+    # re-key by the target width, resume), and the output must still be
+    # byte-identical to the never-rescaled reference.
+    divergence = _kernel_rescaled_leg(case, streams, truth, is_r2s)
+    if divergence is not None:
+        return divergence
+
+    # Leg 8: crash-consistent recovery.  The kernel plan re-runs once per
     # operator position; each run blows a fuse inside that operator
     # mid-stream (state mutated, output lost), rolls back to the newest
     # barrier-by-instant checkpoint, replays, and must still agree with
@@ -220,6 +229,90 @@ def _kernel_parallel_leg(case: Case, streams, truth,
             "partitioned", _snapshot_list(query.as_relation()),
             "reference", _snapshot_list(truth)))
     return None
+
+
+def _kernel_rescaled_leg(case: Case, streams, truth,
+                         is_r2s: bool) -> Divergence | None:
+    """Live-rescale 1→4→2 mid-stream; output must not diverge.
+
+    Exercises the elasticity stack under fuzzing: the barrier-by-instant
+    checkpoint, per-operator state re-keying by ``default_hash``
+    placement at the new width, driver-state reconstruction, and the
+    log/emission seeding that keeps the merged change-log and emitted
+    stream byte-identical to a never-rescaled run.  Unpartitionable
+    plans skip, exactly like the kernel-parallel leg.
+    """
+    from collections import defaultdict
+
+    from repro.cql.parallel import PartitionedQuery
+    from repro.plan.parallel import partition_scheme
+
+    exec_engine = build_engine()
+    try:
+        plan = exec_engine.plan(case.query, optimize=True)
+    except ReproError as exc:
+        return Divergence("kernel-rescaled", f"planning failed: {exc!r}")
+    if partition_scheme(plan) is None:
+        return None
+    try:
+        query = PartitionedQuery(plan, exec_engine.catalog, parallelism=1)
+        arrivals: dict[int, dict[str, list]] = defaultdict(
+            lambda: defaultdict(list))
+        for name, stream in streams.items():
+            if name not in query._stream_sources:
+                continue
+            for element in stream:
+                arrivals[element.timestamp][name].append(element.value)
+        instants = sorted(arrivals)
+        first = max(1, len(instants) // 3)
+        second = max(first + 1, 2 * len(instants) // 3)
+        schedule = {first: 4, second: 2}
+        query.start()
+        for position, t in enumerate(instants):
+            if position in schedule:
+                query.rescale(schedule[position])
+            query.push_batch(t, arrivals[t])
+        for position in sorted(schedule):
+            # Degenerate cases (≤ 2 instants): still exercise both
+            # migrations, after the stream instead of inside it.
+            if position >= len(instants):
+                query.rescale(schedule[position])
+        query.finish()
+    except ReproError as exc:
+        return Divergence("kernel-rescaled",
+                          f"rescaled run crashed: {exc!r}")
+    if query.parallelism != 2:
+        return Divergence("kernel-rescaled",
+                          f"expected final width 2, got "
+                          f"{query.parallelism}")
+    if is_r2s:
+        produced = query.emitted_stream()
+        same = (produced.timestamps() == truth.timestamps()
+                and produced.values() == truth.values())
+        if not same:
+            return Divergence("kernel-rescaled", _diff_detail(
+                "rescaled", _stream_list(produced),
+                "reference", _stream_list(truth)))
+    elif not (query.as_relation() == truth):
+        return Divergence("kernel-rescaled", _diff_detail(
+            "rescaled", _snapshot_list(query.as_relation()),
+            "reference", _snapshot_list(truth)))
+    return None
+
+
+def run_rescale_case(case: Case) -> Divergence | None:
+    """Run only the live-rescale leg of one case (targeted campaigns:
+    ``--rescale-cases`` on the fuzz CLI and the rescale benchmark).
+    Skipped (None) when the plan is not key-partitionable."""
+    streams = build_streams(case)
+    engine = build_engine()
+    try:
+        plan_naive = engine.plan(case.query, optimize=False)
+        truth = reference_evaluate(plan_naive, engine.catalog, streams)
+    except ReproError as exc:
+        return Divergence("error", f"reference failed: {exc!r}")
+    is_r2s = plan_naive.op_name in _R2S_OPS
+    return _kernel_rescaled_leg(case, streams, truth, is_r2s)
 
 
 def _kernel_crashed_leg(case: Case, streams, truth,

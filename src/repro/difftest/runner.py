@@ -29,6 +29,7 @@ from repro.difftest.oracle import (
     check_negative_timestamp_rejection,
     run_case,
     run_core_window_case,
+    run_rescale_case,
     run_view_case,
 )
 from repro.difftest import shrinker
@@ -42,10 +43,13 @@ class FuzzReport:
     cases: int
     core_cases: int
     view_cases: int = 0
+    rescale_cases: int = 0
     failures: list[tuple[Case, Divergence]] = field(default_factory=list)
     core_failures: list[tuple[CoreWindowCase, Divergence]] = \
         field(default_factory=list)
     view_failures: list[tuple[ViewCase, Divergence]] = \
+        field(default_factory=list)
+    rescale_failures: list[tuple[Case, Divergence]] = \
         field(default_factory=list)
     consistency_problems: list[str] = field(default_factory=list)
     elapsed_seconds: float = 0.0
@@ -54,21 +58,23 @@ class FuzzReport:
     @property
     def clean(self) -> bool:
         return (not self.failures and not self.core_failures
-                and not self.view_failures
+                and not self.view_failures and not self.rescale_failures
                 and not self.consistency_problems)
 
     def summary(self) -> str:
         status = "clean" if self.clean else (
             f"{len(self.failures)} CQL + {len(self.core_failures)} core "
-            f"+ {len(self.view_failures)} view divergences, "
+            f"+ {len(self.view_failures)} view "
+            f"+ {len(self.rescale_failures)} rescale divergences, "
             f"{len(self.consistency_problems)} consistency problems")
         return (f"difftest: {self.cases} CQL cases, {self.core_cases} core "
-                f"cases, {self.view_cases} view cases in "
+                f"cases, {self.view_cases} view cases, "
+                f"{self.rescale_cases} rescale cases in "
                 f"{self.elapsed_seconds:.1f}s — {status}")
 
 
 def fuzz(seed: int | None = 0, cases: int = 500, core_cases: int = 200,
-         view_cases: int = 100,
+         view_cases: int = 100, rescale_cases: int = 0,
          shrink: bool = True, max_failures: int = 5,
          repro_dir: str | pathlib.Path | None = None,
          bench_dir: str | pathlib.Path | None = None,
@@ -77,11 +83,15 @@ def fuzz(seed: int | None = 0, cases: int = 500, core_cases: int = 200,
 
     ``seed=None`` draws fresh system entropy (the long-run mode behind
     ``make fuzz``); any integer gives a fully deterministic campaign.
-    Stops early after ``max_failures`` divergences.
+    Stops early after ``max_failures`` divergences.  ``rescale_cases``
+    runs *additional* cases through only the live-rescale leg (every
+    regular case already runs it as one of its legs) — the targeted
+    campaign behind ``--rescale-cases`` and ``make bench-rescale``.
     """
     rng = random.Random(seed)
     report = FuzzReport(seed=seed, cases=cases, core_cases=core_cases,
-                        view_cases=view_cases)
+                        view_cases=view_cases,
+                        rescale_cases=rescale_cases)
     started = time.perf_counter()
 
     report.consistency_problems = check_negative_timestamp_rejection()
@@ -132,6 +142,22 @@ def fuzz(seed: int | None = 0, cases: int = 500, core_cases: int = 200,
             report.repro_paths.append(
                 shrinker.emit_view_repro(case, divergence, path))
 
+    for index in range(rescale_cases):
+        if len(report.rescale_failures) >= max_failures:
+            break
+        case = gen_case(rng, seed=index)
+        divergence = run_rescale_case(case)
+        if divergence is None:
+            continue
+        if shrink:
+            case, divergence = shrinker.shrink_case(
+                case, divergence, oracle=run_rescale_case)
+        report.rescale_failures.append((case, divergence))
+        if repro_dir is not None:
+            path = pathlib.Path(repro_dir) / f"test_repro_rescale_{index}.py"
+            report.repro_paths.append(
+                shrinker.emit_repro(case, divergence, path))
+
     report.elapsed_seconds = time.perf_counter() - started
 
     if bench_dir is not None:
@@ -140,7 +166,8 @@ def fuzz(seed: int | None = 0, cases: int = 500, core_cases: int = 200,
 
 
 def _bench_payload(report: FuzzReport, name: str) -> dict[str, Any]:
-    total = report.cases + report.core_cases + report.view_cases
+    total = (report.cases + report.core_cases + report.view_cases
+             + report.rescale_cases)
     rate = total / report.elapsed_seconds if report.elapsed_seconds else 0.0
     return bench_result(
         name,
@@ -148,8 +175,10 @@ def _bench_payload(report: FuzzReport, name: str) -> dict[str, Any]:
         cql_cases=report.cases,
         core_cases=report.core_cases,
         view_cases=report.view_cases,
+        rescale_cases=report.rescale_cases,
         failures=(len(report.failures) + len(report.core_failures)
-                  + len(report.view_failures)),
+                  + len(report.view_failures)
+                  + len(report.rescale_failures)),
         consistency_problems=list(report.consistency_problems),
         elapsed_seconds=round(report.elapsed_seconds, 3),
         cases_per_second=round(rate, 1),

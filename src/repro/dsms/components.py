@@ -100,6 +100,23 @@ class Scratch:
     def register(self, label: str, holder: StateHolder) -> None:
         self._holders.append((label, holder))
 
+    def unregister(self, prefix: str) -> int:
+        """Drop registrations whose label is ``prefix`` or starts with
+        ``prefix`` + a separator; returns how many were dropped.
+
+        Used when a query's physical operators are replaced wholesale
+        (live rescale): the old replicas' holders would otherwise keep
+        their dead state in the occupancy number forever.
+        """
+        def matches(label: str) -> bool:
+            return label == prefix or label.startswith(prefix + "/") \
+                or label.startswith(prefix + "!")
+
+        before = len(self._holders)
+        self._holders = [(label, holder) for label, holder in self._holders
+                         if not matches(label)]
+        return before - len(self._holders)
+
     def occupancy(self) -> int:
         """Total tuples currently held in registered operator state."""
         total = sum(holder.state_size for _, holder in self._holders)

@@ -94,6 +94,12 @@ class QueryHandle:
         #: only while obs is enabled; the per-operator split lives in the
         #: query's executor accounting).
         self.busy_seconds = 0.0
+        #: Live-rescale history: one RescaleReport per completed
+        #: migration (``DSMSEngine.rescale_query`` appends here).
+        self.rescales: list = []
+        #: The adaptivity controller driving this query when the engine
+        #: runs with ``autoscale=`` (None otherwise / when ineligible).
+        self.autoscaler = None
         self._emissions: list[Emission] = []
         self._ingest_seq = 0
         self._process_seq = 0
@@ -369,7 +375,8 @@ class DSMSEngine:
                  recovery_interval: int | None = None,
                  max_restarts: int = 3,
                  batch_size: int = 1,
-                 max_batch_wait: int = 0) -> None:
+                 max_batch_wait: int = 0,
+                 autoscale: Any = None) -> None:
         self._cql = CQLEngine()
         self._kernel = kernel
         #: Engine-default micro-batch size: a service quantum drains up
@@ -425,6 +432,17 @@ class DSMSEngine:
         #: Streams materialised into views base tables: every ingested
         #: tuple of these streams also commits as a CDC insert.
         self._view_fed: set[str] = set()
+        #: Adaptivity: ``autoscale=True`` enables the default
+        #: :class:`repro.plan.adaptive.AdaptivePolicy`; passing a policy
+        #: uses it as given.  Each eligible (key-partitionable,
+        #: non-shared) query gets its own hysteresis controller, polled
+        #: once per ``run_until_idle`` against the pre-drain backlog.
+        self._autoscale_policy = None
+        if autoscale:
+            from repro.plan.adaptive import AdaptivePolicy
+            self._autoscale_policy = (AdaptivePolicy()
+                                      if autoscale is True else autoscale)
+        self._autoscale_ineligible: set[str] = set()
         if recovery_interval is not None:
             if self._sharing:
                 raise PlanError(
@@ -577,6 +595,126 @@ class DSMSEngine:
     def queries(self) -> list[QueryHandle]:
         return list(self._handles)
 
+    # -- live rescale ----------------------------------------------------------
+
+    def rescale_query(self, name: str, parallelism: int):
+        """Live-migrate a running query to a new parallelism.
+
+        Uses :func:`repro.runtime.rescale.rescale`: barrier checkpoint
+        via the existing snapshot protocol, per-operator re-keying by
+        ``default_hash`` placement, resume at the new width — the query
+        keeps its state, emissions and event-time frontier, and its
+        output stays byte-identical to a never-rescaled run.  A serial
+        query is first promoted to a width-1 fission
+        (:meth:`~repro.cql.parallel.PartitionedQuery.adopt`).
+
+        Engine bookkeeping moves with it: Scratch registrations are
+        replaced (the old replicas' operators are dead), eviction
+        accounting re-bases on the new sources, and crash recovery takes
+        a fresh baseline — old checkpoints encode the old width and must
+        not be restored into the new one.
+
+        Returns the :class:`~repro.runtime.rescale.RescaleReport`.
+        """
+        from repro.cql.parallel import PartitionedQuery
+
+        handle = self._by_name.get(name)
+        if handle is None:
+            raise PlanError(f"unknown query {name!r}")
+        query = handle.query
+        if query._shared is not None:
+            raise PlanError(
+                f"query {name!r} is a member of a shared plan group; its "
+                f"operator state is interleaved with other members' and "
+                f"cannot be repartitioned independently")
+        if handle.pending:
+            raise StateError(
+                f"query {name!r} has {handle.pending} queued tuples; "
+                f"drain before rescaling (run_until_idle)")
+        if not isinstance(query, PartitionedQuery):
+            query = PartitionedQuery.adopt(query)
+            handle.query = query
+        report = query.rescale(parallelism)
+        # Replace the Scratch registrations and eviction sources: the old
+        # replicas' operators no longer exist, the new ones do.
+        self.scratch.unregister(name)
+        roots = query.physical_roots()
+        for index, root in enumerate(roots):
+            suffix = f"!{index}" if len(roots) > 1 else ""
+            for label, op in _stateful_ops(root):
+                self.scratch.register(f"{name}/{label}{suffix}", op)
+        handle._sources = [
+            op for root in roots for _, op in _stateful_ops(root)
+            if isinstance(op, StreamSourceOp)]
+        handle._last_source_sizes = {id(op): 0 for op in handle._sources}
+        handle.rescales.append(report)
+        if self.recovery is not None:
+            # Old checkpoints hold the old replica shape; restoring one
+            # into the rescaled query would fail (or worse, resurrect the
+            # old width).  Move the recovery point past the migration.
+            self.recovery.rebase(len(self._arrival_log))
+        if obs._STATE.enabled:
+            obs.get_registry().counter(
+                "dsms.rescale.count", query=name).inc()
+            obs.get_registry().gauge(
+                "dsms.query.parallelism", query=name).set(parallelism)
+        return report
+
+    # -- adaptivity loop -------------------------------------------------------
+
+    def _autoscale_observe(self) -> dict[str, Any]:
+        """Capture per-query signals *before* draining: the backlog at
+        poll time is the pressure evidence; post-drain queues are always
+        empty and would blind the controller."""
+        if self._autoscale_policy is None:
+            return {}
+        from repro.plan.adaptive import Signals
+
+        observed: dict[str, Any] = {}
+        for handle in self._handles:
+            if handle.name in self._autoscale_ineligible:
+                continue
+            if handle.query._shared is not None:
+                self._autoscale_ineligible.add(handle.name)
+                continue
+            if handle.autoscaler is None:
+                from repro.plan.adaptive import AdaptiveController
+                from repro.plan.parallel import partition_scheme
+                if partition_scheme(handle.query.plan) is None:
+                    self._autoscale_ineligible.add(handle.name)
+                    continue
+                handle.autoscaler = AdaptiveController(
+                    self._autoscale_policy)
+            query = handle.query
+            replicas = (query.replicas() if hasattr(query, "replicas")
+                        else [query])
+            lags = [self.watermark_clock.lag(stream)
+                    for stream in query._stream_sources]
+            lags = [lag for lag in lags if lag is not None]
+            processed = handle.metrics.processed
+            observed[handle.name] = Signals(
+                parallelism=getattr(query, "parallelism", 1),
+                queue_occupancy=handle.queue.occupancy,
+                pressure_events=handle.queue.pressure_events,
+                watermark_lag=max(lags) if lags else None,
+                partition_loads=tuple(float(r.deltas_processed)
+                                      for r in replicas),
+                selectivity=(handle.metrics.emitted / processed
+                             if processed else None),
+            )
+        return observed
+
+    def _autoscale_act(self, observed: dict[str, Any]) -> None:
+        """Poll each controller with its pre-drain signals and apply any
+        rescale decision — at quiescence, where migration is safe."""
+        for name, signals in observed.items():
+            handle = self._by_name.get(name)
+            if handle is None or handle.autoscaler is None:
+                continue  # cancelled mid-drain
+            decision = handle.autoscaler.poll(signals)
+            if decision.wants_rescale:
+                self.rescale_query(name, decision.parallelism)
+
     # -- data flow -------------------------------------------------------------
 
     def ingest(self, stream_name: str, record: Mapping[str, Any] | Record,
@@ -663,9 +801,13 @@ class DSMSEngine:
         return steps
 
     def _drain_settled(self, max_steps: int) -> int:
-        """Drain the queues, then settle overdue dynamic tables."""
+        """Drain the queues, then settle overdue dynamic tables and run
+        the adaptivity loop (signals are captured pre-drain — the
+        backlog is the evidence — decisions applied at quiescence)."""
+        observed = self._autoscale_observe()
         steps = self._drain(max_steps)
         self._tick_views()
+        self._autoscale_act(observed)
         return steps
 
     def advance_time(self, t: Timestamp) -> None:
@@ -792,6 +934,8 @@ class DSMSEngine:
                 len(handle.queue))
             registry.gauge("dsms.query.busy_seconds", **labels).set(
                 handle.busy_seconds)
+            registry.gauge("dsms.query.parallelism", **labels).set(
+                getattr(handle.query, "parallelism", 1))
             handle.query.publish_metrics(registry, **labels)
         # Backpressure: queue peak/occupancy/pressure per scheduling unit
         # (isolated queries and the shared group alike).

@@ -63,6 +63,19 @@ class Exchange(Operator):
             partitioner = HashPartitioner()
         self.partitioner = partitioner
 
+    def set_parallelism(self, parallelism: int) -> None:
+        """Re-point the shuffle at a new downstream width (live rescale).
+
+        The Exchange is stateless, so changing the modulus is the entire
+        routing-side migration: elements arriving after the call are
+        stamped for the new width.  The caller owns re-keying the replica
+        *state* (``repro.runtime.rescale``) and re-wiring the gates.
+        """
+        if parallelism < 1:
+            raise ValueError(f"need at least one partition, "
+                             f"got {parallelism}")
+        self.parallelism = parallelism
+
     def process_element(self, value: Any, input_index: int = 0) -> None:
         emit = self.ctx.emitter.emit
         for index in self.partitioner.route(

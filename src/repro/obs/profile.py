@@ -462,6 +462,8 @@ def explain_analyze(target: Any) -> str:
     """
     if hasattr(target, "query") and hasattr(target, "queue"):
         return _explain_handle(target)
+    if hasattr(target, "_replicas") and hasattr(target, "plan"):
+        return _explain_partitioned(target)
     if hasattr(target, "_root") and hasattr(target, "plan"):
         return _explain_continuous(target)
     if hasattr(target, "_order") and hasattr(target, "_sources"):
@@ -473,12 +475,32 @@ def analyze(target: Any) -> dict[str, Any]:
     """The structured (JSON-ready) form of :func:`explain_analyze`."""
     if hasattr(target, "query") and hasattr(target, "queue"):
         queue = target.queue
-        return {"query": target.name,
-                "busy_seconds": getattr(target, "busy_seconds", 0.0),
-                "queue": {"depth": len(queue), "capacity": queue.capacity,
-                          "peak": queue.peak, "dropped": queue.dropped,
-                          "pressure_events": queue.pressure_events},
-                **analyze(target.query)}
+        out = {"query": target.name,
+               "busy_seconds": getattr(target, "busy_seconds", 0.0),
+               "queue": {"depth": len(queue), "capacity": queue.capacity,
+                         "peak": queue.peak, "dropped": queue.dropped,
+                         "pressure_events": queue.pressure_events},
+               **analyze(target.query)}
+        out["parallelism"] = getattr(target.query, "parallelism", 1)
+        rescales = getattr(target, "rescales", None)
+        if rescales:
+            out["rescales"] = [
+                {"from": r.parallelism_from, "to": r.parallelism_to,
+                 "instant": r.instant,
+                 "migrated_entries": r.migrated_entries,
+                 "seconds": r.seconds} for r in rescales]
+        autoscaler = getattr(target, "autoscaler", None)
+        if autoscaler is not None:
+            out["autoscale"] = autoscaler.as_dict()
+        return out
+    if hasattr(target, "_replicas") and hasattr(target, "plan"):
+        return {
+            "parallelism": target.parallelism,
+            "deltas_processed": target.deltas_processed,
+            "emissions": len(target.emissions()),
+            "replicas": [analyze(replica)
+                         for replica in target.replicas()],
+        }
     if hasattr(target, "_root") and hasattr(target, "plan"):
         operators, total_busy = _continuous_operator_stats(target)
         return {"operators": operators,
@@ -575,6 +597,45 @@ def _explain_continuous(query: Any) -> str:
     return "\n".join(lines)
 
 
+def _explain_partitioned(query: Any) -> str:
+    """Render a fissioned query: one plan tree, replica stats summed.
+
+    Every replica compiles from the *same* logical plan object, so the
+    per-node stats of all replicas key by the same logical ids and sum
+    cleanly — the rendered tree shows the query's total work while the
+    header keeps the width visible.
+    """
+    from repro.plan.explain import explain_analyzed
+
+    merged: dict[int, dict[str, Any]] = {}
+    for replica in query.replicas():
+        for node_id, entry in _continuous_node_stats(replica).items():
+            slot = merged.setdefault(node_id, {
+                "rows_in": 0, "rows_out": 0, "busy_seconds": 0.0,
+                "state_entries": None, "state_bytes": None})
+            slot["rows_in"] += entry["rows_in"]
+            slot["rows_out"] += entry["rows_out"]
+            slot["busy_seconds"] += entry["busy_seconds"] or 0.0
+            for key in ("state_entries", "state_bytes"):
+                if entry.get(key) is not None:
+                    slot[key] = (slot[key] or 0) + entry[key]
+    total_busy = sum(entry["busy_seconds"] for entry in merged.values())
+    for entry in merged.values():
+        rows_in = entry["rows_in"]
+        entry["selectivity"] = (entry["rows_out"] / rows_in
+                                if rows_in else None)
+        entry["busy_share"] = (entry["busy_seconds"] / total_busy
+                               if total_busy else None)
+        if entry["state_entries"] is None:
+            del entry["state_entries"], entry["state_bytes"]
+    lines = [f"fissioned x{query.parallelism} "
+             f"(per-node stats summed across replicas)",
+             explain_analyzed(query.plan, merged),
+             f"deltas processed: {query.deltas_processed}, "
+             f"emissions: {len(query.emissions())}"]
+    return "\n".join(lines)
+
+
 def _explain_handle(handle: Any) -> str:
     queue = handle.queue
     busy = getattr(handle, "busy_seconds", 0.0)
@@ -585,7 +646,25 @@ def _explain_handle(handle: Any) -> str:
         f"dropped={queue.dropped} "
         f"pressure_events={queue.pressure_events}",
     ]
-    return "\n".join(lines) + "\n" + _explain_continuous(handle.query)
+    rescales = getattr(handle, "rescales", None)
+    if rescales:
+        steps = " ".join(f"{r.parallelism_from}→{r.parallelism_to}"
+                         f"@{r.instant}" for r in rescales)
+        lines.append(f"rescales: {steps}")
+    autoscaler = getattr(handle, "autoscaler", None)
+    if autoscaler is not None:
+        state = autoscaler.as_dict()
+        last = state["last_decision"]
+        lines.append(
+            f"autoscale: polls={state['polls']} "
+            f"rescales={state['rescales']} "
+            + (f"last={last['action']}→{last['parallelism']} "
+               f"({last['reason']})" if last else "last=-"))
+    query = handle.query
+    rendered = (_explain_partitioned(query)
+                if hasattr(query, "_replicas")
+                else _explain_continuous(query))
+    return "\n".join(lines) + "\n" + rendered
 
 
 def _format_cell(value: Any, fmt: str = "") -> str:

@@ -58,9 +58,15 @@ from repro.plan.ir import (
     WindowAggregate,
     WindowOp,
     scans_of,
+    walk,
 )
 
-__all__ = ["PartitionScheme", "partition_scheme", "decide_parallelism"]
+__all__ = ["PartitionScheme", "partition_scheme", "decide_parallelism",
+           "partition_boundary", "key_annotations", "BROADCAST"]
+
+#: Annotation marker for nodes in a stream-free (broadcast) subtree:
+#: their state is replicated identically in every partition.
+BROADCAST = None
 
 
 @dataclass(frozen=True)
@@ -99,6 +105,20 @@ def partition_scheme(plan: LogicalOp) -> PartitionScheme | None:
     if boundary is None:
         return None
     node, keys, origin = boundary
+    spine = _spine_of(plan, node)
+    if any(isinstance(op, RelToStream) for op in spine):
+        # Delta-shaped output (ISTREAM/DSTREAM/RSTREAM): merged replica
+        # emissions are only the serial emissions when every output row
+        # still carries its partition key — otherwise rows from different
+        # partitions can collide in value, and cross-key cancellation the
+        # serial bag performs never happens in the merge.  For a join
+        # boundary either side's key columns qualify: the equi-join pins
+        # them equal in every output row.
+        candidates = ([node.left_keys, node.right_keys]
+                      if isinstance(node, Join) else [keys])
+        if not any(_keys_reach_output(spine, candidate)
+                   for candidate in candidates):
+            return None
     resolved = _resolve(node, list(keys))
     if resolved is None:
         return None
@@ -110,6 +130,161 @@ def partition_scheme(plan: LogicalOp) -> PartitionScheme | None:
         return None  # nothing to partition: all inputs are relations
     return PartitionScheme(keys=tuple(keys), stream_keys=dict(resolved),
                            origin=origin)
+
+
+def _spine_of(plan: LogicalOp, node: LogicalOp) -> list[LogicalOp]:
+    """The unary operators between the root and the boundary, top down."""
+    ops: list[LogicalOp] = []
+    cursor = plan
+    while cursor is not node:
+        ops.append(cursor)
+        cursor = cursor.children[0]
+    return ops
+
+
+def _keys_reach_output(spine: Sequence[LogicalOp],
+                       keys: Sequence[str]) -> bool:
+    """Do the boundary's key columns survive every spine projection?"""
+    current = list(keys)
+    for op in reversed(spine):
+        if isinstance(op, Project):
+            mapped = []
+            for key in current:
+                for name, expr in zip(op.names, op.exprs):
+                    if isinstance(expr, Column) and expr.name == key:
+                        mapped.append(name)
+                        break
+                else:
+                    return False
+            current = mapped
+    return True
+
+
+def partition_boundary(plan: LogicalOp) \
+        -> tuple[LogicalOp, tuple[str, ...], str] | None:
+    """The topmost keyed boundary of ``plan``: (node, keys, origin).
+
+    The boundary is the operator whose key *defines* the partitioning —
+    a grouped aggregate or an equi-join.  Everything between it and the
+    root is a per-record spine; everything below it carries the key on
+    some column of every record.  State migration anchors on this node:
+    the boundary's state determines the query's current output, so a
+    rescaled replica's driver state can be recomputed from it even when
+    the spine projects the key away.
+    """
+    return _boundary(plan)
+
+
+def key_annotations(plan: LogicalOp) \
+        -> dict[int, tuple[str, ...] | None] | None:
+    """Per-node routing-key columns for a partitionable plan.
+
+    Maps ``id(node)`` → the routing key's column names *in that node's
+    output schema*, for every node the key analysis descends through,
+    plus the spine above the boundary as far as the key survives
+    projection.  Nodes in a stream-free subtree map to :data:`BROADCAST`
+    (their state is replicated in every partition); nodes absent from
+    the mapping have no recoverable key (e.g. spine ops above a
+    projection that dropped it).  Returns None when the plan is not
+    partitionable at all.
+
+    This is what live rescale (``repro.runtime.rescale``) uses to
+    re-key each operator's checkpointed state by the target width.
+    """
+    if partition_scheme(plan) is None:
+        return None
+    node, keys, _origin = _boundary(plan)
+    ann: dict[int, tuple[str, ...] | None] = {}
+    _annotate(node, list(keys), ann)
+    # The spine above the boundary: carry the key upward through renames
+    # until a projection loses it (nodes above that point stay absent).
+    spine: list[LogicalOp] = []
+    cursor = plan
+    while cursor is not node:
+        spine.append(cursor)
+        cursor = cursor.children[0]
+    current = list(keys)
+    for op in reversed(spine):
+        if isinstance(op, Project):
+            mapped = []
+            for key in current:
+                out_name = None
+                for name, expr in zip(op.names, op.exprs):
+                    if isinstance(expr, Column) and expr.name == key:
+                        out_name = name
+                        break
+                if out_name is None:
+                    return ann  # key projected away: stop annotating up
+                mapped.append(out_name)
+            current = mapped
+        # Filter / Distinct / RelToStream keep their child's schema.
+        ann[id(op)] = tuple(current)
+    return ann
+
+
+def _annotate(node: LogicalOp, keys: list[str],
+              ann: dict[int, tuple[str, ...] | None]) -> None:
+    """Record each descended node's key columns; mirrors :func:`_resolve`.
+
+    Only called on plans :func:`partition_scheme` already proved, so the
+    failure branches of ``_resolve`` are unreachable here.
+    """
+    ann[id(node)] = tuple(keys)
+    if isinstance(node, StreamScan):
+        return
+    if isinstance(node, RelationScan):
+        ann[id(node)] = BROADCAST
+        return
+    if isinstance(node, (Filter, Distinct, RelToStream, WindowOp)):
+        _annotate(node.children[0], keys, ann)
+        return
+    if isinstance(node, Project):
+        renamed = [node.exprs[node.schema.index_of(k)].name for k in keys]
+        _annotate(node.children[0], renamed, ann)
+        return
+    if isinstance(node, (Aggregate, WindowAggregate)):
+        renamed = [node.group_by[node.group_names.index(k)] for k in keys]
+        _annotate(node.children[0], renamed, ann)
+        return
+    if isinstance(node, Join):
+        _annotate_join(node, keys, ann)
+        return
+    if isinstance(node, SetOp):
+        positions = [node.left.schema.index_of(k) for k in keys]
+        right_keys = [node.right.schema.fields[p] for p in positions]
+        _annotate(node.left, keys, ann)
+        _annotate(node.right, right_keys, ann)
+        return
+
+
+def _annotate_join(node: Join, keys: list[str],
+                   ann: dict[int, tuple[str, ...] | None]) -> None:
+    left_schema = node.left.schema
+    on_left = []
+    for key in keys:
+        try:
+            left_schema.index_of(key)
+        except SchemaError:
+            continue
+        on_left.append(key)
+    if on_left:
+        side, other = node.left, node.right
+        names, own_keys, other_keys = on_left, node.left_keys, \
+            node.right_keys
+    else:
+        side, other = node.right, node.left
+        names, own_keys, other_keys = list(keys), node.right_keys, \
+            node.left_keys
+    _annotate(side, names, ann)
+    if any(isinstance(s, StreamScan) for s in scans_of(other)):
+        schema = side.schema
+        key_positions = [schema.index_of(k) for k in own_keys]
+        mapped = [other_keys[key_positions.index(schema.index_of(n))]
+                  for n in names]
+        _annotate(other, mapped, ann)
+    else:
+        for sub in walk(other):
+            ann[id(sub)] = BROADCAST
 
 
 def decide_parallelism(plan: LogicalOp, requested: int | None = None,

@@ -96,7 +96,11 @@ class WorkerPool:
             import multiprocessing
 
             context = multiprocessing.get_context("fork")
-            self._pool = context.Pool(min(self.workers, len(tasks)))
+            # Size by self.workers, NOT min(workers, len(tasks)): the
+            # pool is cached across map() calls, so sizing it to the
+            # first call's task count silently capped a later, larger
+            # task list's parallelism for the lifetime of the pool.
+            self._pool = context.Pool(self.workers)
         return self._pool.map(fn, tasks)
 
     def close(self) -> None:

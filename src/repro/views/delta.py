@@ -96,6 +96,33 @@ class Changelog:
     def __len__(self) -> int:
         return len(self._versions)
 
+    def gc(self, below: int) -> int:
+        """Compact entries committed at versions ``<= below`` into one
+        netted batch stamped at version 0; returns entries reclaimed.
+
+        Safe when every attached consumer has consumed past ``below``: a
+        consumer at version ``v >= below`` only ever pulls ``(v, ...]``,
+        which excludes version 0.  A consumer attached *later* starts at
+        version -1 and pulls ``(-1, clock]`` — the compacted batch nets
+        all reclaimed history (including any version-0 priming batch), so
+        full replay still reconstructs the exact current contents.  That
+        is why reclaimed history is netted and kept at version 0 rather
+        than dropped.
+        """
+        from bisect import bisect_right
+
+        cut = bisect_right(self._versions, below)
+        if cut <= 1:
+            return 0
+        merged = net(delta for batch in self._batches[:cut]
+                     for delta in batch)
+        head_versions = [0] if merged else []
+        head_batches = [tuple(merged)] if merged else []
+        reclaimed = cut - len(head_versions)
+        self._versions = head_versions + self._versions[cut:]
+        self._batches = head_batches + self._batches[cut:]
+        return reclaimed
+
     # -- checkpointing --------------------------------------------------------
 
     def snapshot(self) -> dict:

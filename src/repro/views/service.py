@@ -300,7 +300,35 @@ class DynamicTableService:
             if self.clock - view.version >= lag:
                 self._refresh_to(view, self.clock)
                 refreshed.append(name)
+        self.gc()
         return refreshed
+
+    def gc(self) -> dict[str, int]:
+        """Reclaim changelog history no consumer can pull again.
+
+        Each source's low-water mark is the minimum consumed version
+        across the views reading it (a suspended consumer holds the mark
+        down, so its catch-up slice survives); a source with no consumers
+        uses the clock.  Entries at or below the mark are netted into one
+        version-0 batch (see :meth:`Changelog.gc`), which keeps the
+        primed-replay invariant for views attached later.  Returns the
+        entries reclaimed per table/view name.
+        """
+        marks: dict[str, int] = {}
+        for view in self._views.values():
+            for source in view.sources:
+                marks[source] = min(marks.get(source, view.version),
+                                    view.version)
+        reclaimed: dict[str, int] = {}
+        logs = [(name, table.changelog)
+                for name, table in self._tables.items()]
+        logs += [(name, view.changelog)
+                 for name, view in self._views.items()]
+        for name, log in logs:
+            count = log.gc(marks.get(name, self.clock))
+            if count:
+                reclaimed[name] = count
+        return reclaimed
 
     def effective_lags(self) -> dict[str, int | None]:
         """Per-view lag obligations after ``downstream`` propagation."""

@@ -1,0 +1,158 @@
+"""Engine-level live rescale and the autoscale loop
+(DSMSEngine.rescale_query / autoscale=)."""
+
+import pytest
+
+from repro.core import PlanError, Schema, StateError
+from repro.cql.parallel import PartitionedQuery
+from repro.dsms import DSMSEngine
+from repro.obs import explain_analyze
+from repro.plan.adaptive import AdaptivePolicy
+
+OBS = Schema(["id", "room", "temp"])
+GROUPED = ("SELECT ISTREAM room, COUNT(*) AS n FROM Obs [Range 20] "
+           "GROUP BY room")
+ROOMS = ["kitchen", "lab", "hall", "attic", "cellar"]
+
+ROWS = [({"id": i, "room": ROOMS[i % len(ROOMS)], "temp": 10 + i % 30}, i)
+        for i in range(24)]
+
+
+def make_engine(**kwargs):
+    engine = DSMSEngine(**kwargs)
+    engine.register_stream("Obs", OBS)
+    return engine
+
+
+def ingest(engine, rows):
+    for row, t in rows:
+        engine.ingest("Obs", row, t)
+
+
+def store_outputs(handle):
+    history = handle.store_history()
+    return (history, sorted(map(repr, handle.store_state())))
+
+
+class TestRescaleQuery:
+    def test_live_rescale_matches_never_rescaled_control(self):
+        control = make_engine()
+        control_handle = control.register_query("q", GROUPED)
+        ingest(control, ROWS)
+        control.run_until_idle()
+
+        engine = make_engine()
+        handle = engine.register_query("q", GROUPED)
+        ingest(engine, ROWS[:10])
+        engine.run_until_idle()
+        report = engine.rescale_query("q", 3)
+        ingest(engine, ROWS[10:])
+        engine.run_until_idle()
+
+        assert store_outputs(handle) == store_outputs(control_handle)
+        assert isinstance(handle.query, PartitionedQuery)
+        assert handle.query.parallelism == 3
+        assert handle.rescales == [report]
+        assert report.parallelism_from == 1
+
+    def test_unknown_query_rejected(self):
+        engine = make_engine()
+        with pytest.raises(PlanError, match="unknown query"):
+            engine.rescale_query("nope", 2)
+
+    def test_pending_queue_blocks_rescale(self):
+        engine = make_engine()
+        engine.register_query("q", GROUPED)
+        ingest(engine, ROWS[:3])  # enqueued, not yet drained
+        with pytest.raises(StateError, match="drain"):
+            engine.rescale_query("q", 2)
+
+    def test_unpartitionable_query_rejected(self):
+        engine = make_engine()
+        engine.register_query("g", "SELECT COUNT(*) AS n FROM Obs [Range 5]")
+        with pytest.raises(PlanError, match="not key-partitionable"):
+            engine.rescale_query("g", 2)
+
+    def test_scratch_registrations_follow_the_new_replicas(self):
+        engine = make_engine()
+        engine.register_query("q", GROUPED)
+        ingest(engine, ROWS[:10])
+        engine.run_until_idle()
+        occupancy_before = engine.scratch.occupancy()
+        engine.rescale_query("q", 3)
+        labels = [label for label, _ in engine.scratch._holders
+                  if label.startswith("q/")]
+        # One registration per stateful operator per replica, suffixed.
+        assert labels and all(label.endswith(("!0", "!1", "!2"))
+                              for label in labels)
+        # The migrated state is the same state: accounting is unchanged.
+        assert engine.scratch.occupancy() == occupancy_before
+
+    def test_recovery_takes_a_fresh_baseline(self):
+        engine = make_engine(recovery_interval=4)
+        handle = engine.register_query("q", GROUPED)
+        ingest(engine, ROWS[:12])
+        engine.run_until_idle()
+        assert len(engine.recovery.checkpoints) > 1
+        engine.rescale_query("q", 2)
+        # Old checkpoints encode the old replica shape: all dropped, one
+        # fresh baseline at the migration point.
+        assert len(engine.recovery.checkpoints) == 1
+        ingest(engine, ROWS[12:])
+        engine.run_until_idle()
+        control = make_engine()
+        control_handle = control.register_query("q", GROUPED)
+        ingest(control, ROWS)
+        control.run_until_idle()
+        assert store_outputs(handle) == store_outputs(control_handle)
+
+    def test_explain_analyze_reports_fission_and_rescales(self):
+        engine = make_engine()
+        handle = engine.register_query("q", GROUPED)
+        ingest(engine, ROWS[:10])
+        engine.run_until_idle()
+        engine.rescale_query("q", 3)
+        rendered = explain_analyze(handle)
+        assert "fissioned x3" in rendered
+        assert "rescales: 1→3" in rendered
+
+
+class TestAutoscale:
+    POLICY = AdaptivePolicy(max_parallelism=4, high_occupancy=0.5,
+                            low_occupancy=0.05, confirm_polls=2,
+                            cooldown_polls=1)
+
+    def test_backlog_drives_scale_up_without_divergence(self):
+        engine = make_engine(autoscale=self.POLICY, queue_capacity=8)
+        handle = engine.register_query("q", GROUPED)
+        control = make_engine()
+        control_handle = control.register_query("q", GROUPED)
+        for start in range(0, len(ROWS), 6):
+            chunk = ROWS[start:start + 6]
+            ingest(engine, chunk)
+            engine.run_until_idle()
+            ingest(control, chunk)
+            control.run_until_idle()
+        assert handle.autoscaler is not None
+        assert handle.autoscaler.as_dict()["rescales"] >= 1
+        assert handle.query.parallelism > 1
+        assert store_outputs(handle) == store_outputs(control_handle)
+
+    def test_ineligible_queries_are_cached_not_retried(self):
+        engine = make_engine(autoscale=True)
+        handle = engine.register_query(
+            "g", "SELECT COUNT(*) AS n FROM Obs [Range 5]")
+        ingest(engine, ROWS[:6])
+        engine.run_until_idle()
+        engine.run_until_idle()
+        assert handle.autoscaler is None
+        assert "g" in engine._autoscale_ineligible
+        assert not isinstance(handle.query, PartitionedQuery)
+
+    def test_autoscale_off_by_default(self):
+        engine = make_engine()
+        handle = engine.register_query("q", GROUPED)
+        ingest(engine, ROWS)
+        engine.run_until_idle()
+        assert handle.autoscaler is None
+        assert not isinstance(handle.query, PartitionedQuery)

@@ -1,0 +1,190 @@
+"""Tests for the adaptivity controller (repro.plan.adaptive):
+hysteresis-guarded rescale decisions from polled runtime signals."""
+
+import pytest
+
+from repro.core import PlanError
+from repro.plan.adaptive import (
+    AdaptiveController,
+    AdaptivePolicy,
+    Decision,
+    Signals,
+    skew_ratio,
+)
+
+
+def sig(parallelism=1, occupancy=0.5, pressure=0, lag=None, loads=(),
+        selectivity=None):
+    return Signals(parallelism=parallelism, queue_occupancy=occupancy,
+                   pressure_events=pressure, watermark_lag=lag,
+                   partition_loads=tuple(loads), selectivity=selectivity)
+
+
+class TestSkewRatio:
+    def test_balanced_is_one(self):
+        assert skew_ratio([5.0, 5.0, 5.0]) == 1.0
+
+    def test_hot_partition_dominates(self):
+        assert skew_ratio([9.0, 0.0, 0.0]) == 3.0
+
+    def test_empty_and_zero_are_neutral(self):
+        assert skew_ratio([]) == 1.0
+        assert skew_ratio([0.0, 0.0]) == 1.0
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        AdaptivePolicy()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"min_parallelism": 0},
+        {"max_parallelism": 1, "min_parallelism": 2},
+        {"low_occupancy": 0.8, "high_occupancy": 0.5},
+        {"high_occupancy": 1.5},
+        {"confirm_polls": 0},
+        {"factor": 1},
+    ])
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(PlanError):
+            AdaptivePolicy(**kwargs)
+
+
+class TestHysteresis:
+    def test_one_hot_poll_is_not_a_trend(self):
+        controller = AdaptiveController(AdaptivePolicy(confirm_polls=2))
+        decision = controller.poll(sig(occupancy=0.9))
+        assert decision.action == "hold"
+        assert "confirmation 1/2" in decision.reason
+
+    def test_confirmed_streak_scales_up_by_factor(self):
+        controller = AdaptiveController(AdaptivePolicy(confirm_polls=2))
+        controller.poll(sig(occupancy=0.9))
+        decision = controller.poll(sig(occupancy=0.9))
+        assert decision.wants_rescale
+        assert decision.parallelism == 2  # 1 * factor
+
+    def test_streak_resets_inside_the_band(self):
+        controller = AdaptiveController(AdaptivePolicy(confirm_polls=2))
+        controller.poll(sig(occupancy=0.9))
+        controller.poll(sig(occupancy=0.5))   # dead band: streak resets
+        decision = controller.poll(sig(occupancy=0.9))
+        assert decision.action == "hold"      # back to confirmation 1/2
+
+    def test_direction_flip_restarts_the_streak(self):
+        controller = AdaptiveController(AdaptivePolicy(confirm_polls=2))
+        controller.poll(sig(occupancy=0.9))
+        decision = controller.poll(sig(parallelism=4, occupancy=0.0))
+        assert decision.action == "hold"      # down-streak is fresh
+
+    def test_cooldown_swallows_polls_after_a_rescale(self):
+        controller = AdaptiveController(
+            AdaptivePolicy(confirm_polls=1, cooldown_polls=2))
+        assert controller.poll(sig(occupancy=0.9)).wants_rescale
+        for _ in range(2):
+            decision = controller.poll(sig(parallelism=2, occupancy=0.9))
+            assert decision.action == "hold"
+            assert "cooling down" in decision.reason
+        assert controller.poll(
+            sig(parallelism=2, occupancy=0.9)).wants_rescale
+
+    def test_scale_down_on_sustained_idleness(self):
+        controller = AdaptiveController(AdaptivePolicy(confirm_polls=2))
+        controller.poll(sig(parallelism=4, occupancy=0.0))
+        decision = controller.poll(sig(parallelism=4, occupancy=0.0))
+        assert decision.wants_rescale
+        assert decision.parallelism == 2      # ceil(4 / factor)
+
+    def test_dead_band_holds(self):
+        controller = AdaptiveController(AdaptivePolicy(confirm_polls=1))
+        decision = controller.poll(sig(parallelism=2, occupancy=0.4))
+        assert decision.action == "hold"
+        assert "hysteresis band" in decision.reason
+
+
+class TestTriggers:
+    def test_pressure_events_are_differenced(self):
+        # The first poll only baselines the cumulative counter; the same
+        # total on the next poll means no NEW pressure.
+        controller = AdaptiveController(AdaptivePolicy(confirm_polls=1))
+        assert controller.poll(
+            sig(occupancy=0.5, pressure=10)).action == "hold"
+        assert controller.poll(
+            sig(occupancy=0.5, pressure=10)).action == "hold"
+        decision = controller.poll(sig(occupancy=0.5, pressure=12))
+        assert decision.wants_rescale
+        assert "pressure" in decision.reason
+
+    def test_watermark_lag_trigger(self):
+        controller = AdaptiveController(
+            AdaptivePolicy(confirm_polls=1, high_watermark_lag=100))
+        assert controller.poll(
+            sig(occupancy=0.5, lag=50)).action == "hold"
+        decision = controller.poll(sig(occupancy=0.5, lag=150))
+        assert decision.wants_rescale
+        assert "lag" in decision.reason
+
+    def test_lag_disabled_by_default(self):
+        controller = AdaptiveController(AdaptivePolicy(confirm_polls=1))
+        assert controller.poll(
+            sig(occupancy=0.5, lag=10_000)).action == "hold"
+
+    def test_skew_computed_on_differenced_loads(self):
+        # Cumulative loads are skewed forever after one hot burst; the
+        # controller must difference successive polls so only *fresh*
+        # skew argues for a rescale.
+        controller = AdaptiveController(
+            AdaptivePolicy(confirm_polls=1, high_skew=2.0))
+        controller.poll(sig(parallelism=2, occupancy=0.5,
+                            loads=(100.0, 10.0)))
+        # Since the last poll both partitions did 10 units: balanced.
+        decision = controller.poll(sig(parallelism=2, occupancy=0.5,
+                                       loads=(110.0, 20.0)))
+        assert decision.action == "hold"
+        # Now one partition does all the fresh work: skew fires.
+        decision = controller.poll(sig(parallelism=2, occupancy=0.5,
+                                       loads=(160.0, 20.0)))
+        assert decision.wants_rescale
+        assert "skew" in decision.reason
+
+
+class TestClamping:
+    def test_up_clamps_to_max(self):
+        controller = AdaptiveController(
+            AdaptivePolicy(confirm_polls=1, max_parallelism=6))
+        decision = controller.poll(sig(parallelism=4, occupancy=0.9))
+        assert decision.parallelism == 6
+
+    def test_down_clamps_to_min(self):
+        controller = AdaptiveController(
+            AdaptivePolicy(confirm_polls=1, min_parallelism=2))
+        decision = controller.poll(sig(parallelism=3, occupancy=0.0))
+        assert decision.parallelism == 2
+
+    def test_already_at_the_clamp_holds_without_a_streak(self):
+        controller = AdaptiveController(
+            AdaptivePolicy(confirm_polls=1, max_parallelism=4))
+        decision = controller.poll(sig(parallelism=4, occupancy=0.9))
+        assert decision.action == "hold"
+
+
+class TestIntrospection:
+    def test_determinism(self):
+        signals = [sig(occupancy=o) for o in
+                   (0.9, 0.9, 0.3, 0.0, 0.0, 0.0, 0.9)]
+        runs = []
+        for _ in range(2):
+            controller = AdaptiveController(AdaptivePolicy(confirm_polls=2))
+            runs.append([controller.poll(s) for s in signals])
+        assert runs[0] == runs[1]
+
+    def test_as_dict_summarises_history(self):
+        controller = AdaptiveController(AdaptivePolicy(confirm_polls=1))
+        controller.poll(sig(occupancy=0.9))
+        state = controller.as_dict()
+        assert state["polls"] == 1
+        assert state["rescales"] == 1
+        assert state["last_decision"]["action"] == "rescale"
+
+    def test_decision_wants_rescale_property(self):
+        assert Decision("rescale", 2, "x").wants_rescale
+        assert not Decision("hold", 2, "x").wants_rescale

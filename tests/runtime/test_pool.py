@@ -69,6 +69,19 @@ class TestWorkerPool:
 
     @pytest.mark.multiproc
     @needs_fork
+    def test_pool_sizes_by_workers_not_first_task_count(self):
+        """Regression: the cached fork pool used to be sized
+        min(workers, len(tasks)) at first use, silently capping every
+        later, larger map() at the first call's task count."""
+        with WorkerPool(4, backend="process") as pool:
+            assert pool.map(_square, [1, 2]) == [1, 4]  # small first map
+            assert pool._pool._processes == 4
+            tasks = list(range(8))
+            assert pool.map(_square, tasks) == [x * x for x in tasks]
+            assert pool._pool._processes == 4
+
+    @pytest.mark.multiproc
+    @needs_fork
     def test_process_backend_matches_inline(self):
         tasks = list(range(8))
         with WorkerPool(2, backend="process") as pool:

@@ -1,0 +1,149 @@
+"""Changelog GC: compaction below the DAG's low-water consumed version,
+keeping the version-0 primed-replay invariant and bounding memory."""
+
+import pytest
+
+from repro.core.records import Record, Schema
+from repro.views import DynamicTableService
+from repro.views.delta import Changelog, Delta, apply_deltas, net
+
+pytestmark = pytest.mark.views
+
+SCHEMA = Schema(["k", "v"])
+
+
+def row(k, v):
+    return Record.from_mapping(SCHEMA, {"k": k, "v": v})
+
+
+def replay_contents(log, upto):
+    from repro.core.relation import Bag
+    bag = Bag()
+    apply_deltas(bag, log.between(-1, upto))
+    return sorted(bag.items(), key=repr)
+
+
+class TestChangelogGC:
+    def test_compacts_history_into_one_version_zero_batch(self):
+        log = Changelog()
+        for version in range(1, 6):
+            log.append(version, [Delta(row("a", version), 1)])
+        reclaimed = log.gc(below=3)
+        assert reclaimed == 2  # versions 1..3 became one batch
+        versions = [v for v, _ in log.entries()]
+        assert versions == [0, 4, 5]
+
+    def test_full_replay_is_preserved(self):
+        log = Changelog()
+        log.append(1, [Delta(row("a", 1), 1), Delta(row("b", 1), 1)])
+        log.append(2, [Delta(row("a", 1), -1), Delta(row("a", 2), 1)])
+        log.append(3, [Delta(row("c", 3), 1)])
+        before = replay_contents(log, 3)
+        log.gc(below=2)
+        # A late-attaching consumer pulls (-1, clock] and must
+        # reconstruct the exact same contents from the compacted log.
+        assert replay_contents(log, 3) == before
+
+    def test_existing_version_zero_batch_is_renetted(self):
+        log = Changelog()
+        log.append(0, [Delta(row("primed", 0), 1)])  # priming batch
+        log.append(1, [Delta(row("primed", 0), -1), Delta(row("a", 1), 1)])
+        log.append(2, [Delta(row("b", 2), 1)])
+        log.gc(below=2)
+        versions = [v for v, _ in log.entries()]
+        assert versions == [0]
+        assert replay_contents(log, 2) == sorted(
+            [(row("a", 1), 1), (row("b", 2), 1)], key=repr)
+
+    def test_fully_cancelling_history_vanishes(self):
+        log = Changelog()
+        log.append(1, [Delta(row("a", 1), 1)])
+        log.append(2, [Delta(row("a", 1), -1)])
+        assert log.gc(below=2) == 2
+        assert len(log) == 0
+
+    def test_noop_below_first_entry(self):
+        log = Changelog()
+        log.append(5, [Delta(row("a", 1), 1)])
+        assert log.gc(below=4) == 0
+        assert log.gc(below=5) == 0  # one entry: nothing to compact
+        assert [v for v, _ in log.entries()] == [5]
+
+    def test_consumers_past_the_mark_never_see_version_zero(self):
+        log = Changelog()
+        for version in range(1, 5):
+            log.append(version, [Delta(row("a", version), 1)])
+        log.gc(below=3)
+        # A consumer at version 3 pulls (3, 4]: only version 4, no
+        # compacted batch — its own catch-up slice is untouched.
+        assert [d.row["v"] for d in log.between(3, 4)] == [4]
+
+
+def service_with_view(target_lag=1):
+    service = DynamicTableService()
+    service.create_table("orders", Schema(["region", "amount"]))
+    service.execute(
+        f"CREATE DYNAMIC TABLE totals TARGET_LAG = {target_lag} AS "
+        "SELECT region, SUM(amount) AS total FROM orders "
+        "GROUP BY region EMIT CHANGES")
+    return service
+
+
+class TestServiceGC:
+    def test_tick_reclaims_consumed_base_history(self):
+        service = service_with_view()
+        for i in range(1, 20):
+            service.apply("orders",
+                          inserts=[{"region": "eu", "amount": i}], at=i)
+            service.tick(i)
+        # The view consumed everything; the base table's log compacts to
+        # the single version-0 batch plus at most the newest entries.
+        assert len(service._tables["orders"].changelog) <= 2
+
+    def test_lagging_consumer_holds_the_mark_down(self):
+        service = service_with_view(target_lag=100)  # never auto-refreshes
+        for i in range(1, 10):
+            service.apply("orders",
+                          inserts=[{"region": "eu", "amount": i}], at=i)
+            service.tick(i)
+        # The unconsumed slice (version > view.version) must survive.
+        view_version = service._views["totals"].version
+        log = service._tables["orders"].changelog
+        unconsumed = [v for v, _ in log.entries() if v > view_version]
+        assert len(unconsumed) == 9 - view_version
+
+    def test_late_attaching_view_replays_compacted_history(self):
+        service = service_with_view()
+        for i in range(1, 8):
+            service.apply("orders",
+                          inserts=[{"region": "eu", "amount": 1}], at=i)
+            service.tick(i)
+        late = service.execute(
+            "CREATE DYNAMIC TABLE latecount AS SELECT region, "
+            "COUNT(*) AS n FROM orders GROUP BY region EMIT CHANGES")
+        assert late is not None
+        rows = {row["region"]: row["n"]
+                for row, _ in service.read("latecount").items()}
+        assert rows == {"eu": 7}
+
+    def test_soak_memory_stays_bounded_over_10k_commits(self):
+        service = service_with_view()
+        peak_base = peak_view = 0
+        for i in range(1, 10_001):
+            service.apply(
+                "orders",
+                inserts=[{"region": f"r{i % 7}", "amount": i % 13}], at=i)
+            service.tick(i)
+            peak_base = max(peak_base,
+                            len(service._tables["orders"].changelog))
+            peak_view = max(peak_view,
+                            len(service._views["totals"].changelog))
+        # Without GC both logs grow one entry per commit (10k entries);
+        # with the low-water compaction they stay O(1).
+        assert peak_base <= 4
+        assert peak_view <= 4
+        totals = {row["region"]: row["total"]
+                  for row, _ in service.read("totals").items()}
+        assert totals == {f"r{r}": sum(i % 13 for i in range(1, 10_001)
+                                       if i % 7 == r)
+                          for r in range(7)}
